@@ -1,0 +1,138 @@
+use fademl_tensor::Tensor;
+
+use crate::{AttackSurface, Result};
+
+/// What the attacker wants the classifier to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackGoal {
+    /// Force classification as a specific class (the paper's five
+    /// misclassification scenarios are all targeted).
+    Targeted {
+        /// The desired output class.
+        class: usize,
+    },
+    /// Push the prediction away from the true class, any winner accepted.
+    Untargeted {
+        /// The image's true class.
+        source: usize,
+    },
+}
+
+impl AttackGoal {
+    /// `true` if `predicted` satisfies the goal.
+    pub fn is_met(&self, predicted: usize) -> bool {
+        match *self {
+            AttackGoal::Targeted { class } => predicted == class,
+            AttackGoal::Untargeted { source } => predicted != source,
+        }
+    }
+}
+
+/// The output of an attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialExample {
+    /// The adversarial image (same shape as the input, clamped to `[0, 1]`).
+    pub adversarial: Tensor,
+    /// The additive noise `adversarial − original`.
+    pub noise: Tensor,
+    /// Whether the goal was met *on the attack surface* (Threat Model I
+    /// evaluation; the experiment pipeline re-evaluates under II/III).
+    pub success_on_surface: bool,
+    /// The surface's predicted class for the adversarial image.
+    pub predicted: usize,
+    /// The surface's confidence in that prediction.
+    pub confidence: f32,
+    /// Optimization iterations used.
+    pub iterations: usize,
+    /// Gradient/forward queries issued to the surface.
+    pub queries: u64,
+}
+
+impl AdversarialExample {
+    /// L∞ magnitude of the perturbation.
+    pub fn noise_linf(&self) -> f32 {
+        self.noise.norm_linf()
+    }
+
+    /// L2 magnitude of the perturbation.
+    pub fn noise_l2(&self) -> f32 {
+        self.noise.norm_l2()
+    }
+}
+
+/// An adversarial-example generator.
+///
+/// Attacks are pure strategies: all victim/filter state lives in the
+/// [`AttackSurface`], so the same attack object can be reused across
+/// surfaces (this is exactly how the FAdeML wrapper upgrades a classic
+/// attack into a filter-aware one).
+pub trait Attack: std::fmt::Debug + Send + Sync {
+    /// Short display name, e.g. `"FGSM(eps=0.06)"`.
+    fn name(&self) -> String;
+
+    /// Crafts an adversarial example for `x` (a `[C, H, W]` image in
+    /// `[0, 1]`) against `surface`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`](crate::AttackError) for malformed inputs
+    /// or underlying model/filter failures.
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample>;
+}
+
+/// Builds the standard [`AdversarialExample`] bookkeeping from a final
+/// adversarial image.
+pub(crate) fn finish(
+    surface: &mut AttackSurface,
+    original: &Tensor,
+    adversarial: Tensor,
+    goal: AttackGoal,
+    iterations: usize,
+) -> Result<AdversarialExample> {
+    let (predicted, confidence) = surface.predict(&adversarial)?;
+    let noise = adversarial.sub(original)?;
+    Ok(AdversarialExample {
+        success_on_surface: goal.is_met(predicted),
+        predicted,
+        confidence,
+        iterations,
+        queries: surface.queries(),
+        adversarial,
+        noise,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goal_satisfaction() {
+        let t = AttackGoal::Targeted { class: 3 };
+        assert!(t.is_met(3));
+        assert!(!t.is_met(2));
+        let u = AttackGoal::Untargeted { source: 3 };
+        assert!(u.is_met(2));
+        assert!(!u.is_met(3));
+    }
+
+    #[test]
+    fn example_norms() {
+        let ex = AdversarialExample {
+            adversarial: Tensor::zeros(&[2]),
+            noise: Tensor::from_vec(vec![0.3, -0.4], [2].into()).unwrap(),
+            success_on_surface: true,
+            predicted: 0,
+            confidence: 0.9,
+            iterations: 1,
+            queries: 2,
+        };
+        assert!((ex.noise_linf() - 0.4).abs() < 1e-6);
+        assert!((ex.noise_l2() - 0.5).abs() < 1e-6);
+    }
+}

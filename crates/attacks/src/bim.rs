@@ -1,0 +1,226 @@
+use fademl_tensor::Tensor;
+
+use crate::attack::{finish, AdversarialExample, Attack, AttackGoal};
+use crate::{AttackError, AttackSurface, PerturbationBudget, Result};
+
+/// The basic iterative method (Kurakin et al.) — FGSM applied in many
+/// small steps, with each iterate clipped back into an ε-ball around
+/// the original image and into the valid pixel range.
+///
+/// The paper highlights BIM as the physically-motivated variant ("people
+/// can only pass data through devices"), which is why its finer steps
+/// interact differently with smoothing filters than one-shot FGSM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bim {
+    epsilon: f32,
+    alpha: f32,
+    iterations: usize,
+}
+
+impl Bim {
+    /// Creates BIM with ε-ball radius `epsilon`, per-step size `alpha`
+    /// and an iteration cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for non-positive or
+    /// non-finite `epsilon`/`alpha`, `alpha > epsilon`, or zero
+    /// iterations.
+    pub fn new(epsilon: f32, alpha: f32, iterations: usize) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 || !alpha.is_finite() || alpha <= 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("BIM needs positive finite epsilon/alpha, got {epsilon}/{alpha}"),
+            });
+        }
+        if alpha > epsilon {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("BIM step alpha {alpha} exceeds ball radius epsilon {epsilon}"),
+            });
+        }
+        if iterations == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "BIM needs at least one iteration".into(),
+            });
+        }
+        Ok(Bim {
+            epsilon,
+            alpha,
+            iterations,
+        })
+    }
+
+    /// The Kurakin et al. default: `alpha = epsilon / iterations` with a
+    /// small slack so the ball boundary is reachable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Bim::new`].
+    pub fn with_auto_step(epsilon: f32, iterations: usize) -> Result<Self> {
+        if iterations == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "BIM needs at least one iteration".into(),
+            });
+        }
+        Bim::new(epsilon, (epsilon * 1.25 / iterations as f32).min(epsilon), iterations)
+    }
+
+    /// The ε-ball radius.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    /// The per-iteration step size.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// The iteration cap.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+impl Attack for Bim {
+    fn name(&self) -> String {
+        format!(
+            "BIM(eps={}, alpha={}, iters={})",
+            self.epsilon, self.alpha, self.iterations
+        )
+    }
+
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample> {
+        surface.reset_queries();
+        let budget = PerturbationBudget::new(self.epsilon)?;
+        let mut current = x.clone();
+        let mut used = 0usize;
+        for _ in 0..self.iterations {
+            used += 1;
+            let (_, grad) = surface.loss_and_input_grad(&current, goal)?;
+            let step = grad.sign().scale(self.alpha);
+            current = budget.project(x, &current.sub(&step)?)?;
+            // Early exit once the goal is met on the surface.
+            let (predicted, _) = surface.predict(&current)?;
+            if goal.is_met(predicted) {
+                break;
+            }
+        }
+        finish(surface, x, current, goal, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+    use fademl_tensor::TensorRng;
+
+    fn setup(seed: u64) -> (AttackSurface, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        let x = rng.uniform(&[3, 16, 16], 0.1, 0.9);
+        (AttackSurface::new(model), x)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Bim::new(0.0, 0.01, 5).is_err());
+        assert!(Bim::new(0.1, 0.0, 5).is_err());
+        assert!(Bim::new(0.1, 0.2, 5).is_err()); // alpha > epsilon
+        assert!(Bim::new(0.1, 0.02, 0).is_err());
+        assert!(Bim::new(0.1, 0.02, 5).is_ok());
+        assert!(Bim::with_auto_step(0.1, 0).is_err());
+        let auto = Bim::with_auto_step(0.1, 10).unwrap();
+        assert!(auto.alpha() <= auto.epsilon());
+    }
+
+    #[test]
+    fn stays_in_epsilon_ball() {
+        let (mut surface, x) = setup(1);
+        let bim = Bim::new(0.06, 0.01, 8).unwrap();
+        let adv = bim
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 2 })
+            .unwrap();
+        assert!(adv.noise_linf() <= 0.06 + 1e-5);
+        assert!(adv.adversarial.min().unwrap() >= 0.0);
+        assert!(adv.adversarial.max().unwrap() <= 1.0);
+        assert!(adv.iterations >= 1 && adv.iterations <= 8);
+    }
+
+    #[test]
+    fn succeeds_at_least_as_often_as_fgsm() {
+        // With equal ε, iterated refinement with early exit should meet
+        // the targeted goal at least as often as the single FGSM step
+        // across a sweep of targets. (A per-example loss comparison is
+        // not sound: BIM stops as soon as the goal is met.)
+        use crate::Fgsm;
+        let (mut surface, x) = setup(2);
+        let eps = 0.08;
+        let mut fgsm_wins = 0usize;
+        let mut bim_wins = 0usize;
+        for class in 0..6 {
+            let goal = AttackGoal::Targeted { class };
+            if Fgsm::new(eps)
+                .unwrap()
+                .run(&mut surface, &x, goal)
+                .unwrap()
+                .success_on_surface
+            {
+                fgsm_wins += 1;
+            }
+            if Bim::new(eps, 0.01, 20)
+                .unwrap()
+                .run(&mut surface, &x, goal)
+                .unwrap()
+                .success_on_surface
+            {
+                bim_wins += 1;
+            }
+        }
+        assert!(
+            bim_wins >= fgsm_wins,
+            "BIM {bim_wins} successes vs FGSM {fgsm_wins}"
+        );
+    }
+
+    #[test]
+    fn early_exit_on_success() {
+        let (mut surface, x) = setup(3);
+        let (class, _) = surface.predict(&x).unwrap();
+        // Targeting the already-predicted class succeeds immediately.
+        let bim = Bim::new(0.05, 0.01, 50).unwrap();
+        let adv = bim
+            .run(&mut surface, &x, AttackGoal::Targeted { class })
+            .unwrap();
+        assert!(adv.success_on_surface);
+        assert_eq!(adv.iterations, 1);
+    }
+
+    #[test]
+    fn monotone_loss_over_iterations() {
+        let (mut surface, x) = setup(4);
+        let goal = AttackGoal::Targeted { class: 1 };
+        let mut losses = Vec::new();
+        for iters in [1usize, 5, 15] {
+            let adv = Bim::new(0.08, 0.01, iters)
+                .unwrap()
+                .run(&mut surface, &x, goal)
+                .unwrap();
+            let (l, _) = surface.loss_and_input_grad(&adv.adversarial, goal).unwrap();
+            losses.push(l);
+        }
+        assert!(losses[2] <= losses[0] + 1e-4, "losses {losses:?}");
+    }
+
+    #[test]
+    fn name_includes_parameters() {
+        let bim = Bim::new(0.06, 0.01, 8).unwrap();
+        assert!(bim.name().contains("0.06"));
+        assert!(bim.name().contains('8'));
+        assert_eq!(bim.iterations(), 8);
+    }
+}

@@ -1,0 +1,220 @@
+//! DeepFool (Moosavi-Dezfooli et al.) — the minimal-perturbation
+//! untargeted attack from the paper's related-work list, included as an
+//! extension baseline.
+//!
+//! At each step the decision boundary to every competitor class is
+//! linearized and the closest one is crossed:
+//!
+//! ```text
+//! l* = argmin_{k≠ŷ} |f_k − f_ŷ| / ‖∇f_k − ∇f_ŷ‖₂
+//! η  = (|f_l* − f_ŷ| / ‖w_l*‖²) · w_l*,   w_k = ∇f_k − ∇f_ŷ
+//! ```
+
+use fademl_tensor::Tensor;
+
+use crate::attack::{finish, AdversarialExample, Attack, AttackGoal};
+use crate::{AttackError, AttackSurface, Result};
+
+/// The DeepFool untargeted attack.
+///
+/// DeepFool is inherently untargeted: it seeks the nearest decision
+/// boundary regardless of which class lies beyond it. Running it with a
+/// targeted goal is rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeepFool {
+    max_iterations: usize,
+    overshoot: f32,
+}
+
+impl DeepFool {
+    /// Creates DeepFool with an iteration cap and the usual overshoot
+    /// factor (the original paper uses 0.02) that pushes the iterate
+    /// just past the linearized boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for zero iterations or
+    /// a negative/non-finite overshoot.
+    pub fn new(max_iterations: usize, overshoot: f32) -> Result<Self> {
+        if max_iterations == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "DeepFool needs at least one iteration".into(),
+            });
+        }
+        if !overshoot.is_finite() || overshoot < 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("DeepFool overshoot must be non-negative, got {overshoot}"),
+            });
+        }
+        Ok(DeepFool {
+            max_iterations,
+            overshoot,
+        })
+    }
+
+    /// The original paper's configuration: 50 iterations, 0.02 overshoot.
+    pub fn standard() -> Self {
+        DeepFool {
+            max_iterations: 50,
+            overshoot: 0.02,
+        }
+    }
+
+    /// Gradient of a single logit w.r.t. the input.
+    fn logit_grad(
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        class: usize,
+        classes: usize,
+    ) -> Result<Tensor> {
+        let mut seed = Tensor::zeros(&[classes]);
+        seed.set(&[class], 1.0)?;
+        surface.backward_to_input(x, &seed)
+    }
+}
+
+impl Attack for DeepFool {
+    fn name(&self) -> String {
+        format!(
+            "DeepFool(iters={}, overshoot={})",
+            self.max_iterations, self.overshoot
+        )
+    }
+
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample> {
+        let source = match goal {
+            AttackGoal::Untargeted { source } => source,
+            AttackGoal::Targeted { .. } => {
+                return Err(AttackError::InvalidParameter {
+                    reason: "DeepFool is untargeted; use AttackGoal::Untargeted".into(),
+                })
+            }
+        };
+        surface.reset_queries();
+        let mut current = x.clone();
+        let mut used = 0usize;
+        for _ in 0..self.max_iterations {
+            used += 1;
+            let logits = surface.forward_train_logits(&current)?;
+            let classes = logits.numel();
+            if source >= classes {
+                return Err(AttackError::InvalidInput {
+                    reason: format!("class {source} out of range for {classes} classes"),
+                });
+            }
+            let predicted = logits.argmax()?;
+            if predicted != source {
+                break; // already fooled
+            }
+            // NOTE: backward_to_input reuses the cached forward, but each
+            // call zeroes and re-accumulates, so re-run the forward per
+            // class gradient.
+            let grad_src = Self::logit_grad(surface, &current, source, classes)?;
+
+            let mut best_ratio = f32::INFINITY;
+            let mut best_direction: Option<Tensor> = None;
+            let mut best_gap = 0.0f32;
+            for k in 0..classes {
+                if k == source {
+                    continue;
+                }
+                surface.forward_train_logits(&current)?;
+                let grad_k = Self::logit_grad(surface, &current, k, classes)?;
+                let w = grad_k.sub(&grad_src)?;
+                let w_norm = w.norm_l2().max(1e-8);
+                let gap = (logits.as_slice()[k] - logits.as_slice()[source]).abs();
+                let ratio = gap / w_norm;
+                if ratio < best_ratio {
+                    best_ratio = ratio;
+                    best_gap = gap;
+                    best_direction = Some(w);
+                }
+            }
+            let w = best_direction.ok_or(AttackError::InvalidInput {
+                reason: "network has a single class; nothing to fool".into(),
+            })?;
+            let w_norm2 = w.norm_l2_squared().max(1e-12);
+            let step = w.scale((best_gap + 1e-4) / w_norm2 * (1.0 + self.overshoot));
+            current = current.add(&step)?.clamp(0.0, 1.0);
+        }
+        finish(surface, x, current, goal, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+    use fademl_tensor::TensorRng;
+
+    fn setup(seed: u64) -> (AttackSurface, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 5).build(&mut rng).unwrap();
+        let x = rng.uniform(&[3, 16, 16], 0.2, 0.8);
+        (AttackSurface::new(model), x)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DeepFool::new(0, 0.02).is_err());
+        assert!(DeepFool::new(10, -0.1).is_err());
+        assert!(DeepFool::new(10, f32::NAN).is_err());
+        assert!(DeepFool::new(10, 0.02).is_ok());
+        assert_eq!(DeepFool::standard().max_iterations, 50);
+    }
+
+    #[test]
+    fn rejects_targeted_goal() {
+        let (mut surface, x) = setup(1);
+        let df = DeepFool::standard();
+        assert!(matches!(
+            df.run(&mut surface, &x, AttackGoal::Targeted { class: 0 }),
+            Err(AttackError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn fools_the_classifier_with_small_noise() {
+        let (mut surface, x) = setup(2);
+        let (source, _) = surface.predict(&x).unwrap();
+        let df = DeepFool::standard();
+        let adv = df
+            .run(&mut surface, &x, AttackGoal::Untargeted { source })
+            .unwrap();
+        assert!(adv.success_on_surface, "DeepFool failed to fool");
+        // Minimal-perturbation attack: the noise should be small.
+        assert!(
+            adv.noise_l2() < x.norm_l2() * 0.5,
+            "noise L2 {} vs image L2 {}",
+            adv.noise_l2(),
+            x.norm_l2()
+        );
+        assert!(adv.adversarial.min().unwrap() >= 0.0);
+        assert!(adv.adversarial.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn already_misclassified_input_is_a_no_op() {
+        let (mut surface, x) = setup(3);
+        let (predicted, _) = surface.predict(&x).unwrap();
+        let other = (predicted + 1) % 5;
+        // Claim the source is a class the model does NOT predict: fooled
+        // from the start, one probe iteration, zero noise.
+        let adv = DeepFool::standard()
+            .run(&mut surface, &x, AttackGoal::Untargeted { source: other })
+            .unwrap();
+        assert_eq!(adv.iterations, 1);
+        assert_eq!(adv.noise_l2(), 0.0);
+        assert!(adv.success_on_surface);
+    }
+
+    #[test]
+    fn named() {
+        assert!(DeepFool::standard().name().contains("DeepFool"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Expectation over Transformation (EOT) PGD — the standard answer to
+//! *randomized* pipeline stages such as the paper's Threat Model II
+//! re-acquisition noise.
+//!
+//! A plain gradient attack optimizes against one fixed realization of
+//! the pipeline; under TM-II every classification re-draws sensor
+//! noise, so the crafted perturbation must work *in expectation*. EOT
+//! averages the input gradient over `samples` random noise draws at
+//! every PGD step:
+//!
+//! ```text
+//! g = (1/k) Σₛ ∇ₓ J(x_adv + ηₛ),   ηₛ ~ N(0, σ²)
+//! x_adv ← Π_ε(x_adv − α · sign(g))
+//! ```
+
+use fademl_tensor::{Tensor, TensorRng};
+
+use crate::attack::{finish, AdversarialExample, Attack, AttackGoal};
+use crate::{AttackError, AttackSurface, PerturbationBudget, Result};
+
+/// EOT-PGD: projected gradient descent with gradients averaged over
+/// random noise draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EotPgd {
+    epsilon: f32,
+    alpha: f32,
+    iterations: usize,
+    noise_std: f32,
+    samples: usize,
+    seed: u64,
+}
+
+impl EotPgd {
+    /// Creates EOT-PGD with ε-ball radius `epsilon`, step `alpha`, an
+    /// iteration cap, the transformation-noise standard deviation to
+    /// marginalize over, and the number of noise draws per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for non-positive
+    /// `epsilon`/`alpha`, `alpha > epsilon`, zero iterations/samples, or
+    /// a negative/non-finite `noise_std`.
+    pub fn new(
+        epsilon: f32,
+        alpha: f32,
+        iterations: usize,
+        noise_std: f32,
+        samples: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 || !alpha.is_finite() || alpha <= 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("EOT-PGD needs positive epsilon/alpha, got {epsilon}/{alpha}"),
+            });
+        }
+        if alpha > epsilon {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("EOT-PGD step {alpha} exceeds ball radius {epsilon}"),
+            });
+        }
+        if iterations == 0 || samples == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "EOT-PGD needs positive iterations and samples".into(),
+            });
+        }
+        if !noise_std.is_finite() || noise_std < 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("EOT noise std must be non-negative, got {noise_std}"),
+            });
+        }
+        Ok(EotPgd {
+            epsilon,
+            alpha,
+            iterations,
+            noise_std,
+            samples,
+            seed,
+        })
+    }
+
+    /// The number of noise draws averaged per step.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The marginalized noise standard deviation.
+    pub fn noise_std(&self) -> f32 {
+        self.noise_std
+    }
+}
+
+impl Attack for EotPgd {
+    fn name(&self) -> String {
+        format!(
+            "EOT-PGD(eps={}, iters={}, sigma={}, k={})",
+            self.epsilon, self.iterations, self.noise_std, self.samples
+        )
+    }
+
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample> {
+        surface.reset_queries();
+        let budget = PerturbationBudget::new(self.epsilon)?;
+        let mut rng = TensorRng::seed_from_u64(self.seed);
+        let mut current = x.clone();
+        let mut used = 0usize;
+        for _ in 0..self.iterations {
+            used += 1;
+            // Average the gradient over noise draws (the expectation).
+            let mut mean_grad = Tensor::zeros_like(x);
+            for _ in 0..self.samples {
+                let probe = if self.noise_std > 0.0 {
+                    let noise = rng.normal(x.dims(), 0.0, self.noise_std);
+                    current.add(&noise)?.clamp(0.0, 1.0)
+                } else {
+                    current.clone()
+                };
+                let (_, grad) = surface.loss_and_input_grad(&probe, goal)?;
+                mean_grad.add_scaled_inplace(&grad, 1.0 / self.samples as f32)?;
+            }
+            let step = mean_grad.sign().scale(self.alpha);
+            current = budget.project(x, &current.sub(&step)?)?;
+        }
+        finish(surface, x, current, goal, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+
+    fn setup(seed: u64) -> (AttackSurface, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 5).build(&mut rng).unwrap();
+        let x = rng.uniform(&[3, 16, 16], 0.2, 0.8);
+        (AttackSurface::new(model), x)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(EotPgd::new(0.0, 0.01, 5, 0.05, 4, 0).is_err());
+        assert!(EotPgd::new(0.1, 0.2, 5, 0.05, 4, 0).is_err());
+        assert!(EotPgd::new(0.1, 0.01, 0, 0.05, 4, 0).is_err());
+        assert!(EotPgd::new(0.1, 0.01, 5, 0.05, 0, 0).is_err());
+        assert!(EotPgd::new(0.1, 0.01, 5, -1.0, 4, 0).is_err());
+        let ok = EotPgd::new(0.1, 0.02, 5, 0.05, 4, 0).unwrap();
+        assert_eq!(ok.samples(), 4);
+        assert_eq!(ok.noise_std(), 0.05);
+    }
+
+    #[test]
+    fn respects_budget_and_range() {
+        let (mut surface, x) = setup(1);
+        let eot = EotPgd::new(0.06, 0.01, 6, 0.04, 3, 1).unwrap();
+        let adv = eot
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 2 })
+            .unwrap();
+        assert!(adv.noise_linf() <= 0.06 + 1e-5);
+        assert!(adv.adversarial.min().unwrap() >= 0.0);
+        assert!(adv.adversarial.max().unwrap() <= 1.0);
+        assert_eq!(adv.iterations, 6);
+    }
+
+    #[test]
+    fn zero_sigma_one_sample_matches_plain_pgd_direction() {
+        // With σ = 0 and k = 1 every EOT step is an exact PGD step.
+        let (mut surface, x) = setup(2);
+        let goal = AttackGoal::Targeted { class: 1 };
+        let (before, _) = surface.loss_and_input_grad(&x, goal).unwrap();
+        let eot = EotPgd::new(0.08, 0.02, 8, 0.0, 1, 2).unwrap();
+        let adv = eot.run(&mut surface, &x, goal).unwrap();
+        let (after, _) = surface.loss_and_input_grad(&adv.adversarial, goal).unwrap();
+        assert!(after < before, "loss {before} → {after}");
+    }
+
+    #[test]
+    fn eot_examples_are_more_noise_robust_than_plain_pgd() {
+        // The defining property: averaged over fresh noise draws, the
+        // EOT example keeps a lower goal loss than a plain PGD example
+        // of the same budget.
+        use crate::Bim;
+        let (mut surface, x) = setup(3);
+        let goal = AttackGoal::Targeted { class: 4 };
+        let sigma = 0.08f32;
+
+        let plain = Bim::new(0.08, 0.02, 10)
+            .unwrap()
+            .run(&mut surface, &x, goal)
+            .unwrap();
+        let eot = EotPgd::new(0.08, 0.02, 10, sigma, 6, 3)
+            .unwrap()
+            .run(&mut surface, &x, goal)
+            .unwrap();
+
+        let mut rng = TensorRng::seed_from_u64(99);
+        let mut expected_loss = |img: &Tensor| -> f32 {
+            let mut total = 0.0;
+            for _ in 0..24 {
+                let noise = rng.normal(img.dims(), 0.0, sigma);
+                let probe = img.add(&noise).unwrap().clamp(0.0, 1.0);
+                let (l, _) = surface.loss_and_input_grad(&probe, goal).unwrap();
+                total += l;
+            }
+            total / 24.0
+        };
+        let plain_loss = expected_loss(&plain.adversarial);
+        let eot_loss = expected_loss(&eot.adversarial);
+        assert!(
+            eot_loss <= plain_loss + 0.05,
+            "EOT expected loss {eot_loss} not better than plain {plain_loss}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut s1, x) = setup(4);
+        let (mut s2, _) = setup(4);
+        let eot = EotPgd::new(0.05, 0.01, 3, 0.03, 2, 7).unwrap();
+        let a = eot.run(&mut s1, &x, AttackGoal::Targeted { class: 0 }).unwrap();
+        let b = eot.run(&mut s2, &x, AttackGoal::Targeted { class: 0 }).unwrap();
+        assert_eq!(a.adversarial, b.adversarial);
+    }
+
+    #[test]
+    fn named() {
+        let eot = EotPgd::new(0.05, 0.01, 3, 0.03, 2, 0).unwrap();
+        assert!(eot.name().contains("EOT-PGD"));
+    }
+}

@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+use fademl_filters::FilterError;
+use fademl_nn::NnError;
+use fademl_tensor::TensorError;
+
+/// Error type for attack configuration and execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The victim model failed (usually a shape mismatch).
+    Network(NnError),
+    /// The pre-processing filter failed.
+    Filter(FilterError),
+    /// An attack hyper-parameter was invalid.
+    InvalidParameter {
+        /// Human-readable description of the invalid value.
+        reason: String,
+    },
+    /// The attack input was malformed (e.g. not a `[C, H, W]` image, or
+    /// a target class out of range).
+    InvalidInput {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::Network(e) => write!(f, "network error: {e}"),
+            AttackError::Filter(e) => write!(f, "filter error: {e}"),
+            AttackError::InvalidParameter { reason } => {
+                write!(f, "invalid attack parameter: {reason}")
+            }
+            AttackError::InvalidInput { reason } => write!(f, "invalid attack input: {reason}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Tensor(e) => Some(e),
+            AttackError::Network(e) => Some(e),
+            AttackError::Filter(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Network(e)
+    }
+}
+
+impl From<FilterError> for AttackError {
+    fn from(e: FilterError) -> Self {
+        AttackError::Filter(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = AttackError::from(TensorError::EmptyTensor { op: "x" });
+        assert!(e.source().is_some());
+        let e = AttackError::InvalidParameter { reason: "epsilon < 0".into() };
+        assert!(e.to_string().contains("epsilon"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

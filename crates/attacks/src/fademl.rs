@@ -1,0 +1,264 @@
+use fademl_tensor::Tensor;
+
+use crate::attack::{finish, AdversarialExample, Attack, AttackGoal};
+use crate::{AttackError, AttackSurface, Result};
+
+/// The paper's contribution: the pre-processing noise-Filter-aware
+/// Adversarial ML attack (§IV).
+///
+/// FAdeML upgrades any library attack into a filter-aware one by
+/// combining two ingredients:
+///
+/// 1. **A filter-aware surface.** The wrapped attack is run against an
+///    [`AttackSurface`] that models `filter ∘ DNN`, so every gradient it
+///    sees is already chained through the filter's vector-Jacobian
+///    product (paper steps 2–4). The caller supplies that surface — for
+///    the paper's experiments it carries the same LAP/LAR filter the
+///    victim pipeline deploys.
+/// 2. **An outer refinement loop** (paper steps 5–6 and Eq. 3): the
+///    accumulated noise `n` is rescaled by the imperceptibility factor
+///    `η` and refined by re-running the inner attack from the current
+///    adversarial point, `x* = η · (n + δn) + x`, until the goal is met
+///    on the surface or the round budget is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use fademl_attacks::{Attack, AttackGoal, AttackSurface, Fademl, Fgsm};
+/// use fademl_filters::Lap;
+/// use fademl_nn::vgg::VggConfig;
+/// use fademl_tensor::TensorRng;
+///
+/// # fn main() -> Result<(), fademl_attacks::AttackError> {
+/// let mut rng = TensorRng::seed_from_u64(0);
+/// let model = VggConfig::tiny(3, 16, 4).build(&mut rng)?;
+/// // The attacker models the defender's LAP(8) filter inside the loop.
+/// let mut surface = AttackSurface::with_filter(model, Box::new(Lap::new(8)?));
+/// let fademl = Fademl::new(Box::new(Fgsm::new(0.05)?), 3, 1.0)?;
+/// let x = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+/// let adv = fademl.run(&mut surface, &x, AttackGoal::Targeted { class: 1 })?;
+/// assert_eq!(adv.adversarial.dims(), x.dims());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Fademl {
+    inner: Box<dyn Attack>,
+    rounds: usize,
+    noise_scale: f32,
+}
+
+impl Fademl {
+    /// Wraps `inner` with `rounds` refinement rounds and noise scaling
+    /// factor `noise_scale` (the paper's η; 1.0 keeps the raw noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for zero rounds or a
+    /// `noise_scale` outside `(0, 1]`.
+    pub fn new(inner: Box<dyn Attack>, rounds: usize, noise_scale: f32) -> Result<Self> {
+        if rounds == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "FAdeML needs at least one refinement round".into(),
+            });
+        }
+        if !noise_scale.is_finite() || noise_scale <= 0.0 || noise_scale > 1.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("FAdeML noise scale must be in (0, 1], got {noise_scale}"),
+            });
+        }
+        Ok(Fademl {
+            inner,
+            rounds,
+            noise_scale,
+        })
+    }
+
+    /// The wrapped attack.
+    pub fn inner(&self) -> &dyn Attack {
+        self.inner.as_ref()
+    }
+
+    /// The refinement-round budget.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The noise scaling factor η.
+    pub fn noise_scale(&self) -> f32 {
+        self.noise_scale
+    }
+}
+
+impl Attack for Fademl {
+    fn name(&self) -> String {
+        format!(
+            "FAdeML[{}](rounds={}, eta={})",
+            self.inner.name(),
+            self.rounds,
+            self.noise_scale
+        )
+    }
+
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample> {
+        let mut current = x.clone();
+        let mut total_iterations = 0usize;
+        let mut total_queries = 0u64;
+        let mut best: Option<AdversarialExample> = None;
+
+        for _ in 0..self.rounds {
+            // Refine: δn from the inner attack at the current point.
+            let refined = self.inner.run(surface, &current, goal)?;
+            total_iterations += refined.iterations;
+            total_queries += refined.queries;
+
+            // Eq. 3: x* = η · (n + δn) + x, clipped into pixel range.
+            let accumulated = current.add(&refined.noise)?.sub(x)?;
+            current = x
+                .add(&accumulated.scale(self.noise_scale))?
+                .clamp(0.0, 1.0);
+
+            surface.reset_queries();
+            let candidate = finish(surface, x, current.clone(), goal, total_iterations)?;
+            total_queries += surface.queries();
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (candidate.success_on_surface && !b.success_on_surface)
+                        || (candidate.success_on_surface == b.success_on_surface
+                            && candidate.confidence > b.confidence)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+            if best.as_ref().is_some_and(|b| b.success_on_surface) {
+                break;
+            }
+        }
+        let mut result = best.expect("at least one round ran");
+        result.iterations = total_iterations;
+        result.queries = total_queries;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bim, Fgsm};
+    use fademl_filters::Lap;
+    use fademl_nn::vgg::VggConfig;
+    use fademl_tensor::TensorRng;
+
+    fn victim(seed: u64) -> (fademl_nn::Sequential, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        let x = rng.uniform(&[3, 16, 16], 0.2, 0.8);
+        (model, x)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let inner = || Box::new(Fgsm::new(0.05).unwrap()) as Box<dyn Attack>;
+        assert!(Fademl::new(inner(), 0, 1.0).is_err());
+        assert!(Fademl::new(inner(), 3, 0.0).is_err());
+        assert!(Fademl::new(inner(), 3, 1.5).is_err());
+        assert!(Fademl::new(inner(), 3, f32::NAN).is_err());
+        assert!(Fademl::new(inner(), 3, 0.9).is_ok());
+    }
+
+    #[test]
+    fn accessors_and_name() {
+        let fademl = Fademl::new(Box::new(Fgsm::new(0.05).unwrap()), 4, 0.95).unwrap();
+        assert_eq!(fademl.rounds(), 4);
+        assert_eq!(fademl.noise_scale(), 0.95);
+        assert!(fademl.name().contains("FGSM"));
+        assert!(fademl.name().contains("rounds=4"));
+        assert!(fademl.inner().name().contains("FGSM"));
+    }
+
+    #[test]
+    fn output_is_valid_image() {
+        let (model, x) = victim(1);
+        let mut surface = AttackSurface::with_filter(model, Box::new(Lap::new(8).unwrap()));
+        let fademl = Fademl::new(Box::new(Fgsm::new(0.06).unwrap()), 3, 0.9).unwrap();
+        let adv = fademl
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 2 })
+            .unwrap();
+        assert!(adv.adversarial.min().unwrap() >= 0.0);
+        assert!(adv.adversarial.max().unwrap() <= 1.0);
+        assert!(!adv.adversarial.has_non_finite());
+        assert!(adv.iterations >= 1);
+    }
+
+    #[test]
+    fn filter_aware_attack_beats_blind_attack_through_filter() {
+        // The core claim of the paper: crafting against filter∘DNN
+        // transfers through the filter better than crafting against the
+        // bare DNN. Compare the *targeted loss measured through the
+        // filtered pipeline*.
+        let (model, x) = victim(2);
+        let filter = Lap::new(8).unwrap();
+        let goal = AttackGoal::Targeted { class: 4 };
+        let inner = Bim::new(0.12, 0.02, 12).unwrap();
+
+        // Blind: craft on bare surface.
+        let mut bare = AttackSurface::new(model.clone());
+        let blind = inner.run(&mut bare, &x, goal).unwrap();
+
+        // Aware: craft on filtered surface via FAdeML.
+        let mut filtered_surface =
+            AttackSurface::with_filter(model.clone(), Box::new(filter.clone()));
+        let fademl = Fademl::new(Box::new(inner), 2, 1.0).unwrap();
+        let aware = fademl.run(&mut filtered_surface, &x, goal).unwrap();
+
+        // Evaluate both through the deployed (filtered) pipeline.
+        let mut pipeline = AttackSurface::with_filter(model, Box::new(filter));
+        let (blind_loss, _) = pipeline
+            .loss_and_input_grad(&blind.adversarial, goal)
+            .unwrap();
+        let (aware_loss, _) = pipeline
+            .loss_and_input_grad(&aware.adversarial, goal)
+            .unwrap();
+        assert!(
+            aware_loss < blind_loss,
+            "filter-aware loss {aware_loss} not better than blind {blind_loss}"
+        );
+    }
+
+    #[test]
+    fn eta_scales_noise_down() {
+        let (model, x) = victim(3);
+        let goal = AttackGoal::Targeted { class: 1 };
+        let run_with = |eta: f32| {
+            let mut surface = AttackSurface::new(model.clone());
+            Fademl::new(Box::new(Fgsm::new(0.1).unwrap()), 1, eta)
+                .unwrap()
+                .run(&mut surface, &x, goal)
+                .unwrap()
+        };
+        let full = run_with(1.0);
+        let half = run_with(0.5);
+        assert!(half.noise_linf() < full.noise_linf());
+    }
+
+    #[test]
+    fn stops_early_on_success() {
+        let (model, x) = victim(4);
+        let mut surface = AttackSurface::new(model);
+        let (class, _) = surface.predict(&x).unwrap();
+        // Targeting the current prediction succeeds in round one.
+        let fademl = Fademl::new(Box::new(Fgsm::new(0.01).unwrap()), 5, 1.0).unwrap();
+        let adv = fademl
+            .run(&mut surface, &x, AttackGoal::Targeted { class })
+            .unwrap();
+        assert!(adv.success_on_surface);
+        assert_eq!(adv.iterations, 1); // one FGSM round only
+    }
+}

@@ -1,0 +1,160 @@
+use fademl_tensor::Tensor;
+
+use crate::attack::{finish, AdversarialExample, Attack, AttackGoal};
+use crate::{AttackError, AttackSurface, Result};
+
+/// The fast gradient sign method (Goodfellow et al.).
+///
+/// A single step along the sign of the input gradient:
+/// `x* = clip(x − ε · sign(∇ₓ J))`, where `J` is the surface objective
+/// (towards the target class for targeted goals). One gradient query,
+/// no iteration — the cheapest attack in the paper's library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fgsm {
+    epsilon: f32,
+}
+
+impl Fgsm {
+    /// Creates FGSM with step size (and perturbation magnitude) `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for non-finite or
+    /// non-positive `epsilon`.
+    pub fn new(epsilon: f32) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("FGSM epsilon must be positive and finite, got {epsilon}"),
+            });
+        }
+        Ok(Fgsm { epsilon })
+    }
+
+    /// The configured step size.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> String {
+        format!("FGSM(eps={})", self.epsilon)
+    }
+
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample> {
+        surface.reset_queries();
+        let (_, grad) = surface.loss_and_input_grad(x, goal)?;
+        // Descend the objective: subtract the signed gradient.
+        let step = grad.sign().scale(self.epsilon);
+        let adversarial = x.sub(&step)?.clamp(0.0, 1.0);
+        finish(surface, x, adversarial, goal, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+    use fademl_tensor::TensorRng;
+
+    fn setup(seed: u64) -> (AttackSurface, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        let x = rng.uniform(&[3, 16, 16], 0.1, 0.9);
+        (AttackSurface::new(model), x)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Fgsm::new(0.0).is_err());
+        assert!(Fgsm::new(-0.1).is_err());
+        assert!(Fgsm::new(f32::INFINITY).is_err());
+        assert!(Fgsm::new(0.05).is_ok());
+    }
+
+    #[test]
+    fn perturbation_bounded_by_epsilon() {
+        let (mut surface, x) = setup(1);
+        let fgsm = Fgsm::new(0.07).unwrap();
+        let adv = fgsm
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 2 })
+            .unwrap();
+        assert!(adv.noise_linf() <= 0.07 + 1e-5);
+        assert!(adv.adversarial.min().unwrap() >= 0.0);
+        assert!(adv.adversarial.max().unwrap() <= 1.0);
+        assert_eq!(adv.iterations, 1);
+    }
+
+    #[test]
+    fn decreases_targeted_loss() {
+        let (mut surface, x) = setup(2);
+        let goal = AttackGoal::Targeted { class: 3 };
+        let (before, _) = surface.loss_and_input_grad(&x, goal).unwrap();
+        let adv = Fgsm::new(0.05)
+            .unwrap()
+            .run(&mut surface, &x, goal)
+            .unwrap();
+        let (after, _) = surface.loss_and_input_grad(&adv.adversarial, goal).unwrap();
+        assert!(
+            after < before,
+            "targeted loss did not decrease: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn untargeted_increases_source_loss() {
+        let (mut surface, x) = setup(3);
+        let (class, _) = surface.predict(&x).unwrap();
+        let before = {
+            let (l, _) = surface
+                .loss_and_input_grad(&x, AttackGoal::Targeted { class })
+                .unwrap();
+            l
+        };
+        let adv = Fgsm::new(0.08)
+            .unwrap()
+            .run(&mut surface, &x, AttackGoal::Untargeted { source: class })
+            .unwrap();
+        let after = {
+            let (l, _) = surface
+                .loss_and_input_grad(&adv.adversarial, AttackGoal::Targeted { class })
+                .unwrap();
+            l
+        };
+        assert!(
+            after > before,
+            "source-class loss did not increase: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn reports_queries_and_name() {
+        let (mut surface, x) = setup(4);
+        let fgsm = Fgsm::new(0.03).unwrap();
+        assert_eq!(fgsm.name(), "FGSM(eps=0.03)");
+        assert_eq!(fgsm.epsilon(), 0.03);
+        let adv = fgsm
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 0 })
+            .unwrap();
+        // One gradient query + one predict.
+        assert_eq!(adv.queries, 2);
+    }
+
+    #[test]
+    fn noise_is_adversarial_minus_original() {
+        let (mut surface, x) = setup(5);
+        let adv = Fgsm::new(0.05)
+            .unwrap()
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 1 })
+            .unwrap();
+        let rebuilt = x.add(&adv.noise).unwrap();
+        for (a, b) in rebuilt.as_slice().iter().zip(adv.adversarial.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+use fademl_tensor::Tensor;
+
+use crate::{AttackError, Result};
+
+/// Quantifies how visible an adversarial perturbation is — the paper's
+/// imperceptibility criteria (noise norms and the correlation
+/// coefficient between original and adversarial image).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImperceptibilityReport {
+    /// L2 norm of the perturbation.
+    pub noise_l2: f32,
+    /// L∞ norm of the perturbation.
+    pub noise_linf: f32,
+    /// Mean absolute per-pixel change.
+    pub mean_abs: f32,
+    /// Peak signal-to-noise ratio in dB (for a `[0, 1]` pixel range);
+    /// `f32::INFINITY` for identical images.
+    pub psnr_db: f32,
+    /// Pearson correlation coefficient between the two images
+    /// (1.0 = visually identical structure).
+    pub correlation: f32,
+}
+
+impl ImperceptibilityReport {
+    /// Compares an original and an adversarial image of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidInput`] if shapes differ or images
+    /// are empty.
+    pub fn between(original: &Tensor, adversarial: &Tensor) -> Result<Self> {
+        if original.shape() != adversarial.shape() {
+            return Err(AttackError::InvalidInput {
+                reason: format!(
+                    "image shapes differ: {:?} vs {:?}",
+                    original.dims(),
+                    adversarial.dims()
+                ),
+            });
+        }
+        let n = original.numel();
+        if n == 0 {
+            return Err(AttackError::InvalidInput {
+                reason: "cannot compare empty images".into(),
+            });
+        }
+        let noise = adversarial.sub(original)?;
+        let mse = noise.norm_l2_squared() / n as f32;
+        let psnr_db = if mse == 0.0 {
+            f32::INFINITY
+        } else {
+            // MAX = 1.0 for unit-range images.
+            -10.0 * mse.log10()
+        };
+        Ok(ImperceptibilityReport {
+            noise_l2: noise.norm_l2(),
+            noise_linf: noise.norm_linf(),
+            mean_abs: noise.abs().mean(),
+            psnr_db,
+            correlation: pearson(original.as_slice(), adversarial.as_slice()),
+        })
+    }
+
+    /// A rule-of-thumb judgement: PSNR above 30 dB is generally
+    /// considered visually imperceptible for natural images.
+    pub fn is_imperceptible(&self) -> bool {
+        self.psnr_db > 30.0
+    }
+}
+
+fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len() as f32;
+    let mean_a: f32 = a.iter().sum::<f32>() / n;
+    let mean_b: f32 = b.iter().sum::<f32>() / n;
+    let mut cov = 0.0f32;
+    let mut var_a = 0.0f32;
+    let mut var_b = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let (dx, dy) = (x - mean_a, y - mean_b);
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        // A constant image correlates perfectly with itself, else 0.
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_tensor::TensorRng;
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let img = rng.uniform(&[3, 8, 8], 0.0, 1.0);
+        let report = ImperceptibilityReport::between(&img, &img).unwrap();
+        assert_eq!(report.noise_l2, 0.0);
+        assert_eq!(report.noise_linf, 0.0);
+        assert_eq!(report.psnr_db, f32::INFINITY);
+        assert!((report.correlation - 1.0).abs() < 1e-6);
+        assert!(report.is_imperceptible());
+    }
+
+    #[test]
+    fn small_noise_high_psnr() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let img = rng.uniform(&[3, 16, 16], 0.2, 0.8);
+        let perturbed = img.add_scalar(0.005).clamp(0.0, 1.0);
+        let report = ImperceptibilityReport::between(&img, &perturbed).unwrap();
+        assert!(report.psnr_db > 40.0);
+        assert!(report.correlation > 0.999);
+        assert!(report.is_imperceptible());
+    }
+
+    #[test]
+    fn large_noise_low_psnr() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let img = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        let noise = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        let report = ImperceptibilityReport::between(&img, &noise).unwrap();
+        assert!(report.psnr_db < 15.0);
+        assert!(!report.is_imperceptible());
+    }
+
+    #[test]
+    fn psnr_matches_known_value() {
+        // Uniform 0.1 offset: MSE = 0.01 → PSNR = 20 dB.
+        let a = Tensor::full(&[10], 0.4);
+        let b = Tensor::full(&[10], 0.5);
+        let report = ImperceptibilityReport::between(&a, &b).unwrap();
+        assert!((report.psnr_db - 20.0).abs() < 0.01);
+        assert!((report.mean_abs - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlation_of_inverted_image_is_negative() {
+        let mut rng = TensorRng::seed_from_u64(4);
+        let img = rng.uniform(&[64], 0.0, 1.0);
+        let inverted = img.map(|x| 1.0 - x);
+        let report = ImperceptibilityReport::between(&img, &inverted).unwrap();
+        assert!(report.correlation < -0.99);
+    }
+
+    #[test]
+    fn constant_images() {
+        let a = Tensor::full(&[8], 0.5);
+        let report = ImperceptibilityReport::between(&a, &a).unwrap();
+        assert_eq!(report.correlation, 1.0);
+        let b = Tensor::full(&[8], 0.7);
+        let report = ImperceptibilityReport::between(&a, &b).unwrap();
+        assert_eq!(report.correlation, 0.0);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[3, 4, 4]);
+        let b = Tensor::zeros(&[3, 5, 5]);
+        assert!(ImperceptibilityReport::between(&a, &b).is_err());
+        let empty = Tensor::zeros(&[0]);
+        assert!(ImperceptibilityReport::between(&empty, &empty).is_err());
+    }
+}

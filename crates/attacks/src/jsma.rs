@@ -1,0 +1,245 @@
+//! The Jacobian-based Saliency Map Attack (Papernot et al.), cited in
+//! the paper's §II-B attack taxonomy.
+//!
+//! JSMA perturbs a small number of *individual pixels* chosen by a
+//! saliency map built from the forward Jacobian: a pixel is useful for
+//! a targeted attack when increasing it raises the target logit
+//! (`α = ∂Z_t/∂x_i > 0`) while lowering the combined other logits
+//! (`β = Σ_{j≠t} ∂Z_j/∂x_i < 0`); its saliency is `α·|β|`.
+//!
+//! This implementation uses the classic greedy single-feature variant
+//! with a perturbation step `θ` applied in both directions, and needs
+//! only two backward passes per iteration (for `∂Z_t/∂x` and
+//! `∂ΣZ/∂x`) instead of one per class.
+
+use fademl_tensor::Tensor;
+
+use crate::attack::{finish, AdversarialExample, Attack, AttackGoal};
+use crate::{AttackError, AttackSurface, Result};
+
+/// The JSMA targeted attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jsma {
+    theta: f32,
+    max_pixel_fraction: f32,
+}
+
+impl Jsma {
+    /// Creates JSMA with per-pixel step `theta` (towards either pixel
+    /// bound) and a budget of at most `max_pixel_fraction` of the image
+    /// pixels modified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for non-positive
+    /// `theta` or a fraction outside `(0, 1]`.
+    pub fn new(theta: f32, max_pixel_fraction: f32) -> Result<Self> {
+        if !theta.is_finite() || theta <= 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("JSMA theta must be positive, got {theta}"),
+            });
+        }
+        if !max_pixel_fraction.is_finite() || !(0.0..=1.0).contains(&max_pixel_fraction)
+            || max_pixel_fraction == 0.0
+        {
+            return Err(AttackError::InvalidParameter {
+                reason: format!(
+                    "JSMA pixel fraction must be in (0, 1], got {max_pixel_fraction}"
+                ),
+            });
+        }
+        Ok(Jsma {
+            theta,
+            max_pixel_fraction,
+        })
+    }
+
+    /// The original paper's working point: θ = 1 (saturate the pixel),
+    /// at most 14.5 % of pixels (γ from the JSMA paper).
+    pub fn standard() -> Self {
+        Jsma {
+            theta: 1.0,
+            max_pixel_fraction: 0.145,
+        }
+    }
+
+    /// The per-pixel step.
+    pub fn theta(&self) -> f32 {
+        self.theta
+    }
+}
+
+impl Attack for Jsma {
+    fn name(&self) -> String {
+        format!(
+            "JSMA(theta={}, gamma={})",
+            self.theta, self.max_pixel_fraction
+        )
+    }
+
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample> {
+        let target = match goal {
+            AttackGoal::Targeted { class } => class,
+            AttackGoal::Untargeted { .. } => {
+                return Err(AttackError::InvalidParameter {
+                    reason: "JSMA is a targeted attack; use AttackGoal::Targeted".into(),
+                })
+            }
+        };
+        surface.reset_queries();
+        let mut current = x.clone();
+        let budget = ((x.numel() as f32) * self.max_pixel_fraction).ceil() as usize;
+        let mut modified = vec![false; x.numel()];
+        let mut used = 0usize;
+
+        for _ in 0..budget.max(1) {
+            used += 1;
+            let logits = surface.forward_train_logits(&current)?;
+            let classes = logits.numel();
+            if target >= classes {
+                return Err(AttackError::InvalidInput {
+                    reason: format!("class {target} out of range for {classes} classes"),
+                });
+            }
+            if logits.argmax()? == target {
+                break;
+            }
+            // ∂Z_target/∂x.
+            let mut seed_t = Tensor::zeros(&[classes]);
+            seed_t.set(&[target], 1.0)?;
+            let grad_target = surface.backward_to_input(&current, &seed_t)?;
+            // ∂(ΣZ)/∂x via a ones seed; β = that minus the target row.
+            surface.forward_train_logits(&current)?;
+            let grad_sum = surface.backward_to_input(&current, &Tensor::ones(&[classes]))?;
+            let alpha = grad_target.as_slice();
+            let cur = current.as_slice();
+
+            // Greedy saliency: consider both increasing (+θ) and
+            // decreasing (−θ) each still-unmodified, unsaturated pixel.
+            let mut best_idx = usize::MAX;
+            let mut best_score = 0.0f32;
+            let mut best_dir = 0.0f32;
+            for i in 0..current.numel() {
+                if modified[i] {
+                    continue;
+                }
+                let a = alpha[i];
+                let b = grad_sum.as_slice()[i] - a;
+                // Increase: helps when α>0 and β<0.
+                if a > 0.0 && b < 0.0 && cur[i] < 1.0 {
+                    let score = a * (-b);
+                    if score > best_score {
+                        best_score = score;
+                        best_idx = i;
+                        best_dir = 1.0;
+                    }
+                }
+                // Decrease: helps when α<0 and β>0.
+                if a < 0.0 && b > 0.0 && cur[i] > 0.0 {
+                    let score = (-a) * b;
+                    if score > best_score {
+                        best_score = score;
+                        best_idx = i;
+                        best_dir = -1.0;
+                    }
+                }
+            }
+            if best_idx == usize::MAX {
+                break; // saliency map exhausted
+            }
+            modified[best_idx] = true;
+            let v = current.as_slice()[best_idx] + best_dir * self.theta;
+            current.as_mut_slice()[best_idx] = v.clamp(0.0, 1.0);
+        }
+        finish(surface, x, current, goal, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+    use fademl_tensor::TensorRng;
+
+    fn setup(seed: u64) -> (AttackSurface, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 5).build(&mut rng).unwrap();
+        let x = rng.uniform(&[3, 16, 16], 0.2, 0.8);
+        (AttackSurface::new(model), x)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Jsma::new(0.0, 0.1).is_err());
+        assert!(Jsma::new(-1.0, 0.1).is_err());
+        assert!(Jsma::new(0.5, 0.0).is_err());
+        assert!(Jsma::new(0.5, 1.5).is_err());
+        assert!(Jsma::new(0.5, 0.1).is_ok());
+        assert_eq!(Jsma::standard().theta(), 1.0);
+    }
+
+    #[test]
+    fn rejects_untargeted_goal() {
+        let (mut surface, x) = setup(1);
+        assert!(matches!(
+            Jsma::standard().run(&mut surface, &x, AttackGoal::Untargeted { source: 0 }),
+            Err(AttackError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn modifies_only_a_sparse_pixel_set() {
+        let (mut surface, x) = setup(2);
+        let jsma = Jsma::new(1.0, 0.05).unwrap();
+        let adv = jsma
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 3 })
+            .unwrap();
+        let changed = adv
+            .noise
+            .as_slice()
+            .iter()
+            .filter(|&&v| v.abs() > 1e-6)
+            .count();
+        let budget = ((x.numel() as f32) * 0.05).ceil() as usize;
+        assert!(changed <= budget, "{changed} pixels changed, budget {budget}");
+        assert!(adv.adversarial.min().unwrap() >= 0.0);
+        assert!(adv.adversarial.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn raises_target_logit() {
+        let (mut surface, x) = setup(3);
+        let target = 4usize;
+        let before = surface.logits(&x).unwrap().as_slice()[target];
+        let adv = Jsma::standard()
+            .run(&mut surface, &x, AttackGoal::Targeted { class: target })
+            .unwrap();
+        let after = surface.logits(&adv.adversarial).unwrap().as_slice()[target];
+        assert!(
+            after > before || adv.success_on_surface,
+            "target logit {before} → {after} without success"
+        );
+    }
+
+    #[test]
+    fn already_on_target_is_a_no_op() {
+        let (mut surface, x) = setup(4);
+        let (predicted, _) = surface.predict(&x).unwrap();
+        let adv = Jsma::standard()
+            .run(&mut surface, &x, AttackGoal::Targeted { class: predicted })
+            .unwrap();
+        assert_eq!(adv.noise_l2(), 0.0);
+        assert!(adv.success_on_surface);
+        assert_eq!(adv.iterations, 1);
+    }
+
+    #[test]
+    fn named() {
+        assert!(Jsma::standard().name().contains("JSMA"));
+    }
+}

@@ -1,0 +1,320 @@
+//! The one-pixel attack (Su et al.), cited in the paper's §II-B — a
+//! *black-box* attack that perturbs a handful of pixels found by
+//! differential evolution, using only the victim's class probabilities
+//! (no gradients).
+//!
+//! Each DE candidate encodes `k` pixels as `(y, x, r, g, b)` tuples;
+//! fitness is the target-class probability (targeted) or one minus the
+//! source-class probability (untargeted).
+
+use fademl_tensor::{Tensor, TensorRng};
+
+use crate::attack::{finish, AdversarialExample, Attack, AttackGoal};
+use crate::{AttackError, AttackSurface, Result};
+
+/// The one-pixel black-box attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnePixel {
+    pixels: usize,
+    population: usize,
+    generations: usize,
+    seed: u64,
+}
+
+impl OnePixel {
+    /// Creates the attack perturbing `pixels` pixels, searched with a
+    /// DE population of `population` candidates over `generations`
+    /// generations, seeded for reproducibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for zero pixels,
+    /// a population below 4 (DE mutation needs 3 distinct partners) or
+    /// zero generations.
+    pub fn new(pixels: usize, population: usize, generations: usize, seed: u64) -> Result<Self> {
+        if pixels == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "one-pixel attack needs at least one pixel".into(),
+            });
+        }
+        if population < 4 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("DE population must be at least 4, got {population}"),
+            });
+        }
+        if generations == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "DE needs at least one generation".into(),
+            });
+        }
+        Ok(OnePixel {
+            pixels,
+            population,
+            generations,
+            seed,
+        })
+    }
+
+    /// The configuration from the original paper scaled for small
+    /// images: 1 pixel, population 40, 30 generations.
+    pub fn standard() -> Self {
+        OnePixel {
+            pixels: 1,
+            population: 40,
+            generations: 30,
+            seed: 0x0017_13e1,
+        }
+    }
+
+    /// Number of perturbed pixels.
+    pub fn pixels(&self) -> usize {
+        self.pixels
+    }
+
+    /// Renders a candidate (flat `(y, x, r, g, b)` quintuples) onto the
+    /// image.
+    fn apply_candidate(x: &Tensor, genes: &[f32], h: usize, w: usize) -> Tensor {
+        let mut out = x.clone();
+        let plane = h * w;
+        for chunk in genes.chunks(5) {
+            let py = (chunk[0].clamp(0.0, 0.999) * h as f32) as usize;
+            let px = (chunk[1].clamp(0.0, 0.999) * w as f32) as usize;
+            let idx = py * w + px;
+            for c in 0..3 {
+                out.as_mut_slice()[c * plane + idx] = chunk[2 + c].clamp(0.0, 1.0);
+            }
+        }
+        out
+    }
+
+    /// Fitness to MINIMIZE: negative goal-probability.
+    fn fitness(
+        surface: &mut AttackSurface,
+        candidate: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<f32> {
+        let probs = surface.probabilities(candidate)?;
+        Ok(match goal {
+            AttackGoal::Targeted { class } => {
+                if class >= probs.numel() {
+                    return Err(AttackError::InvalidInput {
+                        reason: format!(
+                            "class {class} out of range for {} classes",
+                            probs.numel()
+                        ),
+                    });
+                }
+                -probs.as_slice()[class]
+            }
+            AttackGoal::Untargeted { source } => {
+                if source >= probs.numel() {
+                    return Err(AttackError::InvalidInput {
+                        reason: format!(
+                            "class {source} out of range for {} classes",
+                            probs.numel()
+                        ),
+                    });
+                }
+                probs.as_slice()[source]
+            }
+        })
+    }
+}
+
+impl Attack for OnePixel {
+    fn name(&self) -> String {
+        format!(
+            "OnePixel(k={}, pop={}, gen={})",
+            self.pixels, self.population, self.generations
+        )
+    }
+
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample> {
+        if x.rank() != 3 {
+            return Err(AttackError::InvalidInput {
+                reason: format!("expected a [C, H, W] image, got {:?}", x.dims()),
+            });
+        }
+        surface.reset_queries();
+        let (h, w) = (x.dims()[1], x.dims()[2]);
+        let genes_per = 5 * self.pixels;
+        let mut rng = TensorRng::seed_from_u64(self.seed);
+
+        // Initialize the population uniformly over position/colour space.
+        let mut population: Vec<Vec<f32>> = (0..self.population)
+            .map(|_| (0..genes_per).map(|_| rng.uniform_scalar(0.0, 1.0)).collect())
+            .collect();
+        let mut fitness = Vec::with_capacity(self.population);
+        for genes in &population {
+            let candidate = Self::apply_candidate(x, genes, h, w);
+            fitness.push(Self::fitness(surface, &candidate, goal)?);
+        }
+
+        let mut used = 0usize;
+        'outer: for _ in 0..self.generations {
+            used += 1;
+            for i in 0..self.population {
+                // DE/rand/1 mutation with F = 0.5 and binomial crossover.
+                let (a, b, c) = {
+                    let mut pick = || loop {
+                        let j = rng.index(self.population);
+                        if j != i {
+                            break j;
+                        }
+                    };
+                    (pick(), pick(), pick())
+                };
+                let mut trial = population[i].clone();
+                let force_gene = rng.index(genes_per);
+                for g in 0..genes_per {
+                    if g == force_gene || rng.chance(0.5) {
+                        let v = population[a][g] + 0.5 * (population[b][g] - population[c][g]);
+                        trial[g] = v.clamp(0.0, 1.0);
+                    }
+                }
+                let candidate = Self::apply_candidate(x, &trial, h, w);
+                let f = Self::fitness(surface, &candidate, goal)?;
+                if f < fitness[i] {
+                    population[i] = trial;
+                    fitness[i] = f;
+                }
+            }
+            // Early exit when the best candidate already meets the goal.
+            let best = fitness
+                .iter()
+                .enumerate()
+                .min_by(|p, q| p.1.partial_cmp(q.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let candidate = Self::apply_candidate(x, &population[best], h, w);
+            let (predicted, _) = surface.predict(&candidate)?;
+            if goal.is_met(predicted) {
+                break 'outer;
+            }
+        }
+
+        let best = fitness
+            .iter()
+            .enumerate()
+            .min_by(|p, q| p.1.partial_cmp(q.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let adversarial = Self::apply_candidate(x, &population[best], h, w);
+        finish(surface, x, adversarial, goal, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+
+    fn setup(seed: u64) -> (AttackSurface, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 5).build(&mut rng).unwrap();
+        let x = rng.uniform(&[3, 16, 16], 0.2, 0.8);
+        (AttackSurface::new(model), x)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(OnePixel::new(0, 10, 10, 0).is_err());
+        assert!(OnePixel::new(1, 3, 10, 0).is_err());
+        assert!(OnePixel::new(1, 10, 0, 0).is_err());
+        assert!(OnePixel::new(1, 10, 10, 0).is_ok());
+        assert_eq!(OnePixel::standard().pixels(), 1);
+    }
+
+    #[test]
+    fn perturbs_at_most_k_pixels() {
+        let (mut surface, x) = setup(1);
+        let attack = OnePixel::new(3, 8, 4, 7).unwrap();
+        let adv = attack
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 2 })
+            .unwrap();
+        // Count spatial positions whose colour changed.
+        let plane = 16 * 16;
+        let mut changed = 0usize;
+        for i in 0..plane {
+            let touched = (0..3).any(|c| {
+                (adv.adversarial.as_slice()[c * plane + i] - x.as_slice()[c * plane + i]).abs()
+                    > 1e-6
+            });
+            if touched {
+                changed += 1;
+            }
+        }
+        assert!(changed <= 3, "{changed} pixels changed");
+        assert!(adv.adversarial.min().unwrap() >= 0.0);
+        assert!(adv.adversarial.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn needs_no_gradient_queries() {
+        // The attack is black-box: the surface only sees probability
+        // queries, which the query counter records.
+        let (mut surface, x) = setup(2);
+        let attack = OnePixel::new(1, 6, 3, 1).unwrap();
+        let adv = attack
+            .run(&mut surface, &x, AttackGoal::Untargeted { source: 0 })
+            .unwrap();
+        assert!(adv.queries > 0);
+    }
+
+    #[test]
+    fn improves_target_probability() {
+        let (mut surface, x) = setup(3);
+        let target = 1usize;
+        let before = surface.probabilities(&x).unwrap().as_slice()[target];
+        let attack = OnePixel::new(2, 12, 8, 3).unwrap();
+        let adv = attack
+            .run(&mut surface, &x, AttackGoal::Targeted { class: target })
+            .unwrap();
+        let after = surface.probabilities(&adv.adversarial).unwrap().as_slice()[target];
+        assert!(
+            after >= before,
+            "target probability {before} → {after} should not fall"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut s1, x) = setup(4);
+        let (mut s2, _) = setup(4);
+        let attack = OnePixel::new(1, 6, 3, 99).unwrap();
+        let a = attack
+            .run(&mut s1, &x, AttackGoal::Targeted { class: 2 })
+            .unwrap();
+        let b = attack
+            .run(&mut s2, &x, AttackGoal::Targeted { class: 2 })
+            .unwrap();
+        assert_eq!(a.adversarial, b.adversarial);
+    }
+
+    #[test]
+    fn rejects_bad_input_and_class() {
+        let (mut surface, _) = setup(5);
+        let attack = OnePixel::new(1, 6, 2, 0).unwrap();
+        assert!(attack
+            .run(
+                &mut surface,
+                &Tensor::zeros(&[1, 3, 16, 16]),
+                AttackGoal::Targeted { class: 0 }
+            )
+            .is_err());
+        let x = Tensor::full(&[3, 16, 16], 0.5);
+        assert!(attack
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 99 })
+            .is_err());
+    }
+
+    #[test]
+    fn named() {
+        assert!(OnePixel::standard().name().contains("OnePixel"));
+    }
+}

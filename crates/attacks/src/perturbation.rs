@@ -1,0 +1,117 @@
+use fademl_tensor::Tensor;
+
+use crate::{AttackError, Result};
+
+/// The attacker's perturbation budget: an L∞ ball around the original
+/// image intersected with the valid pixel range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbationBudget {
+    /// Maximum per-pixel deviation from the original (L∞ radius).
+    pub epsilon: f32,
+    /// Lower bound of the valid pixel range.
+    pub pixel_min: f32,
+    /// Upper bound of the valid pixel range.
+    pub pixel_max: f32,
+}
+
+impl PerturbationBudget {
+    /// A budget over the standard `[0, 1]` pixel range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for non-finite or
+    /// non-positive `epsilon`.
+    pub fn new(epsilon: f32) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("epsilon must be positive and finite, got {epsilon}"),
+            });
+        }
+        Ok(PerturbationBudget {
+            epsilon,
+            pixel_min: 0.0,
+            pixel_max: 1.0,
+        })
+    }
+
+    /// Projects `candidate` into the budget: first into the ε-ball
+    /// around `original`, then into the pixel range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the two tensors disagree.
+    pub fn project(&self, original: &Tensor, candidate: &Tensor) -> Result<Tensor> {
+        let clipped = candidate.zip_map(original, |c, o| {
+            c.clamp(o - self.epsilon, o + self.epsilon)
+        })?;
+        Ok(clipped.clamp(self.pixel_min, self.pixel_max))
+    }
+
+    /// `true` if `candidate` already satisfies the budget (within a
+    /// small float tolerance).
+    pub fn contains(&self, original: &Tensor, candidate: &Tensor) -> bool {
+        const TOL: f32 = 1e-5;
+        original
+            .as_slice()
+            .iter()
+            .zip(candidate.as_slice())
+            .all(|(&o, &c)| {
+                (c - o).abs() <= self.epsilon + TOL
+                    && c >= self.pixel_min - TOL
+                    && c <= self.pixel_max + TOL
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_tensor::TensorRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(PerturbationBudget::new(0.0).is_err());
+        assert!(PerturbationBudget::new(-0.1).is_err());
+        assert!(PerturbationBudget::new(f32::NAN).is_err());
+        assert!(PerturbationBudget::new(0.05).is_ok());
+    }
+
+    #[test]
+    fn project_enforces_ball_and_range() {
+        let budget = PerturbationBudget::new(0.1).unwrap();
+        let original = Tensor::from_vec(vec![0.5, 0.05, 0.95], [3].into()).unwrap();
+        let wild = Tensor::from_vec(vec![0.9, -0.5, 2.0], [3].into()).unwrap();
+        let projected = budget.project(&original, &wild).unwrap();
+        assert!((projected.as_slice()[0] - 0.6).abs() < 1e-6); // ball clip
+        assert!((projected.as_slice()[1] - 0.0).abs() < 1e-6); // range clip after ball
+        assert!((projected.as_slice()[2] - 1.0).abs() < 1e-6);
+        assert!(budget.contains(&original, &projected));
+    }
+
+    #[test]
+    fn inside_budget_unchanged() {
+        let budget = PerturbationBudget::new(0.2).unwrap();
+        let original = Tensor::full(&[4], 0.5);
+        let candidate = Tensor::full(&[4], 0.6);
+        assert_eq!(budget.project(&original, &candidate).unwrap(), candidate);
+        assert!(budget.contains(&original, &candidate));
+    }
+
+    proptest! {
+        /// Projection is idempotent and always lands inside the budget.
+        #[test]
+        fn projection_idempotent(seed in 0u64..500, eps in 0.01f32..0.3) {
+            let budget = PerturbationBudget::new(eps).unwrap();
+            let mut rng = TensorRng::seed_from_u64(seed);
+            let original = rng.uniform(&[8], 0.0, 1.0);
+            let candidate = rng.uniform(&[8], -1.0, 2.0);
+            let once = budget.project(&original, &candidate).unwrap();
+            let twice = budget.project(&original, &once).unwrap();
+            prop_assert!(budget.contains(&original, &once));
+            for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

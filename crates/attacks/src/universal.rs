@@ -1,0 +1,197 @@
+//! Universal adversarial perturbations: one noise pattern crafted to
+//! work across *many* images.
+//!
+//! This formalizes the mechanism behind the paper's Fig. 6 accuracy
+//! experiment (one scenario's noise transferred to the whole dataset):
+//! instead of hoping a single-image perturbation transfers, the
+//! universal variant explicitly optimizes the shared noise over a
+//! training set of images with signed-gradient steps projected into an
+//! ε-ball.
+
+use fademl_tensor::Tensor;
+
+use crate::attack::AttackGoal;
+use crate::{AttackError, AttackSurface, Result};
+
+/// Builder for a universal perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniversalPerturbation {
+    epsilon: f32,
+    alpha: f32,
+    epochs: usize,
+}
+
+/// The crafted universal noise plus its training statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniversalOutcome {
+    /// The shared noise pattern (same shape as the images, L∞ ≤ ε).
+    pub noise: Tensor,
+    /// Fraction of the training images whose goal was met at the end.
+    pub training_success: f32,
+    /// Optimization epochs performed.
+    pub epochs: usize,
+}
+
+impl UniversalPerturbation {
+    /// Creates a builder with ε-ball radius `epsilon`, per-step size
+    /// `alpha`, and a pass count over the image set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for non-positive
+    /// `epsilon`/`alpha`, `alpha > epsilon`, or zero epochs.
+    pub fn new(epsilon: f32, alpha: f32, epochs: usize) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 || !alpha.is_finite() || alpha <= 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("universal needs positive epsilon/alpha, got {epsilon}/{alpha}"),
+            });
+        }
+        if alpha > epsilon {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("universal step {alpha} exceeds ball radius {epsilon}"),
+            });
+        }
+        if epochs == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "universal needs at least one epoch".into(),
+            });
+        }
+        Ok(UniversalPerturbation {
+            epsilon,
+            alpha,
+            epochs,
+        })
+    }
+
+    /// Crafts the shared noise over `images` (each `[C, H, W]`, same
+    /// shape) for `goal`.
+    ///
+    /// Every epoch walks the image set once, taking a signed-gradient
+    /// step on the shared noise for each image and projecting back into
+    /// the ε-ball.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidInput`] for an empty or
+    /// inconsistently shaped image set, plus any surface error.
+    pub fn craft(
+        &self,
+        surface: &mut AttackSurface,
+        images: &[Tensor],
+        goal: AttackGoal,
+    ) -> Result<UniversalOutcome> {
+        let first = images.first().ok_or(AttackError::InvalidInput {
+            reason: "universal perturbation needs at least one image".into(),
+        })?;
+        for img in images {
+            if img.shape() != first.shape() {
+                return Err(AttackError::InvalidInput {
+                    reason: format!(
+                        "image shapes differ: {:?} vs {:?}",
+                        first.dims(),
+                        img.dims()
+                    ),
+                });
+            }
+        }
+        surface.reset_queries();
+        let mut noise = Tensor::zeros_like(first);
+        for _ in 0..self.epochs {
+            for img in images {
+                let candidate = img.add(&noise)?.clamp(0.0, 1.0);
+                let (_, grad) = surface.loss_and_input_grad(&candidate, goal)?;
+                noise.add_scaled_inplace(&grad.sign(), -self.alpha)?;
+                noise = noise.clamp(-self.epsilon, self.epsilon);
+            }
+        }
+        let mut hits = 0usize;
+        for img in images {
+            let candidate = img.add(&noise)?.clamp(0.0, 1.0);
+            let (predicted, _) = surface.predict(&candidate)?;
+            if goal.is_met(predicted) {
+                hits += 1;
+            }
+        }
+        Ok(UniversalOutcome {
+            noise,
+            training_success: hits as f32 / images.len() as f32,
+            epochs: self.epochs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+    use fademl_tensor::TensorRng;
+
+    fn setup(seed: u64, n_images: usize) -> (AttackSurface, Vec<Tensor>) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 5).build(&mut rng).unwrap();
+        let images = (0..n_images)
+            .map(|_| rng.uniform(&[3, 16, 16], 0.2, 0.8))
+            .collect();
+        (AttackSurface::new(model), images)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(UniversalPerturbation::new(0.0, 0.01, 2).is_err());
+        assert!(UniversalPerturbation::new(0.1, 0.0, 2).is_err());
+        assert!(UniversalPerturbation::new(0.1, 0.2, 2).is_err());
+        assert!(UniversalPerturbation::new(0.1, 0.02, 0).is_err());
+        assert!(UniversalPerturbation::new(0.1, 0.02, 2).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_or_mismatched_images() {
+        let (mut surface, _) = setup(1, 0);
+        let up = UniversalPerturbation::new(0.1, 0.02, 1).unwrap();
+        assert!(up
+            .craft(&mut surface, &[], AttackGoal::Targeted { class: 0 })
+            .is_err());
+        let mut rng = TensorRng::seed_from_u64(2);
+        let images = vec![
+            rng.uniform(&[3, 16, 16], 0.0, 1.0),
+            rng.uniform(&[3, 8, 8], 0.0, 1.0),
+        ];
+        assert!(up
+            .craft(&mut surface, &images, AttackGoal::Targeted { class: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn noise_stays_in_ball() {
+        let (mut surface, images) = setup(3, 4);
+        let up = UniversalPerturbation::new(0.07, 0.02, 3).unwrap();
+        let outcome = up
+            .craft(&mut surface, &images, AttackGoal::Targeted { class: 2 })
+            .unwrap();
+        assert!(outcome.noise.norm_linf() <= 0.07 + 1e-6);
+        assert_eq!(outcome.noise.dims(), images[0].dims());
+        assert_eq!(outcome.epochs, 3);
+        assert!((0.0..=1.0).contains(&outcome.training_success));
+    }
+
+    #[test]
+    fn shared_noise_beats_zero_noise_on_the_objective() {
+        let (mut surface, images) = setup(4, 5);
+        let goal = AttackGoal::Targeted { class: 3 };
+        let total_loss = |surface: &mut AttackSurface, noise: &Tensor| -> f32 {
+            images
+                .iter()
+                .map(|img| {
+                    let c = img.add(noise).unwrap().clamp(0.0, 1.0);
+                    surface.loss_and_input_grad(&c, goal).unwrap().0
+                })
+                .sum()
+        };
+        let zero = Tensor::zeros_like(&images[0]);
+        let before = total_loss(&mut surface, &zero);
+        let up = UniversalPerturbation::new(0.1, 0.02, 4).unwrap();
+        let outcome = up.craft(&mut surface, &images, goal).unwrap();
+        let after = total_loss(&mut surface, &outcome.noise);
+        assert!(after < before, "shared loss {before} → {after}");
+    }
+}

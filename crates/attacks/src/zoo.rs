@@ -1,0 +1,234 @@
+//! The ZOO attack (Chen et al.) — *zeroth-order optimization*, cited in
+//! the paper's §II-B: a black-box attack that estimates gradients with
+//! symmetric finite differences on randomly chosen coordinates and
+//! feeds them to an Adam-style coordinate update. No model gradients
+//! are ever requested.
+
+use fademl_tensor::{Tensor, TensorRng};
+
+use crate::attack::{finish, AdversarialExample, Attack, AttackGoal};
+use crate::{AttackError, AttackSurface, Result};
+
+/// The ZOO black-box attack (coordinate-wise stochastic variant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zoo {
+    iterations: usize,
+    coords_per_step: usize,
+    fd_epsilon: f32,
+    learning_rate: f32,
+    seed: u64,
+}
+
+impl Zoo {
+    /// Creates ZOO with an iteration cap, the number of random
+    /// coordinates estimated per step, the finite-difference probe size
+    /// and the Adam learning rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] for zero iterations or
+    /// coordinates, or non-positive probe/learning-rate values.
+    pub fn new(
+        iterations: usize,
+        coords_per_step: usize,
+        fd_epsilon: f32,
+        learning_rate: f32,
+        seed: u64,
+    ) -> Result<Self> {
+        if iterations == 0 || coords_per_step == 0 {
+            return Err(AttackError::InvalidParameter {
+                reason: "ZOO needs positive iterations and coordinates per step".into(),
+            });
+        }
+        if !fd_epsilon.is_finite() || fd_epsilon <= 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("ZOO probe size must be positive, got {fd_epsilon}"),
+            });
+        }
+        if !learning_rate.is_finite() || learning_rate <= 0.0 {
+            return Err(AttackError::InvalidParameter {
+                reason: format!("ZOO learning rate must be positive, got {learning_rate}"),
+            });
+        }
+        Ok(Zoo {
+            iterations,
+            coords_per_step,
+            fd_epsilon,
+            learning_rate,
+            seed,
+        })
+    }
+
+    /// A working point for small images: 100 iterations × 32 coordinates.
+    pub fn standard() -> Self {
+        Zoo {
+            iterations: 100,
+            coords_per_step: 32,
+            fd_epsilon: 1e-2,
+            learning_rate: 2e-2,
+            seed: 0x200,
+        }
+    }
+
+    /// The black-box objective: cross-entropy of the goal over the
+    /// surface's probabilities (no gradient access).
+    fn objective(surface: &mut AttackSurface, x: &Tensor, goal: AttackGoal) -> Result<f32> {
+        let probs = surface.probabilities(x)?;
+        let classes = probs.numel();
+        Ok(match goal {
+            AttackGoal::Targeted { class } => {
+                if class >= classes {
+                    return Err(AttackError::InvalidInput {
+                        reason: format!("class {class} out of range for {classes} classes"),
+                    });
+                }
+                -probs.as_slice()[class].max(1e-12).ln()
+            }
+            AttackGoal::Untargeted { source } => {
+                if source >= classes {
+                    return Err(AttackError::InvalidInput {
+                        reason: format!("class {source} out of range for {classes} classes"),
+                    });
+                }
+                probs.as_slice()[source].max(1e-12).ln()
+            }
+        })
+    }
+}
+
+impl Attack for Zoo {
+    fn name(&self) -> String {
+        format!(
+            "ZOO(iters={}, coords={}, lr={})",
+            self.iterations, self.coords_per_step, self.learning_rate
+        )
+    }
+
+    fn run(
+        &self,
+        surface: &mut AttackSurface,
+        x: &Tensor,
+        goal: AttackGoal,
+    ) -> Result<AdversarialExample> {
+        surface.reset_queries();
+        let mut rng = TensorRng::seed_from_u64(self.seed);
+        let mut current = x.clone();
+        let n = x.numel();
+
+        // Per-coordinate Adam state (first/second moments, step counts).
+        let mut m = vec![0.0f32; n];
+        let mut v = vec![0.0f32; n];
+        let mut t = vec![0u32; n];
+        let (beta1, beta2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+
+        let mut used = 0usize;
+        for _ in 0..self.iterations {
+            used += 1;
+            let (predicted, _) = surface.predict(&current)?;
+            if goal.is_met(predicted) {
+                break;
+            }
+            for _ in 0..self.coords_per_step {
+                let i = rng.index(n);
+                // Symmetric finite difference on coordinate i.
+                let original = current.as_slice()[i];
+                current.as_mut_slice()[i] = (original + self.fd_epsilon).clamp(0.0, 1.0);
+                let f_plus = Self::objective(surface, &current, goal)?;
+                current.as_mut_slice()[i] = (original - self.fd_epsilon).clamp(0.0, 1.0);
+                let f_minus = Self::objective(surface, &current, goal)?;
+                current.as_mut_slice()[i] = original;
+                let g = (f_plus - f_minus) / (2.0 * self.fd_epsilon);
+
+                // Coordinate Adam step (descend the objective).
+                t[i] += 1;
+                m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+                v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+                let m_hat = m[i] / (1.0 - beta1.powi(t[i] as i32));
+                let v_hat = v[i] / (1.0 - beta2.powi(t[i] as i32));
+                let step = self.learning_rate * m_hat / (v_hat.sqrt() + eps);
+                current.as_mut_slice()[i] = (original - step).clamp(0.0, 1.0);
+            }
+        }
+        finish(surface, x, current, goal, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+
+    fn setup(seed: u64) -> (AttackSurface, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = VggConfig::tiny(3, 16, 5).build(&mut rng).unwrap();
+        let x = rng.uniform(&[3, 16, 16], 0.2, 0.8);
+        (AttackSurface::new(model), x)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Zoo::new(0, 8, 0.01, 0.01, 0).is_err());
+        assert!(Zoo::new(10, 0, 0.01, 0.01, 0).is_err());
+        assert!(Zoo::new(10, 8, 0.0, 0.01, 0).is_err());
+        assert!(Zoo::new(10, 8, 0.01, -1.0, 0).is_err());
+        assert!(Zoo::new(10, 8, 0.01, 0.01, 0).is_ok());
+        assert!(Zoo::standard().name().contains("ZOO"));
+    }
+
+    #[test]
+    fn reduces_targeted_objective_without_gradients() {
+        let (mut surface, x) = setup(1);
+        let goal = AttackGoal::Targeted { class: 3 };
+        let before = Zoo::objective(&mut surface, &x, goal).unwrap();
+        let zoo = Zoo::new(20, 24, 1e-2, 5e-2, 1).unwrap();
+        let adv = zoo.run(&mut surface, &x, goal).unwrap();
+        let after = Zoo::objective(&mut surface, &adv.adversarial, goal).unwrap();
+        assert!(after < before, "objective {before} → {after}");
+        assert!(adv.adversarial.min().unwrap() >= 0.0);
+        assert!(adv.adversarial.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn untargeted_flip_on_easy_victim() {
+        let (mut surface, x) = setup(2);
+        let (source, _) = surface.predict(&x).unwrap();
+        let zoo = Zoo::new(60, 32, 1e-2, 5e-2, 2).unwrap();
+        let adv = zoo
+            .run(&mut surface, &x, AttackGoal::Untargeted { source })
+            .unwrap();
+        assert!(
+            adv.success_on_surface,
+            "ZOO failed to fool an untrained tiny net"
+        );
+    }
+
+    #[test]
+    fn early_exit_when_goal_already_met() {
+        let (mut surface, x) = setup(3);
+        let (predicted, _) = surface.predict(&x).unwrap();
+        let adv = Zoo::standard()
+            .run(&mut surface, &x, AttackGoal::Targeted { class: predicted })
+            .unwrap();
+        assert_eq!(adv.iterations, 1);
+        assert_eq!(adv.noise_l2(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut s1, x) = setup(4);
+        let (mut s2, _) = setup(4);
+        let zoo = Zoo::new(5, 8, 1e-2, 2e-2, 11).unwrap();
+        let a = zoo.run(&mut s1, &x, AttackGoal::Targeted { class: 1 }).unwrap();
+        let b = zoo.run(&mut s2, &x, AttackGoal::Targeted { class: 1 }).unwrap();
+        assert_eq!(a.adversarial, b.adversarial);
+    }
+
+    #[test]
+    fn rejects_out_of_range_class() {
+        let (mut surface, x) = setup(5);
+        let zoo = Zoo::new(2, 4, 1e-2, 1e-2, 0).unwrap();
+        assert!(zoo
+            .run(&mut surface, &x, AttackGoal::Targeted { class: 99 })
+            .is_err());
+    }
+}

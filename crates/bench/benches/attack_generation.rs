@@ -1,0 +1,49 @@
+//! Attack-generation cost (supports Fig. 5 / E1): wall-clock to craft
+//! one adversarial example per library attack, on the same victim and
+//! scenario. The paper's discussion of L-BFGS's line-search cost vs
+//! FGSM's single step is directly visible here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fademl::setup::{ExperimentSetup, SetupProfile};
+use fademl::Scenario;
+use fademl_attacks::{Attack, AttackSurface, Bim, Fgsm, LbfgsAttack};
+
+fn bench_attacks(c: &mut Criterion) {
+    let prepared = ExperimentSetup::profile(SetupProfile::Smoke)
+        .prepare()
+        .expect("victim trains");
+    let scenario = Scenario::paper_scenarios()[0];
+    let source = prepared
+        .test
+        .first_of_class(scenario.source)
+        .expect("stop sign exists");
+
+    let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
+        ("fgsm", Box::new(Fgsm::new(0.08).expect("valid eps"))),
+        ("bim_12", Box::new(Bim::new(0.08, 0.015, 12).expect("valid bim"))),
+        (
+            "lbfgs_20",
+            Box::new(LbfgsAttack::new(0.02, 20).expect("valid lbfgs")),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("attack_generation");
+    group.sample_size(10);
+    for (label, attack) in &attacks {
+        group.bench_function(*label, |b| {
+            b.iter(|| {
+                let mut surface = AttackSurface::new(prepared.model.clone());
+                let adv = attack
+                    .run(&mut surface, black_box(&source), scenario.goal())
+                    .expect("attack runs");
+                black_box(adv.noise_linf())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! FAdeML crafting cost and ablations (supports Fig. 9 / E4):
+//!
+//! - blind vs filter-aware crafting of the same inner attack (the
+//!   overhead FAdeML pays for modelling the filter);
+//! - the η (noise-scale) ablation from DESIGN.md §7;
+//! - the refinement-round ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fademl::setup::{ExperimentSetup, SetupProfile};
+use fademl::Scenario;
+use fademl_attacks::{Attack, AttackSurface, Bim, Fademl};
+use fademl_filters::FilterSpec;
+
+fn bench_fademl(c: &mut Criterion) {
+    let prepared = ExperimentSetup::profile(SetupProfile::Smoke)
+        .prepare()
+        .expect("victim trains");
+    let scenario = Scenario::paper_scenarios()[0];
+    let source = prepared
+        .test
+        .first_of_class(scenario.source)
+        .expect("stop sign exists");
+    let filter = FilterSpec::Lap { np: 8 };
+    let inner = || Bim::new(0.08, 0.015, 8).expect("valid bim");
+
+    let mut group = c.benchmark_group("crafting_mode");
+    group.sample_size(10);
+    group.bench_function("blind_bim", |b| {
+        b.iter(|| {
+            let mut surface = AttackSurface::new(prepared.model.clone());
+            black_box(
+                inner()
+                    .run(&mut surface, black_box(&source), scenario.goal())
+                    .expect("attack runs"),
+            )
+        })
+    });
+    group.bench_function("fademl_bim", |b| {
+        b.iter(|| {
+            let mut surface = AttackSurface::with_filter(
+                prepared.model.clone(),
+                filter.build().expect("filter builds"),
+            );
+            let fademl = Fademl::new(Box::new(inner()), 2, 1.0).expect("valid fademl");
+            black_box(
+                fademl
+                    .run(&mut surface, black_box(&source), scenario.goal())
+                    .expect("attack runs"),
+            )
+        })
+    });
+    group.finish();
+
+    let mut eta_group = c.benchmark_group("fademl_eta_ablation");
+    eta_group.sample_size(10);
+    for eta in [0.5f32, 0.75, 1.0] {
+        eta_group.bench_with_input(BenchmarkId::from_parameter(eta), &eta, |b, &eta| {
+            b.iter(|| {
+                let mut surface = AttackSurface::with_filter(
+                    prepared.model.clone(),
+                    filter.build().expect("filter builds"),
+                );
+                let fademl = Fademl::new(Box::new(inner()), 2, eta).expect("valid fademl");
+                black_box(
+                    fademl
+                        .run(&mut surface, black_box(&source), scenario.goal())
+                        .expect("attack runs"),
+                )
+            })
+        });
+    }
+    eta_group.finish();
+
+    let mut rounds_group = c.benchmark_group("fademl_rounds_ablation");
+    rounds_group.sample_size(10);
+    for rounds in [1usize, 2, 3] {
+        rounds_group.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter(|| {
+                    let mut surface = AttackSurface::with_filter(
+                        prepared.model.clone(),
+                        filter.build().expect("filter builds"),
+                    );
+                    let fademl =
+                        Fademl::new(Box::new(inner()), rounds, 1.0).expect("valid fademl");
+                    black_box(
+                        fademl
+                            .run(&mut surface, black_box(&source), scenario.goal())
+                            .expect("attack runs"),
+                    )
+                })
+            },
+        );
+    }
+    rounds_group.finish();
+}
+
+criterion_group!(benches, bench_fademl);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Pre-processing filter throughput (supports Fig. 7 / E3): forward and
+//! backward cost of every filter configuration in the paper's sweep.
+//! The backward pass is what each FAdeML gradient step pays on top of a
+//! classical attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fademl_filters::FilterSpec;
+use fademl_tensor::TensorRng;
+
+fn bench_filters(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from_u64(0);
+    let image = rng.uniform(&[3, 32, 32], 0.0, 1.0);
+    let grad = rng.uniform(&[3, 32, 32], -1.0, 1.0);
+
+    let mut forward = c.benchmark_group("filter_forward_32x32");
+    for spec in FilterSpec::paper_sweep() {
+        let filter = spec.build().expect("paper sweep builds");
+        forward.bench_with_input(BenchmarkId::from_parameter(spec), &filter, |b, f| {
+            b.iter(|| black_box(f.apply(black_box(&image)).expect("filter applies")))
+        });
+    }
+    forward.finish();
+
+    let mut backward = c.benchmark_group("filter_backward_32x32");
+    for spec in FilterSpec::paper_sweep() {
+        let filter = spec.build().expect("paper sweep builds");
+        backward.bench_with_input(BenchmarkId::from_parameter(spec), &filter, |b, f| {
+            b.iter(|| {
+                black_box(
+                    f.backward(black_box(&image), black_box(&grad))
+                        .expect("filter backward"),
+                )
+            })
+        });
+    }
+    backward.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

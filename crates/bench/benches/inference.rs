@@ -1,0 +1,46 @@
+//! Deployed-pipeline inference latency (supports Figs. 6/7 accuracy
+//! sweeps): single-image classification under each threat model, and
+//! raw model forward throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fademl::setup::{ExperimentSetup, SetupProfile};
+use fademl::{InferencePipeline, ThreatModel};
+use fademl_filters::FilterSpec;
+
+fn bench_inference(c: &mut Criterion) {
+    let prepared = ExperimentSetup::profile(SetupProfile::Smoke)
+        .prepare()
+        .expect("victim trains");
+    let image = prepared.test.sample(0).expect("dataset non-empty").0;
+    let pipeline = InferencePipeline::new(prepared.model.clone(), FilterSpec::Lap { np: 32 })
+        .expect("pipeline builds");
+
+    let mut group = c.benchmark_group("pipeline_classify");
+    for threat in ThreatModel::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threat),
+            &threat,
+            |b, &threat| {
+                b.iter(|| black_box(pipeline.classify(black_box(&image), threat).expect("classifies")))
+            },
+        );
+    }
+    group.finish();
+
+    let mut forward = c.benchmark_group("model_forward");
+    for batch in [1usize, 8, 32] {
+        let images: Vec<_> = (0..batch)
+            .map(|i| prepared.test.sample(i % prepared.test.len()).expect("sample").0)
+            .collect();
+        let stacked = fademl_tensor::Tensor::stack(&images).expect("stacks");
+        forward.bench_with_input(BenchmarkId::from_parameter(batch), &stacked, |b, x| {
+            b.iter(|| black_box(prepared.model.forward(black_box(x)).expect("forward")))
+        });
+    }
+    forward.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Victim-training throughput: cost of one epoch over a small
+//! SynSign-43 subset, for both optimizers. Bounds how expensive the
+//! `prepare()` step of every experiment is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fademl_data::{DatasetConfig, SignDataset};
+use fademl_nn::vgg::VggConfig;
+use fademl_nn::{OptimizerKind, TrainConfig, Trainer};
+use fademl_tensor::TensorRng;
+
+fn bench_training(c: &mut Criterion) {
+    let dataset = SignDataset::generate(&DatasetConfig {
+        samples_per_class: 2,
+        image_size: 16,
+        seed: 1,
+        ..DatasetConfig::default()
+    })
+    .expect("dataset generates");
+
+    let mut group = c.benchmark_group("train_one_epoch_86_images");
+    group.sample_size(10);
+    for (label, optimizer) in [
+        ("adam", OptimizerKind::Adam { lr: 1e-3 }),
+        ("sgd_momentum", OptimizerKind::SgdMomentum { lr: 0.01 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &optimizer,
+            |b, &optimizer| {
+                b.iter(|| {
+                    let mut rng = TensorRng::seed_from_u64(0);
+                    let mut model = VggConfig::tiny(3, 16, 43)
+                        .build(&mut rng)
+                        .expect("model builds");
+                    let mut trainer = Trainer::new(TrainConfig {
+                        epochs: 1,
+                        batch_size: 32,
+                        optimizer,
+                        ..TrainConfig::default()
+                    });
+                    black_box(
+                        trainer
+                            .fit(&mut model, dataset.images(), dataset.labels())
+                            .expect("training runs"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

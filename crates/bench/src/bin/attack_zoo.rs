@@ -1,0 +1,102 @@
+//! Head-to-head comparison of the full attack library — the paper's
+//! three study attacks plus every cited attack implemented as an
+//! extension (C&W, DeepFool, JSMA, one-pixel) — on scenario 1
+//! (stop → 60 km/h), both against the bare DNN and through a deployed
+//! LAP(16) filter.
+//!
+//! ```text
+//! cargo run --release -p fademl-bench --bin attack_zoo
+//! ```
+
+use std::time::Instant;
+
+use fademl::report::Table;
+use fademl::{InferencePipeline, Scenario, ThreatModel};
+use fademl_attacks::{
+    Attack, AttackGoal, AttackSurface, Bim, CarliniWagner, DeepFool, Fgsm, Jsma, LbfgsAttack,
+    OnePixel, Zoo,
+};
+use fademl_filters::FilterSpec;
+
+fn main() {
+    let prepared = fademl_bench::prepare_victim();
+    let scenario = Scenario::paper_scenarios()[0];
+    let source = prepared
+        .test
+        .first_of_class(scenario.source)
+        .expect("stop sign exists");
+    let filter = FilterSpec::Lap { np: 16 };
+    let pipeline = InferencePipeline::new(prepared.model.clone(), filter)
+        .expect("pipeline builds");
+
+    // (label, attack, goal). DeepFool is untargeted by construction.
+    let source_class = scenario.source.index();
+    let attacks: Vec<(&str, Box<dyn Attack>, AttackGoal)> = vec![
+        ("L-BFGS", Box::new(LbfgsAttack::new(0.02, 20).expect("valid")), scenario.goal()),
+        ("FGSM", Box::new(Fgsm::new(0.08).expect("valid")), scenario.goal()),
+        ("BIM", Box::new(Bim::new(0.08, 0.015, 12).expect("valid")), scenario.goal()),
+        ("C&W", Box::new(CarliniWagner::standard()), scenario.goal()),
+        (
+            "DeepFool",
+            Box::new(DeepFool::standard()),
+            AttackGoal::Untargeted { source: source_class },
+        ),
+        ("JSMA", Box::new(Jsma::standard()), scenario.goal()),
+        (
+            "OnePixel(k=5)",
+            Box::new(OnePixel::new(5, 30, 20, 7).expect("valid")),
+            scenario.goal(),
+        ),
+        (
+            "ZOO",
+            Box::new(Zoo::new(60, 48, 1e-2, 5e-2, 7).expect("valid")),
+            scenario.goal(),
+        ),
+    ];
+
+    let mut table = Table::new(
+        format!("attack zoo — {scenario} (filter for TM-III column: {filter})"),
+        vec![
+            "Attack".into(),
+            "Goal met (TM-I)".into(),
+            "Verdict thru filter".into(),
+            "L∞".into(),
+            "L2".into(),
+            "Queries".into(),
+            "Time".into(),
+        ],
+    );
+
+    for (label, attack, goal) in &attacks {
+        let mut surface = AttackSurface::new(prepared.model.clone());
+        let start = Instant::now();
+        let adv = attack
+            .run(&mut surface, &source, *goal)
+            .expect("attack runs");
+        let elapsed = start.elapsed();
+        let filtered = pipeline
+            .classify(&adv.adversarial, ThreatModel::III)
+            .expect("pipeline classifies");
+        table.push_row(vec![
+            (*label).to_owned(),
+            if adv.success_on_surface {
+                format!("yes → {} ({:.0}%)", adv.predicted, adv.confidence * 100.0)
+            } else {
+                format!("no ({} @ {:.0}%)", adv.predicted, adv.confidence * 100.0)
+            },
+            format!("{} ({:.0}%)", filtered.class, filtered.confidence * 100.0),
+            format!("{:.3}", adv.noise_linf()),
+            format!("{:.2}", adv.noise_l2()),
+            adv.queries.to_string(),
+            format!("{:.0?}", elapsed),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "(class {} = source \"{}\", class {} = target \"{}\")",
+        scenario.source.index(),
+        scenario.source.info().name,
+        scenario.target.index(),
+        scenario.target.info().name
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Fig. 6**: overall top-5 accuracy of the victim, clean
+//! vs under each attack, with no pre-processing filter.
+//!
+//! ```text
+//! cargo run --release -p fademl-bench --bin fig6
+//! FADEML_EVAL_N=100 cargo run --release -p fademl-bench --bin fig6
+//! ```
+
+use fademl::experiments::fig6;
+
+fn main() {
+    let prepared = fademl_bench::prepare_victim();
+    let params = fademl_bench::default_params();
+    let eval_n = fademl_bench::eval_n_from_env(60);
+    eprintln!("[fademl] fig6: {eval_n} test images per (attack, scenario) cell");
+    let result = fig6::run(&prepared, &params, eval_n).expect("fig6 experiment failed");
+    println!("{}", result.table());
+    println!("(paper: attacks cost up to ~10 points of top-5 accuracy)");
+}

@@ -1,0 +1,34 @@
+//! Prints the victim architectures (paper Fig. 4 and the experiment
+//! profiles) with layer-by-layer parameter counts.
+//!
+//! ```text
+//! cargo run --release -p fademl-bench --bin model_info
+//! ```
+
+use fademl_data::CLASS_COUNT;
+use fademl_nn::vgg::{VggConfig, VggProfile};
+use fademl_tensor::TensorRng;
+
+fn main() {
+    for (label, config) in [
+        (
+            "Paper profile (Fig. 4: Conv1(64)…Conv5(512) + FC)",
+            VggConfig::new(VggProfile::Paper, 3, 32, CLASS_COUNT),
+        ),
+        (
+            "Compact profile (experiment default)",
+            VggConfig::new(VggProfile::Compact, 3, 32, CLASS_COUNT),
+        ),
+        (
+            "Tiny profile (unit tests)",
+            VggConfig::tiny(3, 16, CLASS_COUNT),
+        ),
+    ] {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let model = config.build(&mut rng).expect("profile builds");
+        println!("## {label}");
+        println!("input: {}x{}x{}", config.in_channels, config.input_size, config.input_size);
+        println!("{}", model.summary());
+        println!();
+    }
+}

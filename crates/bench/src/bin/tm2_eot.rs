@@ -1,0 +1,101 @@
+//! Threat Model II study: under TM-II the pipeline *re-acquires* the
+//! adversarial image with fresh sensor noise, so the crafted
+//! perturbation must survive a random transformation. This binary
+//! compares a deterministic filter-aware attack (`FAdeML[BIM]`) against
+//! an expectation-aware one (FAdeML[EOT-PGD]) under both TM-III
+//! (deterministic) and TM-II (randomized) evaluation.
+//!
+//! ```text
+//! cargo run --release -p fademl-bench --bin tm2_eot
+//! ```
+
+use fademl::report::{pct, Table};
+use fademl::{InferencePipeline, Scenario, ThreatModel};
+use fademl_attacks::{Attack, AttackSurface, Bim, EotPgd, Fademl};
+use fademl_data::NoiseModel;
+use fademl_filters::FilterSpec;
+
+fn main() {
+    let prepared = fademl_bench::prepare_victim();
+    let filter = FilterSpec::Lap { np: 8 };
+    // A noticeably noisy sensor makes the TM-II/TM-III contrast visible.
+    let sensor = NoiseModel {
+        gaussian_std: 0.08,
+        salt_pepper_prob: 0.01,
+    };
+    let pipeline = InferencePipeline::new(prepared.model.clone(), filter)
+        .expect("pipeline builds")
+        .with_acquisition_noise(sensor);
+
+    let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
+        (
+            "FAdeML[BIM]",
+            Box::new(
+                Fademl::new(Box::new(Bim::new(0.12, 0.02, 12).expect("valid")), 2, 1.0)
+                    .expect("valid"),
+            ),
+        ),
+        (
+            "FAdeML[EOT-PGD]",
+            Box::new(
+                Fademl::new(
+                    Box::new(
+                        EotPgd::new(0.12, 0.02, 12, sensor.gaussian_std, 4, 11)
+                            .expect("valid"),
+                    ),
+                    2,
+                    1.0,
+                )
+                .expect("valid"),
+            ),
+        ),
+    ];
+
+    let mut table = Table::new(
+        format!("TM-II robustness — targeted success over 5 scenarios (filter {filter}, sensor sigma {})", sensor.gaussian_std),
+        vec![
+            "Attack".into(),
+            "TM-III (deterministic)".into(),
+            "TM-II (re-acquired, noisy)".into(),
+        ],
+    );
+
+    for (label, attack) in &attacks {
+        let mut tm3_hits = 0usize;
+        let mut tm2_hits = 0usize;
+        let scenarios = Scenario::paper_scenarios();
+        for scenario in &scenarios {
+            let source = prepared
+                .test
+                .first_of_class(scenario.source)
+                .expect("scenario image");
+            let mut surface = AttackSurface::with_filter(
+                prepared.model.clone(),
+                filter.build().expect("filter builds"),
+            );
+            let adv = attack
+                .run(&mut surface, &source, scenario.goal())
+                .expect("attack runs");
+            let tm3 = pipeline
+                .classify(&adv.adversarial, ThreatModel::III)
+                .expect("classifies");
+            if tm3.class == scenario.target.index() {
+                tm3_hits += 1;
+            }
+            let tm2 = pipeline
+                .classify(&adv.adversarial, ThreatModel::II)
+                .expect("classifies");
+            if tm2.class == scenario.target.index() {
+                tm2_hits += 1;
+            }
+        }
+        table.push_row(vec![
+            (*label).to_owned(),
+            pct(tm3_hits as f32 / scenarios.len() as f32),
+            pct(tm2_hits as f32 / scenarios.len() as f32),
+        ]);
+    }
+    println!("{table}");
+    println!("(EOT marginalizes the sensor noise inside the attack loop — the standard upgrade");
+    println!(" when the deployed pipeline is randomized rather than deterministic)");
+}

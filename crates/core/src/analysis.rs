@@ -1,0 +1,196 @@
+//! The paper's §III analysis methodology (Fig. 3): craft an adversarial
+//! example, evaluate it under Threat Model I and under Threat Models
+//! II/III, and compare the two top-5 prediction profiles with the Eq. 2
+//! cost function.
+
+use fademl_attacks::{Attack, AttackSurface, ImperceptibilityReport};
+use fademl_tensor::Tensor;
+
+use crate::cost::CostBreakdown;
+use crate::{FademlError, InferencePipeline, Result, Scenario, ThreatModel, Verdict};
+
+/// The full record of one analysis run for one (attack, scenario,
+/// filter) cell.
+#[derive(Debug, Clone)]
+pub struct AnalysisOutcome {
+    /// The scenario that was attacked.
+    pub scenario: Scenario,
+    /// Name of the attack used.
+    pub attack: String,
+    /// The filter deployed in the victim pipeline.
+    pub filter: String,
+    /// Verdict when the adversarial image bypasses the filter (TM-I).
+    pub tm1: Verdict,
+    /// Verdict when the adversarial image passes through the filter
+    /// (TM-II or TM-III as requested).
+    pub tm23: Verdict,
+    /// Eq. 2 comparison of the two verdicts.
+    pub cost: CostBreakdown,
+    /// Whether the targeted misclassification held under TM-I.
+    pub success_tm1: bool,
+    /// Whether it held under TM-II/III (the paper's headline question).
+    pub success_tm23: bool,
+    /// How visible the perturbation is.
+    pub imperceptibility: ImperceptibilityReport,
+    /// Attack iterations spent.
+    pub iterations: usize,
+}
+
+/// Runs the §III methodology for one scenario.
+///
+/// `craft_surface` is the attacker's view (bare DNN for the classical
+/// Threat-Model-I attacks; filter-aware for FAdeML). `pipeline` is the
+/// deployed victim, and `eval_threat` selects II or III for the
+/// filtered evaluation.
+///
+/// # Errors
+///
+/// Returns [`FademlError::InvalidConfig`] if `eval_threat` is TM-I, and
+/// propagates attack/pipeline errors.
+pub fn analyze_scenario(
+    attack: &dyn Attack,
+    craft_surface: &mut AttackSurface,
+    pipeline: &InferencePipeline,
+    scenario: &Scenario,
+    source_image: &Tensor,
+    eval_threat: ThreatModel,
+) -> Result<AnalysisOutcome> {
+    if !eval_threat.filter_applies() {
+        return Err(FademlError::InvalidConfig {
+            reason: "eval_threat must be Threat Model II or III".into(),
+        });
+    }
+    let adv = attack.run(craft_surface, source_image, scenario.goal())?;
+    let tm1 = pipeline.classify(&adv.adversarial, ThreatModel::I)?;
+    let tm23 = pipeline.classify(&adv.adversarial, eval_threat)?;
+    let cost = CostBreakdown::between(&tm1.probabilities, &tm23.probabilities)?;
+    let imperceptibility = ImperceptibilityReport::between(source_image, &adv.adversarial)?;
+    Ok(AnalysisOutcome {
+        scenario: *scenario,
+        attack: attack.name(),
+        filter: pipeline.filter_spec().to_string(),
+        success_tm1: tm1.class == scenario.target.index(),
+        success_tm23: tm23.class == scenario.target.index(),
+        tm1,
+        tm23,
+        cost,
+        imperceptibility,
+        iterations: adv.iterations,
+    })
+}
+
+/// Compact single-line summary used by the experiment tables.
+impl AnalysisOutcome {
+    /// e.g. `"S1 FGSM vs LAP(8): TM-I 3 (82.1%) | TM-II/III 14 (60.3%) | cost 0.12"`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "S{} {} vs {}: TM-I {} ({:.1}%) | TM-II/III {} ({:.1}%) | cost {:+.3}",
+            self.scenario.id,
+            self.attack,
+            self.filter,
+            self.tm1.class,
+            self.tm1.confidence * 100.0,
+            self.tm23.class,
+            self.tm23.confidence * 100.0,
+            self.cost.cost,
+        )
+    }
+
+    /// `true` when the filter changed the winning class — the paper's
+    /// "attack neutralized" signal.
+    pub fn filter_changed_top1(&self) -> bool {
+        !self.cost.top1_agrees()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{ExperimentSetup, SetupProfile};
+    use fademl_attacks::Fgsm;
+    use fademl_filters::FilterSpec;
+    use std::sync::OnceLock;
+
+    fn prepared() -> &'static crate::setup::PreparedSetup {
+        static CELL: OnceLock<crate::setup::PreparedSetup> = OnceLock::new();
+        CELL.get_or_init(|| {
+            ExperimentSetup::profile(SetupProfile::Smoke)
+                .prepare()
+                .unwrap()
+        })
+    }
+
+    #[test]
+    fn analysis_produces_consistent_outcome() {
+        let p = prepared();
+        let pipeline =
+            InferencePipeline::new(p.model.clone(), FilterSpec::Lap { np: 8 }).unwrap();
+        let scenario = Scenario::paper_scenarios()[0];
+        let image = p.test.first_of_class(scenario.source).unwrap();
+        let mut surface = AttackSurface::new(p.model.clone());
+        let attack = Fgsm::new(0.08).unwrap();
+        let outcome = analyze_scenario(
+            &attack,
+            &mut surface,
+            &pipeline,
+            &scenario,
+            &image,
+            ThreatModel::III,
+        )
+        .unwrap();
+        assert_eq!(outcome.scenario.id, 1);
+        assert!(outcome.attack.contains("FGSM"));
+        assert_eq!(outcome.filter, "LAP(8)");
+        assert_eq!(
+            outcome.success_tm1,
+            outcome.tm1.class == scenario.target.index()
+        );
+        assert!(outcome.imperceptibility.noise_linf <= 0.08 + 1e-5);
+        let line = outcome.summary_line();
+        assert!(line.contains("S1"));
+        assert!(line.contains("LAP(8)"));
+    }
+
+    #[test]
+    fn rejects_tm1_as_eval_threat() {
+        let p = prepared();
+        let pipeline = InferencePipeline::new(p.model.clone(), FilterSpec::None).unwrap();
+        let scenario = Scenario::paper_scenarios()[0];
+        let image = p.test.first_of_class(scenario.source).unwrap();
+        let mut surface = AttackSurface::new(p.model.clone());
+        let attack = Fgsm::new(0.05).unwrap();
+        let result = analyze_scenario(
+            &attack,
+            &mut surface,
+            &pipeline,
+            &scenario,
+            &image,
+            ThreatModel::I,
+        );
+        assert!(matches!(result, Err(FademlError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn identity_filter_keeps_views_identical() {
+        // With FilterSpec::None and TM-III (no fresh noise), the two
+        // views coincide, so the Eq. 2 cost is zero.
+        let p = prepared();
+        let pipeline = InferencePipeline::new(p.model.clone(), FilterSpec::None).unwrap();
+        let scenario = Scenario::paper_scenarios()[1];
+        let image = p.test.first_of_class(scenario.source).unwrap();
+        let mut surface = AttackSurface::new(p.model.clone());
+        let attack = Fgsm::new(0.05).unwrap();
+        let outcome = analyze_scenario(
+            &attack,
+            &mut surface,
+            &pipeline,
+            &scenario,
+            &image,
+            ThreatModel::III,
+        )
+        .unwrap();
+        assert!(outcome.cost.cost.abs() < 1e-6);
+        assert!(!outcome.filter_changed_top1());
+        assert_eq!(outcome.success_tm1, outcome.success_tm23);
+    }
+}

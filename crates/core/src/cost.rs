@@ -1,0 +1,154 @@
+//! The paper's Eq. 2 cost function.
+//!
+//! `f(cost) = Σₙ₌₁⁵ P(Cₙ) − P(C*ₙ)` compares the top-5 prediction mass
+//! of the same adversarial example evaluated under Threat Model I
+//! (attacker's view, no filter) and Threat Models II/III (deployed
+//! view, filter applied). A large cost means the filter substantially
+//! changed what the network believes — the signal the FAdeML
+//! optimization loop (§IV step 5) feeds back into noise refinement.
+
+use fademl_tensor::Tensor;
+
+use crate::{FademlError, Result};
+
+/// Number of ranks in the paper's cost function.
+pub const TOP_K: usize = 5;
+
+/// Computes Eq. 2 over two probability vectors.
+///
+/// `p_tm1` is the class distribution under Threat Model I; `p_tm23`
+/// under Threat Model II or III. Both must be probability vectors of
+/// the same length (≥ 5 classes). `Cₙ` are the top-5 classes of the
+/// TM-I view and `C*ₙ` the top-5 classes of the TM-II/III view, so the
+/// result is `Σ P_tm1(Cₙ) − P_tm23(C*ₙ)`.
+///
+/// # Errors
+///
+/// Returns [`FademlError::InvalidConfig`] for length mismatches or
+/// fewer than 5 classes.
+pub fn top5_cost(p_tm1: &Tensor, p_tm23: &Tensor) -> Result<f32> {
+    if p_tm1.dims() != p_tm23.dims() {
+        return Err(FademlError::InvalidConfig {
+            reason: format!(
+                "probability vectors differ in shape: {:?} vs {:?}",
+                p_tm1.dims(),
+                p_tm23.dims()
+            ),
+        });
+    }
+    if p_tm1.numel() < TOP_K {
+        return Err(FademlError::InvalidConfig {
+            reason: format!("need at least {TOP_K} classes, got {}", p_tm1.numel()),
+        });
+    }
+    let mass = |p: &Tensor| -> f32 {
+        p.top_k(TOP_K).iter().map(|&c| p.as_slice()[c]).sum()
+    };
+    Ok(mass(p_tm1) - mass(p_tm23))
+}
+
+/// Per-rank breakdown of the Eq. 2 comparison: the top-5 classes and
+/// probabilities under both views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBreakdown {
+    /// Top-5 classes under Threat Model I.
+    pub tm1_classes: Vec<usize>,
+    /// Their probabilities.
+    pub tm1_probs: Vec<f32>,
+    /// Top-5 classes under Threat Model II/III.
+    pub tm23_classes: Vec<usize>,
+    /// Their probabilities.
+    pub tm23_probs: Vec<f32>,
+    /// The Eq. 2 scalar.
+    pub cost: f32,
+}
+
+impl CostBreakdown {
+    /// Computes the breakdown for two probability vectors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`top5_cost`].
+    pub fn between(p_tm1: &Tensor, p_tm23: &Tensor) -> Result<Self> {
+        let cost = top5_cost(p_tm1, p_tm23)?;
+        let tm1_classes = p_tm1.top_k(TOP_K);
+        let tm23_classes = p_tm23.top_k(TOP_K);
+        Ok(CostBreakdown {
+            tm1_probs: tm1_classes.iter().map(|&c| p_tm1.as_slice()[c]).collect(),
+            tm23_probs: tm23_classes.iter().map(|&c| p_tm23.as_slice()[c]).collect(),
+            tm1_classes,
+            tm23_classes,
+            cost,
+        })
+    }
+
+    /// `true` if the two views agree on the winning class.
+    pub fn top1_agrees(&self) -> bool {
+        self.tm1_classes[0] == self.tm23_classes[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_tensor::Shape;
+
+    fn probs(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), Shape::new(vec![v.len()])).unwrap()
+    }
+
+    #[test]
+    fn identical_distributions_cost_zero() {
+        let p = probs(&[0.5, 0.2, 0.1, 0.1, 0.05, 0.05]);
+        assert_eq!(top5_cost(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn concentrated_vs_diffuse() {
+        // TM-I very confident (top-5 mass ≈ 1), TM-II/III diffuse over
+        // 10 classes (top-5 mass = 0.5): cost ≈ 0.5.
+        let tm1 = probs(&[0.96, 0.01, 0.01, 0.01, 0.01, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let tm23 = probs(&[0.1; 10]);
+        let cost = top5_cost(&tm1, &tm23).unwrap();
+        assert!((cost - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cost_is_antisymmetric() {
+        let a = probs(&[0.9, 0.05, 0.02, 0.01, 0.01, 0.01]);
+        let b = probs(&[0.3, 0.3, 0.1, 0.1, 0.1, 0.1]);
+        let ab = top5_cost(&a, &b).unwrap();
+        let ba = top5_cost(&b, &a).unwrap();
+        assert!((ab + ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        let a = probs(&[0.5, 0.5]);
+        assert!(top5_cost(&a, &a).is_err()); // fewer than 5 classes
+        let b = probs(&[0.2; 5]);
+        let c = probs(&[0.1; 10]);
+        assert!(top5_cost(&b, &c).is_err()); // shape mismatch
+    }
+
+    #[test]
+    fn breakdown_ranks_descending() {
+        let tm1 = probs(&[0.05, 0.5, 0.2, 0.1, 0.1, 0.05]);
+        let tm23 = probs(&[0.4, 0.1, 0.2, 0.1, 0.1, 0.1]);
+        let bd = CostBreakdown::between(&tm1, &tm23).unwrap();
+        assert_eq!(bd.tm1_classes[0], 1);
+        assert_eq!(bd.tm23_classes[0], 0);
+        assert!(!bd.top1_agrees());
+        for w in bd.tm1_probs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!((bd.cost - top5_cost(&tm1, &tm23).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_agreement() {
+        let p = probs(&[0.5, 0.2, 0.1, 0.1, 0.05, 0.05]);
+        let bd = CostBreakdown::between(&p, &p).unwrap();
+        assert!(bd.top1_agrees());
+    }
+}

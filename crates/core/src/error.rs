@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+use fademl_attacks::AttackError;
+use fademl_data::DataError;
+use fademl_filters::FilterError;
+use fademl_nn::NnError;
+use fademl_tensor::TensorError;
+
+/// Top-level error type for the FAdeML experiment framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FademlError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The neural network failed.
+    Network(NnError),
+    /// Dataset generation failed.
+    Data(DataError),
+    /// A pre-processing filter failed.
+    Filter(FilterError),
+    /// An attack failed.
+    Attack(AttackError),
+    /// An experiment configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description of the invalid value.
+        reason: String,
+    },
+    /// Reading or writing cached artifacts failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FademlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FademlError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FademlError::Network(e) => write!(f, "network error: {e}"),
+            FademlError::Data(e) => write!(f, "dataset error: {e}"),
+            FademlError::Filter(e) => write!(f, "filter error: {e}"),
+            FademlError::Attack(e) => write!(f, "attack error: {e}"),
+            FademlError::InvalidConfig { reason } => {
+                write!(f, "invalid experiment configuration: {reason}")
+            }
+            FademlError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for FademlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FademlError::Tensor(e) => Some(e),
+            FademlError::Network(e) => Some(e),
+            FademlError::Data(e) => Some(e),
+            FademlError::Filter(e) => Some(e),
+            FademlError::Attack(e) => Some(e),
+            FademlError::Io(e) => Some(e),
+            FademlError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<TensorError> for FademlError {
+    fn from(e: TensorError) -> Self {
+        FademlError::Tensor(e)
+    }
+}
+
+impl From<NnError> for FademlError {
+    fn from(e: NnError) -> Self {
+        FademlError::Network(e)
+    }
+}
+
+impl From<DataError> for FademlError {
+    fn from(e: DataError) -> Self {
+        FademlError::Data(e)
+    }
+}
+
+impl From<FilterError> for FademlError {
+    fn from(e: FilterError) -> Self {
+        FademlError::Filter(e)
+    }
+}
+
+impl From<AttackError> for FademlError {
+    fn from(e: AttackError) -> Self {
+        FademlError::Attack(e)
+    }
+}
+
+impl From<std::io::Error> for FademlError {
+    fn from(e: std::io::Error) -> Self {
+        FademlError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e = FademlError::from(TensorError::EmptyTensor { op: "x" });
+        assert!(e.source().is_some());
+        let e = FademlError::InvalidConfig { reason: "bad".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FademlError>();
+    }
+}

@@ -1,0 +1,239 @@
+//! **Fig. 7** — Threat Models II/III: the LAP/LAR smoothing filters
+//! neutralize the classical attacks (the target class no longer wins
+//! once the adversarial image passes through the filter), at the cost
+//! of a confidence/accuracy reduction. Top-5 accuracy vs filter
+//! strength is hump-shaped: mild smoothing removes sensor noise and
+//! helps, heavy smoothing destroys class features and hurts.
+
+use fademl_filters::FilterSpec;
+
+use super::grid::{
+    accuracy_grid, class_name, for_each_scenario_parallel, scenario_cell, AccuracyGrid,
+    ScenarioCell,
+};
+use super::AttackParams;
+use crate::report::{pct, Table};
+use crate::setup::PreparedSetup;
+use crate::{Result, Scenario, ThreatModel};
+
+/// Result of the Fig. 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Demonstration cells: (scenario, attack, filter) sign panels.
+    pub cells: Vec<ScenarioCell>,
+    /// Accuracy-vs-filter grids, one per scenario.
+    pub grids: Vec<AccuracyGrid>,
+    /// Which threat model the filtered evaluation used.
+    pub threat: ThreatModel,
+}
+
+impl Fig7Result {
+    /// Fraction of filtered cells where the targeted misclassification
+    /// *survived* the filter (the paper's expectation: near zero for the
+    /// classical attacks).
+    pub fn filtered_success_rate(&self) -> f32 {
+        let filtered: Vec<&ScenarioCell> = self
+            .cells
+            .iter()
+            .filter(|c| c.filter != FilterSpec::None)
+            .collect();
+        if filtered.is_empty() {
+            return 0.0;
+        }
+        filtered.iter().filter(|c| c.success_tm23).count() as f32 / filtered.len() as f32
+    }
+
+    /// Renders one per-scenario demonstration table: rows = attacks,
+    /// columns = filters, cells = the class the pipeline reports.
+    pub fn scenario_table(&self, scenario_id: usize, filters: &[FilterSpec]) -> Table {
+        let mut header = vec!["Attack".to_owned()];
+        header.extend(filters.iter().map(|f| f.to_string()));
+        let mut table = Table::new(
+            format!("Fig. 7 — scenario {scenario_id}: pipeline verdict through each filter ({})", self.threat),
+            header,
+        );
+        for label in AttackParams::labels() {
+            let mut row = vec![label.to_owned()];
+            for &filter in filters {
+                let cell = self.cells.iter().find(|c| {
+                    c.scenario_id == scenario_id && c.attack == label && c.filter == filter
+                });
+                row.push(match cell {
+                    Some(c) => format!(
+                        "{} ({}){}",
+                        class_name(c.tm23_class),
+                        pct(c.tm23_confidence),
+                        if c.success_tm23 { " ⚠" } else { "" }
+                    ),
+                    None => "-".to_owned(),
+                });
+            }
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// Renders the accuracy grid for one scenario: rows = attack
+    /// condition, columns = filters.
+    pub fn accuracy_table(&self, scenario_id: usize, filters: &[FilterSpec]) -> Table {
+        let mut header = vec!["Condition".to_owned()];
+        header.extend(filters.iter().map(|f| f.to_string()));
+        let mut table = Table::new(
+            format!("Fig. 7 — scenario {scenario_id}: top-5 accuracy vs filter"),
+            header,
+        );
+        if let Some(grid) = self.grids.iter().find(|g| g.scenario.id == scenario_id) {
+            let mut conditions = vec!["No attack".to_owned()];
+            conditions.extend(AttackParams::labels().iter().map(|s| (*s).to_owned()));
+            for condition in conditions {
+                let mut row = vec![condition.clone()];
+                for &filter in filters {
+                    row.push(
+                        grid.accuracy(filter, &condition)
+                            .map(pct)
+                            .unwrap_or_else(|| "-".to_owned()),
+                    );
+                }
+                table.push_row(row);
+            }
+        }
+        table
+    }
+}
+
+/// Runs the Fig. 7 experiment: classical attacks crafted on the bare
+/// DNN, evaluated through every filter of `filters` under `threat`
+/// (II or III), with accuracy grids over `eval_n` test images.
+///
+/// # Errors
+///
+/// Propagates attack and pipeline errors; returns an error if `threat`
+/// is Threat Model I.
+pub fn run(
+    prepared: &PreparedSetup,
+    params: &AttackParams,
+    filters: &[FilterSpec],
+    eval_n: usize,
+    threat: ThreatModel,
+) -> Result<Fig7Result> {
+    if !threat.filter_applies() {
+        return Err(crate::FademlError::InvalidConfig {
+            reason: "Fig. 7 requires Threat Model II or III".into(),
+        });
+    }
+    let scenarios = Scenario::paper_scenarios();
+    let per_scenario = for_each_scenario_parallel(&scenarios, |scenario| {
+        let mut cells = Vec::new();
+        for attack_idx in 0..AttackParams::labels().len() {
+            for &filter in filters {
+                cells.push(scenario_cell(
+                    prepared, params, scenario, attack_idx, filter, false, threat,
+                )?);
+            }
+        }
+        let grid = accuracy_grid(prepared, params, scenario, filters, false, eval_n, threat)?;
+        Ok((cells, grid))
+    })?;
+    let mut cells = Vec::new();
+    let mut grids = Vec::new();
+    for (c, g) in per_scenario {
+        cells.extend(c);
+        grids.push(g);
+    }
+    Ok(Fig7Result {
+        cells,
+        grids,
+        threat,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{ExperimentSetup, SetupProfile};
+    use std::sync::OnceLock;
+
+    fn prepared() -> &'static PreparedSetup {
+        static CELL: OnceLock<PreparedSetup> = OnceLock::new();
+        CELL.get_or_init(|| {
+            ExperimentSetup::profile(SetupProfile::Smoke)
+                .prepare()
+                .unwrap()
+        })
+    }
+
+    fn cheap_params() -> AttackParams {
+        AttackParams {
+            epsilon: 0.12,
+            bim_iterations: 4,
+            lbfgs_iterations: 5,
+            ..AttackParams::default()
+        }
+    }
+
+    fn small_filters() -> Vec<FilterSpec> {
+        vec![
+            FilterSpec::None,
+            FilterSpec::Lap { np: 8 },
+            FilterSpec::Lar { r: 2 },
+        ]
+    }
+
+    #[test]
+    fn rejects_threat_model_one() {
+        assert!(run(
+            prepared(),
+            &cheap_params(),
+            &small_filters(),
+            4,
+            ThreatModel::I
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn covers_every_cell_and_grid() {
+        let filters = small_filters();
+        let result = run(prepared(), &cheap_params(), &filters, 4, ThreatModel::III).unwrap();
+        // 5 scenarios × 3 attacks × 3 filters.
+        assert_eq!(result.cells.len(), 45);
+        assert_eq!(result.grids.len(), 5);
+        for grid in &result.grids {
+            assert_eq!(grid.cells.len(), 4 * filters.len());
+        }
+    }
+
+    #[test]
+    fn filters_reduce_attack_success() {
+        // The filtered success rate must be strictly below the unfiltered
+        // TM-I success rate of the same cells.
+        let filters = small_filters();
+        let result = run(prepared(), &cheap_params(), &filters, 4, ThreatModel::III).unwrap();
+        let tm1_successes = result
+            .cells
+            .iter()
+            .filter(|c| c.filter != FilterSpec::None && c.success_tm1)
+            .count();
+        let tm23_successes = result
+            .cells
+            .iter()
+            .filter(|c| c.filter != FilterSpec::None && c.success_tm23)
+            .count();
+        assert!(
+            tm23_successes <= tm1_successes,
+            "filtering should not help the attacker: {tm23_successes} > {tm1_successes}"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let filters = small_filters();
+        let result = run(prepared(), &cheap_params(), &filters, 4, ThreatModel::III).unwrap();
+        let demo = result.scenario_table(1, &filters);
+        assert_eq!(demo.len(), 3);
+        assert!(demo.render().contains("LAP(8)"));
+        let acc = result.accuracy_table(1, &filters);
+        assert_eq!(acc.len(), 4);
+        assert!(acc.render().contains("No attack"));
+    }
+}

@@ -1,0 +1,228 @@
+//! **Fig. 9** — the FAdeML filter-aware attacks are *not* neutralized
+//! by the LAP/LAR filters: because the noise is optimized through
+//! `filter ∘ DNN`, the targeted misclassification survives filtering,
+//! at a slightly reduced attack confidence and with a larger impact on
+//! overall top-5 accuracy than the filtered classical attacks.
+
+use fademl_filters::FilterSpec;
+
+use super::grid::{
+    accuracy_grid, class_name, for_each_scenario_parallel, scenario_cell, AccuracyGrid,
+    ScenarioCell,
+};
+use super::AttackParams;
+use crate::report::{pct, Table};
+use crate::setup::PreparedSetup;
+use crate::{Result, Scenario, ThreatModel};
+
+/// Result of the Fig. 9 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// Demonstration cells: (scenario, FAdeML-attack, filter) panels.
+    pub cells: Vec<ScenarioCell>,
+    /// Accuracy-vs-filter grids, one per scenario (attacks re-crafted
+    /// per filter because FAdeML noise depends on the filter).
+    pub grids: Vec<AccuracyGrid>,
+    /// Which threat model the filtered evaluation used.
+    pub threat: ThreatModel,
+}
+
+impl Fig9Result {
+    /// Fraction of filtered cells where the targeted misclassification
+    /// survived the filter — the paper's headline: high for FAdeML where
+    /// Fig. 7's classical attacks are near zero.
+    pub fn filtered_success_rate(&self) -> f32 {
+        let filtered: Vec<&ScenarioCell> = self
+            .cells
+            .iter()
+            .filter(|c| c.filter != FilterSpec::None)
+            .collect();
+        if filtered.is_empty() {
+            return 0.0;
+        }
+        filtered.iter().filter(|c| c.success_tm23).count() as f32 / filtered.len() as f32
+    }
+
+    /// Renders one per-scenario demonstration table (FAdeML verdicts
+    /// through each filter).
+    pub fn scenario_table(&self, scenario_id: usize, filters: &[FilterSpec]) -> Table {
+        let mut header = vec!["FAdeML attack".to_owned()];
+        header.extend(filters.iter().map(|f| f.to_string()));
+        let mut table = Table::new(
+            format!(
+                "Fig. 9 — scenario {scenario_id}: FAdeML verdict through each filter ({})",
+                self.threat
+            ),
+            header,
+        );
+        for label in AttackParams::labels() {
+            let mut row = vec![format!("FAdeML[{label}]")];
+            for &filter in filters {
+                let cell = self.cells.iter().find(|c| {
+                    c.scenario_id == scenario_id && c.attack == label && c.filter == filter
+                });
+                row.push(match cell {
+                    Some(c) => format!(
+                        "{} ({}){}",
+                        class_name(c.tm23_class),
+                        pct(c.tm23_confidence),
+                        if c.success_tm23 { " ⚠" } else { "" }
+                    ),
+                    None => "-".to_owned(),
+                });
+            }
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// Renders the accuracy grid for one scenario.
+    pub fn accuracy_table(&self, scenario_id: usize, filters: &[FilterSpec]) -> Table {
+        let mut header = vec!["Condition".to_owned()];
+        header.extend(filters.iter().map(|f| f.to_string()));
+        let mut table = Table::new(
+            format!("Fig. 9 — scenario {scenario_id}: top-5 accuracy vs filter (FAdeML)"),
+            header,
+        );
+        if let Some(grid) = self.grids.iter().find(|g| g.scenario.id == scenario_id) {
+            let mut conditions = vec!["No attack".to_owned()];
+            conditions.extend(AttackParams::labels().iter().map(|s| (*s).to_owned()));
+            for condition in conditions {
+                let mut row = vec![condition.clone()];
+                for &filter in filters {
+                    row.push(
+                        grid.accuracy(filter, &condition)
+                            .map(pct)
+                            .unwrap_or_else(|| "-".to_owned()),
+                    );
+                }
+                table.push_row(row);
+            }
+        }
+        table
+    }
+}
+
+/// Runs the Fig. 9 experiment: the same grid as Fig. 7 but with every
+/// attack wrapped in the FAdeML filter-aware loop, crafted against the
+/// deployed filter.
+///
+/// # Errors
+///
+/// Propagates attack and pipeline errors; returns an error if `threat`
+/// is Threat Model I.
+pub fn run(
+    prepared: &PreparedSetup,
+    params: &AttackParams,
+    filters: &[FilterSpec],
+    eval_n: usize,
+    threat: ThreatModel,
+) -> Result<Fig9Result> {
+    if !threat.filter_applies() {
+        return Err(crate::FademlError::InvalidConfig {
+            reason: "Fig. 9 requires Threat Model II or III".into(),
+        });
+    }
+    let scenarios = Scenario::paper_scenarios();
+    let per_scenario = for_each_scenario_parallel(&scenarios, |scenario| {
+        let mut cells = Vec::new();
+        for attack_idx in 0..AttackParams::labels().len() {
+            for &filter in filters {
+                cells.push(scenario_cell(
+                    prepared, params, scenario, attack_idx, filter, true, threat,
+                )?);
+            }
+        }
+        let grid = accuracy_grid(prepared, params, scenario, filters, true, eval_n, threat)?;
+        Ok((cells, grid))
+    })?;
+    let mut cells = Vec::new();
+    let mut grids = Vec::new();
+    for (c, g) in per_scenario {
+        cells.extend(c);
+        grids.push(g);
+    }
+    Ok(Fig9Result {
+        cells,
+        grids,
+        threat,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{ExperimentSetup, SetupProfile};
+    use std::sync::OnceLock;
+
+    fn prepared() -> &'static PreparedSetup {
+        static CELL: OnceLock<PreparedSetup> = OnceLock::new();
+        CELL.get_or_init(|| {
+            ExperimentSetup::profile(SetupProfile::Smoke)
+                .prepare()
+                .unwrap()
+        })
+    }
+
+    fn cheap_params() -> AttackParams {
+        AttackParams {
+            epsilon: 0.15,
+            bim_iterations: 4,
+            lbfgs_iterations: 5,
+            fademl_rounds: 2,
+            ..AttackParams::default()
+        }
+    }
+
+    fn small_filters() -> Vec<FilterSpec> {
+        vec![FilterSpec::Lap { np: 8 }, FilterSpec::Lar { r: 1 }]
+    }
+
+    #[test]
+    fn rejects_threat_model_one() {
+        assert!(run(
+            prepared(),
+            &cheap_params(),
+            &small_filters(),
+            3,
+            ThreatModel::I
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn covers_cells_and_grids() {
+        let filters = small_filters();
+        let result = run(prepared(), &cheap_params(), &filters, 3, ThreatModel::III).unwrap();
+        assert_eq!(result.cells.len(), 5 * 3 * filters.len());
+        assert_eq!(result.grids.len(), 5);
+    }
+
+    #[test]
+    fn fademl_survives_filters_better_than_blind_attacks() {
+        // Head-to-head on the same victim, filters and parameters: the
+        // filter-aware attacks must keep a higher (or equal) filtered
+        // success rate than the blind classical attacks of Fig. 7.
+        use super::super::fig7;
+        let filters = small_filters();
+        let params = cheap_params();
+        let blind = fig7::run(prepared(), &params, &filters, 3, ThreatModel::III).unwrap();
+        let aware = run(prepared(), &params, &filters, 3, ThreatModel::III).unwrap();
+        assert!(
+            aware.filtered_success_rate() >= blind.filtered_success_rate(),
+            "FAdeML {:.0}% vs blind {:.0}%",
+            aware.filtered_success_rate() * 100.0,
+            blind.filtered_success_rate() * 100.0
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let filters = small_filters();
+        let result = run(prepared(), &cheap_params(), &filters, 3, ThreatModel::III).unwrap();
+        let demo = result.scenario_table(2, &filters);
+        assert!(demo.render().contains("FAdeML[FGSM]"));
+        let acc = result.accuracy_table(2, &filters);
+        assert_eq!(acc.len(), 4);
+    }
+}

@@ -1,0 +1,435 @@
+//! Shared evaluation machinery for the figure experiments: per-scenario
+//! attack cells and accuracy-vs-filter series.
+
+use fademl_attacks::{Attack, AttackSurface, Fademl};
+use fademl_data::ClassId;
+use fademl_filters::FilterSpec;
+use fademl_nn::Sequential;
+use fademl_tensor::Tensor;
+
+use super::AttackParams;
+use crate::cost::top5_cost;
+use crate::setup::PreparedSetup;
+use crate::{FademlError, InferencePipeline, Result, Scenario, ThreatModel};
+
+/// One (scenario, attack, filter) demonstration cell — the per-sign
+/// panels of Figs. 5, 7 and 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCell {
+    /// Scenario number (1-5).
+    pub scenario_id: usize,
+    /// Attack label (`"L-BFGS"`, `"FGSM"`, `"BIM"`).
+    pub attack: String,
+    /// Deployed filter.
+    pub filter: FilterSpec,
+    /// Winning class when the adversarial image bypasses the filter.
+    pub tm1_class: usize,
+    /// Its confidence.
+    pub tm1_confidence: f32,
+    /// Winning class when the image passes through the filter.
+    pub tm23_class: usize,
+    /// Its confidence.
+    pub tm23_confidence: f32,
+    /// Eq. 2 cost between the two views.
+    pub cost: f32,
+    /// Targeted misclassification achieved under TM-I.
+    pub success_tm1: bool,
+    /// Targeted misclassification achieved under TM-II/III.
+    pub success_tm23: bool,
+    /// L∞ magnitude of the crafted noise.
+    pub noise_linf: f32,
+}
+
+/// One point of an accuracy-vs-filter series (the bar charts of
+/// Figs. 6, 7 and 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyCell {
+    /// Deployed filter.
+    pub filter: FilterSpec,
+    /// Attack label, or `"No attack"`.
+    pub attack: String,
+    /// Top-5 accuracy over the evaluation subset.
+    pub top5_accuracy: f32,
+}
+
+/// A full accuracy grid for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyGrid {
+    /// The scenario whose target class drives the perturbations.
+    pub scenario: Scenario,
+    /// All (filter, attack) accuracy cells.
+    pub cells: Vec<AccuracyCell>,
+}
+
+impl AccuracyGrid {
+    /// Looks up one cell's accuracy.
+    pub fn accuracy(&self, filter: FilterSpec, attack: &str) -> Option<f32> {
+        self.cells
+            .iter()
+            .find(|c| c.filter == filter && c.attack == attack)
+            .map(|c| c.top5_accuracy)
+    }
+}
+
+/// Builds the attacker's crafting context for one attack index.
+///
+/// For classical (Threat-Model-I) crafting the surface is the bare DNN;
+/// for FAdeML crafting it is `filter ∘ DNN` and the attack is wrapped
+/// in the [`Fademl`] refinement loop.
+fn build_attack_and_surface(
+    model: &Sequential,
+    params: &AttackParams,
+    attack_idx: usize,
+    filter_aware: Option<FilterSpec>,
+) -> Result<(Box<dyn Attack>, AttackSurface)> {
+    let mut library = params.library()?;
+    if attack_idx >= library.len() {
+        return Err(FademlError::InvalidConfig {
+            reason: format!("attack index {attack_idx} out of range"),
+        });
+    }
+    let base = library.swap_remove(attack_idx);
+    match filter_aware {
+        None => Ok((base, AttackSurface::new(model.clone()))),
+        Some(spec) => {
+            let surface = AttackSurface::with_filter(model.clone(), spec.build()?);
+            let wrapped = Fademl::new(base, params.fademl_rounds, params.fademl_eta)?;
+            Ok((Box::new(wrapped), surface))
+        }
+    }
+}
+
+/// Fetches the scenario's source image from the test set, falling back
+/// to the training set if the split left the class empty.
+fn scenario_image(prepared: &PreparedSetup, class: ClassId) -> Result<Tensor> {
+    prepared
+        .test
+        .first_of_class(class)
+        .or_else(|_| prepared.train.first_of_class(class))
+        .map_err(FademlError::from)
+}
+
+/// Evaluates one (scenario, attack, filter) cell.
+///
+/// `filter_aware` selects the crafting mode: `false` crafts against the
+/// bare DNN (the classical attacks of Figs. 5/7), `true` crafts against
+/// the deployed filter (FAdeML, Fig. 9).
+///
+/// # Errors
+///
+/// Propagates setup, attack and pipeline errors.
+pub fn scenario_cell(
+    prepared: &PreparedSetup,
+    params: &AttackParams,
+    scenario: &Scenario,
+    attack_idx: usize,
+    filter: FilterSpec,
+    filter_aware: bool,
+    threat: ThreatModel,
+) -> Result<ScenarioCell> {
+    let source = scenario_image(prepared, scenario.source)?;
+    let aware = if filter_aware { Some(filter) } else { None };
+    let (attack, mut surface) =
+        build_attack_and_surface(&prepared.model, params, attack_idx, aware)?;
+    let adv = attack.run(&mut surface, &source, scenario.goal())?;
+
+    let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
+    let tm1 = pipeline.classify(&adv.adversarial, ThreatModel::I)?;
+    let tm23 = pipeline.classify(&adv.adversarial, threat)?;
+    let cost = top5_cost(&tm1.probabilities, &tm23.probabilities)?;
+    Ok(ScenarioCell {
+        scenario_id: scenario.id,
+        attack: AttackParams::labels()[attack_idx].to_owned(),
+        filter,
+        tm1_class: tm1.class,
+        tm1_confidence: tm1.confidence,
+        tm23_class: tm23.class,
+        tm23_confidence: tm23.confidence,
+        cost,
+        success_tm1: tm1.class == scenario.target.index(),
+        success_tm23: tm23.class == scenario.target.index(),
+        noise_linf: adv.noise_linf(),
+    })
+}
+
+/// Builds the adversarially perturbed evaluation set for one
+/// (scenario, attack) pair, the way the paper's Figs. 6/7/9 accuracy
+/// bars are produced: the adversarial noise is crafted **once** on the
+/// scenario's source image, then that same noise pattern is added to
+/// the first `eval_n` test images (clamped into pixel range). The
+/// attack noise is tailored to a *different* image, so its effect on
+/// the overall dataset is a confidence/accuracy erosion rather than a
+/// wholesale misclassification — the paper's "up to 10%" top-5 drop.
+///
+/// Returns `(adversarial_images, true_labels)`.
+///
+/// # Errors
+///
+/// Propagates attack errors; returns
+/// [`FademlError::InvalidConfig`] for `eval_n == 0`.
+pub fn craft_eval_set(
+    prepared: &PreparedSetup,
+    params: &AttackParams,
+    scenario: &Scenario,
+    attack_idx: usize,
+    filter_aware: Option<FilterSpec>,
+    eval_n: usize,
+) -> Result<(Tensor, Vec<usize>)> {
+    if eval_n == 0 {
+        return Err(FademlError::InvalidConfig {
+            reason: "eval_n must be positive".into(),
+        });
+    }
+    let n = eval_n.min(prepared.test.len());
+    let source = scenario_image(prepared, scenario.source)?;
+    let (attack, mut surface) =
+        build_attack_and_surface(&prepared.model, params, attack_idx, filter_aware)?;
+    let noise = attack.run(&mut surface, &source, scenario.goal())?.noise;
+    let mut adv_images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let (image, label) = prepared.test.sample(i)?;
+        adv_images.push(image.add(&noise)?.clamp(0.0, 1.0));
+        labels.push(label);
+    }
+    Ok((Tensor::stack(&adv_images)?, labels))
+}
+
+/// Computes the full accuracy grid for one scenario: top-5 accuracy of
+/// the deployed pipeline over an `eval_n`-image subset, for every
+/// (filter, attack) combination plus a `"No attack"` baseline column.
+///
+/// For `filter_aware == false` the adversarial images are crafted once
+/// per attack (they do not depend on the filter, matching Fig. 7); for
+/// `filter_aware == true` they are re-crafted per filter (FAdeML,
+/// Fig. 9).
+///
+/// # Errors
+///
+/// Propagates setup, attack and pipeline errors.
+pub fn accuracy_grid(
+    prepared: &PreparedSetup,
+    params: &AttackParams,
+    scenario: &Scenario,
+    filters: &[FilterSpec],
+    filter_aware: bool,
+    eval_n: usize,
+    threat: ThreatModel,
+) -> Result<AccuracyGrid> {
+    let n = eval_n.min(prepared.test.len());
+    let clean = prepared.test.take(n).map_err(FademlError::from)?;
+    let mut cells = Vec::new();
+
+    // Baseline: unattacked images through each filter.
+    for &filter in filters {
+        let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
+        let acc =
+            pipeline.top_k_accuracy(clean.images(), clean.labels(), threat, 5)?;
+        cells.push(AccuracyCell {
+            filter,
+            attack: "No attack".to_owned(),
+            top5_accuracy: acc,
+        });
+    }
+
+    for (attack_idx, label) in AttackParams::labels().iter().enumerate() {
+        if filter_aware {
+            for &filter in filters {
+                let (adv, labels) = craft_eval_set(
+                    prepared,
+                    params,
+                    scenario,
+                    attack_idx,
+                    Some(filter),
+                    n,
+                )?;
+                let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
+                let acc = pipeline.top_k_accuracy(&adv, &labels, threat, 5)?;
+                cells.push(AccuracyCell {
+                    filter,
+                    attack: (*label).to_owned(),
+                    top5_accuracy: acc,
+                });
+            }
+        } else {
+            let (adv, labels) =
+                craft_eval_set(prepared, params, scenario, attack_idx, None, n)?;
+            for &filter in filters {
+                let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
+                let acc = pipeline.top_k_accuracy(&adv, &labels, threat, 5)?;
+                cells.push(AccuracyCell {
+                    filter,
+                    attack: (*label).to_owned(),
+                    top5_accuracy: acc,
+                });
+            }
+        }
+    }
+    Ok(AccuracyGrid {
+        scenario: *scenario,
+        cells,
+    })
+}
+
+/// Runs `job` for every scenario in parallel (one worker per scenario,
+/// each with its own model clone) and returns results in scenario order.
+///
+/// # Errors
+///
+/// Propagates the first job error encountered.
+pub(crate) fn for_each_scenario_parallel<T, F>(
+    scenarios: &[Scenario],
+    job: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&Scenario) -> Result<T> + Sync,
+{
+    let results = parking_lot::Mutex::new(Vec::<(usize, Result<T>)>::new());
+    crossbeam::thread::scope(|scope| {
+        for (idx, scenario) in scenarios.iter().enumerate() {
+            let results = &results;
+            let job = &job;
+            scope.spawn(move |_| {
+                let outcome = job(scenario);
+                results.lock().push((idx, outcome));
+            });
+        }
+    })
+    .map_err(|_| FademlError::InvalidConfig {
+        reason: "a scenario worker panicked".into(),
+    })?;
+    let mut collected: Vec<(usize, Result<T>)> = results.into_inner();
+    collected.sort_by_key(|(idx, _)| *idx);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Resolves a dataset class index to its human-readable name.
+pub(crate) fn class_name(index: usize) -> String {
+    ClassId::new(index)
+        .map(|c| c.info().name.to_owned())
+        .unwrap_or_else(|_| format!("class {index}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{ExperimentSetup, SetupProfile};
+    use std::sync::OnceLock;
+
+    fn prepared() -> &'static PreparedSetup {
+        static CELL: OnceLock<PreparedSetup> = OnceLock::new();
+        CELL.get_or_init(|| {
+            ExperimentSetup::profile(SetupProfile::Smoke)
+                .prepare()
+                .unwrap()
+        })
+    }
+
+    fn cheap_params() -> AttackParams {
+        AttackParams {
+            bim_iterations: 4,
+            lbfgs_iterations: 5,
+            fademl_rounds: 1,
+            ..AttackParams::default()
+        }
+    }
+
+    #[test]
+    fn scenario_cell_fields_consistent() {
+        let cell = scenario_cell(
+            prepared(),
+            &cheap_params(),
+            &Scenario::paper_scenarios()[0],
+            1, // FGSM
+            FilterSpec::Lap { np: 8 },
+            false,
+            ThreatModel::III,
+        )
+        .unwrap();
+        assert_eq!(cell.scenario_id, 1);
+        assert_eq!(cell.attack, "FGSM");
+        assert!(cell.tm1_confidence > 0.0 && cell.tm1_confidence <= 1.0);
+        assert!(cell.tm23_confidence > 0.0 && cell.tm23_confidence <= 1.0);
+        assert!(cell.noise_linf > 0.0);
+        assert_eq!(
+            cell.success_tm1,
+            cell.tm1_class == Scenario::paper_scenarios()[0].target.index()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_attack_index() {
+        let result = scenario_cell(
+            prepared(),
+            &cheap_params(),
+            &Scenario::paper_scenarios()[0],
+            7,
+            FilterSpec::None,
+            false,
+            ThreatModel::III,
+        );
+        assert!(matches!(result, Err(FademlError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn craft_eval_set_shapes() {
+        let (adv, labels) = craft_eval_set(
+            prepared(),
+            &cheap_params(),
+            &Scenario::paper_scenarios()[0],
+            1,
+            None,
+            4,
+        )
+        .unwrap();
+        assert_eq!(adv.dims()[0], 4);
+        assert_eq!(labels.len(), 4);
+        assert!(adv.min().unwrap() >= 0.0 && adv.max().unwrap() <= 1.0);
+        assert!(craft_eval_set(
+            prepared(),
+            &cheap_params(),
+            &Scenario::paper_scenarios()[0],
+            1,
+            None,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accuracy_grid_covers_all_cells() {
+        let filters = [FilterSpec::None, FilterSpec::Lap { np: 8 }];
+        let grid = accuracy_grid(
+            prepared(),
+            &cheap_params(),
+            &Scenario::paper_scenarios()[0],
+            &filters,
+            false,
+            4,
+            ThreatModel::III,
+        )
+        .unwrap();
+        // (3 attacks + no-attack) × 2 filters.
+        assert_eq!(grid.cells.len(), 8);
+        for cell in &grid.cells {
+            assert!((0.0..=1.0).contains(&cell.top5_accuracy));
+        }
+        assert!(grid.accuracy(FilterSpec::None, "No attack").is_some());
+        assert!(grid.accuracy(FilterSpec::Lap { np: 8 }, "FGSM").is_some());
+        assert!(grid.accuracy(FilterSpec::Lar { r: 5 }, "FGSM").is_none());
+    }
+
+    #[test]
+    fn parallel_scenarios_preserve_order() {
+        let scenarios = Scenario::paper_scenarios();
+        let ids = for_each_scenario_parallel(&scenarios, |s| Ok(s.id)).unwrap();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn class_name_lookup() {
+        assert_eq!(class_name(14), "stop");
+        assert_eq!(class_name(999), "class 999");
+    }
+}

@@ -1,0 +1,239 @@
+//! Quantitative verification of the paper's *Key Insights* (§III-C and
+//! §IV-B):
+//!
+//! 1. Gradient-based adversarial noise is removed by LAP/LAR smoothing,
+//!    though classification confidence still suffers.
+//! 2. Top-5 accuracy rises with filter strength up to an interior
+//!    optimum (paper: `np = 32`, `r = 3..4`) and falls beyond it.
+//! 3. A successful attack must model the pre-processing stages — the
+//!    filter-aware FAdeML attacks survive where blind attacks die.
+//!
+//! These functions turn experiment results into checkable statements so
+//! the insights become regression tests rather than prose.
+
+use fademl_filters::FilterSpec;
+
+use crate::experiments::fig7::Fig7Result;
+use crate::experiments::fig9::Fig9Result;
+use crate::experiments::AccuracyGrid;
+use crate::{FademlError, Result};
+
+/// One accuracy-vs-strength series for a single filter family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HumpSeries {
+    /// The filter-strength parameter (`np` for LAP, `r` for LAR).
+    pub params: Vec<usize>,
+    /// Top-5 accuracy at each strength.
+    pub accuracies: Vec<f32>,
+}
+
+/// Which filter family a series sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterFamily {
+    /// Local average with `np` neighbours.
+    Lap,
+    /// Local average with radius `r`.
+    Lar,
+}
+
+impl HumpSeries {
+    /// Extracts the series for `family` and `attack` from an accuracy
+    /// grid, ordered by increasing filter strength.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FademlError::InvalidConfig`] if the grid has no cells
+    /// for that family/attack.
+    pub fn extract(grid: &AccuracyGrid, family: FilterFamily, attack: &str) -> Result<Self> {
+        let mut pairs: Vec<(usize, f32)> = grid
+            .cells
+            .iter()
+            .filter(|c| c.attack == attack)
+            .filter_map(|c| match (family, c.filter) {
+                (FilterFamily::Lap, FilterSpec::Lap { np }) => Some((np, c.top5_accuracy)),
+                (FilterFamily::Lar, FilterSpec::Lar { r }) => Some((r, c.top5_accuracy)),
+                _ => None,
+            })
+            .collect();
+        if pairs.is_empty() {
+            return Err(FademlError::InvalidConfig {
+                reason: format!("no {family:?} cells for attack {attack:?} in grid"),
+            });
+        }
+        pairs.sort_by_key(|(p, _)| *p);
+        Ok(HumpSeries {
+            params: pairs.iter().map(|(p, _)| *p).collect(),
+            accuracies: pairs.iter().map(|(_, a)| *a).collect(),
+        })
+    }
+
+    /// The filter strength at which accuracy peaks (first maximum).
+    pub fn peak_param(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &a) in self.accuracies.iter().enumerate() {
+            if a > self.accuracies[best] {
+                best = i;
+            }
+        }
+        self.params[best]
+    }
+
+    /// `true` if the series falls at the strong-filter end — the
+    /// degradation half of the paper's hump (insight 2's "beyond this
+    /// threshold the accuracy starts to decrease").
+    pub fn degrades_at_strong_end(&self) -> bool {
+        match (self.accuracies.first(), self.accuracies.last()) {
+            (Some(_), Some(&last)) => {
+                let max = self
+                    .accuracies
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                last < max
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Quantified statements of the three key insights for one paired
+/// Fig. 7 / Fig. 9 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyInsights {
+    /// Insight 1a: targeted success rate of the blind attacks through
+    /// the filters (paper: ≈ 0).
+    pub blind_filtered_success: f32,
+    /// Insight 1b: mean confidence loss the surviving true class pays
+    /// under filtering (paper: "confidence is still affected").
+    pub mean_confidence_drop: f32,
+    /// Insight 2: per-(scenario, attack) LAP peak strengths.
+    pub lap_peaks: Vec<usize>,
+    /// Insight 2: per-(scenario, attack) LAR peak strengths.
+    pub lar_peaks: Vec<usize>,
+    /// Insight 3: FAdeML's filtered success rate (paper: high).
+    pub fademl_filtered_success: f32,
+}
+
+impl KeyInsights {
+    /// Derives the insight numbers from paired experiment results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FademlError::InvalidConfig`] if the grids lack LAP/LAR
+    /// cells.
+    pub fn derive(fig7: &Fig7Result, fig9: &Fig9Result) -> Result<Self> {
+        // Confidence drop: TM-I confidence minus filtered confidence over
+        // all non-trivial Fig. 7 cells.
+        let mut drops = Vec::new();
+        for cell in &fig7.cells {
+            if cell.filter != FilterSpec::None {
+                drops.push(cell.tm1_confidence - cell.tm23_confidence);
+            }
+        }
+        let mean_confidence_drop = if drops.is_empty() {
+            0.0
+        } else {
+            drops.iter().sum::<f32>() / drops.len() as f32
+        };
+
+        let mut lap_peaks = Vec::new();
+        let mut lar_peaks = Vec::new();
+        for grid in &fig7.grids {
+            for attack in crate::experiments::AttackParams::labels() {
+                if let Ok(series) = HumpSeries::extract(grid, FilterFamily::Lap, attack) {
+                    lap_peaks.push(series.peak_param());
+                }
+                if let Ok(series) = HumpSeries::extract(grid, FilterFamily::Lar, attack) {
+                    lar_peaks.push(series.peak_param());
+                }
+            }
+        }
+        if lap_peaks.is_empty() && lar_peaks.is_empty() {
+            return Err(FademlError::InvalidConfig {
+                reason: "fig7 grids contain no LAP or LAR accuracy cells".into(),
+            });
+        }
+        Ok(KeyInsights {
+            blind_filtered_success: fig7.filtered_success_rate(),
+            mean_confidence_drop,
+            lap_peaks,
+            lar_peaks,
+            fademl_filtered_success: fig9.filtered_success_rate(),
+        })
+    }
+
+    /// Insight 3 holds when FAdeML beats the blind attacks through the
+    /// same filters.
+    pub fn filter_awareness_pays(&self) -> bool {
+        self.fademl_filtered_success > self.blind_filtered_success
+    }
+
+    /// A short human-readable digest.
+    pub fn summary(&self) -> String {
+        format!(
+            "blind filtered success {:.0}% | FAdeML filtered success {:.0}% | \
+             mean confidence drop {:+.1}pp | LAP peaks {:?} | LAR peaks {:?}",
+            self.blind_filtered_success * 100.0,
+            self.fademl_filtered_success * 100.0,
+            self.mean_confidence_drop * 100.0,
+            self.lap_peaks,
+            self.lar_peaks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{AccuracyCell, AccuracyGrid};
+    use crate::Scenario;
+
+    fn grid_with(cells: Vec<(FilterSpec, &str, f32)>) -> AccuracyGrid {
+        AccuracyGrid {
+            scenario: Scenario::paper_scenarios()[0],
+            cells: cells
+                .into_iter()
+                .map(|(filter, attack, top5_accuracy)| AccuracyCell {
+                    filter,
+                    attack: attack.to_owned(),
+                    top5_accuracy,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn extracts_sorted_series() {
+        let grid = grid_with(vec![
+            (FilterSpec::Lap { np: 64 }, "FGSM", 0.5),
+            (FilterSpec::Lap { np: 4 }, "FGSM", 0.7),
+            (FilterSpec::Lap { np: 32 }, "FGSM", 0.9),
+            (FilterSpec::Lar { r: 2 }, "FGSM", 0.6),
+            (FilterSpec::None, "FGSM", 0.8),
+        ]);
+        let series = HumpSeries::extract(&grid, FilterFamily::Lap, "FGSM").unwrap();
+        assert_eq!(series.params, vec![4, 32, 64]);
+        assert_eq!(series.accuracies, vec![0.7, 0.9, 0.5]);
+        assert_eq!(series.peak_param(), 32);
+        assert!(series.degrades_at_strong_end());
+    }
+
+    #[test]
+    fn missing_cells_error() {
+        let grid = grid_with(vec![(FilterSpec::None, "FGSM", 0.8)]);
+        assert!(HumpSeries::extract(&grid, FilterFamily::Lap, "FGSM").is_err());
+        assert!(HumpSeries::extract(&grid, FilterFamily::Lar, "BIM").is_err());
+    }
+
+    #[test]
+    fn monotone_series_has_no_interior_degradation() {
+        let grid = grid_with(vec![
+            (FilterSpec::Lar { r: 1 }, "BIM", 0.5),
+            (FilterSpec::Lar { r: 2 }, "BIM", 0.6),
+            (FilterSpec::Lar { r: 3 }, "BIM", 0.7),
+        ]);
+        let series = HumpSeries::extract(&grid, FilterFamily::Lar, "BIM").unwrap();
+        assert_eq!(series.peak_param(), 3);
+        assert!(!series.degrades_at_strong_end());
+    }
+}

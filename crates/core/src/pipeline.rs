@@ -1,0 +1,244 @@
+use fademl_data::NoiseModel;
+use fademl_filters::{Filter, FilterSpec};
+use fademl_nn::metrics::{predict_top_k, Prediction};
+use fademl_nn::Sequential;
+use fademl_tensor::{Tensor, TensorRng};
+
+use crate::{FademlError, Result, ThreatModel};
+
+/// What the deployed pipeline reports for one image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Winning class index.
+    pub class: usize,
+    /// Confidence (softmax probability of the winner).
+    pub confidence: f32,
+    /// Full top-5 ranking.
+    pub top5: Prediction,
+    /// Full class-probability vector.
+    pub probabilities: Tensor,
+}
+
+/// The deployed inference pipeline of the paper's Fig. 2: data
+/// acquisition → pre-processing noise filter → input buffer → DNN.
+///
+/// The pipeline is the *defender's* object; the attacker's view of it is
+/// an [`AttackSurface`](fademl_attacks::AttackSurface). Where an
+/// adversarial image enters is controlled by the [`ThreatModel`]:
+///
+/// - **TM-I**: straight into the DNN buffer — the filter is bypassed.
+/// - **TM-II**: re-acquired by the sensor (fresh acquisition noise) and
+///   passed through the filter.
+/// - **TM-III**: injected after acquisition but before the filter — the
+///   filter runs, no fresh sensor noise.
+#[derive(Debug, Clone)]
+pub struct InferencePipeline {
+    model: Sequential,
+    filter: Box<dyn Filter>,
+    filter_spec: FilterSpec,
+    acquisition_noise: NoiseModel,
+    noise_seed: u64,
+}
+
+impl InferencePipeline {
+    /// Builds a pipeline from a trained model and a filter spec, with
+    /// the default sensor-noise profile for TM-II re-acquisition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter construction errors.
+    pub fn new(model: Sequential, filter_spec: FilterSpec) -> Result<Self> {
+        Ok(InferencePipeline {
+            model,
+            filter: filter_spec.build()?,
+            filter_spec,
+            acquisition_noise: NoiseModel::sensor(),
+            noise_seed: 0xACC0_57ED,
+        })
+    }
+
+    /// Replaces the TM-II acquisition-noise profile (builder style).
+    #[must_use]
+    pub fn with_acquisition_noise(mut self, noise: NoiseModel) -> Self {
+        self.acquisition_noise = noise;
+        self
+    }
+
+    /// The pipeline's filter configuration.
+    pub fn filter_spec(&self) -> FilterSpec {
+        self.filter_spec
+    }
+
+    /// The victim model.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Runs the pipeline stages an image would traverse under `threat`
+    /// and returns the tensor that reaches the DNN input buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter errors.
+    pub fn stage_input(&self, image: &Tensor, threat: ThreatModel) -> Result<Tensor> {
+        let mut x = image.clone();
+        if threat.reacquires() {
+            // Deterministic per-image noise: seed derived from content so
+            // repeated classification of the same image is reproducible.
+            let fingerprint = x
+                .as_slice()
+                .iter()
+                .fold(0u64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v.to_bits() as u64));
+            let mut rng = TensorRng::seed_from_u64(self.noise_seed ^ fingerprint);
+            x = self.acquisition_noise.apply(&x, &mut rng);
+        }
+        if threat.filter_applies() {
+            x = self.filter.apply(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Classifies a single `[C, H, W]` image entering under `threat`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FademlError::InvalidConfig`] for non-rank-3 input, plus
+    /// any filter/model error.
+    pub fn classify(&self, image: &Tensor, threat: ThreatModel) -> Result<Verdict> {
+        if image.rank() != 3 {
+            return Err(FademlError::InvalidConfig {
+                reason: format!("expected a [C, H, W] image, got {:?}", image.dims()),
+            });
+        }
+        let staged = self.stage_input(image, threat)?;
+        let batch = staged.unsqueeze_batch();
+        let probabilities = self.model.predict_proba(&batch)?.row(0)?;
+        let top5 = predict_top_k(&self.model, &batch, 5)?.remove(0);
+        Ok(Verdict {
+            class: top5.class(),
+            confidence: top5.confidence(),
+            top5,
+            probabilities,
+        })
+    }
+
+    /// Top-`k` accuracy of the pipeline over a batch entering under
+    /// `threat` (the paper's headline metric uses `k = 5`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FademlError::InvalidConfig`] when labels and batch
+    /// disagree, plus any filter/model error.
+    pub fn top_k_accuracy(
+        &self,
+        images: &Tensor,
+        labels: &[usize],
+        threat: ThreatModel,
+        k: usize,
+    ) -> Result<f32> {
+        if images.rank() != 4 || images.dims()[0] != labels.len() {
+            return Err(FademlError::InvalidConfig {
+                reason: format!(
+                    "need [n, c, h, w] images matching {} labels, got {:?}",
+                    labels.len(),
+                    images.dims()
+                ),
+            });
+        }
+        if labels.is_empty() {
+            return Ok(0.0);
+        }
+        let mut hits = 0usize;
+        for (i, &label) in labels.iter().enumerate() {
+            let verdict = self.classify(&images.index_batch(i)?, threat)?;
+            if verdict.probabilities.top_k(k).contains(&label) {
+                hits += 1;
+            }
+        }
+        Ok(hits as f32 / labels.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_nn::vgg::VggConfig;
+
+    fn pipeline(spec: FilterSpec) -> InferencePipeline {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        InferencePipeline::new(model, spec).unwrap()
+    }
+
+    #[test]
+    fn tm1_bypasses_filter() {
+        let p = pipeline(FilterSpec::Lap { np: 32 });
+        let mut rng = TensorRng::seed_from_u64(2);
+        let img = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        let staged = p.stage_input(&img, ThreatModel::I).unwrap();
+        assert_eq!(staged, img);
+    }
+
+    #[test]
+    fn tm3_filters_without_noise() {
+        let p = pipeline(FilterSpec::Lap { np: 8 });
+        let mut rng = TensorRng::seed_from_u64(3);
+        let img = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        let staged = p.stage_input(&img, ThreatModel::III).unwrap();
+        assert_ne!(staged, img);
+        // Deterministic: same image, same staging.
+        assert_eq!(staged, p.stage_input(&img, ThreatModel::III).unwrap());
+    }
+
+    #[test]
+    fn tm2_adds_noise_then_filters() {
+        let p = pipeline(FilterSpec::Lap { np: 8 });
+        let mut rng = TensorRng::seed_from_u64(4);
+        let img = rng.uniform(&[3, 16, 16], 0.2, 0.8);
+        let tm2 = p.stage_input(&img, ThreatModel::II).unwrap();
+        let tm3 = p.stage_input(&img, ThreatModel::III).unwrap();
+        assert_ne!(tm2, tm3); // sensor noise distinguishes II from III
+        // Still reproducible.
+        assert_eq!(tm2, p.stage_input(&img, ThreatModel::II).unwrap());
+    }
+
+    #[test]
+    fn classify_returns_consistent_verdict() {
+        let p = pipeline(FilterSpec::None);
+        let mut rng = TensorRng::seed_from_u64(5);
+        let img = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        let v = p.classify(&img, ThreatModel::I).unwrap();
+        assert!(v.class < 6);
+        assert_eq!(v.class, v.top5.top_classes[0]);
+        assert!((v.confidence - v.top5.top_probs[0]).abs() < 1e-6);
+        let psum: f32 = v.probabilities.as_slice().iter().sum();
+        assert!((psum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn classify_rejects_batches() {
+        let p = pipeline(FilterSpec::None);
+        assert!(p.classify(&Tensor::zeros(&[1, 3, 16, 16]), ThreatModel::I).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_topk_hits() {
+        let p = pipeline(FilterSpec::None);
+        let mut rng = TensorRng::seed_from_u64(6);
+        let images = rng.uniform(&[4, 3, 16, 16], 0.0, 1.0);
+        // With k = 6 classes and top-6 every label hits.
+        let acc = p
+            .top_k_accuracy(&images, &[0, 1, 2, 3], ThreatModel::I, 6)
+            .unwrap();
+        assert_eq!(acc, 1.0);
+        assert!(p
+            .top_k_accuracy(&images, &[0, 1], ThreatModel::I, 5)
+            .is_err());
+    }
+
+    #[test]
+    fn filter_spec_accessor() {
+        let p = pipeline(FilterSpec::Lar { r: 2 });
+        assert_eq!(p.filter_spec(), FilterSpec::Lar { r: 2 });
+    }
+}

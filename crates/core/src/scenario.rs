@@ -1,0 +1,102 @@
+use std::fmt;
+
+use fademl_attacks::AttackGoal;
+use fademl_data::ClassId;
+
+/// One of the paper's five targeted-misclassification scenarios
+/// (§III-A "Payload").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Scenario number (1-5, matching the paper's figures).
+    pub id: usize,
+    /// The true class of the attacked image.
+    pub source: ClassId,
+    /// The class the attacker wants reported.
+    pub target: ClassId,
+}
+
+impl Scenario {
+    /// The paper's five scenarios:
+    ///
+    /// 1. stop → 60 km/h
+    /// 2. 30 km/h → 80 km/h
+    /// 3. turn left → turn right
+    /// 4. turn right → turn left
+    /// 5. no entry → 60 km/h
+    pub fn paper_scenarios() -> Vec<Scenario> {
+        vec![
+            Scenario { id: 1, source: ClassId::STOP, target: ClassId::SPEED_60 },
+            Scenario { id: 2, source: ClassId::SPEED_30, target: ClassId::SPEED_80 },
+            Scenario { id: 3, source: ClassId::TURN_LEFT, target: ClassId::TURN_RIGHT },
+            Scenario { id: 4, source: ClassId::TURN_RIGHT, target: ClassId::TURN_LEFT },
+            Scenario { id: 5, source: ClassId::NO_ENTRY, target: ClassId::SPEED_60 },
+        ]
+    }
+
+    /// The targeted attack goal for this scenario.
+    pub fn goal(&self) -> AttackGoal {
+        AttackGoal::Targeted {
+            class: self.target.index(),
+        }
+    }
+
+    /// A short label like `"S1: stop → speed limit 60"`.
+    pub fn label(&self) -> String {
+        format!(
+            "S{}: {} → {}",
+            self.id,
+            self.source.info().name,
+            self.target.info().name
+        )
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_scenarios_matching_paper() {
+        let scenarios = Scenario::paper_scenarios();
+        assert_eq!(scenarios.len(), 5);
+        assert_eq!(scenarios[0].source, ClassId::STOP);
+        assert_eq!(scenarios[0].target, ClassId::SPEED_60);
+        assert_eq!(scenarios[1].source, ClassId::SPEED_30);
+        assert_eq!(scenarios[1].target, ClassId::SPEED_80);
+        assert_eq!(scenarios[2].source, ClassId::TURN_LEFT);
+        assert_eq!(scenarios[2].target, ClassId::TURN_RIGHT);
+        assert_eq!(scenarios[3].source, ClassId::TURN_RIGHT);
+        assert_eq!(scenarios[3].target, ClassId::TURN_LEFT);
+        assert_eq!(scenarios[4].source, ClassId::NO_ENTRY);
+        assert_eq!(scenarios[4].target, ClassId::SPEED_60);
+        // IDs are 1-based and sequential.
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.id, i + 1);
+            assert_ne!(s.source, s.target);
+        }
+    }
+
+    #[test]
+    fn goal_targets_the_right_class() {
+        let s = &Scenario::paper_scenarios()[0];
+        assert_eq!(
+            s.goal(),
+            AttackGoal::Targeted {
+                class: ClassId::SPEED_60.index()
+            }
+        );
+    }
+
+    #[test]
+    fn label_is_readable() {
+        let s = &Scenario::paper_scenarios()[0];
+        assert_eq!(s.label(), "S1: stop → speed limit 60");
+        assert_eq!(s.to_string(), s.label());
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three threat models (Fig. 2), describing *where* the
+/// attacker can inject the adversarial image into the deployed pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreatModel {
+    /// The attacker has access to the pre-processing filter's **output**
+    /// and writes the perturbed image directly into the DNN's input
+    /// buffer — the filter never touches the adversarial content.
+    I,
+    /// The attacker manipulates the scene **before acquisition**: the
+    /// camera re-acquires the perturbed image (adding sensor noise) and
+    /// the full pipeline — filter included — runs on it.
+    II,
+    /// The attacker perturbs the **acquired** digital image before it
+    /// reaches the pipeline: no fresh sensor noise, but the filter still
+    /// runs on the adversarial image.
+    III,
+}
+
+impl ThreatModel {
+    /// All three threat models, in paper order.
+    pub const ALL: [ThreatModel; 3] = [ThreatModel::I, ThreatModel::II, ThreatModel::III];
+
+    /// Whether the deployed pre-processing filter is applied to the
+    /// adversarial image under this threat model.
+    pub fn filter_applies(self) -> bool {
+        !matches!(self, ThreatModel::I)
+    }
+
+    /// Whether fresh acquisition (sensor) noise is added to the
+    /// adversarial image under this threat model.
+    pub fn reacquires(self) -> bool {
+        matches!(self, ThreatModel::II)
+    }
+}
+
+impl fmt::Display for ThreatModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreatModel::I => write!(f, "TM-I"),
+            ThreatModel::II => write!(f, "TM-II"),
+            ThreatModel::III => write!(f, "TM-III"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_semantics_match_paper() {
+        assert!(!ThreatModel::I.filter_applies());
+        assert!(ThreatModel::II.filter_applies());
+        assert!(ThreatModel::III.filter_applies());
+    }
+
+    #[test]
+    fn only_tm2_reacquires() {
+        assert!(!ThreatModel::I.reacquires());
+        assert!(ThreatModel::II.reacquires());
+        assert!(!ThreatModel::III.reacquires());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ThreatModel::I.to_string(), "TM-I");
+        assert_eq!(ThreatModel::III.to_string(), "TM-III");
+        assert_eq!(ThreatModel::ALL.len(), 3);
+    }
+}

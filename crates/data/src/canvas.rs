@@ -1,0 +1,346 @@
+//! A tiny software rasterizer producing `[3, H, W]` tensors.
+//!
+//! All coordinates are in *unit space* (`0.0..1.0` across the canvas) so
+//! templates render identically at any resolution; the rasterizer
+//! evaluates shape membership per pixel centre.
+
+use fademl_tensor::{Shape, Tensor};
+
+use crate::{DataError, Result};
+
+/// An RGB colour with components in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rgb {
+    /// Red component.
+    pub r: f32,
+    /// Green component.
+    pub g: f32,
+    /// Blue component.
+    pub b: f32,
+}
+
+impl Rgb {
+    /// Creates a colour (components clamped to `[0, 1]`).
+    pub fn new(r: f32, g: f32, b: f32) -> Self {
+        Rgb {
+            r: r.clamp(0.0, 1.0),
+            g: g.clamp(0.0, 1.0),
+            b: b.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb { r: 1.0, g: 1.0, b: 1.0 };
+    /// Near black.
+    pub const BLACK: Rgb = Rgb { r: 0.05, g: 0.05, b: 0.05 };
+    /// Traffic-sign red.
+    pub const SIGN_RED: Rgb = Rgb { r: 0.80, g: 0.10, b: 0.12 };
+    /// Traffic-sign blue.
+    pub const SIGN_BLUE: Rgb = Rgb { r: 0.10, g: 0.25, b: 0.75 };
+    /// Priority-road yellow.
+    pub const SIGN_YELLOW: Rgb = Rgb { r: 0.95, g: 0.80, b: 0.15 };
+    /// End-of-restriction grey.
+    pub const SIGN_GREY: Rgb = Rgb { r: 0.45, g: 0.45, b: 0.45 };
+
+    /// Linear blend towards `other` by `t ∈ [0, 1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        Rgb::new(
+            self.r + (other.r - self.r) * t,
+            self.g + (other.g - self.g) * t,
+            self.b + (other.b - self.b) * t,
+        )
+    }
+
+    /// Scales brightness by `f` (clamping each channel).
+    pub fn dim(self, f: f32) -> Rgb {
+        Rgb::new(self.r * f, self.g * f, self.b * f)
+    }
+}
+
+/// A square RGB raster with unit-space drawing primitives.
+///
+/// # Example
+///
+/// ```
+/// use fademl_data::{Canvas, Rgb};
+///
+/// # fn main() -> Result<(), fademl_data::DataError> {
+/// let mut canvas = Canvas::new(32)?;
+/// canvas.fill(Rgb::new(0.3, 0.4, 0.3));
+/// canvas.disk(0.5, 0.5, 0.4, Rgb::SIGN_RED);
+/// let image = canvas.into_tensor(); // [3, 32, 32]
+/// assert_eq!(image.dims(), &[3, 32, 32]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canvas {
+    size: usize,
+    // Planar RGB, row-major per plane.
+    data: Vec<f32>,
+}
+
+impl Canvas {
+    /// Creates a black square canvas of `size × size` pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for `size == 0`.
+    pub fn new(size: usize) -> Result<Self> {
+        if size == 0 {
+            return Err(DataError::InvalidConfig {
+                reason: "canvas size must be positive".into(),
+            });
+        }
+        Ok(Canvas {
+            size,
+            data: vec![0.0; 3 * size * size],
+        })
+    }
+
+    /// Edge length in pixels.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Reads the colour at pixel `(x, y)` (origin top-left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> Rgb {
+        assert!(x < self.size && y < self.size, "pixel out of bounds");
+        let plane = self.size * self.size;
+        let idx = y * self.size + x;
+        Rgb {
+            r: self.data[idx],
+            g: self.data[plane + idx],
+            b: self.data[2 * plane + idx],
+        }
+    }
+
+    fn put(&mut self, x: usize, y: usize, c: Rgb) {
+        let plane = self.size * self.size;
+        let idx = y * self.size + x;
+        self.data[idx] = c.r;
+        self.data[plane + idx] = c.g;
+        self.data[2 * plane + idx] = c.b;
+    }
+
+    /// Fills the whole canvas with one colour.
+    pub fn fill(&mut self, c: Rgb) {
+        for y in 0..self.size {
+            for x in 0..self.size {
+                self.put(x, y, c);
+            }
+        }
+    }
+
+    /// Paints every pixel whose unit-space centre satisfies `predicate`.
+    pub fn paint<F: Fn(f32, f32) -> bool>(&mut self, c: Rgb, predicate: F) {
+        let inv = 1.0 / self.size as f32;
+        for y in 0..self.size {
+            let v = (y as f32 + 0.5) * inv;
+            for x in 0..self.size {
+                let u = (x as f32 + 0.5) * inv;
+                if predicate(u, v) {
+                    self.put(x, y, c);
+                }
+            }
+        }
+    }
+
+    /// Filled disk centred at `(cx, cy)` with radius `r` (unit space).
+    pub fn disk(&mut self, cx: f32, cy: f32, r: f32, c: Rgb) {
+        self.paint(c, |u, v| {
+            let (du, dv) = (u - cx, v - cy);
+            du * du + dv * dv <= r * r
+        });
+    }
+
+    /// Annulus (ring) centred at `(cx, cy)` spanning radii `[r0, r1]`.
+    pub fn ring(&mut self, cx: f32, cy: f32, r0: f32, r1: f32, c: Rgb) {
+        self.paint(c, |u, v| {
+            let d2 = (u - cx) * (u - cx) + (v - cy) * (v - cy);
+            d2 >= r0 * r0 && d2 <= r1 * r1
+        });
+    }
+
+    /// Axis-aligned filled rectangle `[x0, x1] × [y0, y1]` (unit space).
+    pub fn rect(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, c: Rgb) {
+        self.paint(c, |u, v| u >= x0 && u <= x1 && v >= y0 && v <= y1);
+    }
+
+    /// Filled triangle through three unit-space vertices.
+    pub fn triangle(&mut self, p0: (f32, f32), p1: (f32, f32), p2: (f32, f32), c: Rgb) {
+        let edge = |a: (f32, f32), b: (f32, f32), p: (f32, f32)| {
+            (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0)
+        };
+        self.paint(c, |u, v| {
+            let p = (u, v);
+            let d0 = edge(p0, p1, p);
+            let d1 = edge(p1, p2, p);
+            let d2 = edge(p2, p0, p);
+            let has_neg = d0 < 0.0 || d1 < 0.0 || d2 < 0.0;
+            let has_pos = d0 > 0.0 || d1 > 0.0 || d2 > 0.0;
+            !(has_neg && has_pos)
+        });
+    }
+
+    /// Filled regular octagon centred at `(cx, cy)` with circumradius `r`.
+    pub fn octagon(&mut self, cx: f32, cy: f32, r: f32, c: Rgb) {
+        // |x| ≤ k, |y| ≤ k, |x|+|y| ≤ √2·k with k = r·cos(π/8) gives the
+        // regular octagon.
+        let k = r * (std::f32::consts::PI / 8.0).cos();
+        let s = std::f32::consts::SQRT_2 * k;
+        self.paint(c, |u, v| {
+            let (du, dv) = ((u - cx).abs(), (v - cy).abs());
+            du <= k && dv <= k && du + dv <= s
+        });
+    }
+
+    /// Filled diamond (square rotated 45°) centred at `(cx, cy)`.
+    pub fn diamond(&mut self, cx: f32, cy: f32, r: f32, c: Rgb) {
+        self.paint(c, |u, v| (u - cx).abs() + (v - cy).abs() <= r);
+    }
+
+    /// Thick line segment from `a` to `b` with the given half-width.
+    pub fn line(&mut self, a: (f32, f32), b: (f32, f32), half_width: f32, c: Rgb) {
+        let (dx, dy) = (b.0 - a.0, b.1 - a.1);
+        let len2 = dx * dx + dy * dy;
+        self.paint(c, |u, v| {
+            let t = if len2 == 0.0 {
+                0.0
+            } else {
+                (((u - a.0) * dx + (v - a.1) * dy) / len2).clamp(0.0, 1.0)
+            };
+            let (px, py) = (a.0 + t * dx, a.1 + t * dy);
+            let (du, dv) = (u - px, v - py);
+            du * du + dv * dv <= half_width * half_width
+        });
+    }
+
+    /// Converts into a `[3, size, size]` tensor with values in `[0, 1]`.
+    pub fn into_tensor(self) -> Tensor {
+        Tensor::from_vec(self.data, Shape::new(vec![3, self.size, self.size]))
+            .expect("canvas buffer matches its shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_size() {
+        assert!(Canvas::new(0).is_err());
+        assert!(Canvas::new(8).is_ok());
+    }
+
+    #[test]
+    fn fill_sets_every_pixel() {
+        let mut c = Canvas::new(4).unwrap();
+        let green = Rgb::new(0.0, 1.0, 0.0);
+        c.fill(green);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(c.pixel(x, y), green);
+            }
+        }
+    }
+
+    #[test]
+    fn disk_centre_painted_corner_not() {
+        let mut c = Canvas::new(16).unwrap();
+        c.disk(0.5, 0.5, 0.3, Rgb::WHITE);
+        assert_eq!(c.pixel(8, 8), Rgb::WHITE);
+        assert_ne!(c.pixel(0, 0), Rgb::WHITE);
+    }
+
+    #[test]
+    fn ring_has_hole() {
+        let mut c = Canvas::new(32).unwrap();
+        c.ring(0.5, 0.5, 0.3, 0.45, Rgb::SIGN_RED);
+        assert_ne!(c.pixel(16, 16), Rgb::SIGN_RED); // hole
+        assert_eq!(c.pixel(16, 3), Rgb::SIGN_RED); // on the ring (top)
+    }
+
+    #[test]
+    fn rect_bounds() {
+        let mut c = Canvas::new(10).unwrap();
+        c.rect(0.0, 0.4, 1.0, 0.6, Rgb::WHITE);
+        assert_eq!(c.pixel(5, 5), Rgb::WHITE);
+        assert_ne!(c.pixel(5, 0), Rgb::WHITE);
+    }
+
+    #[test]
+    fn triangle_contains_centroid() {
+        let mut c = Canvas::new(32).unwrap();
+        c.triangle((0.5, 0.1), (0.1, 0.9), (0.9, 0.9), Rgb::SIGN_RED);
+        assert_eq!(c.pixel(16, 20), Rgb::SIGN_RED);
+        assert_ne!(c.pixel(1, 1), Rgb::SIGN_RED);
+    }
+
+    #[test]
+    fn triangle_winding_independent() {
+        let mut cw = Canvas::new(16).unwrap();
+        let mut ccw = Canvas::new(16).unwrap();
+        cw.triangle((0.5, 0.1), (0.9, 0.9), (0.1, 0.9), Rgb::WHITE);
+        ccw.triangle((0.5, 0.1), (0.1, 0.9), (0.9, 0.9), Rgb::WHITE);
+        assert_eq!(cw, ccw);
+    }
+
+    #[test]
+    fn octagon_inside_circumcircle() {
+        let mut c = Canvas::new(32).unwrap();
+        c.octagon(0.5, 0.5, 0.4, Rgb::SIGN_RED);
+        assert_eq!(c.pixel(16, 16), Rgb::SIGN_RED);
+        // The octagon cuts the corners of the bounding square.
+        assert_ne!(c.pixel(4, 4), Rgb::SIGN_RED);
+    }
+
+    #[test]
+    fn diamond_cuts_square_corners() {
+        let mut c = Canvas::new(32).unwrap();
+        c.diamond(0.5, 0.5, 0.4, Rgb::SIGN_YELLOW);
+        assert_eq!(c.pixel(16, 16), Rgb::SIGN_YELLOW);
+        assert_ne!(c.pixel(6, 6), Rgb::SIGN_YELLOW);
+    }
+
+    #[test]
+    fn line_paints_between_endpoints() {
+        let mut c = Canvas::new(32).unwrap();
+        c.line((0.1, 0.5), (0.9, 0.5), 0.05, Rgb::BLACK);
+        assert_eq!(c.pixel(16, 16), Rgb::BLACK);
+        assert_ne!(c.pixel(16, 2), Rgb::BLACK);
+    }
+
+    #[test]
+    fn degenerate_line_is_dot() {
+        let mut c = Canvas::new(32).unwrap();
+        c.line((0.5, 0.5), (0.5, 0.5), 0.1, Rgb::WHITE);
+        assert_eq!(c.pixel(16, 16), Rgb::WHITE);
+        assert_ne!(c.pixel(0, 0), Rgb::WHITE);
+    }
+
+    #[test]
+    fn tensor_layout_is_planar() {
+        let mut c = Canvas::new(2).unwrap();
+        c.fill(Rgb::new(1.0, 0.5, 0.0));
+        let t = c.into_tensor();
+        assert_eq!(t.dims(), &[3, 2, 2]);
+        assert_eq!(t.get(&[0, 0, 0]).unwrap(), 1.0); // R plane
+        assert_eq!(t.get(&[1, 1, 1]).unwrap(), 0.5); // G plane
+        assert_eq!(t.get(&[2, 0, 1]).unwrap(), 0.0); // B plane
+    }
+
+    #[test]
+    fn rgb_helpers() {
+        let c = Rgb::new(2.0, -1.0, 0.5);
+        assert_eq!(c, Rgb::new(1.0, 0.0, 0.5)); // clamped
+        let mid = Rgb::BLACK.lerp(Rgb::WHITE, 0.5);
+        assert!((mid.r - 0.525).abs() < 1e-5);
+        assert_eq!(Rgb::WHITE.dim(0.5).r, 0.5);
+    }
+}

@@ -1,0 +1,272 @@
+//! GTSRB class semantics: the 43 German traffic-sign classes, their
+//! geometric families and glyph content.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DataError, Result};
+
+/// Number of sign classes (GTSRB has 43).
+pub const CLASS_COUNT: usize = 43;
+
+/// The geometric family of a sign — the dominant low-frequency feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SignShape {
+    /// White disc with a red ring (prohibitory: speed limits, no passing…).
+    RedRingCircle,
+    /// Solid blue disc (mandatory: turn/keep/ahead arrows, roundabout).
+    BlueCircle,
+    /// White triangle, red border, apex up (warnings).
+    WarningTriangle,
+    /// White triangle, red border, apex down (yield).
+    InvertedTriangle,
+    /// Red octagon (stop).
+    Octagon,
+    /// Yellow diamond (priority road).
+    Diamond,
+    /// Solid red disc with a white bar (no entry).
+    RedCircleBar,
+    /// White disc with a grey diagonal (end-of-restriction signs).
+    GreyStrokeCircle,
+}
+
+/// What is drawn inside the sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Glyph {
+    /// A (possibly multi-digit) number, e.g. a speed limit value.
+    Number(u16),
+    /// An arrow pointing left.
+    ArrowLeft,
+    /// An arrow pointing right.
+    ArrowRight,
+    /// An arrow pointing up.
+    ArrowUp,
+    /// An up arrow forking right.
+    ArrowUpRight,
+    /// An up arrow forking left.
+    ArrowUpLeft,
+    /// A curved circular arrow (roundabout).
+    Loop,
+    /// A horizontal bar (no entry).
+    Bar,
+    /// An exclamation mark (general caution).
+    Exclamation,
+    /// A distinct procedural pictogram, indexed so each class stays
+    /// visually unique (stand-in for GTSRB's pedestrian/animal/… icons).
+    Pictogram(u8),
+    /// Nothing inside (e.g. priority road, which is pure shape+colour).
+    None,
+}
+
+/// Static metadata for one sign class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassInfo {
+    /// GTSRB class id, `0..43`.
+    pub id: usize,
+    /// Short lowercase name, e.g. `"speed limit 60"`.
+    pub name: &'static str,
+    /// Geometric family.
+    pub shape: SignShape,
+    /// Inner glyph.
+    pub glyph: Glyph,
+}
+
+/// A validated GTSRB class id.
+///
+/// # Example
+///
+/// ```
+/// use fademl_data::ClassId;
+///
+/// # fn main() -> Result<(), fademl_data::DataError> {
+/// let c = ClassId::new(14)?;
+/// assert_eq!(c, ClassId::STOP);
+/// assert_eq!(c.info().name, "stop");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClassId(usize);
+
+impl ClassId {
+    /// Speed limit 30 km/h (scenario 2 source).
+    pub const SPEED_30: ClassId = ClassId(1);
+    /// Speed limit 60 km/h (scenarios 1 & 5 target).
+    pub const SPEED_60: ClassId = ClassId(3);
+    /// Speed limit 80 km/h (scenario 2 target).
+    pub const SPEED_80: ClassId = ClassId(5);
+    /// Stop (scenario 1 source).
+    pub const STOP: ClassId = ClassId(14);
+    /// No entry (scenario 5 source).
+    pub const NO_ENTRY: ClassId = ClassId(17);
+    /// Turn right ahead (scenario 3 target / 4 source).
+    pub const TURN_RIGHT: ClassId = ClassId(33);
+    /// Turn left ahead (scenario 3 source / 4 target).
+    pub const TURN_LEFT: ClassId = ClassId(34);
+
+    /// Validates a raw id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownClass`] if `id >= 43`.
+    pub fn new(id: usize) -> Result<Self> {
+        if id >= CLASS_COUNT {
+            return Err(DataError::UnknownClass { id });
+        }
+        Ok(ClassId(id))
+    }
+
+    /// The raw id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The class metadata.
+    pub fn info(self) -> &'static ClassInfo {
+        &CLASSES[self.0]
+    }
+
+    /// Iterator over all 43 classes.
+    pub fn all() -> impl Iterator<Item = ClassId> {
+        (0..CLASS_COUNT).map(ClassId)
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.0, self.info().name)
+    }
+}
+
+impl From<ClassId> for usize {
+    fn from(c: ClassId) -> usize {
+        c.0
+    }
+}
+
+impl TryFrom<usize> for ClassId {
+    type Error = DataError;
+
+    fn try_from(id: usize) -> Result<Self> {
+        ClassId::new(id)
+    }
+}
+
+/// The GTSRB class table.
+pub static CLASSES: [ClassInfo; CLASS_COUNT] = {
+    use Glyph::*;
+    use SignShape::*;
+    [
+        ClassInfo { id: 0, name: "speed limit 20", shape: RedRingCircle, glyph: Number(20) },
+        ClassInfo { id: 1, name: "speed limit 30", shape: RedRingCircle, glyph: Number(30) },
+        ClassInfo { id: 2, name: "speed limit 50", shape: RedRingCircle, glyph: Number(50) },
+        ClassInfo { id: 3, name: "speed limit 60", shape: RedRingCircle, glyph: Number(60) },
+        ClassInfo { id: 4, name: "speed limit 70", shape: RedRingCircle, glyph: Number(70) },
+        ClassInfo { id: 5, name: "speed limit 80", shape: RedRingCircle, glyph: Number(80) },
+        ClassInfo { id: 6, name: "end speed limit 80", shape: GreyStrokeCircle, glyph: Number(80) },
+        ClassInfo { id: 7, name: "speed limit 100", shape: RedRingCircle, glyph: Number(100) },
+        ClassInfo { id: 8, name: "speed limit 120", shape: RedRingCircle, glyph: Number(120) },
+        ClassInfo { id: 9, name: "no passing", shape: RedRingCircle, glyph: Pictogram(0) },
+        ClassInfo { id: 10, name: "no passing trucks", shape: RedRingCircle, glyph: Pictogram(1) },
+        ClassInfo { id: 11, name: "right of way", shape: WarningTriangle, glyph: Pictogram(2) },
+        ClassInfo { id: 12, name: "priority road", shape: Diamond, glyph: None },
+        ClassInfo { id: 13, name: "yield", shape: InvertedTriangle, glyph: None },
+        ClassInfo { id: 14, name: "stop", shape: Octagon, glyph: Pictogram(3) },
+        ClassInfo { id: 15, name: "no vehicles", shape: RedRingCircle, glyph: None },
+        ClassInfo { id: 16, name: "no trucks", shape: RedRingCircle, glyph: Pictogram(4) },
+        ClassInfo { id: 17, name: "no entry", shape: RedCircleBar, glyph: Bar },
+        ClassInfo { id: 18, name: "general caution", shape: WarningTriangle, glyph: Exclamation },
+        ClassInfo { id: 19, name: "curve left", shape: WarningTriangle, glyph: Pictogram(5) },
+        ClassInfo { id: 20, name: "curve right", shape: WarningTriangle, glyph: Pictogram(6) },
+        ClassInfo { id: 21, name: "double curve", shape: WarningTriangle, glyph: Pictogram(7) },
+        ClassInfo { id: 22, name: "bumpy road", shape: WarningTriangle, glyph: Pictogram(8) },
+        ClassInfo { id: 23, name: "slippery road", shape: WarningTriangle, glyph: Pictogram(9) },
+        ClassInfo { id: 24, name: "road narrows right", shape: WarningTriangle, glyph: Pictogram(10) },
+        ClassInfo { id: 25, name: "road work", shape: WarningTriangle, glyph: Pictogram(11) },
+        ClassInfo { id: 26, name: "traffic signals", shape: WarningTriangle, glyph: Pictogram(12) },
+        ClassInfo { id: 27, name: "pedestrians", shape: WarningTriangle, glyph: Pictogram(13) },
+        ClassInfo { id: 28, name: "children crossing", shape: WarningTriangle, glyph: Pictogram(14) },
+        ClassInfo { id: 29, name: "bicycles", shape: WarningTriangle, glyph: Pictogram(15) },
+        ClassInfo { id: 30, name: "ice and snow", shape: WarningTriangle, glyph: Pictogram(16) },
+        ClassInfo { id: 31, name: "wild animals", shape: WarningTriangle, glyph: Pictogram(17) },
+        ClassInfo { id: 32, name: "end all limits", shape: GreyStrokeCircle, glyph: None },
+        ClassInfo { id: 33, name: "turn right ahead", shape: BlueCircle, glyph: ArrowRight },
+        ClassInfo { id: 34, name: "turn left ahead", shape: BlueCircle, glyph: ArrowLeft },
+        ClassInfo { id: 35, name: "ahead only", shape: BlueCircle, glyph: ArrowUp },
+        ClassInfo { id: 36, name: "straight or right", shape: BlueCircle, glyph: ArrowUpRight },
+        ClassInfo { id: 37, name: "straight or left", shape: BlueCircle, glyph: ArrowUpLeft },
+        ClassInfo { id: 38, name: "keep right", shape: BlueCircle, glyph: Pictogram(18) },
+        ClassInfo { id: 39, name: "keep left", shape: BlueCircle, glyph: Pictogram(19) },
+        ClassInfo { id: 40, name: "roundabout", shape: BlueCircle, glyph: Loop },
+        ClassInfo { id: 41, name: "end no passing", shape: GreyStrokeCircle, glyph: Pictogram(0) },
+        ClassInfo { id: 42, name: "end no passing trucks", shape: GreyStrokeCircle, glyph: Pictogram(1) },
+    ]
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table_is_complete_and_ordered() {
+        assert_eq!(CLASSES.len(), CLASS_COUNT);
+        for (i, info) in CLASSES.iter().enumerate() {
+            assert_eq!(info.id, i, "class table out of order at {i}");
+            assert!(!info.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = CLASSES.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), CLASS_COUNT);
+    }
+
+    #[test]
+    fn visual_signatures_are_unique() {
+        // No two classes may share (shape, glyph) — that is what makes
+        // them learnable.
+        let sigs: HashSet<(SignShape, Glyph)> =
+            CLASSES.iter().map(|c| (c.shape, c.glyph)).collect();
+        assert_eq!(sigs.len(), CLASS_COUNT);
+    }
+
+    #[test]
+    fn scenario_classes_match_gtsrb_numbering() {
+        assert_eq!(ClassId::STOP.index(), 14);
+        assert_eq!(ClassId::STOP.info().name, "stop");
+        assert_eq!(ClassId::SPEED_60.index(), 3);
+        assert_eq!(ClassId::SPEED_30.index(), 1);
+        assert_eq!(ClassId::SPEED_80.index(), 5);
+        assert_eq!(ClassId::NO_ENTRY.index(), 17);
+        assert_eq!(ClassId::TURN_LEFT.info().name, "turn left ahead");
+        assert_eq!(ClassId::TURN_RIGHT.info().name, "turn right ahead");
+    }
+
+    #[test]
+    fn new_validates_range() {
+        assert!(ClassId::new(42).is_ok());
+        assert!(matches!(ClassId::new(43), Err(DataError::UnknownClass { id: 43 })));
+    }
+
+    #[test]
+    fn conversions() {
+        let c = ClassId::new(5).unwrap();
+        assert_eq!(usize::from(c), 5);
+        assert_eq!(ClassId::try_from(5usize).unwrap(), c);
+        assert!(ClassId::try_from(100usize).is_err());
+    }
+
+    #[test]
+    fn all_iterates_everything() {
+        assert_eq!(ClassId::all().count(), CLASS_COUNT);
+        assert_eq!(ClassId::all().next().unwrap().index(), 0);
+    }
+
+    #[test]
+    fn display_includes_name() {
+        assert_eq!(ClassId::STOP.to_string(), "14 (stop)");
+    }
+}

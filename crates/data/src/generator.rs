@@ -1,0 +1,463 @@
+//! Dataset generation: balanced per-class sampling with jitter and
+//! sensor noise, plus deterministic train/test splitting.
+
+use fademl_tensor::{Tensor, TensorRng};
+use serde::{Deserialize, Serialize};
+
+use crate::canvas::Rgb;
+use crate::classes::{ClassId, CLASS_COUNT};
+use crate::noise::NoiseModel;
+use crate::templates::{render_sign, RenderJitter};
+use crate::{DataError, Result};
+
+/// Parameters for generating a [`SignDataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Samples generated per class (balanced dataset).
+    pub samples_per_class: usize,
+    /// Square image edge length in pixels.
+    pub image_size: usize,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Acquisition noise applied to every sample.
+    pub noise: NoiseModel,
+    /// Probability that a sample receives defocus augmentation (one or
+    /// two passes of a 3×3 box blur before sensor noise). Models soft
+    /// camera optics and makes the classifier tolerant of the deployed
+    /// smoothing filters, as a GTSRB-trained VGG is.
+    pub blur_prob: f32,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            samples_per_class: 30,
+            image_size: 32,
+            seed: 0,
+            noise: NoiseModel::sensor(),
+            blur_prob: 0.5,
+        }
+    }
+}
+
+/// A generated dataset: images stacked into one `[n, 3, s, s]` tensor
+/// plus parallel integer labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignDataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    image_size: usize,
+}
+
+/// A deterministic train/test partition of a [`SignDataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTestSplit {
+    /// The training portion.
+    pub train: SignDataset,
+    /// The held-out test portion.
+    pub test: SignDataset,
+}
+
+impl SignDataset {
+    /// Generates a balanced dataset according to `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for zero samples or image size.
+    pub fn generate(config: &DatasetConfig) -> Result<Self> {
+        if config.samples_per_class == 0 {
+            return Err(DataError::InvalidConfig {
+                reason: "samples_per_class must be positive".into(),
+            });
+        }
+        if config.image_size < 8 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("image_size {} too small (min 8)", config.image_size),
+            });
+        }
+        let mut rng = TensorRng::seed_from_u64(config.seed);
+        let mut images = Vec::with_capacity(CLASS_COUNT * config.samples_per_class);
+        let mut labels = Vec::with_capacity(CLASS_COUNT * config.samples_per_class);
+        for class in ClassId::all() {
+            for _ in 0..config.samples_per_class {
+                let jitter = sample_jitter(&mut rng);
+                let mut image = render_sign(class, config.image_size, &jitter)?;
+                if rng.chance(config.blur_prob) {
+                    image = crate::noise::box_blur3(&image);
+                    if rng.chance(0.4) {
+                        image = crate::noise::box_blur3(&image);
+                    }
+                }
+                let noisy = config.noise.apply(&image, &mut rng);
+                images.push(noisy);
+                labels.push(class.index());
+            }
+        }
+        // Shuffle images and labels together so batches are class-mixed.
+        let mut order: Vec<usize> = (0..images.len()).collect();
+        rng.shuffle(&mut order);
+        let images: Vec<Tensor> = order.iter().map(|&i| images[i].clone()).collect();
+        let labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
+        Ok(SignDataset {
+            images: Tensor::stack(&images)?,
+            labels,
+            image_size: config.image_size,
+        })
+    }
+
+    /// Builds a dataset from pre-assembled images and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `images` is not
+    /// `[n, 3, s, s]` or label count differs from `n`.
+    pub fn from_parts(images: Tensor, labels: Vec<usize>) -> Result<Self> {
+        if images.rank() != 4 || images.dims()[1] != 3 || images.dims()[2] != images.dims()[3] {
+            return Err(DataError::InvalidConfig {
+                reason: format!("images must be [n, 3, s, s], got {:?}", images.dims()),
+            });
+        }
+        if images.dims()[0] != labels.len() {
+            return Err(DataError::InvalidConfig {
+                reason: format!(
+                    "{} labels for {} images",
+                    labels.len(),
+                    images.dims()[0]
+                ),
+            });
+        }
+        let image_size = images.dims()[2];
+        Ok(SignDataset {
+            images,
+            labels,
+            image_size,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The stacked images, `[n, 3, s, s]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The integer labels, parallel to the batch axis.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Image edge length in pixels.
+    pub fn image_size(&self) -> usize {
+        self.image_size
+    }
+
+    /// One sample as `([3, s, s], label)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `index >= len()`.
+    pub fn sample(&self, index: usize) -> Result<(Tensor, usize)> {
+        Ok((self.images.index_batch(index)?, self.labels[index]))
+    }
+
+    /// Indices of all samples of one class.
+    pub fn indices_of_class(&self, class: ClassId) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class.index())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The first sample of `class`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if the class has no samples.
+    pub fn first_of_class(&self, class: ClassId) -> Result<Tensor> {
+        let idx = self
+            .indices_of_class(class)
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::InvalidConfig {
+                reason: format!("no samples of class {class}"),
+            })?;
+        Ok(self.images.index_batch(idx)?)
+    }
+
+    /// Splits deterministically into train/test with the given test
+    /// fraction (per the whole shuffled order, so splits stay balanced
+    /// in expectation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `test_fraction` is outside
+    /// `(0, 1)` or either side would be empty.
+    pub fn split(&self, test_fraction: f32) -> Result<TrainTestSplit> {
+        if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("test_fraction {test_fraction} must be in (0, 1)"),
+            });
+        }
+        let n = self.len();
+        let test_n = ((n as f32) * test_fraction).round() as usize;
+        if test_n == 0 || test_n == n {
+            return Err(DataError::InvalidConfig {
+                reason: "split would leave an empty partition".into(),
+            });
+        }
+        let take = |range: std::ops::Range<usize>| -> Result<SignDataset> {
+            let images: Vec<Tensor> = range
+                .clone()
+                .map(|i| self.images.index_batch(i))
+                .collect::<std::result::Result<_, _>>()?;
+            Ok(SignDataset {
+                images: Tensor::stack(&images)?,
+                labels: self.labels[range].to_vec(),
+                image_size: self.image_size,
+            })
+        };
+        Ok(TrainTestSplit {
+            test: take(0..test_n)?,
+            train: take(test_n..n)?,
+        })
+    }
+
+    /// Splits into train/test with per-class proportions guaranteed:
+    /// for every class, `ceil(count · test_fraction)` samples go to the
+    /// test side (so no class is ever absent from either side when it
+    /// has at least two samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `test_fraction` is outside
+    /// `(0, 1)` or either side would be empty.
+    pub fn split_stratified(&self, test_fraction: f32) -> Result<TrainTestSplit> {
+        if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("test_fraction {test_fraction} must be in (0, 1)"),
+            });
+        }
+        let mut test_idx = Vec::new();
+        let mut train_idx = Vec::new();
+        for class in ClassId::all() {
+            let members = self.indices_of_class(class);
+            if members.is_empty() {
+                continue;
+            }
+            let take = ((members.len() as f32) * test_fraction).ceil() as usize;
+            let take = take.min(members.len().saturating_sub(1)).max(
+                if members.len() > 1 { 1 } else { 0 },
+            );
+            test_idx.extend_from_slice(&members[..take]);
+            train_idx.extend_from_slice(&members[take..]);
+        }
+        if test_idx.is_empty() || train_idx.is_empty() {
+            return Err(DataError::InvalidConfig {
+                reason: "stratified split would leave an empty partition".into(),
+            });
+        }
+        let take = |indices: &[usize]| -> Result<SignDataset> {
+            let images: Vec<Tensor> = indices
+                .iter()
+                .map(|&i| self.images.index_batch(i))
+                .collect::<std::result::Result<_, _>>()?;
+            Ok(SignDataset {
+                images: Tensor::stack(&images)?,
+                labels: indices.iter().map(|&i| self.labels[i]).collect(),
+                image_size: self.image_size,
+            })
+        };
+        Ok(TrainTestSplit {
+            test: take(&test_idx)?,
+            train: take(&train_idx)?,
+        })
+    }
+
+    /// A subsample of the first `n` items (useful for fast smoke runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `n` is zero or exceeds the
+    /// dataset size.
+    pub fn take(&self, n: usize) -> Result<SignDataset> {
+        if n == 0 || n > self.len() {
+            return Err(DataError::InvalidConfig {
+                reason: format!("cannot take {n} of {} samples", self.len()),
+            });
+        }
+        let images: Vec<Tensor> = (0..n)
+            .map(|i| self.images.index_batch(i))
+            .collect::<std::result::Result<_, _>>()?;
+        Ok(SignDataset {
+            images: Tensor::stack(&images)?,
+            labels: self.labels[..n].to_vec(),
+            image_size: self.image_size,
+        })
+    }
+}
+
+fn sample_jitter(rng: &mut TensorRng) -> RenderJitter {
+    RenderJitter {
+        offset_x: rng.uniform_scalar(-0.08, 0.08),
+        offset_y: rng.uniform_scalar(-0.08, 0.08),
+        scale: rng.uniform_scalar(0.75, 1.05),
+        brightness: rng.uniform_scalar(0.7, 1.3),
+        background: Rgb::new(
+            rng.uniform_scalar(0.2, 0.55),
+            rng.uniform_scalar(0.3, 0.6),
+            rng.uniform_scalar(0.2, 0.55),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DatasetConfig {
+        DatasetConfig {
+            samples_per_class: 2,
+            image_size: 16,
+            seed: 1,
+            noise: NoiseModel::sensor(),
+            blur_prob: 0.5,
+        }
+    }
+
+    #[test]
+    fn generates_balanced_classes() {
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        assert_eq!(ds.len(), 2 * CLASS_COUNT);
+        for class in ClassId::all() {
+            assert_eq!(ds.indices_of_class(class).len(), 2, "class {class}");
+        }
+    }
+
+    #[test]
+    fn images_shape_and_range() {
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        assert_eq!(ds.images().dims(), &[86, 3, 16, 16]);
+        assert!(ds.images().min().unwrap() >= 0.0);
+        assert!(ds.images().max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = SignDataset::generate(&small_config()).unwrap();
+        let b = SignDataset::generate(&small_config()).unwrap();
+        assert_eq!(a, b);
+        let c = SignDataset::generate(&DatasetConfig {
+            seed: 99,
+            ..small_config()
+        })
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_within_class_differ() {
+        // Jitter + noise must make two samples of the same class distinct.
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        let idx = ds.indices_of_class(ClassId::STOP);
+        let (a, _) = ds.sample(idx[0]).unwrap();
+        let (b, _) = ds.sample(idx[1]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        let split = ds.split(0.25).unwrap();
+        assert_eq!(split.train.len() + split.test.len(), ds.len());
+        assert!(!split.test.is_empty() && !split.train.is_empty());
+        assert_eq!(split.train.image_size(), 16);
+    }
+
+    #[test]
+    fn split_validates_fraction() {
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        assert!(ds.split(0.0).is_err());
+        assert!(ds.split(1.0).is_err());
+        assert!(ds.split(-0.5).is_err());
+    }
+
+    #[test]
+    fn stratified_split_keeps_every_class_on_both_sides() {
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        let split = ds.split_stratified(0.5).unwrap();
+        assert_eq!(split.train.len() + split.test.len(), ds.len());
+        for class in ClassId::all() {
+            assert!(
+                !split.train.indices_of_class(class).is_empty(),
+                "class {class} missing from train"
+            );
+            assert!(
+                !split.test.indices_of_class(class).is_empty(),
+                "class {class} missing from test"
+            );
+        }
+        assert!(ds.split_stratified(0.0).is_err());
+        assert!(ds.split_stratified(1.0).is_err());
+    }
+
+    #[test]
+    fn take_prefix() {
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        let sub = ds.take(10).unwrap();
+        assert_eq!(sub.len(), 10);
+        assert_eq!(sub.labels(), &ds.labels()[..10]);
+        assert!(ds.take(0).is_err());
+        assert!(ds.take(10_000).is_err());
+    }
+
+    #[test]
+    fn first_of_class_matches_label() {
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        let img = ds.first_of_class(ClassId::SPEED_60).unwrap();
+        assert_eq!(img.dims(), &[3, 16, 16]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let images = Tensor::zeros(&[4, 3, 8, 8]);
+        assert!(SignDataset::from_parts(images.clone(), vec![0, 1, 2, 3]).is_ok());
+        assert!(SignDataset::from_parts(images.clone(), vec![0, 1]).is_err());
+        assert!(SignDataset::from_parts(Tensor::zeros(&[4, 1, 8, 8]), vec![0; 4]).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SignDataset::generate(&DatasetConfig {
+            samples_per_class: 0,
+            ..small_config()
+        })
+        .is_err());
+        assert!(SignDataset::generate(&DatasetConfig {
+            image_size: 4,
+            ..small_config()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn labels_are_shuffled() {
+        // After shuffling, the first 43 labels should not be 0,0,1,1,…
+        let ds = SignDataset::generate(&small_config()).unwrap();
+        let sorted: Vec<usize> = {
+            let mut l = ds.labels().to_vec();
+            l.sort_unstable();
+            l
+        };
+        assert_ne!(ds.labels(), &sorted[..]);
+    }
+}

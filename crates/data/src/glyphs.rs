@@ -1,0 +1,258 @@
+//! Glyph rendering: a 3×5 digit font, arrows and procedural pictograms.
+
+use crate::canvas::{Canvas, Rgb};
+use crate::classes::Glyph;
+
+/// 3×5 bitmaps for digits 0-9, row-major, one bit per cell.
+const DIGIT_FONT: [[u8; 5]; 10] = [
+    [0b111, 0b101, 0b101, 0b101, 0b111], // 0
+    [0b010, 0b110, 0b010, 0b010, 0b111], // 1
+    [0b111, 0b001, 0b111, 0b100, 0b111], // 2
+    [0b111, 0b001, 0b111, 0b001, 0b111], // 3
+    [0b101, 0b101, 0b111, 0b001, 0b001], // 4
+    [0b111, 0b100, 0b111, 0b001, 0b111], // 5
+    [0b111, 0b100, 0b111, 0b101, 0b111], // 6
+    [0b111, 0b001, 0b010, 0b010, 0b010], // 7
+    [0b111, 0b101, 0b111, 0b101, 0b111], // 8
+    [0b111, 0b101, 0b111, 0b001, 0b111], // 9
+];
+
+/// Draws one digit into the unit-space box `[x0, x0+w] × [y0, y0+h]`.
+fn draw_digit(canvas: &mut Canvas, digit: u8, x0: f32, y0: f32, w: f32, h: f32, color: Rgb) {
+    debug_assert!(digit < 10);
+    let bitmap = &DIGIT_FONT[digit as usize];
+    let cell_w = w / 3.0;
+    let cell_h = h / 5.0;
+    for (row, bits) in bitmap.iter().enumerate() {
+        for col in 0..3 {
+            if bits & (0b100 >> col) != 0 {
+                canvas.rect(
+                    x0 + col as f32 * cell_w,
+                    y0 + row as f32 * cell_h,
+                    x0 + (col + 1) as f32 * cell_w,
+                    y0 + (row + 1) as f32 * cell_h,
+                    color,
+                );
+            }
+        }
+    }
+}
+
+/// Draws a multi-digit number centred at `(cx, cy)` with total height `h`.
+pub(crate) fn draw_number(canvas: &mut Canvas, value: u16, cx: f32, cy: f32, h: f32, color: Rgb) {
+    let digits: Vec<u8> = value
+        .to_string()
+        .bytes()
+        .map(|b| b - b'0')
+        .collect();
+    let digit_w = h * 0.6;
+    let gap = digit_w * 0.25;
+    let total_w = digits.len() as f32 * digit_w + (digits.len() - 1) as f32 * gap;
+    let mut x = cx - total_w / 2.0;
+    let y0 = cy - h / 2.0;
+    for &d in &digits {
+        draw_digit(canvas, d, x, y0, digit_w, h, color);
+        x += digit_w + gap;
+    }
+}
+
+/// Draws an arrow centred at `(cx, cy)` pointing along `(dx, dy)`.
+fn draw_arrow(canvas: &mut Canvas, cx: f32, cy: f32, dx: f32, dy: f32, len: f32, color: Rgb) {
+    let norm = (dx * dx + dy * dy).sqrt().max(1e-6);
+    let (ux, uy) = (dx / norm, dy / norm);
+    let tail = (cx - ux * len / 2.0, cy - uy * len / 2.0);
+    let head = (cx + ux * len / 2.0, cy + uy * len / 2.0);
+    canvas.line(tail, head, len * 0.12, color);
+    // Arrowhead: two back-swept barbs.
+    let (px, py) = (-uy, ux); // perpendicular
+    let barb = len * 0.35;
+    for side in [-1.0f32, 1.0] {
+        let tip = (
+            head.0 - ux * barb + px * side * barb * 0.7,
+            head.1 - uy * barb + py * side * barb * 0.7,
+        );
+        canvas.line(head, tip, len * 0.10, color);
+    }
+}
+
+/// Draws the pictogram with the given index: a deterministic, distinct
+/// arrangement of bars and dots standing in for GTSRB's pictograms.
+fn draw_pictogram(canvas: &mut Canvas, index: u8, cx: f32, cy: f32, extent: f32, color: Rgb) {
+    // A 3×3 cell pattern: the `index`-th 9-bit mask with exactly four
+    // active cells, walked with a stride coprime to C(9,4)=126 so nearby
+    // indices look dissimilar. Enumeration guarantees pairwise-distinct
+    // pictograms for all indices below 126.
+    let all_masks: Vec<u16> = (0u16..512).filter(|m| m.count_ones() == 4).collect();
+    let mask = all_masks[(index as usize * 29 + 5) % all_masks.len()];
+    let cell = extent / 3.0;
+    for row in 0..3 {
+        for col in 0..3 {
+            if mask & (1 << (row * 3 + col)) != 0 {
+                let x0 = cx - extent / 2.0 + col as f32 * cell;
+                let y0 = cy - extent / 2.0 + row as f32 * cell;
+                canvas.rect(
+                    x0 + cell * 0.1,
+                    y0 + cell * 0.1,
+                    x0 + cell * 0.9,
+                    y0 + cell * 0.9,
+                    color,
+                );
+            }
+        }
+    }
+}
+
+/// Renders any [`Glyph`] centred at `(cx, cy)` with characteristic size
+/// `extent` (unit space).
+pub(crate) fn draw_glyph(
+    canvas: &mut Canvas,
+    glyph: Glyph,
+    cx: f32,
+    cy: f32,
+    extent: f32,
+    color: Rgb,
+) {
+    match glyph {
+        Glyph::Number(v) => draw_number(canvas, v, cx, cy, extent, color),
+        Glyph::ArrowLeft => draw_arrow(canvas, cx, cy, -1.0, 0.0, extent, color),
+        Glyph::ArrowRight => draw_arrow(canvas, cx, cy, 1.0, 0.0, extent, color),
+        Glyph::ArrowUp => draw_arrow(canvas, cx, cy, 0.0, -1.0, extent, color),
+        Glyph::ArrowUpRight => {
+            draw_arrow(canvas, cx - extent * 0.15, cy, 0.0, -1.0, extent * 0.8, color);
+            draw_arrow(canvas, cx + extent * 0.2, cy, 0.6, -1.0, extent * 0.6, color);
+        }
+        Glyph::ArrowUpLeft => {
+            draw_arrow(canvas, cx + extent * 0.15, cy, 0.0, -1.0, extent * 0.8, color);
+            draw_arrow(canvas, cx - extent * 0.2, cy, -0.6, -1.0, extent * 0.6, color);
+        }
+        Glyph::Loop => {
+            canvas.ring(cx, cy, extent * 0.25, extent * 0.42, color);
+        }
+        Glyph::Bar => {
+            canvas.rect(
+                cx - extent * 0.5,
+                cy - extent * 0.14,
+                cx + extent * 0.5,
+                cy + extent * 0.14,
+                color,
+            );
+        }
+        Glyph::Exclamation => {
+            canvas.rect(cx - extent * 0.08, cy - extent * 0.45, cx + extent * 0.08, cy + extent * 0.1, color);
+            canvas.disk(cx, cy + extent * 0.32, extent * 0.1, color);
+        }
+        Glyph::Pictogram(i) => draw_pictogram(canvas, i, cx, cy, extent, color),
+        Glyph::None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn painted_fraction(canvas: &Canvas, color: Rgb) -> f32 {
+        let size = canvas.size();
+        let mut hits = 0usize;
+        for y in 0..size {
+            for x in 0..size {
+                if canvas.pixel(x, y) == color {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f32 / (size * size) as f32
+    }
+
+    #[test]
+    fn digits_have_distinct_footprints() {
+        let mut renders = Vec::new();
+        for d in 0..10u8 {
+            let mut c = Canvas::new(24).unwrap();
+            draw_digit(&mut c, d, 0.2, 0.2, 0.6, 0.6, Rgb::WHITE);
+            renders.push(c);
+        }
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(renders[i], renders[j], "digits {i} and {j} render identically");
+            }
+        }
+    }
+
+    #[test]
+    fn number_renders_all_digits() {
+        let mut one = Canvas::new(32).unwrap();
+        draw_number(&mut one, 8, 0.5, 0.5, 0.5, Rgb::WHITE);
+        let mut three = Canvas::new(32).unwrap();
+        draw_number(&mut three, 888, 0.5, 0.5, 0.5, Rgb::WHITE);
+        // Three digits cover strictly more area than one.
+        assert!(painted_fraction(&three, Rgb::WHITE) > painted_fraction(&one, Rgb::WHITE));
+    }
+
+    #[test]
+    fn arrows_left_right_are_mirrored_not_equal() {
+        let mut left = Canvas::new(32).unwrap();
+        let mut right = Canvas::new(32).unwrap();
+        draw_glyph(&mut left, Glyph::ArrowLeft, 0.5, 0.5, 0.5, Rgb::WHITE);
+        draw_glyph(&mut right, Glyph::ArrowRight, 0.5, 0.5, 0.5, Rgb::WHITE);
+        assert_ne!(left, right);
+        // Similar total ink (mirror symmetry).
+        let (fl, fr) = (painted_fraction(&left, Rgb::WHITE), painted_fraction(&right, Rgb::WHITE));
+        assert!((fl - fr).abs() < 0.05);
+    }
+
+    #[test]
+    fn pictograms_are_pairwise_distinct() {
+        let mut renders = Vec::new();
+        for i in 0..20u8 {
+            let mut c = Canvas::new(24).unwrap();
+            draw_pictogram(&mut c, i, 0.5, 0.5, 0.6, Rgb::BLACK);
+            renders.push(c);
+        }
+        for i in 0..renders.len() {
+            for j in (i + 1)..renders.len() {
+                assert_ne!(renders[i], renders[j], "pictograms {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn pictograms_are_deterministic() {
+        let render = |i| {
+            let mut c = Canvas::new(24).unwrap();
+            draw_pictogram(&mut c, i, 0.5, 0.5, 0.6, Rgb::BLACK);
+            c
+        };
+        assert_eq!(render(7), render(7));
+    }
+
+    #[test]
+    fn none_glyph_draws_nothing() {
+        let mut c = Canvas::new(16).unwrap();
+        let before = c.clone();
+        draw_glyph(&mut c, Glyph::None, 0.5, 0.5, 0.5, Rgb::WHITE);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn every_glyph_kind_paints_something() {
+        for glyph in [
+            Glyph::Number(60),
+            Glyph::ArrowLeft,
+            Glyph::ArrowRight,
+            Glyph::ArrowUp,
+            Glyph::ArrowUpRight,
+            Glyph::ArrowUpLeft,
+            Glyph::Loop,
+            Glyph::Bar,
+            Glyph::Exclamation,
+            Glyph::Pictogram(3),
+        ] {
+            let mut c = Canvas::new(32).unwrap();
+            draw_glyph(&mut c, glyph, 0.5, 0.5, 0.5, Rgb::WHITE);
+            assert!(
+                painted_fraction(&c, Rgb::WHITE) > 0.01,
+                "glyph {glyph:?} painted nothing"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Dataset persistence: a small self-describing binary format so a
+//! generated [`SignDataset`](crate::SignDataset) can be frozen to disk
+//! and shared between machines/runs without re-deriving it from a seed
+//! (mirroring how GTSRB itself ships as fixed files).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use fademl_tensor::{Shape, Tensor};
+
+use crate::{DataError, Result, SignDataset};
+
+const MAGIC: &[u8; 8] = b"FADEMLD1";
+
+/// Writes the dataset to `writer` in the FAdeML binary dataset format.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] on write failure.
+pub fn save_dataset<W: Write>(dataset: &SignDataset, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    let io = DataError::from_io;
+    w.write_all(MAGIC).map_err(io)?;
+    let n = dataset.len() as u64;
+    let size = dataset.image_size() as u64;
+    w.write_all(&n.to_le_bytes()).map_err(io)?;
+    w.write_all(&size.to_le_bytes()).map_err(io)?;
+    for &label in dataset.labels() {
+        w.write_all(&(label as u32).to_le_bytes()).map_err(io)?;
+    }
+    for &x in dataset.images().as_slice() {
+        w.write_all(&x.to_le_bytes()).map_err(io)?;
+    }
+    w.flush().map_err(io)?;
+    Ok(())
+}
+
+/// Writes the dataset to a file path.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] on create/write failure.
+pub fn save_dataset_to_path<P: AsRef<Path>>(dataset: &SignDataset, path: P) -> Result<()> {
+    save_dataset(dataset, File::create(path).map_err(DataError::from_io)?)
+}
+
+/// Reads a dataset previously written by [`save_dataset`].
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] on read failure and
+/// [`DataError::InvalidConfig`] for a malformed stream.
+pub fn load_dataset<R: Read>(reader: R) -> Result<SignDataset> {
+    let mut r = BufReader::new(reader);
+    let io = DataError::from_io;
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io)?;
+    if &magic != MAGIC {
+        return Err(DataError::InvalidConfig {
+            reason: "not a FAdeML dataset file (bad magic)".into(),
+        });
+    }
+    let mut u64_buf = [0u8; 8];
+    r.read_exact(&mut u64_buf).map_err(io)?;
+    let n = u64::from_le_bytes(u64_buf) as usize;
+    r.read_exact(&mut u64_buf).map_err(io)?;
+    let size = u64::from_le_bytes(u64_buf) as usize;
+    // A light sanity cap prevents a corrupt header from triggering a
+    // multi-gigabyte allocation.
+    if n > 10_000_000 || size == 0 || size > 4096 {
+        return Err(DataError::InvalidConfig {
+            reason: format!("implausible dataset header: n = {n}, size = {size}"),
+        });
+    }
+    let mut u32_buf = [0u8; 4];
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        r.read_exact(&mut u32_buf).map_err(io)?;
+        labels.push(u32::from_le_bytes(u32_buf) as usize);
+    }
+    let numel = n * 3 * size * size;
+    let mut data = vec![0.0f32; numel];
+    for x in &mut data {
+        r.read_exact(&mut u32_buf).map_err(io)?;
+        *x = f32::from_le_bytes(u32_buf);
+    }
+    let images = Tensor::from_vec(data, Shape::new(vec![n, 3, size, size]))?;
+    SignDataset::from_parts(images, labels)
+}
+
+/// Reads a dataset from a file path.
+///
+/// # Errors
+///
+/// Same conditions as [`load_dataset`].
+pub fn load_dataset_from_path<P: AsRef<Path>>(path: P) -> Result<SignDataset> {
+    load_dataset(File::open(path).map_err(DataError::from_io)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetConfig, NoiseModel};
+
+    fn dataset() -> SignDataset {
+        SignDataset::generate(&DatasetConfig {
+            samples_per_class: 2,
+            image_size: 12,
+            seed: 3,
+            noise: NoiseModel::sensor(),
+            blur_prob: 0.5,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let original = dataset();
+        let mut buf = Vec::new();
+        save_dataset(&original, &mut buf).unwrap();
+        let loaded = load_dataset(buf.as_slice()).unwrap();
+        assert_eq!(loaded, original);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load_dataset(&b"NOTADATA\x00\x00\x00\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, DataError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let original = dataset();
+        let mut buf = Vec::new();
+        save_dataset(&original, &mut buf).unwrap();
+        buf.truncate(buf.len() / 3);
+        assert!(matches!(
+            load_dataset(buf.as_slice()),
+            Err(DataError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_implausible_header() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd n
+        buf.extend_from_slice(&12u64.to_le_bytes());
+        assert!(matches!(
+            load_dataset(buf.as_slice()),
+            Err(DataError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fademl_dataset_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("signs.fds");
+        let original = dataset();
+        save_dataset_to_path(&original, &path).unwrap();
+        let loaded = load_dataset_from_path(&path).unwrap();
+        assert_eq!(loaded, original);
+        std::fs::remove_file(&path).ok();
+    }
+}

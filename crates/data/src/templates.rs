@@ -1,0 +1,256 @@
+//! Per-class sign templates: shape + colours + glyph composited onto a
+//! background, with geometric jitter.
+
+use fademl_tensor::Tensor;
+
+use crate::canvas::{Canvas, Rgb};
+use crate::classes::{ClassId, SignShape};
+use crate::glyphs::draw_glyph;
+use crate::Result;
+
+/// Geometric and photometric jitter applied to one rendered sample.
+///
+/// All fields default to the canonical (centred, full-size, neutral)
+/// rendering; the dataset generator randomizes them per sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderJitter {
+    /// Horizontal centre offset in unit space (±0.1 is realistic).
+    pub offset_x: f32,
+    /// Vertical centre offset in unit space.
+    pub offset_y: f32,
+    /// Sign scale relative to the canonical radius (1.0 = full size).
+    pub scale: f32,
+    /// Global brightness multiplier (1.0 = neutral).
+    pub brightness: f32,
+    /// Background base colour (roadside scene stand-in).
+    pub background: Rgb,
+}
+
+impl Default for RenderJitter {
+    fn default() -> Self {
+        RenderJitter {
+            offset_x: 0.0,
+            offset_y: 0.0,
+            scale: 1.0,
+            brightness: 1.0,
+            background: Rgb::new(0.35, 0.42, 0.38),
+        }
+    }
+}
+
+impl RenderJitter {
+    /// Clamps the jitter into ranges that keep the sign on-canvas.
+    pub fn clamped(self) -> Self {
+        RenderJitter {
+            offset_x: self.offset_x.clamp(-0.12, 0.12),
+            offset_y: self.offset_y.clamp(-0.12, 0.12),
+            scale: self.scale.clamp(0.6, 1.1),
+            brightness: self.brightness.clamp(0.5, 1.5),
+            background: self.background,
+        }
+    }
+}
+
+/// Renders a clean (noise-free) sign of class `class` as a
+/// `[3, size, size]` tensor in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`](crate::DataError::InvalidConfig)
+/// for `size == 0`.
+pub fn render_sign(class: ClassId, size: usize, jitter: &RenderJitter) -> Result<Tensor> {
+    let j = jitter.clamped();
+    let mut canvas = Canvas::new(size)?;
+    canvas.fill(j.background);
+
+    let cx = 0.5 + j.offset_x;
+    let cy = 0.5 + j.offset_y;
+    let r = 0.42 * j.scale;
+    let info = class.info();
+
+    // Base plate and glyph colour by family.
+    let glyph_color = match info.shape {
+        SignShape::RedRingCircle => {
+            canvas.disk(cx, cy, r, Rgb::SIGN_RED);
+            canvas.disk(cx, cy, r * 0.72, Rgb::WHITE);
+            Rgb::BLACK
+        }
+        SignShape::BlueCircle => {
+            canvas.disk(cx, cy, r, Rgb::SIGN_BLUE);
+            Rgb::WHITE
+        }
+        SignShape::WarningTriangle => {
+            let h = r * 1.25;
+            canvas.triangle(
+                (cx, cy - h),
+                (cx - h, cy + h * 0.8),
+                (cx + h, cy + h * 0.8),
+                Rgb::SIGN_RED,
+            );
+            canvas.triangle(
+                (cx, cy - h * 0.62),
+                (cx - h * 0.66, cy + h * 0.58),
+                (cx + h * 0.66, cy + h * 0.58),
+                Rgb::WHITE,
+            );
+            Rgb::BLACK
+        }
+        SignShape::InvertedTriangle => {
+            let h = r * 1.25;
+            canvas.triangle(
+                (cx, cy + h),
+                (cx - h, cy - h * 0.8),
+                (cx + h, cy - h * 0.8),
+                Rgb::SIGN_RED,
+            );
+            canvas.triangle(
+                (cx, cy + h * 0.62),
+                (cx - h * 0.66, cy - h * 0.58),
+                (cx + h * 0.66, cy - h * 0.58),
+                Rgb::WHITE,
+            );
+            Rgb::BLACK
+        }
+        SignShape::Octagon => {
+            canvas.octagon(cx, cy, r * 1.05, Rgb::SIGN_RED);
+            Rgb::WHITE
+        }
+        SignShape::Diamond => {
+            canvas.diamond(cx, cy, r * 1.1, Rgb::WHITE);
+            canvas.diamond(cx, cy, r * 0.85, Rgb::SIGN_YELLOW);
+            Rgb::SIGN_YELLOW
+        }
+        SignShape::RedCircleBar => {
+            canvas.disk(cx, cy, r, Rgb::SIGN_RED);
+            Rgb::WHITE
+        }
+        SignShape::GreyStrokeCircle => {
+            canvas.disk(cx, cy, r, Rgb::WHITE);
+            canvas.line(
+                (cx - r * 0.7, cy + r * 0.7),
+                (cx + r * 0.7, cy - r * 0.7),
+                r * 0.1,
+                Rgb::SIGN_GREY,
+            );
+            Rgb::SIGN_GREY
+        }
+    };
+
+    let glyph_extent = match info.shape {
+        SignShape::WarningTriangle | SignShape::InvertedTriangle => r * 0.75,
+        _ => r * 1.0,
+    };
+    draw_glyph(&mut canvas, info.glyph, cx, cy, glyph_extent, glyph_color);
+
+    let mut image = canvas.into_tensor();
+    if (j.brightness - 1.0).abs() > f32::EPSILON {
+        image = image.scale(j.brightness).clamp(0.0, 1.0);
+    }
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::CLASS_COUNT;
+
+    #[test]
+    fn renders_every_class() {
+        for class in ClassId::all() {
+            let img = render_sign(class, 24, &RenderJitter::default()).unwrap();
+            assert_eq!(img.dims(), &[3, 24, 24]);
+            assert!(img.min().unwrap() >= 0.0);
+            assert!(img.max().unwrap() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn canonical_renders_are_pairwise_distinct() {
+        let renders: Vec<Tensor> = ClassId::all()
+            .map(|c| render_sign(c, 32, &RenderJitter::default()).unwrap())
+            .collect();
+        let mut collisions = Vec::new();
+        for i in 0..CLASS_COUNT {
+            for jj in (i + 1)..CLASS_COUNT {
+                let diff = renders[i].sub(&renders[jj]).unwrap().norm_l2();
+                if diff < 0.5 {
+                    collisions.push((i, jj, diff));
+                }
+            }
+        }
+        assert!(
+            collisions.is_empty(),
+            "visually colliding classes: {collisions:?}"
+        );
+    }
+
+    #[test]
+    fn stop_sign_is_mostly_red() {
+        let img = render_sign(ClassId::STOP, 32, &RenderJitter::default()).unwrap();
+        // Mean red channel exceeds mean blue channel by a clear margin.
+        let red = img.index_batch(0).unwrap().mean();
+        let blue = img.index_batch(2).unwrap().mean();
+        assert!(red > blue + 0.1, "red {red} vs blue {blue}");
+    }
+
+    #[test]
+    fn turn_signs_are_mostly_blue() {
+        let img = render_sign(ClassId::TURN_LEFT, 32, &RenderJitter::default()).unwrap();
+        let red = img.index_batch(0).unwrap().mean();
+        let blue = img.index_batch(2).unwrap().mean();
+        assert!(blue > red, "blue {blue} vs red {red}");
+    }
+
+    #[test]
+    fn jitter_moves_the_sign() {
+        let base = render_sign(ClassId::STOP, 32, &RenderJitter::default()).unwrap();
+        let moved = render_sign(
+            ClassId::STOP,
+            32,
+            &RenderJitter {
+                offset_x: 0.1,
+                ..RenderJitter::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(base, moved);
+    }
+
+    #[test]
+    fn brightness_scales_image() {
+        let dim = render_sign(
+            ClassId::SPEED_60,
+            32,
+            &RenderJitter {
+                brightness: 0.5,
+                ..RenderJitter::default()
+            },
+        )
+        .unwrap();
+        let bright = render_sign(ClassId::SPEED_60, 32, &RenderJitter::default()).unwrap();
+        assert!(dim.mean() < bright.mean());
+    }
+
+    #[test]
+    fn clamp_keeps_jitter_in_range() {
+        let wild = RenderJitter {
+            offset_x: 5.0,
+            offset_y: -5.0,
+            scale: 0.01,
+            brightness: 100.0,
+            background: Rgb::WHITE,
+        }
+        .clamped();
+        assert!(wild.offset_x <= 0.12);
+        assert!(wild.offset_y >= -0.12);
+        assert!(wild.scale >= 0.6);
+        assert!(wild.brightness <= 1.5);
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        let a = render_sign(ClassId::SPEED_30, 32, &RenderJitter::default()).unwrap();
+        let b = render_sign(ClassId::SPEED_30, 32, &RenderJitter::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

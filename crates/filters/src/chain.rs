@@ -1,0 +1,162 @@
+use fademl_tensor::Tensor;
+
+use crate::{Filter, Result};
+
+/// A sequence of filters applied in order — models a multi-stage
+/// pre-processing block (e.g. median despeckle followed by LAP
+/// smoothing).
+///
+/// The backward pass runs the chain's vector-Jacobian products in
+/// reverse, re-deriving each stage's input by replaying the forward
+/// chain (filters are stateless, so this is the only way to give each
+/// stage its correct linearization point).
+#[derive(Debug, Clone, Default)]
+pub struct FilterChain {
+    stages: Vec<Box<dyn Filter>>,
+}
+
+impl FilterChain {
+    /// Creates an empty chain (acts as the identity).
+    pub fn new() -> Self {
+        FilterChain { stages: Vec::new() }
+    }
+
+    /// Appends a filter stage (builder style).
+    #[must_use]
+    pub fn push(mut self, filter: impl Filter + 'static) -> Self {
+        self.stages.push(Box::new(filter));
+        self
+    }
+
+    /// Appends a boxed filter stage in place.
+    pub fn push_boxed(&mut self, filter: Box<dyn Filter>) {
+        self.stages.push(filter);
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` if the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl Filter for FilterChain {
+    fn name(&self) -> String {
+        if self.stages.is_empty() {
+            return "Chain[]".to_owned();
+        }
+        let names: Vec<String> = self.stages.iter().map(|s| s.name()).collect();
+        format!("Chain[{}]", names.join(" → "))
+    }
+
+    fn apply(&self, image: &Tensor) -> Result<Tensor> {
+        crate::filter::check_image_rank(image)?;
+        let mut x = image.clone();
+        for stage in &self.stages {
+            x = stage.apply(&x)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&self, input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        crate::filter::check_image_rank(input)?;
+        // Replay the forward pass to collect each stage's input.
+        let mut inputs = Vec::with_capacity(self.stages.len());
+        let mut x = input.clone();
+        for stage in &self.stages {
+            inputs.push(x.clone());
+            x = stage.apply(&x)?;
+        }
+        let mut g = grad_out.clone();
+        for (stage, stage_input) in self.stages.iter().zip(&inputs).rev() {
+            g = stage.backward(stage_input, &g)?;
+        }
+        Ok(g)
+    }
+
+    fn is_linear(&self) -> bool {
+        self.stages.iter().all(|s| s.is_linear())
+    }
+
+    fn clone_box(&self) -> Box<dyn Filter> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Identity, Lap, Lar, Median};
+    use fademl_tensor::TensorRng;
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let chain = FilterChain::new();
+        let x = Tensor::ones(&[3, 6, 6]);
+        assert_eq!(chain.apply(&x).unwrap(), x);
+        assert!(chain.is_empty());
+        assert_eq!(chain.name(), "Chain[]");
+    }
+
+    #[test]
+    fn chain_composes_in_order() {
+        let chain = FilterChain::new()
+            .push(Lap::new(4).unwrap())
+            .push(Lar::new(2).unwrap());
+        let mut rng = TensorRng::seed_from_u64(1);
+        let x = rng.uniform(&[1, 10, 10], 0.0, 1.0);
+        let direct = Lar::new(2)
+            .unwrap()
+            .apply(&Lap::new(4).unwrap().apply(&x).unwrap())
+            .unwrap();
+        assert_eq!(chain.apply(&x).unwrap(), direct);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.name(), "Chain[LAP(4) → LAR(2)]");
+    }
+
+    #[test]
+    fn linear_chain_adjoint_property() {
+        let chain = FilterChain::new()
+            .push(Lap::new(8).unwrap())
+            .push(Lar::new(1).unwrap());
+        assert!(chain.is_linear());
+        let mut rng = TensorRng::seed_from_u64(2);
+        let x = rng.uniform(&[1, 8, 8], -1.0, 1.0);
+        let y = rng.uniform(&[1, 8, 8], -1.0, 1.0);
+        let lhs = chain.apply(&x).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&chain.backward(&x, &y).unwrap()).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn nonlinear_stage_makes_chain_nonlinear() {
+        let chain = FilterChain::new()
+            .push(Median::new(3).unwrap())
+            .push(Lap::new(4).unwrap());
+        assert!(!chain.is_linear());
+        // Backward still runs (straight-through for the median stage).
+        let x = Tensor::ones(&[1, 6, 6]);
+        let g = Tensor::ones(&[1, 6, 6]);
+        assert_eq!(chain.backward(&x, &g).unwrap().dims(), x.dims());
+    }
+
+    #[test]
+    fn chain_with_identity_matches_inner_filter() {
+        let lap = Lap::new(16).unwrap();
+        let chain = FilterChain::new().push(Identity::new()).push(Lap::new(16).unwrap());
+        let mut rng = TensorRng::seed_from_u64(3);
+        let x = rng.uniform(&[3, 7, 7], 0.0, 1.0);
+        assert_eq!(chain.apply(&x).unwrap(), lap.apply(&x).unwrap());
+    }
+
+    #[test]
+    fn push_boxed_appends() {
+        let mut chain = FilterChain::new();
+        chain.push_boxed(Box::new(Identity::new()));
+        assert_eq!(chain.len(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+use fademl_tensor::TensorError;
+
+/// Error type for filter construction and application.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FilterError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A filter parameter was invalid (e.g. `np = 0`, even median window).
+    InvalidParameter {
+        /// Human-readable description of the invalid value.
+        reason: String,
+    },
+    /// The input tensor was neither `[C, H, W]` nor `[N, C, H, W]`.
+    UnsupportedRank {
+        /// The rank that was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FilterError::InvalidParameter { reason } => {
+                write!(f, "invalid filter parameter: {reason}")
+            }
+            FilterError::UnsupportedRank { actual } => write!(
+                f,
+                "filters accept [C, H, W] or [N, C, H, W] tensors, got rank {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for FilterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FilterError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for FilterError {
+    fn from(e: TensorError) -> Self {
+        FilterError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FilterError::UnsupportedRank { actual: 2 }.to_string().contains("rank 2"));
+        assert!(FilterError::InvalidParameter { reason: "np = 0".into() }
+            .to_string()
+            .contains("np = 0"));
+        let e = FilterError::from(TensorError::EmptyTensor { op: "x" });
+        assert!(e.source().is_some());
+    }
+}

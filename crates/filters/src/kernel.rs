@@ -1,0 +1,365 @@
+//! Shared machinery for linear neighbourhood filters.
+//!
+//! A [`Kernel`] is a set of `(dy, dx, weight)` taps. At image borders
+//! the out-of-bounds taps are dropped and the remaining weights are
+//! renormalized, so the filter stays an average (constant images map to
+//! themselves everywhere). The backward pass scatters with the *same*
+//! per-output renormalization, making it the exact adjoint of the
+//! forward operator.
+
+use fademl_tensor::Tensor;
+
+use crate::filter::check_image_rank;
+use crate::{FilterError, Result};
+
+/// A linear neighbourhood-averaging kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    taps: Vec<(i32, i32, f32)>,
+}
+
+impl Kernel {
+    /// Creates a kernel from taps. Weights are normalized to sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidParameter`] for an empty tap list,
+    /// non-positive weights, or duplicate offsets.
+    pub fn new(taps: Vec<(i32, i32, f32)>) -> Result<Self> {
+        if taps.is_empty() {
+            return Err(FilterError::InvalidParameter {
+                reason: "kernel needs at least one tap".into(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut sum = 0.0f32;
+        for &(dy, dx, w) in &taps {
+            if w <= 0.0 {
+                return Err(FilterError::InvalidParameter {
+                    reason: format!("non-positive tap weight {w} at ({dy}, {dx})"),
+                });
+            }
+            if !seen.insert((dy, dx)) {
+                return Err(FilterError::InvalidParameter {
+                    reason: format!("duplicate tap offset ({dy}, {dx})"),
+                });
+            }
+            sum += w;
+        }
+        let taps = taps
+            .into_iter()
+            .map(|(dy, dx, w)| (dy, dx, w / sum))
+            .collect();
+        Ok(Kernel { taps })
+    }
+
+    /// A uniform kernel over the given offsets.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kernel::new`].
+    pub fn uniform(offsets: Vec<(i32, i32)>) -> Result<Self> {
+        Kernel::new(offsets.into_iter().map(|(dy, dx)| (dy, dx, 1.0)).collect())
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// `true` if the kernel has no taps (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// The taps (normalized weights).
+    pub fn taps(&self) -> &[(i32, i32, f32)] {
+        &self.taps
+    }
+
+    /// `true` if the tap set is symmetric under negation of offsets with
+    /// equal weights (then the unrenormalized operator is self-adjoint).
+    pub fn is_symmetric(&self) -> bool {
+        self.taps.iter().all(|&(dy, dx, w)| {
+            self.taps
+                .iter()
+                .any(|&(ey, ex, v)| ey == -dy && ex == -dx && (v - w).abs() < 1e-6)
+        })
+    }
+
+    /// Per-pixel in-bounds weight sums for an `h × w` plane.
+    fn weight_sums(&self, h: usize, w: usize) -> Vec<f32> {
+        let mut sums = vec![0.0f32; h * w];
+        for y in 0..h as i32 {
+            for x in 0..w as i32 {
+                let mut s = 0.0;
+                for &(dy, dx, wt) in &self.taps {
+                    let (sy, sx) = (y + dy, x + dx);
+                    if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
+                        s += wt;
+                    }
+                }
+                sums[(y as usize) * w + x as usize] = s;
+            }
+        }
+        sums
+    }
+
+    fn plane_geometry(image: &Tensor) -> (usize, usize, usize) {
+        let dims = image.dims();
+        let (h, w) = (dims[dims.len() - 2], dims[dims.len() - 1]);
+        let planes = image.numel() / (h * w);
+        (planes, h, w)
+    }
+
+    /// Applies the kernel to every channel plane of a `[C, H, W]` or
+    /// `[N, C, H, W]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::UnsupportedRank`] for other ranks.
+    pub fn apply(&self, image: &Tensor) -> Result<Tensor> {
+        check_image_rank(image)?;
+        let (planes, h, w) = Self::plane_geometry(image);
+        let sums = self.weight_sums(h, w);
+        let src = image.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        for p in 0..planes {
+            let base = p * h * w;
+            for y in 0..h as i32 {
+                for x in 0..w as i32 {
+                    let mut acc = 0.0f32;
+                    for &(dy, dx, wt) in &self.taps {
+                        let (sy, sx) = (y + dy, x + dx);
+                        if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
+                            acc += wt * src[base + (sy as usize) * w + sx as usize];
+                        }
+                    }
+                    let idx = base + (y as usize) * w + x as usize;
+                    out[idx] = acc / sums[idx - base];
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, image.shape().clone())?)
+    }
+
+    /// Exact adjoint of [`Kernel::apply`]: scatters each output gradient
+    /// through the same renormalized taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::UnsupportedRank`] for bad ranks or a shape
+    /// error when `grad_out` differs from the forward shape.
+    pub fn backward(&self, grad_out: &Tensor) -> Result<Tensor> {
+        check_image_rank(grad_out)?;
+        let (planes, h, w) = Self::plane_geometry(grad_out);
+        let sums = self.weight_sums(h, w);
+        let g = grad_out.as_slice();
+        let mut out = vec![0.0f32; g.len()];
+        for p in 0..planes {
+            let base = p * h * w;
+            for y in 0..h as i32 {
+                for x in 0..w as i32 {
+                    let idx = base + (y as usize) * w + x as usize;
+                    let scaled = g[idx] / sums[idx - base];
+                    for &(dy, dx, wt) in &self.taps {
+                        let (sy, sx) = (y + dy, x + dx);
+                        if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
+                            out[base + (sy as usize) * w + sx as usize] += wt * scaled;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, grad_out.shape().clone())?)
+    }
+
+    /// The `count` offsets nearest the origin (excluding it), ordered by
+    /// Euclidean distance with deterministic tie-breaking, plus the
+    /// origin itself. This is the LAP neighbourhood construction.
+    pub fn nearest_neighbourhood(count: usize) -> Vec<(i32, i32)> {
+        let mut candidates: Vec<(i32, i32)> = Vec::new();
+        // A window comfortably larger than any np we use (np=64 fits in
+        // a 9×9 ring set minus centre = 80 candidates; use radius 8).
+        let r = 8i32;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dy != 0 || dx != 0 {
+                    candidates.push((dy, dx));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| {
+            let da = a.0 * a.0 + a.1 * a.1;
+            let db = b.0 * b.0 + b.1 * b.1;
+            da.cmp(&db).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1))
+        });
+        let mut offsets = vec![(0, 0)];
+        offsets.extend(candidates.into_iter().take(count));
+        offsets
+    }
+
+    /// All offsets within Euclidean distance `radius` of the origin
+    /// (inclusive), the LAR disc construction.
+    pub fn disc(radius: usize) -> Vec<(i32, i32)> {
+        let r = radius as i32;
+        let r2 = r * r;
+        let mut offsets = Vec::new();
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dy * dy + dx * dx <= r2 {
+                    offsets.push((dy, dx));
+                }
+            }
+        }
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_tensor::TensorRng;
+    use proptest::prelude::*;
+
+    fn box3() -> Kernel {
+        Kernel::uniform(Kernel::disc(1)).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Kernel::new(vec![]).is_err());
+        assert!(Kernel::new(vec![(0, 0, -1.0)]).is_err());
+        assert!(Kernel::new(vec![(0, 0, 1.0), (0, 0, 1.0)]).is_err());
+        assert!(Kernel::new(vec![(0, 0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let k = Kernel::new(vec![(0, 0, 2.0), (0, 1, 2.0)]).unwrap();
+        let total: f32 = k.taps().iter().map(|t| t.2).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        // Renormalization at borders makes averaging exact everywhere.
+        let k = box3();
+        let img = Tensor::full(&[3, 5, 7], 0.42);
+        let out = k.apply(&img).unwrap();
+        for &v in out.as_slice() {
+            assert!((v - 0.42).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let img = rng.uniform(&[1, 16, 16], 0.0, 1.0);
+        let out = box3().apply(&img).unwrap();
+        let var = |t: &Tensor| {
+            let m = t.mean();
+            t.map(|x| (x - m) * (x - m)).mean()
+        };
+        assert!(var(&out) < var(&img));
+    }
+
+    #[test]
+    fn preserves_mean_approximately() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let img = rng.uniform(&[1, 12, 12], 0.0, 1.0);
+        let out = box3().apply(&img).unwrap();
+        assert!((out.mean() - img.mean()).abs() < 0.02);
+    }
+
+    #[test]
+    fn backward_is_exact_adjoint() {
+        // <K x, y> == <x, Kᵀ y> for random x, y.
+        let k = Kernel::uniform(Kernel::nearest_neighbourhood(16)).unwrap();
+        let mut rng = TensorRng::seed_from_u64(3);
+        let x = rng.uniform(&[2, 7, 6], -1.0, 1.0);
+        let y = rng.uniform(&[2, 7, 6], -1.0, 1.0);
+        let lhs = k.apply(&x).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&k.backward(&y).unwrap()).unwrap();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn batch_equals_per_image() {
+        let k = box3();
+        let mut rng = TensorRng::seed_from_u64(4);
+        let a = rng.uniform(&[3, 8, 8], 0.0, 1.0);
+        let b = rng.uniform(&[3, 8, 8], 0.0, 1.0);
+        let batch = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        let batched = k.apply(&batch).unwrap();
+        assert_eq!(batched.index_batch(0).unwrap(), k.apply(&a).unwrap());
+        assert_eq!(batched.index_batch(1).unwrap(), k.apply(&b).unwrap());
+    }
+
+    #[test]
+    fn nearest_neighbourhood_structure() {
+        let n4 = Kernel::nearest_neighbourhood(4);
+        assert_eq!(n4.len(), 5); // centre + 4
+        assert!(n4.contains(&(0, 0)));
+        assert!(n4.contains(&(0, 1)) && n4.contains(&(1, 0)));
+        assert!(!n4.contains(&(1, 1))); // diagonal is farther
+        let n8 = Kernel::nearest_neighbourhood(8);
+        assert!(n8.contains(&(1, 1))); // Moore neighbourhood
+        // Monotone growth and determinism.
+        assert_eq!(Kernel::nearest_neighbourhood(64).len(), 65);
+        assert_eq!(n8, Kernel::nearest_neighbourhood(8));
+    }
+
+    #[test]
+    fn disc_sizes() {
+        assert_eq!(Kernel::disc(0).len(), 1);
+        assert_eq!(Kernel::disc(1).len(), 5); // centre + von Neumann
+        assert_eq!(Kernel::disc(2).len(), 13);
+        // Discs grow with radius.
+        for r in 1..5 {
+            assert!(Kernel::disc(r + 1).len() > Kernel::disc(r).len());
+        }
+    }
+
+    #[test]
+    fn disc_kernels_are_symmetric() {
+        for r in 1..=5 {
+            let k = Kernel::uniform(Kernel::disc(r)).unwrap();
+            assert!(k.is_symmetric(), "disc({r}) not symmetric");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_rank() {
+        let k = box3();
+        assert!(k.apply(&Tensor::ones(&[4, 4])).is_err());
+        assert!(k.backward(&Tensor::ones(&[4])).is_err());
+    }
+
+    proptest! {
+        /// Output of an averaging kernel stays within the input range.
+        #[test]
+        fn output_within_input_range(seed in 0u64..500) {
+            let k = box3();
+            let mut rng = TensorRng::seed_from_u64(seed);
+            let img = rng.uniform(&[1, 6, 6], -2.0, 3.0);
+            let out = k.apply(&img).unwrap();
+            prop_assert!(out.max().unwrap() <= img.max().unwrap() + 1e-5);
+            prop_assert!(out.min().unwrap() >= img.min().unwrap() - 1e-5);
+        }
+
+        /// Linearity: K(a·x + b·y) == a·Kx + b·Ky.
+        #[test]
+        fn kernel_is_linear(seed in 0u64..500, a in -2.0f32..2.0, b in -2.0f32..2.0) {
+            let k = box3();
+            let mut rng = TensorRng::seed_from_u64(seed);
+            let x = rng.uniform(&[1, 5, 5], -1.0, 1.0);
+            let y = rng.uniform(&[1, 5, 5], -1.0, 1.0);
+            let lhs = k.apply(&x.scale(a).add(&y.scale(b)).unwrap()).unwrap();
+            let rhs = k.apply(&x).unwrap().scale(a).add(&k.apply(&y).unwrap().scale(b)).unwrap();
+            for (p, q) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((p - q).abs() < 1e-4);
+            }
+        }
+    }
+}

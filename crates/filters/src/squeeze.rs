@@ -1,0 +1,147 @@
+//! Bit-depth feature squeezing (Xu et al., the paper's reference [10])
+//! — a non-smoothing pre-processing defense included as an extension:
+//! each channel value is quantized to `bits` bits, collapsing the tiny
+//! perturbations gradient attacks rely on.
+//!
+//! Quantization has zero gradient almost everywhere, so
+//! [`Filter::backward`] uses the straight-through estimator, exactly as
+//! preprocessing-aware attacks (BPDA) treat it in practice.
+
+use fademl_tensor::Tensor;
+
+use crate::filter::check_image_rank;
+use crate::{Filter, FilterError, Result};
+
+/// Bit-depth reduction squeezer.
+#[derive(Debug, Clone, Copy)]
+pub struct BitDepth {
+    bits: u8,
+    levels: f32,
+}
+
+impl BitDepth {
+    /// Creates a squeezer quantizing to `bits` bits per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidParameter`] unless `1 ≤ bits ≤ 7`
+    /// (8 bits is the identity on 8-bit sources).
+    pub fn new(bits: u8) -> Result<Self> {
+        if !(1..=7).contains(&bits) {
+            return Err(FilterError::InvalidParameter {
+                reason: format!("bit depth must be in 1..=7, got {bits}"),
+            });
+        }
+        Ok(BitDepth {
+            bits,
+            levels: ((1u32 << bits) - 1) as f32,
+        })
+    }
+
+    /// The configured bit depth.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+}
+
+impl Filter for BitDepth {
+    fn name(&self) -> String {
+        format!("BitDepth({})", self.bits)
+    }
+
+    fn apply(&self, image: &Tensor) -> Result<Tensor> {
+        check_image_rank(image)?;
+        let levels = self.levels;
+        Ok(image.map(|v| (v.clamp(0.0, 1.0) * levels).round() / levels))
+    }
+
+    fn backward(&self, input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        check_image_rank(input)?;
+        // Straight-through estimator: the quantizer's exact gradient is
+        // zero a.e., which would blind the attack; pass the gradient
+        // through unchanged instead (BPDA).
+        Ok(grad_out.clone())
+    }
+
+    fn is_linear(&self) -> bool {
+        false
+    }
+
+    fn clone_box(&self) -> Box<dyn Filter> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_tensor::TensorRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(BitDepth::new(0).is_err());
+        assert!(BitDepth::new(8).is_err());
+        assert!(BitDepth::new(1).is_ok());
+        assert_eq!(BitDepth::new(4).unwrap().bits(), 4);
+    }
+
+    #[test]
+    fn one_bit_binarizes() {
+        let f = BitDepth::new(1).unwrap();
+        let img = Tensor::from_vec(vec![0.1, 0.4, 0.6, 0.9], [1, 2, 2].into()).unwrap();
+        let out = f.apply(&img).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn quantization_levels_are_respected() {
+        let f = BitDepth::new(2).unwrap(); // levels: 0, 1/3, 2/3, 1
+        let mut rng = TensorRng::seed_from_u64(1);
+        let img = rng.uniform(&[3, 8, 8], 0.0, 1.0);
+        let out = f.apply(&img).unwrap();
+        for &v in out.as_slice() {
+            let scaled = v * 3.0;
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-5,
+                "{v} is not a 2-bit level"
+            );
+        }
+    }
+
+    #[test]
+    fn kills_small_perturbations() {
+        // A perturbation below half a quantization step vanishes.
+        let f = BitDepth::new(3).unwrap(); // step = 1/7 ≈ 0.143
+        let img = Tensor::full(&[1, 4, 4], 0.5);
+        let perturbed = img.add_scalar(0.02);
+        assert_eq!(f.apply(&img).unwrap(), f.apply(&perturbed).unwrap());
+    }
+
+    #[test]
+    fn is_idempotent() {
+        let f = BitDepth::new(4).unwrap();
+        let mut rng = TensorRng::seed_from_u64(2);
+        let img = rng.uniform(&[1, 6, 6], 0.0, 1.0);
+        let once = f.apply(&img).unwrap();
+        let twice = f.apply(&once).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn straight_through_backward() {
+        let f = BitDepth::new(3).unwrap();
+        let mut rng = TensorRng::seed_from_u64(3);
+        let x = rng.uniform(&[1, 4, 4], 0.0, 1.0);
+        let g = rng.uniform(&[1, 4, 4], -1.0, 1.0);
+        assert_eq!(f.backward(&x, &g).unwrap(), g);
+        assert!(!f.is_linear());
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped_first() {
+        let f = BitDepth::new(2).unwrap();
+        let img = Tensor::from_vec(vec![-0.5, 1.5], [1, 1, 2].into()).unwrap();
+        let out = f.apply(&img).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 1.0]);
+    }
+}

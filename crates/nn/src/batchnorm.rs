@@ -1,0 +1,352 @@
+use fademl_tensor::{Shape, Tensor, TensorError};
+
+use crate::{Layer, NnError, Param, Result};
+
+/// Batch normalization over the channel axis of NCHW input.
+///
+/// Training normalizes each channel by the batch statistics over
+/// `(N, H, W)` and updates exponential running estimates; inference
+/// uses the running estimates. Scale (γ) and shift (β) are learnable.
+///
+/// Included as the optional modernization of the paper's VGGNet (the
+/// original VGG predates batch norm); the ablation benches compare
+/// victims with and without it.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    normalized: Tensor,
+    std_inv: Vec<f32>,
+    input_shape: Shape,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps with the
+    /// standard momentum (0.1) and epsilon (1e-5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero channels.
+    pub fn new(channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "batch norm needs at least one channel".into(),
+            });
+        }
+        Ok(BatchNorm2d {
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            cache: None,
+        })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        if input.rank() != 4 || input.dims()[1] != self.channels {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "batch_norm2d",
+                lhs: input.dims().to_vec(),
+                rhs: vec![self.channels],
+            }));
+        }
+        Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
+    }
+
+    /// Per-channel affine transform with the provided mean/var.
+    fn affine(&self, input: &Tensor, mean: &[f32], var: &[f32]) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let plane = h * w;
+        let src = input.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        for s in 0..n {
+            for c in 0..self.channels {
+                let g = self.gamma.value.as_slice()[c];
+                let b = self.beta.value.as_slice()[c];
+                let inv = 1.0 / (var[c] + self.eps).sqrt();
+                let base = (s * self.channels + c) * plane;
+                for i in 0..plane {
+                    out[base + i] = g * (src[base + i] - mean[c]) * inv + b;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, input.shape().clone())?)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batch_norm2d"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.affine(
+            input,
+            self.running_mean.as_slice(),
+            self.running_var.as_slice(),
+        )
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let src = input.as_slice();
+
+        // Batch statistics per channel.
+        let mut mean = vec![0.0f32; self.channels];
+        let mut var = vec![0.0f32; self.channels];
+        for c in 0..self.channels {
+            let mut sum = 0.0f32;
+            for s in 0..n {
+                let base = (s * self.channels + c) * plane;
+                sum += src[base..base + plane].iter().sum::<f32>();
+            }
+            mean[c] = sum / count;
+            let mut sq = 0.0f32;
+            for s in 0..n {
+                let base = (s * self.channels + c) * plane;
+                for i in 0..plane {
+                    let d = src[base + i] - mean[c];
+                    sq += d * d;
+                }
+            }
+            var[c] = sq / count;
+        }
+
+        // Update running estimates.
+        for c in 0..self.channels {
+            let rm = self.running_mean.as_mut_slice();
+            rm[c] = (1.0 - self.momentum) * rm[c] + self.momentum * mean[c];
+            let rv = self.running_var.as_mut_slice();
+            rv[c] = (1.0 - self.momentum) * rv[c] + self.momentum * var[c];
+        }
+
+        // Normalize and cache what backward needs.
+        let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut normalized = vec![0.0f32; src.len()];
+        for s in 0..n {
+            for c in 0..self.channels {
+                let base = (s * self.channels + c) * plane;
+                for i in 0..plane {
+                    normalized[base + i] = (src[base + i] - mean[c]) * std_inv[c];
+                }
+            }
+        }
+        let normalized = Tensor::from_vec(normalized, input.shape().clone())?;
+        let mut out = vec![0.0f32; src.len()];
+        for s in 0..n {
+            for c in 0..self.channels {
+                let g = self.gamma.value.as_slice()[c];
+                let b = self.beta.value.as_slice()[c];
+                let base = (s * self.channels + c) * plane;
+                for i in 0..plane {
+                    out[base + i] = g * normalized.as_slice()[base + i] + b;
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            normalized,
+            std_inv,
+            input_shape: input.shape().clone(),
+        });
+        Ok(Tensor::from_vec(out, input.shape().clone())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "batch_norm2d" })?;
+        if grad_out.shape() != &cache.input_shape {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "batch_norm2d_backward",
+                lhs: grad_out.dims().to_vec(),
+                rhs: cache.input_shape.dims().to_vec(),
+            }));
+        }
+        let dims = cache.input_shape.dims();
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let g_out = grad_out.as_slice();
+        let x_hat = cache.normalized.as_slice();
+
+        let mut grad_in = vec![0.0f32; g_out.len()];
+        for c in 0..self.channels {
+            // Channel-wise reductions.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for s in 0..n {
+                let base = (s * self.channels + c) * plane;
+                for i in 0..plane {
+                    sum_dy += g_out[base + i];
+                    sum_dy_xhat += g_out[base + i] * x_hat[base + i];
+                }
+            }
+            // Parameter gradients.
+            self.gamma.grad.as_mut_slice()[c] += sum_dy_xhat;
+            self.beta.grad.as_mut_slice()[c] += sum_dy;
+
+            // Input gradient (standard batch-norm backward formula):
+            // dx = γ/σ · (dy − mean(dy) − x̂ · mean(dy·x̂))
+            let gamma = self.gamma.value.as_slice()[c];
+            let scale = gamma * cache.std_inv[c];
+            for s in 0..n {
+                let base = (s * self.channels + c) * plane;
+                for i in 0..plane {
+                    grad_in[base + i] = scale
+                        * (g_out[base + i]
+                            - sum_dy / count
+                            - x_hat[base + i] * sum_dy_xhat / count);
+                }
+            }
+        }
+        Ok(Tensor::from_vec(grad_in, cache.input_shape.clone())?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_tensor::TensorRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(BatchNorm2d::new(0).is_err());
+        assert!(BatchNorm2d::new(8).is_ok());
+        assert_eq!(BatchNorm2d::new(8).unwrap().channels(), 8);
+    }
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = TensorRng::seed_from_u64(1);
+        let x = rng.normal(&[8, 2, 6, 6], 5.0, 3.0);
+        let y = bn.forward_train(&x).unwrap();
+        // With γ=1, β=0 each channel of the output has ≈0 mean, ≈1 var.
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..8 {
+                for i in 0..6 {
+                    for j in 0..6 {
+                        vals.push(y.get(&[s, c, i, j]).unwrap());
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_data_stats() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let mut rng = TensorRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let x = rng.normal(&[4, 1, 4, 4], 2.0, 1.5);
+            bn.forward_train(&x).unwrap();
+        }
+        let rm = bn.running_mean.as_slice()[0];
+        let rv = bn.running_var.as_slice()[0];
+        assert!((rm - 2.0).abs() < 0.2, "running mean {rm}");
+        assert!((rv - 2.25).abs() < 0.5, "running var {rv}");
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let mut rng = TensorRng::seed_from_u64(3);
+        for _ in 0..100 {
+            bn.forward_train(&rng.normal(&[4, 1, 4, 4], 0.0, 1.0)).unwrap();
+        }
+        // A constant input through inference normalization is constant.
+        let x = Tensor::full(&[1, 1, 4, 4], 0.5);
+        let y1 = bn.forward(&x).unwrap();
+        let y2 = bn.forward(&x).unwrap();
+        assert_eq!(y1, y2); // inference does not mutate state
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = TensorRng::seed_from_u64(4);
+        // Give γ/β non-trivial values.
+        bn.params_mut()[0].value = rng.uniform(&[2], 0.5, 1.5);
+        bn.params_mut()[1].value = rng.uniform(&[2], -0.5, 0.5);
+        let x = rng.uniform(&[2, 2, 3, 3], -1.0, 1.0);
+        let y = bn.forward_train(&x).unwrap();
+        let grad_in = bn.backward(&Tensor::ones(y.dims())).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |bn: &mut BatchNorm2d, inp: &Tensor| bn.forward_train(inp).unwrap().sum();
+        for idx in [0usize, 7, 17, 35] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&mut bn.clone(), &plus) - loss(&mut bn.clone(), &minus))
+                / (2.0 * eps);
+            let analytic = grad_in.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 5e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_grads_accumulate() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let mut rng = TensorRng::seed_from_u64(5);
+        let x = rng.uniform(&[2, 1, 3, 3], -1.0, 1.0);
+        let y = bn.forward_train(&x).unwrap();
+        bn.backward(&Tensor::ones(y.dims())).unwrap();
+        // β gradient for a sum loss is the element count.
+        assert!((bn.params()[1].grad.as_slice()[0] - 18.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_wrong_shapes_and_missing_cache() {
+        let mut bn = BatchNorm2d::new(3).unwrap();
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[3, 4, 4])).is_err());
+        assert!(matches!(
+            bn.backward(&Tensor::zeros(&[1, 3, 4, 4])),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+}

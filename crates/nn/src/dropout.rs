@@ -1,0 +1,190 @@
+use fademl_tensor::{Tensor, TensorRng};
+use parking_lot::Mutex;
+
+use crate::{Layer, NnError, Param, Result};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1−p)`, so
+/// inference ([`Layer::forward`]) is the identity with no rescaling.
+///
+/// Randomness is drawn from an internal seeded generator so training
+/// runs stay reproducible; the generator sits behind a mutex because
+/// [`Layer`] requires `Sync` (inference never touches it).
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: Mutex<TensorRng>,
+    seed: u64,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a seed for
+    /// its mask stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !p.is_finite() || !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig {
+                reason: format!("dropout probability must be in [0, 1), got {p}"),
+            });
+        }
+        Ok(Dropout {
+            p,
+            rng: Mutex::new(TensorRng::seed_from_u64(seed)),
+            seed,
+            cached_mask: None,
+        })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Clone for Dropout {
+    fn clone(&self) -> Self {
+        Dropout {
+            p: self.p,
+            // The clone restarts its mask stream from the original seed;
+            // what matters for reproducibility is determinism, not
+            // continuing the exact stream position.
+            rng: Mutex::new(TensorRng::seed_from_u64(self.seed)),
+            seed: self.seed,
+            cached_mask: self.cached_mask.clone(),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        // Inverted dropout: inference is the identity.
+        Ok(input.clone())
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
+        if self.p == 0.0 {
+            self.cached_mask = Some(Tensor::ones(input.dims()));
+            return Ok(input.clone());
+        }
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let mask = {
+            let mut rng = self.rng.lock();
+            let mut data = Vec::with_capacity(input.numel());
+            for _ in 0..input.numel() {
+                data.push(if rng.chance(self.p) { 0.0 } else { keep_scale });
+            }
+            Tensor::from_vec(data, input.shape().clone())?
+        };
+        let out = input.mul(&mask)?;
+        self.cached_mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "dropout" })?;
+        Ok(grad_out.mul(mask)?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(f32::NAN, 0).is_err());
+        assert!(Dropout::new(0.0, 0).is_ok());
+        assert!(Dropout::new(0.5, 0).is_ok());
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let drop = Dropout::new(0.9, 0).unwrap();
+        let x = Tensor::full(&[100], 3.0);
+        assert_eq!(drop.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction() {
+        let mut drop = Dropout::new(0.3, 1).unwrap();
+        let x = Tensor::ones(&[10_000]);
+        let y = drop.forward_train(&x).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped fraction {frac}");
+        // Survivors are scaled by 1/(1−p).
+        let survivor = y.as_slice().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn expected_value_preserved() {
+        let mut drop = Dropout::new(0.5, 2).unwrap();
+        let x = Tensor::ones(&[50_000]);
+        let y = drop.forward_train(&x).unwrap();
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut drop = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones(&[1000]);
+        let y = drop.forward_train(&x).unwrap();
+        let g = drop.backward(&Tensor::ones(&[1000])).unwrap();
+        // The gradient is zero exactly where the forward output was zero.
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut drop = Dropout::new(0.5, 4).unwrap();
+        assert!(matches!(
+            drop.backward(&Tensor::ones(&[4])),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn p_zero_is_identity_in_training() {
+        let mut drop = Dropout::new(0.0, 5).unwrap();
+        let x = Tensor::full(&[16], 2.0);
+        assert_eq!(drop.forward_train(&x).unwrap(), x);
+        assert_eq!(drop.backward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn clone_restarts_stream_deterministically() {
+        let mut a = Dropout::new(0.5, 6).unwrap();
+        let mut b = a.clone();
+        let x = Tensor::ones(&[64]);
+        assert_eq!(a.forward_train(&x).unwrap(), b.forward_train(&x).unwrap());
+        assert_eq!(a.probability(), 0.5);
+    }
+}

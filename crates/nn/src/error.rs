@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use fademl_tensor::TensorError;
+
+/// Error type for network construction, training and inference.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed (usually a shape error).
+    Tensor(TensorError),
+    /// A layer was asked to run backward before any forward pass cached
+    /// its activations.
+    NoForwardCache {
+        /// The layer that was misused.
+        layer: &'static str,
+    },
+    /// Model architecture disagreed with provided data (e.g. label count
+    /// vs batch size, or weight file vs parameter shapes).
+    ArchMismatch {
+        /// Human-readable description of the disagreement.
+        reason: String,
+    },
+    /// A configuration value was invalid (e.g. zero epochs, empty model).
+    InvalidConfig {
+        /// Human-readable description of the invalid value.
+        reason: String,
+    },
+    /// Weight (de)serialization failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called on `{layer}` before forward_train")
+            }
+            NnError::ArchMismatch { reason } => write!(f, "architecture mismatch: {reason}"),
+            NnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            NnError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = NnError::from(TensorError::EmptyTensor { op: "argmax" });
+        assert!(e.to_string().contains("argmax"));
+        assert!(e.source().is_some());
+        let e = NnError::NoForwardCache { layer: "conv2d" };
+        assert!(e.to_string().contains("conv2d"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

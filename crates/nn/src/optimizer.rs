@@ -1,0 +1,250 @@
+use fademl_tensor::Tensor;
+
+use crate::{Param, Result};
+
+/// A first-order optimizer stepping a list of parameters given their
+/// accumulated gradients.
+///
+/// Implementations may keep per-parameter state (momentum buffers,
+/// moment estimates) keyed by the *position* of the parameter in the
+/// list, so callers must always pass the same parameter order — which
+/// [`Sequential::params_mut`](crate::Sequential::params_mut) guarantees.
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update step. Does **not** zero gradients; call
+    /// [`Sequential::zero_grad`](crate::Sequential::zero_grad) before the
+    /// next backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if parameter/state shapes disagree (only possible
+    /// if the parameter list changed between steps).
+    fn step(&mut self, params: &mut [&mut Param]) -> Result<()>;
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            momentum,
+            ..Sgd::new(lr)
+        }
+    }
+
+    /// Adds L2 weight decay (builder style).
+    #[must_use]
+    pub fn weight_decay(mut self, decay: f32) -> Self {
+        self.weight_decay = decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
+        if self.momentum == 0.0 {
+            for p in params.iter_mut() {
+                if self.weight_decay > 0.0 {
+                    let decay = p.value.scale(self.weight_decay);
+                    p.grad.add_scaled_inplace(&decay, 1.0)?;
+                }
+                let grad = p.grad.clone();
+                p.value.add_scaled_inplace(&grad, -self.lr)?;
+            }
+            return Ok(());
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Tensor::zeros_like(&p.value)).collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.weight_decay > 0.0 {
+                let decay = p.value.scale(self.weight_decay);
+                p.grad.add_scaled_inplace(&decay, 1.0)?;
+            }
+            // v ← μ·v + g ; θ ← θ − lr·v
+            let mut new_v = v.scale(self.momentum);
+            new_v.add_scaled_inplace(&p.grad, 1.0)?;
+            p.value.add_scaled_inplace(&new_v, -self.lr)?;
+            *v = new_v;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros_like(&p.value)).collect();
+            self.v = params.iter().map(|p| Tensor::zeros_like(&p.value)).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad.as_slice();
+            let value = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g[i];
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g[i] * g[i];
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                value[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One quadratic-bowl step: loss = ½‖θ‖², grad = θ.
+    fn quad_step(opt: &mut dyn Optimizer, p: &mut Param) {
+        p.grad = p.value.clone();
+        opt.step(&mut [p]).unwrap();
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = Param::new(Tensor::full(&[4], 1.0));
+        for _ in 0..80 {
+            quad_step(&mut opt, &mut p);
+        }
+        assert!(p.value.norm_l2() < 1e-2, "norm {}", p.value.norm_l2());
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let mut plain = Sgd::new(0.05);
+        let mut momentum = Sgd::with_momentum(0.05, 0.9);
+        let mut p1 = Param::new(Tensor::full(&[4], 1.0));
+        let mut p2 = Param::new(Tensor::full(&[4], 1.0));
+        for _ in 0..10 {
+            quad_step(&mut plain, &mut p1);
+            quad_step(&mut momentum, &mut p2);
+        }
+        assert!(p2.value.norm_l2() < p1.value.norm_l2());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        let mut p = Param::new(Tensor::full(&[2], 1.0));
+        // Zero task gradient: decay alone should shrink the weight.
+        p.grad = Tensor::zeros(&[2]);
+        opt.step(&mut [&mut p]).unwrap();
+        assert!(p.value.as_slice()[0] < 1.0);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let mut p = Param::new(Tensor::full(&[4], 1.0));
+        for _ in 0..200 {
+            quad_step(&mut opt, &mut p);
+        }
+        assert!(p.value.norm_l2() < 5e-2, "norm {}", p.value.norm_l2());
+    }
+
+    #[test]
+    fn adam_handles_sparse_gradients() {
+        let mut opt = Adam::new(0.01);
+        let mut p = Param::new(Tensor::full(&[2], 1.0));
+        p.grad = Tensor::from_vec(vec![1.0, 0.0], [2].into()).unwrap();
+        opt.step(&mut [&mut p]).unwrap();
+        // Only the first coordinate moves.
+        assert!(p.value.as_slice()[0] < 1.0);
+        assert_eq!(p.value.as_slice()[1], 1.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.3);
+        assert_eq!(opt.learning_rate(), 0.3);
+        opt.set_learning_rate(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        let mut adam = Adam::new(0.2);
+        adam.set_learning_rate(0.05);
+        assert_eq!(adam.learning_rate(), 0.05);
+    }
+
+    #[test]
+    fn step_does_not_zero_grads() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = Param::new(Tensor::full(&[2], 1.0));
+        p.grad = Tensor::ones(&[2]);
+        opt.step(&mut [&mut p]).unwrap();
+        assert_eq!(p.grad, Tensor::ones(&[2]));
+    }
+}

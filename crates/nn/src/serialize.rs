@@ -1,0 +1,195 @@
+//! Model weight persistence.
+//!
+//! Weights are stored in a small self-describing binary format (magic +
+//! version + per-parameter shape and little-endian `f32` payload) so a
+//! trained victim model can be reused across experiment binaries without
+//! pulling a serialization-format dependency into the workspace.
+//!
+//! Loading is *state-dict style*: the architecture is rebuilt in code and
+//! the weights are poured into it positionally, with every shape checked.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use fademl_tensor::{Shape, Tensor};
+
+use crate::{NnError, Result, Sequential};
+
+const MAGIC: &[u8; 8] = b"FADEMLW1";
+
+/// Writes all model parameters to `writer`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on write failure.
+pub fn save_weights<W: Write>(model: &Sequential, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    let params = model.params();
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let dims = p.value.dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &x in p.value.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes all model parameters to a file path.
+///
+/// A mut reference can be passed for the writer in [`save_weights`]; this
+/// helper simply opens the file for you.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on create/write failure.
+pub fn save_weights_to_path<P: AsRef<Path>>(model: &Sequential, path: P) -> Result<()> {
+    save_weights(model, File::create(path)?)
+}
+
+/// Reads weights from `reader` into an existing model. The model must
+/// have been built with the same architecture (parameter order and
+/// shapes are verified).
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on read failure and
+/// [`NnError::ArchMismatch`] when the stream does not match the model's
+/// parameter list.
+pub fn load_weights<R: Read>(model: &mut Sequential, reader: R) -> Result<()> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(NnError::ArchMismatch {
+            reason: "not a FAdeML weight file (bad magic)".into(),
+        });
+    }
+    let mut u32_buf = [0u8; 4];
+    r.read_exact(&mut u32_buf)?;
+    let count = u32::from_le_bytes(u32_buf) as usize;
+    let mut params = model.params_mut();
+    if count != params.len() {
+        return Err(NnError::ArchMismatch {
+            reason: format!(
+                "weight file has {count} parameters, model has {}",
+                params.len()
+            ),
+        });
+    }
+    let mut u64_buf = [0u8; 8];
+    for (i, p) in params.iter_mut().enumerate() {
+        r.read_exact(&mut u32_buf)?;
+        let rank = u32::from_le_bytes(u32_buf) as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64_buf)?;
+            dims.push(u64::from_le_bytes(u64_buf) as usize);
+        }
+        if dims != p.value.dims() {
+            return Err(NnError::ArchMismatch {
+                reason: format!(
+                    "parameter {i}: file shape {dims:?} vs model shape {:?}",
+                    p.value.dims()
+                ),
+            });
+        }
+        let numel: usize = dims.iter().product();
+        let mut data = vec![0.0f32; numel];
+        for x in &mut data {
+            r.read_exact(&mut u32_buf)?;
+            *x = f32::from_le_bytes(u32_buf);
+        }
+        p.value = Tensor::from_vec(data, Shape::new(dims))?;
+    }
+    Ok(())
+}
+
+/// Reads weights from a file path into an existing model.
+///
+/// # Errors
+///
+/// Same conditions as [`load_weights`].
+pub fn load_weights_from_path<P: AsRef<Path>>(model: &mut Sequential, path: P) -> Result<()> {
+    load_weights(model, File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Relu};
+    use fademl_tensor::TensorRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Dense::new(4, 6, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(6, 3, &mut rng))
+    }
+
+    #[test]
+    fn round_trip_preserves_outputs() {
+        let source = model(1);
+        let mut buf = Vec::new();
+        save_weights(&source, &mut buf).unwrap();
+
+        let mut target = model(2); // different init
+        let x = Tensor::ones(&[2, 4]);
+        assert_ne!(source.forward(&x).unwrap(), target.forward(&x).unwrap());
+        load_weights(&mut target, buf.as_slice()).unwrap();
+        assert_eq!(source.forward(&x).unwrap(), target.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = model(1);
+        let err = load_weights(&mut m, &b"NOTMAGIC\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, NnError::ArchMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let source = model(1);
+        let mut buf = Vec::new();
+        save_weights(&source, &mut buf).unwrap();
+        // A model with different layer widths must refuse the file.
+        let mut rng = TensorRng::seed_from_u64(3);
+        let mut other = Sequential::new().push(Dense::new(4, 5, &mut rng));
+        assert!(load_weights(&mut other, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let source = model(1);
+        let mut buf = Vec::new();
+        save_weights(&source, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut target = model(2);
+        assert!(matches!(
+            load_weights(&mut target, buf.as_slice()),
+            Err(NnError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fademl_weight_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.bin");
+        let source = model(1);
+        save_weights_to_path(&source, &path).unwrap();
+        let mut target = model(2);
+        load_weights_from_path(&mut target, &path).unwrap();
+        let x = Tensor::ones(&[1, 4]);
+        assert_eq!(source.forward(&x).unwrap(), target.forward(&x).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+}

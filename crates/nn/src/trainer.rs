@@ -1,0 +1,344 @@
+use fademl_tensor::{Tensor, TensorRng};
+
+use crate::metrics::top1_accuracy;
+use crate::{Adam, CrossEntropyLoss, Loss, NnError, Optimizer, Result, Sequential, Sgd};
+
+/// Which optimizer the [`Trainer`] should construct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum OptimizerKind {
+    /// SGD with momentum 0.9.
+    SgdMomentum {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adam with default betas.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Optimizer selection.
+    pub optimizer: OptimizerKind,
+    /// Seed for shuffling.
+    pub seed: u64,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f32,
+    /// If `true`, prints one progress line per epoch to stderr.
+    pub verbose: bool,
+    /// Early stopping: stop when training accuracy has not improved for
+    /// this many consecutive epochs (`None` disables it).
+    pub patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            optimizer: OptimizerKind::Adam { lr: 1e-3 },
+            seed: 0,
+            lr_decay: 1.0,
+            verbose: false,
+            patience: None,
+        }
+    }
+}
+
+/// Statistics for one training epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Mean cross-entropy over all minibatches.
+    pub loss: f32,
+    /// Top-1 accuracy on the training set after the epoch.
+    pub train_accuracy: f32,
+}
+
+/// Per-epoch training history returned by [`Trainer::fit`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainHistory {
+    /// One entry per epoch, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainHistory {
+    /// The final epoch's training accuracy (0.0 before any training).
+    pub fn final_accuracy(&self) -> f32 {
+        self.epochs.last().map_or(0.0, |e| e.train_accuracy)
+    }
+}
+
+/// Minibatch training loop: shuffles, batches, runs
+/// forward/backward/step, and records per-epoch statistics.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainConfig,
+    loss: CrossEntropyLoss,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyper-parameters.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer {
+            config,
+            loss: CrossEntropyLoss::new(),
+        }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `model` on `images` (`[n, c, h, w]`) with integer `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero epochs/batch size,
+    /// [`NnError::ArchMismatch`] when labels and batch disagree, and
+    /// propagates any forward/backward error.
+    pub fn fit(
+        &mut self,
+        model: &mut Sequential,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<TrainHistory> {
+        if self.config.epochs == 0 || self.config.batch_size == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "epochs and batch_size must be positive".into(),
+            });
+        }
+        let n = images.dims().first().copied().unwrap_or(0);
+        if n != labels.len() || n == 0 {
+            return Err(NnError::ArchMismatch {
+                reason: format!("{} labels for {} images", labels.len(), n),
+            });
+        }
+
+        let mut optimizer: Box<dyn Optimizer> = match self.config.optimizer {
+            OptimizerKind::SgdMomentum { lr } => Box::new(Sgd::with_momentum(lr, 0.9)),
+            OptimizerKind::Adam { lr } => Box::new(Adam::new(lr)),
+        };
+        let mut rng = TensorRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut history = TrainHistory::default();
+        let mut best_accuracy = 0.0f32;
+        let mut stale_epochs = 0usize;
+
+        for epoch in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let batch_images: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| images.index_batch(i))
+                    .collect::<std::result::Result<_, _>>()?;
+                let batch = Tensor::stack(&batch_images)?;
+                let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+
+                model.zero_grad();
+                let logits = model.forward_train(&batch)?;
+                let lv = self.loss.compute(&logits, &batch_labels)?;
+                model.backward(&lv.grad)?;
+                optimizer.step(&mut model.params_mut())?;
+
+                epoch_loss += lv.loss;
+                batches += 1;
+            }
+            let train_accuracy = top1_accuracy(model, images, labels)?;
+            let stats = EpochStats {
+                loss: epoch_loss / batches.max(1) as f32,
+                train_accuracy,
+            };
+            if self.config.verbose {
+                eprintln!(
+                    "epoch {:>3}: loss {:.4}  train acc {:.1}%",
+                    epoch + 1,
+                    stats.loss,
+                    stats.train_accuracy * 100.0
+                );
+            }
+            history.epochs.push(stats);
+            if let Some(patience) = self.config.patience {
+                if train_accuracy > best_accuracy + 1e-6 {
+                    best_accuracy = train_accuracy;
+                    stale_epochs = 0;
+                } else {
+                    stale_epochs += 1;
+                    if stale_epochs >= patience {
+                        if self.config.verbose {
+                            eprintln!(
+                                "early stop after {} epochs ({} without improvement)",
+                                epoch + 1,
+                                stale_epochs
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+            let lr = optimizer.learning_rate() * self.config.lr_decay;
+            optimizer.set_learning_rate(lr);
+        }
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Relu};
+    use fademl_tensor::Shape;
+
+    /// A linearly separable 2-class toy problem.
+    fn toy_data() -> (Tensor, Vec<usize>) {
+        let mut rng = TensorRng::seed_from_u64(42);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let class = i % 2;
+            let center = if class == 0 { -2.0 } else { 2.0 };
+            rows.push(center + rng.uniform_scalar(-0.5, 0.5));
+            rows.push(center + rng.uniform_scalar(-0.5, 0.5));
+            labels.push(class);
+        }
+        (
+            Tensor::from_vec(rows, Shape::new(vec![40, 2])).unwrap(),
+            labels,
+        )
+    }
+
+    fn mlp() -> Sequential {
+        let mut rng = TensorRng::seed_from_u64(1);
+        Sequential::new()
+            .push(Dense::new(2, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng))
+    }
+
+    #[test]
+    fn learns_separable_problem() {
+        let (x, y) = toy_data();
+        let mut model = mlp();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut model, &x, &y).unwrap();
+        assert_eq!(history.epochs.len(), 30);
+        assert!(
+            history.final_accuracy() > 0.95,
+            "final acc {}",
+            history.final_accuracy()
+        );
+        // Loss decreased overall.
+        assert!(history.epochs.last().unwrap().loss < history.epochs[0].loss);
+    }
+
+    #[test]
+    fn sgd_also_learns() {
+        let (x, y) = toy_data();
+        let mut model = mlp();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            optimizer: OptimizerKind::SgdMomentum { lr: 0.05 },
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut model, &x, &y).unwrap();
+        assert!(history.final_accuracy() > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = toy_data();
+        let run = || {
+            let mut model = mlp();
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: 3,
+                batch_size: 8,
+                seed: 9,
+                ..TrainConfig::default()
+            });
+            trainer.fit(&mut model, &x, &y).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let (x, y) = toy_data();
+        let mut model = mlp();
+        let mut t = Trainer::new(TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        });
+        assert!(t.fit(&mut model, &x, &y).is_err());
+        let mut t = Trainer::new(TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        });
+        assert!(t.fit(&mut model, &x, &y).is_err());
+        let mut t = Trainer::new(TrainConfig::default());
+        assert!(t.fit(&mut model, &x, &y[..5]).is_err());
+    }
+
+    #[test]
+    fn early_stopping_cuts_training_short() {
+        let (x, y) = toy_data();
+        let mut model = mlp();
+        // The toy problem saturates at 100% within a few epochs, so with
+        // patience 2 the run must stop well before the 100-epoch cap.
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 100,
+            batch_size: 8,
+            patience: Some(5),
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut model, &x, &y).unwrap();
+        assert!(
+            history.epochs.len() < 100,
+            "ran all {} epochs despite patience",
+            history.epochs.len()
+        );
+        // Training still made progress before stopping.
+        assert!(history.final_accuracy() >= history.epochs[0].train_accuracy);
+    }
+
+    #[test]
+    fn patience_none_runs_all_epochs() {
+        let (x, y) = toy_data();
+        let mut model = mlp();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 12,
+            batch_size: 8,
+            patience: None,
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut model, &x, &y).unwrap();
+        assert_eq!(history.epochs.len(), 12);
+    }
+
+    #[test]
+    fn lr_decay_applies() {
+        let (x, y) = toy_data();
+        let mut model = mlp();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            lr_decay: 0.5,
+            ..TrainConfig::default()
+        });
+        // Smoke test: decaying LR must not break training.
+        assert!(trainer.fit(&mut model, &x, &y).is_ok());
+    }
+}

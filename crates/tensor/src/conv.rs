@@ -1,0 +1,566 @@
+//! 2-D convolution via im2col, with full backward passes.
+//!
+//! Layout conventions (all NCHW):
+//! - input `[N, C, H, W]`
+//! - weight `[F, C, KH, KW]`
+//! - bias `[F]`
+//! - output `[N, F, OH, OW]`
+//!
+//! The backward pass returns gradients w.r.t. input, weight and bias; the
+//! input gradient is what the adversarial attacks ultimately consume.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Number of input channels `C`.
+    pub in_channels: usize,
+    /// Number of output channels (filters) `F`.
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on all four sides.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// A square-kernel spec with the given stride and padding.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        ConvSpec {
+            in_channels,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Spatial output size for an `h × w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when the stride is zero
+    /// or the (padded) input is smaller than the kernel.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: "stride must be positive".into(),
+            });
+        }
+        if self.kernel_h == 0 || self.kernel_w == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: "kernel must be non-empty".into(),
+            });
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if ph < self.kernel_h || pw < self.kernel_w {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!(
+                    "kernel {}x{} larger than padded input {ph}x{pw}",
+                    self.kernel_h, self.kernel_w
+                ),
+            });
+        }
+        Ok((
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        ))
+    }
+
+    /// Number of weight parameters: `F · C · KH · KW`.
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel_h * self.kernel_w
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2dGrads {
+    /// `∂L/∂input`, shaped like the forward input.
+    pub input: Tensor,
+    /// `∂L/∂weight`, shaped like the weight.
+    pub weight: Tensor,
+    /// `∂L/∂bias`, shaped `[F]`.
+    pub bias: Tensor,
+}
+
+/// Unfolds one `[C, H, W]` image into an im2col matrix
+/// `[C·KH·KW, OH·OW]` for the given geometry.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-3 input,
+/// [`TensorError::ShapeMismatch`] when the channel count disagrees with
+/// the spec, or [`TensorError::InvalidGeometry`] for impossible geometry.
+pub fn im2col(image: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
+    if image.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "im2col",
+            expected: 3,
+            actual: image.rank(),
+        });
+    }
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: image.dims().to_vec(),
+            rhs: vec![spec.in_channels],
+        });
+    }
+    let (oh, ow) = spec.output_size(h, w)?;
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = image.as_slice();
+    let pad = spec.padding as isize;
+    for ch in 0..c {
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + kh as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // zero padding: leave zeros in place
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kw as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] =
+                            data[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::new(vec![rows, cols]))
+}
+
+/// Folds an im2col matrix back into an image, *summing* overlapping
+/// contributions — the exact adjoint of [`im2col`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not have the
+/// `[C·KH·KW, OH·OW]` shape implied by `spec` and `(h, w)`, or
+/// [`TensorError::InvalidGeometry`] for impossible geometry.
+pub fn col2im(cols: &Tensor, spec: &ConvSpec, h: usize, w: usize) -> Result<Tensor> {
+    let (oh, ow) = spec.output_size(h, w)?;
+    let c = spec.in_channels;
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    if cols.dims() != [rows, oh * ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.dims().to_vec(),
+            rhs: vec![rows, oh * ow],
+        });
+    }
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols.as_slice();
+    let pad = spec.padding as isize;
+    let n_cols = oh * ow;
+    for ch in 0..c {
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
+                let in_row = &data[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + kh as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kw as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[(ch * h + iy as usize) * w + ix as usize] +=
+                            in_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::new(vec![c, h, w]))
+}
+
+fn validate_conv_input(input: &Tensor, spec: &ConvSpec) -> Result<(usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: input.dims().to_vec(),
+            rhs: vec![spec.in_channels],
+        });
+    }
+    let _ = n;
+    Ok((h, w, n))
+}
+
+/// Batched 2-D convolution: `[N, C, H, W] → [N, F, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank 4, the channel counts
+/// disagree with `spec`, `weight`/`bias` have the wrong shapes, or the
+/// geometry is impossible.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
+    let (h, w, n) = validate_conv_input(input, spec)?;
+    let k_flat = spec.in_channels * spec.kernel_h * spec.kernel_w;
+    if weight.dims()
+        != [
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel_h,
+            spec.kernel_w,
+        ]
+    {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: weight.dims().to_vec(),
+            rhs: vec![
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel_h,
+                spec.kernel_w,
+            ],
+        });
+    }
+    if bias.dims() != [spec.out_channels] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: bias.dims().to_vec(),
+            rhs: vec![spec.out_channels],
+        });
+    }
+    let (oh, ow) = spec.output_size(h, w)?;
+    let w_mat = weight.reshape(&[spec.out_channels, k_flat])?;
+    let mut out = Vec::with_capacity(n * spec.out_channels * oh * ow);
+    let bias_data = bias.as_slice();
+    for sample in 0..n {
+        let image = input.index_batch(sample)?;
+        let cols = im2col(&image, spec)?;
+        let prod = w_mat.matmul(&cols)?; // [F, OH*OW]
+        let prod_data = prod.as_slice();
+        for f in 0..spec.out_channels {
+            let b = bias_data[f];
+            out.extend(prod_data[f * oh * ow..(f + 1) * oh * ow].iter().map(|&x| x + b));
+        }
+    }
+    Tensor::from_vec(out, Shape::new(vec![n, spec.out_channels, oh, ow]))
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// `grad_out` must have the forward output's shape `[N, F, OH, OW]`.
+///
+/// # Errors
+///
+/// Same shape conditions as [`conv2d`], plus a shape check on `grad_out`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &ConvSpec,
+) -> Result<Conv2dGrads> {
+    let (h, w, n) = validate_conv_input(input, spec)?;
+    let (oh, ow) = spec.output_size(h, w)?;
+    if grad_out.dims() != [n, spec.out_channels, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: grad_out.dims().to_vec(),
+            rhs: vec![n, spec.out_channels, oh, ow],
+        });
+    }
+    let k_flat = spec.in_channels * spec.kernel_h * spec.kernel_w;
+    let w_mat = weight.reshape(&[spec.out_channels, k_flat])?;
+
+    let mut grad_input = Vec::with_capacity(input.numel());
+    let mut grad_weight = Tensor::zeros(&[spec.out_channels, k_flat]);
+    let mut grad_bias = vec![0.0f32; spec.out_channels];
+
+    for sample in 0..n {
+        let image = input.index_batch(sample)?;
+        let cols = im2col(&image, spec)?;
+        let g = grad_out.index_batch(sample)?; // [F, OH, OW]
+        let g_mat = g.reshape(&[spec.out_channels, oh * ow])?;
+
+        // ∂bias: sum over spatial positions.
+        let g_data = g_mat.as_slice();
+        for f in 0..spec.out_channels {
+            grad_bias[f] += g_data[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
+        }
+
+        // ∂weight += g_mat · colsᵀ  ([F, OH·OW] × [OH·OW, K] = [F, K]).
+        let gw = g_mat.matmul_nt(&cols)?;
+        grad_weight.add_scaled_inplace(&gw, 1.0)?;
+
+        // ∂input = col2im(w_matᵀ · g_mat).
+        let gcols = w_mat.matmul_tn(&g_mat)?; // [K, OH·OW]
+        let gi = col2im(&gcols, spec, h, w)?;
+        grad_input.extend_from_slice(gi.as_slice());
+    }
+
+    Ok(Conv2dGrads {
+        input: Tensor::from_vec(grad_input, input.shape().clone())?,
+        weight: grad_weight.reshape(weight.dims())?,
+        bias: Tensor::from_vec(grad_bias, Shape::new(vec![spec.out_channels]))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+    use proptest::prelude::*;
+
+    /// Naive direct convolution used as a reference implementation.
+    fn conv2d_naive(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (oh, ow) = spec.output_size(h, w).unwrap();
+        let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+        for s in 0..n {
+            for f in 0..spec.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.get(&[f]).unwrap();
+                        for ch in 0..c {
+                            for kh in 0..spec.kernel_h {
+                                for kw in 0..spec.kernel_w {
+                                    let iy = (oy * spec.stride + kh) as isize
+                                        - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kw) as isize
+                                        - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += input
+                                        .get(&[s, ch, iy as usize, ix as usize])
+                                        .unwrap()
+                                        * weight.get(&[f, ch, kh, kw]).unwrap();
+                                }
+                            }
+                        }
+                        out.set(&[s, f, oy, ox], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn random_setup(
+        seed: u64,
+        spec: &ConvSpec,
+        n: usize,
+        h: usize,
+        w: usize,
+    ) -> (Tensor, Tensor, Tensor) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let input = rng.uniform(&[n, spec.in_channels, h, w], -1.0, 1.0);
+        let weight = rng.uniform(
+            &[spec.out_channels, spec.in_channels, spec.kernel_h, spec.kernel_w],
+            -0.5,
+            0.5,
+        );
+        let bias = rng.uniform(&[spec.out_channels], -0.1, 0.1);
+        (input, weight, bias)
+    }
+
+    #[test]
+    fn output_size_math() {
+        let spec = ConvSpec::new(1, 1, 3, 1, 1);
+        assert_eq!(spec.output_size(8, 8).unwrap(), (8, 8)); // "same" conv
+        let spec = ConvSpec::new(1, 1, 3, 2, 0);
+        assert_eq!(spec.output_size(7, 7).unwrap(), (3, 3));
+        let spec = ConvSpec::new(1, 1, 5, 1, 0);
+        assert!(spec.output_size(3, 3).is_err());
+        let spec = ConvSpec {
+            stride: 0,
+            ..ConvSpec::new(1, 1, 3, 1, 0)
+        };
+        assert!(spec.output_size(8, 8).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1 and bias 0 is the identity.
+        let spec = ConvSpec::new(1, 1, 1, 1, 0);
+        let mut rng = TensorRng::seed_from_u64(1);
+        let input = rng.uniform(&[1, 1, 4, 4], -1.0, 1.0);
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        for (spec, h, w) in [
+            (ConvSpec::new(2, 3, 3, 1, 1), 5, 5),
+            (ConvSpec::new(1, 2, 3, 2, 0), 7, 6),
+            (ConvSpec::new(3, 1, 2, 1, 0), 4, 4),
+            (ConvSpec::new(2, 2, 3, 1, 2), 3, 3),
+        ] {
+            let (input, weight, bias) = random_setup(42, &spec, 2, h, w);
+            let fast = conv2d(&input, &weight, &bias, &spec).unwrap();
+            let slow = conv2d_naive(&input, &weight, &bias, &spec);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b} for spec {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair, which is what backprop relies on.
+        let spec = ConvSpec::new(2, 1, 3, 1, 1);
+        let (h, w) = (5, 4);
+        let (oh, ow) = spec.output_size(h, w).unwrap();
+        let rows = spec.in_channels * spec.kernel_h * spec.kernel_w;
+        let mut rng = TensorRng::seed_from_u64(9);
+        let x = rng.uniform(&[spec.in_channels, h, w], -1.0, 1.0);
+        let y = rng.uniform(&[rows, oh * ow], -1.0, 1.0);
+        let lhs = im2col(&x, &spec).unwrap().dot(&y).unwrap();
+        let folded = col2im(&y, &spec, h, w).unwrap();
+        let rhs = x.dot(&folded).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let spec = ConvSpec::new(2, 2, 3, 1, 1);
+        let (input, weight, bias) = random_setup(7, &spec, 1, 4, 4);
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        // Loss = sum of outputs → grad_out = ones.
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, &spec).unwrap();
+
+        let eps = 1e-3f32;
+        let loss = |inp: &Tensor, wgt: &Tensor, b: &Tensor| {
+            conv2d(inp, wgt, b, &spec).unwrap().sum()
+        };
+
+        // Check a sample of input gradient entries.
+        for idx in [0usize, 5, 13, 31] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias))
+                / (2.0 * eps);
+            let analytic = grads.input.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "input grad {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check weight gradient entries.
+        for idx in [0usize, 7, 17, 35] {
+            let mut plus = weight.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = weight.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&input, &plus, &bias) - loss(&input, &minus, &bias))
+                / (2.0 * eps);
+            let analytic = grads.weight.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 5e-2,
+                "weight grad {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Bias gradient is exactly N·OH·OW per filter for a sum loss.
+        let (oh, ow) = spec.output_size(4, 4).unwrap();
+        for f in 0..spec.out_channels {
+            assert!((grads.bias.get(&[f]).unwrap() - (oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let spec = ConvSpec::new(2, 3, 3, 1, 1);
+        let bad_input = Tensor::zeros(&[1, 1, 4, 4]); // 1 channel, spec wants 2
+        let weight = Tensor::zeros(&[3, 2, 3, 3]);
+        let bias = Tensor::zeros(&[3]);
+        assert!(conv2d(&bad_input, &weight, &bias, &spec).is_err());
+        let input = Tensor::zeros(&[1, 2, 4, 4]);
+        assert!(conv2d(&input, &Tensor::zeros(&[3, 2, 2, 2]), &bias, &spec).is_err());
+        assert!(conv2d(&input, &weight, &Tensor::zeros(&[4]), &spec).is_err());
+        assert!(conv2d(&Tensor::zeros(&[2, 4, 4]), &weight, &bias, &spec).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Convolution is linear in its input: conv(a·x) == a·conv(x)
+        /// when bias is zero.
+        #[test]
+        fn linear_in_input(seed in 0u64..1000, scale in 0.5f32..2.0) {
+            let spec = ConvSpec::new(1, 2, 3, 1, 1);
+            let (input, weight, _) = random_setup(seed, &spec, 1, 4, 4);
+            let bias = Tensor::zeros(&[2]);
+            let out1 = conv2d(&input.scale(scale), &weight, &bias, &spec).unwrap();
+            let out2 = conv2d(&input, &weight, &bias, &spec).unwrap().scale(scale);
+            for (a, b) in out1.as_slice().iter().zip(out2.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+
+        /// im2col → matmul path agrees with the naive reference for
+        /// random geometry.
+        #[test]
+        fn agrees_with_reference(
+            seed in 0u64..1000,
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            padding in 0usize..2,
+        ) {
+            let spec = ConvSpec::new(2, 2, kernel, stride, padding);
+            let (h, w) = (6, 5);
+            prop_assume!(spec.output_size(h, w).is_ok());
+            let (input, weight, bias) = random_setup(seed, &spec, 1, h, w);
+            let fast = conv2d(&input, &weight, &bias, &spec).unwrap();
+            let slow = conv2d_naive(&input, &weight, &bias, &spec);
+            for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+}

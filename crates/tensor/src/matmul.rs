@@ -1,0 +1,236 @@
+//! Dense matrix multiplication.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order with the inner loop over
+    /// contiguous rows of the right operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not
+    /// rank 2, or [`TensorError::ShapeMismatch`] if the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: other.rank(),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, Shape::new(vec![m, n]))
+    }
+
+    /// `selfᵀ × other` without materializing the transpose.
+    ///
+    /// `self` is `[k, m]`, `other` is `[k, n]`, result is `[m, n]`.
+    /// This shows up in the backward pass of dense layers
+    /// (`∂W = xᵀ · ∂y`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_tn",
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+            });
+        }
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
+                    *o += a_pi * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, Shape::new(vec![m, n]))
+    }
+
+    /// `self × otherᵀ` without materializing the transpose.
+    ///
+    /// `self` is `[m, k]`, `other` is `[n, k]`, result is `[m, n]`.
+    /// This shows up in the backward pass of dense layers
+    /// (`∂x = ∂y · Wᵀ` for a `[out, in]` weight laid out as `[n, k]`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_nt",
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, Shape::new(vec![m, n]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), Shape::new(vec![rows, cols])).unwrap()
+    }
+
+    #[test]
+    fn small_product() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = mat(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = mat(2, 3, &[0.0; 6]);
+        let b = mat(2, 3, &[0.0; 6]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(Tensor::zeros(&[2]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = mat(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 4, &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let fused = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(4, 3, &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let fused = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(fused, explicit);
+    }
+
+    proptest! {
+        /// (A·B)·C == A·(B·C) within tolerance.
+        #[test]
+        fn associativity(
+            a in proptest::collection::vec(-2.0f32..2.0, 6),
+            b in proptest::collection::vec(-2.0f32..2.0, 6),
+            c in proptest::collection::vec(-2.0f32..2.0, 6),
+        ) {
+            let ta = mat(2, 3, &a);
+            let tb = mat(3, 2, &b);
+            let tc = mat(2, 3, &c);
+            let left = ta.matmul(&tb).unwrap().matmul(&tc).unwrap();
+            let right = ta.matmul(&tb.matmul(&tc).unwrap()).unwrap();
+            for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        /// (A·B)ᵀ == Bᵀ·Aᵀ.
+        #[test]
+        fn transpose_of_product(
+            a in proptest::collection::vec(-2.0f32..2.0, 6),
+            b in proptest::collection::vec(-2.0f32..2.0, 6),
+        ) {
+            let ta = mat(2, 3, &a);
+            let tb = mat(3, 2, &b);
+            let lhs = ta.matmul(&tb).unwrap().transpose().unwrap();
+            let rhs = tb.transpose().unwrap().matmul(&ta.transpose().unwrap()).unwrap();
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Filter-defense sweep (a miniature of the paper's Fig. 7): craft one
+//! adversarial stop sign per attack, then show what the pipeline
+//! reports as each LAP/LAR configuration is deployed.
+//!
+//! ```text
+//! cargo run --release --example filter_defense
+//! ```
+
+use fademl::report::{pct, Table};
+use fademl::setup::{ExperimentSetup, SetupProfile};
+use fademl::{InferencePipeline, Scenario, ThreatModel};
+use fademl_attacks::{Attack, AttackSurface, Bim, Fgsm, LbfgsAttack};
+use fademl_data::ClassId;
+use fademl_filters::FilterSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prepared = ExperimentSetup::profile(SetupProfile::Smoke).prepare()?;
+    let scenario = Scenario::paper_scenarios()[0];
+    let stop_sign = prepared.test.first_of_class(scenario.source)?;
+    println!("victim: {:.1}% train accuracy", prepared.train_accuracy * 100.0);
+    println!("scenario: {scenario}\n");
+
+    // Craft each classical attack once against the bare DNN.
+    let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
+        ("L-BFGS", Box::new(LbfgsAttack::new(0.02, 20)?)),
+        ("FGSM", Box::new(Fgsm::new(0.10)?)),
+        ("BIM", Box::new(Bim::new(0.10, 0.02, 10)?)),
+    ];
+    let mut crafted = Vec::new();
+    for (label, attack) in &attacks {
+        let mut surface = AttackSurface::new(prepared.model.clone());
+        let adv = attack.run(&mut surface, &stop_sign, scenario.goal())?;
+        crafted.push((*label, adv));
+    }
+
+    // Evaluate every adversarial image through the paper's full filter
+    // sweep: None, LAP(4..64), LAR(1..5).
+    let filters = FilterSpec::paper_sweep();
+    let mut header = vec!["Attack".to_owned()];
+    header.extend(filters.iter().map(|f| f.to_string()));
+    let mut table = Table::new(
+        "pipeline verdict per deployed filter (Threat Model III)",
+        header,
+    );
+    for (label, adv) in &crafted {
+        let mut row = vec![(*label).to_owned()];
+        for &filter in &filters {
+            let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
+            let verdict = pipeline.classify(&adv.adversarial, ThreatModel::III)?;
+            let marker = if verdict.class == scenario.target.index() {
+                " ⚠"
+            } else {
+                ""
+            };
+            row.push(format!("{}{} {}", verdict.class, marker, pct(verdict.confidence)));
+        }
+        table.push_row(row);
+    }
+    println!("{table}");
+    println!(
+        "(class {} = \"{}\", the attacker's target; ⚠ marks a surviving attack)",
+        scenario.target.index(),
+        ClassId::new(scenario.target.index())?.info().name
+    );
+    Ok(())
+}

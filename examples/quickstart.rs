@@ -1,0 +1,75 @@
+//! Quickstart: train a victim, attack it, watch the filter neutralize
+//! the attack, then watch FAdeML defeat the filter.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fademl::setup::{ExperimentSetup, SetupProfile};
+use fademl::{InferencePipeline, Scenario, ThreatModel};
+use fademl_attacks::{Attack, AttackSurface, Fademl, Fgsm};
+use fademl_data::ClassId;
+use fademl_filters::FilterSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train (or reuse) a small VGG-style victim on SynSign-43.
+    println!("preparing victim model (SynSign-43)…");
+    let prepared = ExperimentSetup::profile(SetupProfile::Smoke).prepare()?;
+    println!(
+        "victim ready: {:.1}% train accuracy, {} parameters\n",
+        prepared.train_accuracy * 100.0,
+        prepared.model.param_count()
+    );
+
+    // 2. The deployed pipeline smooths every input with LAP(16).
+    let filter = FilterSpec::Lap { np: 16 };
+    let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
+
+    // 3. Scenario 1 of the paper: make a stop sign read as "60 km/h".
+    let scenario = Scenario::paper_scenarios()[0];
+    let stop_sign = prepared.test.first_of_class(scenario.source)?;
+    println!("scenario: {scenario}");
+
+    // 4. Classical FGSM, crafted against the bare DNN (Threat Model I).
+    let fgsm = Fgsm::new(0.10)?;
+    let mut bare_surface = AttackSurface::new(prepared.model.clone());
+    let blind = fgsm.run(&mut bare_surface, &stop_sign, scenario.goal())?;
+    let tm1 = pipeline.classify(&blind.adversarial, ThreatModel::I)?;
+    let tm3 = pipeline.classify(&blind.adversarial, ThreatModel::III)?;
+    println!("\nclassical FGSM:");
+    println!(
+        "  straight into the DNN buffer (TM-I): {} ({:.1}%)",
+        name(tm1.class),
+        tm1.confidence * 100.0
+    );
+    println!(
+        "  through the LAP(16) filter (TM-III):  {} ({:.1}%)",
+        name(tm3.class),
+        tm3.confidence * 100.0
+    );
+
+    // 5. FAdeML: the same FGSM, but optimized through filter ∘ DNN.
+    let fademl = Fademl::new(Box::new(Fgsm::new(0.10)?), 3, 1.0)?;
+    let mut aware_surface =
+        AttackSurface::with_filter(prepared.model.clone(), filter.build()?);
+    let aware = fademl.run(&mut aware_surface, &stop_sign, scenario.goal())?;
+    let verdict = pipeline.classify(&aware.adversarial, ThreatModel::III)?;
+    println!("\nFAdeML[FGSM] (filter-aware):");
+    println!(
+        "  through the LAP(16) filter (TM-III):  {} ({:.1}%)",
+        name(verdict.class),
+        verdict.confidence * 100.0
+    );
+    println!(
+        "  noise magnitude: L∞ = {:.3}, L2 = {:.3}",
+        aware.noise_linf(),
+        aware.noise_l2()
+    );
+    Ok(())
+}
+
+fn name(class: usize) -> String {
+    ClassId::new(class)
+        .map(|c| c.info().name.to_owned())
+        .unwrap_or_else(|_| format!("class {class}"))
+}

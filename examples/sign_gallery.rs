@@ -1,0 +1,55 @@
+//! Renders a gallery of SynSign-43 images to PPM files so the synthetic
+//! dataset (and an adversarial example) can be inspected with any image
+//! viewer.
+//!
+//! ```text
+//! cargo run --release --example sign_gallery
+//! # images land in ./sign_gallery/
+//! ```
+
+use fademl::setup::{ExperimentSetup, SetupProfile};
+use fademl::Scenario;
+use fademl_attacks::{Attack, AttackSurface, Fgsm};
+use fademl_data::{render_sign, save_ppm, ClassId, NoiseModel, RenderJitter};
+use fademl_filters::{Filter, Lap};
+use fademl_tensor::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("sign_gallery");
+    std::fs::create_dir_all(out_dir)?;
+
+    // 1. One canonical rendering per class.
+    for class in ClassId::all() {
+        let img = render_sign(class, 64, &RenderJitter::default())?;
+        let name = class.info().name.replace(' ', "_");
+        save_ppm(&img, out_dir.join(format!("class_{:02}_{}.ppm", class.index(), name)))?;
+    }
+
+    // 2. The acquisition pipeline stages for one stop sign.
+    let mut rng = TensorRng::seed_from_u64(42);
+    let clean = render_sign(ClassId::STOP, 64, &RenderJitter::default())?;
+    let noisy = NoiseModel::sensor().apply(&clean, &mut rng);
+    let filtered = Lap::new(8)?.apply(&noisy)?;
+    save_ppm(&clean, out_dir.join("stage_1_rendered.ppm"))?;
+    save_ppm(&noisy, out_dir.join("stage_2_acquired_noisy.ppm"))?;
+    save_ppm(&filtered, out_dir.join("stage_3_lap8_filtered.ppm"))?;
+
+    // 3. An adversarial stop sign and its (amplified) noise.
+    let prepared = ExperimentSetup::profile(SetupProfile::Smoke).prepare()?;
+    let scenario = Scenario::paper_scenarios()[0];
+    let source = prepared.test.first_of_class(scenario.source)?;
+    let mut surface = AttackSurface::new(prepared.model.clone());
+    let adv = Fgsm::new(0.08)?.run(&mut surface, &source, scenario.goal())?;
+    save_ppm(&source, out_dir.join("adv_1_original.ppm"))?;
+    save_ppm(&adv.adversarial, out_dir.join("adv_2_adversarial.ppm"))?;
+    // Noise is in [−ε, ε]; shift and stretch it into the visible range.
+    let noise_vis = adv.noise.scale(4.0).add_scalar(0.5).clamp(0.0, 1.0);
+    save_ppm(&noise_vis, out_dir.join("adv_3_noise_x4.ppm"))?;
+
+    println!(
+        "wrote {} PPM files to {}",
+        43 + 6,
+        out_dir.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Train a VGG-style classifier on SynSign-43 from scratch and report
+//! the metrics the paper uses (top-1 / top-5 accuracy, per-class
+//! confidence), end to end.
+//!
+//! ```text
+//! cargo run --release --example train_and_eval
+//! ```
+
+use fademl_data::{ClassId, DatasetConfig, SignDataset, CLASS_COUNT};
+use fademl_nn::metrics::{predict_top_k, top1_accuracy, top5_accuracy};
+use fademl_nn::vgg::VggConfig;
+use fademl_nn::{OptimizerKind, TrainConfig, Trainer};
+use fademl_tensor::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Generate a balanced synthetic traffic-sign dataset.
+    let config = DatasetConfig {
+        samples_per_class: 10,
+        image_size: 20,
+        seed: 3,
+        ..DatasetConfig::default()
+    };
+    let dataset = SignDataset::generate(&config)?;
+    let split = dataset.split(0.25)?;
+    println!(
+        "SynSign-43: {} train / {} test images of {}x{} px, {} classes",
+        split.train.len(),
+        split.test.len(),
+        config.image_size,
+        config.image_size,
+        CLASS_COUNT
+    );
+
+    // Build and train the victim.
+    let mut rng = TensorRng::seed_from_u64(3);
+    let vgg = VggConfig::tiny(3, config.image_size, CLASS_COUNT);
+    let mut model = vgg.build(&mut rng)?;
+    println!("\nmodel architecture:\n{}\n", model.summary());
+
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        optimizer: OptimizerKind::Adam { lr: 2e-3 },
+        seed: 3,
+        lr_decay: 0.95,
+        verbose: true,
+        patience: Some(4),
+    });
+    trainer.fit(&mut model, split.train.images(), split.train.labels())?;
+
+    // Evaluate with the paper's metrics.
+    let top1 = top1_accuracy(&model, split.test.images(), split.test.labels())?;
+    let top5 = top5_accuracy(&model, split.test.images(), split.test.labels())?;
+    println!("\ntest top-1 accuracy: {:.1}%", top1 * 100.0);
+    println!("test top-5 accuracy: {:.1}%", top5 * 100.0);
+
+    // Show the top-5 ranking for one stop sign, paper-figure style.
+    let stop = split.test.first_of_class(ClassId::STOP)?;
+    let prediction = predict_top_k(&model, &stop.unsqueeze_batch(), 5)?.remove(0);
+    println!("\ntop-5 prediction for a held-out stop sign:");
+    for (class, prob) in prediction
+        .top_classes
+        .iter()
+        .zip(&prediction.top_probs)
+    {
+        println!(
+            "  {:>5.1}%  {}",
+            prob * 100.0,
+            ClassId::new(*class)?.info().name
+        );
+    }
+    Ok(())
+}

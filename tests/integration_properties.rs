@@ -1,0 +1,180 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! (seeded) attack configuration, filter parameter or image.
+
+use std::sync::OnceLock;
+
+use fademl::cost::top5_cost;
+use fademl::setup::{ExperimentSetup, PreparedSetup, SetupProfile};
+use fademl::{InferencePipeline, ThreatModel};
+use fademl_attacks::{Attack, AttackGoal, AttackSurface, Bim, Fgsm};
+use fademl_data::{render_sign, ClassId, RenderJitter};
+use fademl_filters::FilterSpec;
+use fademl_tensor::TensorRng;
+use proptest::prelude::*;
+
+fn image_size() -> usize {
+    prepared().test.image_size()
+}
+
+fn prepared() -> &'static PreparedSetup {
+    static CELL: OnceLock<PreparedSetup> = OnceLock::new();
+    CELL.get_or_init(|| {
+        ExperimentSetup::profile(SetupProfile::Smoke)
+            .prepare()
+            .expect("smoke setup trains")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any FGSM adversarial example stays a valid image and within the
+    /// ε-ball, regardless of epsilon, target or source class.
+    #[test]
+    fn fgsm_examples_always_valid(
+        eps in 0.01f32..0.2,
+        target in 0usize..43,
+        source_class in 0usize..43,
+    ) {
+        let p = prepared();
+        let source = p
+            .test
+            .first_of_class(ClassId::new(source_class).unwrap())
+            .or_else(|_| p.train.first_of_class(ClassId::new(source_class).unwrap()))
+            .unwrap();
+        let mut surface = AttackSurface::new(p.model.clone());
+        let adv = Fgsm::new(eps)
+            .unwrap()
+            .run(&mut surface, &source, AttackGoal::Targeted { class: target })
+            .unwrap();
+        prop_assert!(adv.adversarial.min().unwrap() >= 0.0);
+        prop_assert!(adv.adversarial.max().unwrap() <= 1.0);
+        prop_assert!(adv.noise_linf() <= eps + 1e-5);
+        prop_assert!(!adv.adversarial.has_non_finite());
+    }
+
+    /// The Eq. 2 cost of a verdict against itself is zero, and against
+    /// any other verdict is antisymmetric — for real pipeline outputs.
+    #[test]
+    fn cost_properties_on_real_verdicts(class_a in 0usize..43, class_b in 0usize..43) {
+        let p = prepared();
+        let pipeline =
+            InferencePipeline::new(p.model.clone(), FilterSpec::Lap { np: 8 }).unwrap();
+        let img_a = render_sign(ClassId::new(class_a).unwrap(), image_size(), &RenderJitter::default()).unwrap();
+        let img_b = render_sign(ClassId::new(class_b).unwrap(), image_size(), &RenderJitter::default()).unwrap();
+        let va = pipeline.classify(&img_a, ThreatModel::III).unwrap();
+        let vb = pipeline.classify(&img_b, ThreatModel::III).unwrap();
+        prop_assert!(top5_cost(&va.probabilities, &va.probabilities).unwrap().abs() < 1e-6);
+        let ab = top5_cost(&va.probabilities, &vb.probabilities).unwrap();
+        let ba = top5_cost(&vb.probabilities, &va.probabilities).unwrap();
+        prop_assert!((ab + ba).abs() < 1e-5);
+    }
+
+    /// Filtering commutes with batching: classifying a filtered image
+    /// equals filtering then classifying, for every filter config.
+    #[test]
+    fn pipeline_staging_matches_manual_filtering(
+        lap_np_idx in 0usize..5,
+        class in 0usize..43,
+    ) {
+        let p = prepared();
+        let np = [4usize, 8, 16, 32, 64][lap_np_idx];
+        let spec = FilterSpec::Lap { np };
+        let pipeline = InferencePipeline::new(p.model.clone(), spec).unwrap();
+        let image = render_sign(ClassId::new(class).unwrap(), image_size(), &RenderJitter::default()).unwrap();
+        let via_pipeline = pipeline.classify(&image, ThreatModel::III).unwrap();
+        // Manual: filter, then classify bypassing the pipeline filter.
+        let filtered = spec.build().unwrap().apply(&image).unwrap();
+        let manual = pipeline.classify(&filtered, ThreatModel::I).unwrap();
+        prop_assert_eq!(via_pipeline.class, manual.class);
+        prop_assert!((via_pipeline.confidence - manual.confidence).abs() < 1e-5);
+    }
+
+    /// BIM with random valid hyper-parameters respects its contract.
+    #[test]
+    fn bim_respects_budget(
+        eps in 0.02f32..0.15,
+        iters in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let p = prepared();
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let image = rng.uniform(&[3, image_size(), image_size()], 0.0, 1.0);
+        let alpha = eps / 2.0;
+        let mut surface = AttackSurface::new(p.model.clone());
+        let adv = Bim::new(eps, alpha, iters)
+            .unwrap()
+            .run(&mut surface, &image, AttackGoal::Targeted { class: 3 })
+            .unwrap();
+        prop_assert!(adv.noise_linf() <= eps + 1e-5);
+        prop_assert!(adv.iterations <= iters);
+        prop_assert!(adv.adversarial.min().unwrap() >= 0.0);
+        prop_assert!(adv.adversarial.max().unwrap() <= 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// FGSM is exactly BIM with a single step of size eps: same image out.
+    #[test]
+    fn fgsm_equals_single_step_bim(eps in 0.02f32..0.15, target in 0usize..43, seed in 0u64..50) {
+        let p = prepared();
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let x = rng.uniform(&[3, image_size(), image_size()], 0.1, 0.9);
+        let goal = AttackGoal::Targeted { class: target };
+        let mut s1 = AttackSurface::new(p.model.clone());
+        let mut s2 = AttackSurface::new(p.model.clone());
+        let fgsm = Fgsm::new(eps).unwrap().run(&mut s1, &x, goal).unwrap();
+        let bim = Bim::new(eps, eps, 1).unwrap().run(&mut s2, &x, goal).unwrap();
+        prop_assert_eq!(fgsm.adversarial, bim.adversarial);
+    }
+
+    /// Weight serialization is lossless for any random model weights:
+    /// the loaded twin produces byte-identical outputs.
+    #[test]
+    fn weight_round_trip_preserves_behaviour(seed in 0u64..200) {
+        use fademl_nn::{serialize, vgg::VggConfig};
+        let config = VggConfig::tiny(3, 12, 7);
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let source = config.build(&mut rng).unwrap();
+        let mut buf = Vec::new();
+        serialize::save_weights(&source, &mut buf).unwrap();
+        let mut rng2 = TensorRng::seed_from_u64(seed.wrapping_add(1));
+        let mut twin = config.build(&mut rng2).unwrap();
+        serialize::load_weights(&mut twin, buf.as_slice()).unwrap();
+        let mut probe_rng = TensorRng::seed_from_u64(9);
+        let x = probe_rng.uniform(&[2, 3, 12, 12], 0.0, 1.0);
+        prop_assert_eq!(source.forward(&x).unwrap(), twin.forward(&x).unwrap());
+    }
+
+    /// The whole deployed pipeline never emits non-finite probabilities,
+    /// whatever (valid) image and filter it is given.
+    #[test]
+    fn pipeline_outputs_stay_finite(seed in 0u64..200, filter_idx in 0usize..11) {
+        let p = prepared();
+        let spec = FilterSpec::paper_sweep()[filter_idx];
+        let pipeline = InferencePipeline::new(p.model.clone(), spec).unwrap();
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let image = rng.uniform(&[3, image_size(), image_size()], 0.0, 1.0);
+        for threat in ThreatModel::ALL {
+            let verdict = pipeline.classify(&image, threat).unwrap();
+            prop_assert!(!verdict.probabilities.has_non_finite());
+            prop_assert!(verdict.confidence > 0.0 && verdict.confidence <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn filters_preserve_image_range_on_dataset_samples() {
+    let p = prepared();
+    for spec in FilterSpec::paper_sweep() {
+        let filter = spec.build().unwrap();
+        let filtered = filter.apply(p.test.images()).unwrap();
+        assert!(
+            filtered.min().unwrap() >= -1e-5 && filtered.max().unwrap() <= 1.0 + 1e-5,
+            "{spec} left the pixel range"
+        );
+        assert_eq!(filtered.dims(), p.test.images().dims());
+    }
+}
