@@ -61,7 +61,11 @@ impl Bim {
                 reason: "BIM needs at least one iteration".into(),
             });
         }
-        Bim::new(epsilon, (epsilon * 1.25 / iterations as f32).min(epsilon), iterations)
+        Bim::new(
+            epsilon,
+            (epsilon * 1.25 / iterations as f32).min(epsilon),
+            iterations,
+        )
     }
 
     /// The ε-ball radius.

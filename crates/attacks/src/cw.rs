@@ -134,7 +134,10 @@ fn margin_loss(logits: &Tensor, goal: AttackGoal, kappa: f32) -> Result<(f32, Te
 
 impl Attack for CarliniWagner {
     fn name(&self) -> String {
-        format!("C&W(c={}, kappa={}, iters={})", self.c, self.kappa, self.iterations)
+        format!(
+            "C&W(c={}, kappa={}, iters={})",
+            self.c, self.kappa, self.iterations
+        )
     }
 
     fn run(
@@ -190,8 +193,7 @@ impl Attack for CarliniWagner {
                 let vi = beta2 * v.as_slice()[i] + (1.0 - beta2) * g * g;
                 m.as_mut_slice()[i] = mi;
                 v.as_mut_slice()[i] = vi;
-                w.as_mut_slice()[i] -=
-                    self.learning_rate * (mi / bc1) / ((vi / bc2).sqrt() + eps);
+                w.as_mut_slice()[i] -= self.learning_rate * (mi / bc1) / ((vi / bc2).sqrt() + eps);
             }
         }
         let adversarial = if best_found {
@@ -251,8 +253,7 @@ mod tests {
 
     #[test]
     fn margin_loss_semantics() {
-        let logits =
-            Tensor::from_vec(vec![3.0, 1.0, 0.5], Shape::new(vec![3])).unwrap();
+        let logits = Tensor::from_vec(vec![3.0, 1.0, 0.5], Shape::new(vec![3])).unwrap();
         // Targeted at class 0 (already winning by 2): raw margin −2 is
         // floored at −κ, so with κ = 0.5 the value is −0.5 and the
         // gradient is inactive.

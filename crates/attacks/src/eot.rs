@@ -221,8 +221,12 @@ mod tests {
         let (mut s1, x) = setup(4);
         let (mut s2, _) = setup(4);
         let eot = EotPgd::new(0.05, 0.01, 3, 0.03, 2, 7).unwrap();
-        let a = eot.run(&mut s1, &x, AttackGoal::Targeted { class: 0 }).unwrap();
-        let b = eot.run(&mut s2, &x, AttackGoal::Targeted { class: 0 }).unwrap();
+        let a = eot
+            .run(&mut s1, &x, AttackGoal::Targeted { class: 0 })
+            .unwrap();
+        let b = eot
+            .run(&mut s2, &x, AttackGoal::Targeted { class: 0 })
+            .unwrap();
         assert_eq!(a.adversarial, b.adversarial);
     }
 

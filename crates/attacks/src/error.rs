@@ -79,7 +79,9 @@ mod tests {
     fn display_and_sources() {
         let e = AttackError::from(TensorError::EmptyTensor { op: "x" });
         assert!(e.source().is_some());
-        let e = AttackError::InvalidParameter { reason: "epsilon < 0".into() };
+        let e = AttackError::InvalidParameter {
+            reason: "epsilon < 0".into(),
+        };
         assert!(e.to_string().contains("epsilon"));
         assert!(e.source().is_none());
     }

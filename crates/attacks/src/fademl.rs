@@ -119,9 +119,7 @@ impl Attack for Fademl {
 
             // Eq. 3: x* = η · (n + δn) + x, clipped into pixel range.
             let accumulated = current.add(&refined.noise)?.sub(x)?;
-            current = x
-                .add(&accumulated.scale(self.noise_scale))?
-                .clamp(0.0, 1.0);
+            current = x.add(&accumulated.scale(self.noise_scale))?.clamp(0.0, 1.0);
 
             surface.reset_queries();
             let candidate = finish(surface, x, current.clone(), goal, total_iterations)?;

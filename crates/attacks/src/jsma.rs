@@ -39,13 +39,12 @@ impl Jsma {
                 reason: format!("JSMA theta must be positive, got {theta}"),
             });
         }
-        if !max_pixel_fraction.is_finite() || !(0.0..=1.0).contains(&max_pixel_fraction)
+        if !max_pixel_fraction.is_finite()
+            || !(0.0..=1.0).contains(&max_pixel_fraction)
             || max_pixel_fraction == 0.0
         {
             return Err(AttackError::InvalidParameter {
-                reason: format!(
-                    "JSMA pixel fraction must be in (0, 1], got {max_pixel_fraction}"
-                ),
+                reason: format!("JSMA pixel fraction must be in (0, 1], got {max_pixel_fraction}"),
             });
         }
         Ok(Jsma {
@@ -206,7 +205,10 @@ mod tests {
             .filter(|&&v| v.abs() > 1e-6)
             .count();
         let budget = ((x.numel() as f32) * 0.05).ceil() as usize;
-        assert!(changed <= budget, "{changed} pixels changed, budget {budget}");
+        assert!(
+            changed <= budget,
+            "{changed} pixels changed, budget {budget}"
+        );
         assert!(adv.adversarial.min().unwrap() >= 0.0);
         assert!(adv.adversarial.max().unwrap() <= 1.0);
     }

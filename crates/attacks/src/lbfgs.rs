@@ -338,7 +338,11 @@ mod tests {
             )
             .unwrap();
         assert!(outcome.converged);
-        assert!(outcome.iterations < 40, "took {} iterations", outcome.iterations);
+        assert!(
+            outcome.iterations < 40,
+            "took {} iterations",
+            outcome.iterations
+        );
     }
 
     #[test]

@@ -88,20 +88,13 @@ impl OnePixel {
     }
 
     /// Fitness to MINIMIZE: negative goal-probability.
-    fn fitness(
-        surface: &mut AttackSurface,
-        candidate: &Tensor,
-        goal: AttackGoal,
-    ) -> Result<f32> {
+    fn fitness(surface: &mut AttackSurface, candidate: &Tensor, goal: AttackGoal) -> Result<f32> {
         let probs = surface.probabilities(candidate)?;
         Ok(match goal {
             AttackGoal::Targeted { class } => {
                 if class >= probs.numel() {
                     return Err(AttackError::InvalidInput {
-                        reason: format!(
-                            "class {class} out of range for {} classes",
-                            probs.numel()
-                        ),
+                        reason: format!("class {class} out of range for {} classes", probs.numel()),
                     });
                 }
                 -probs.as_slice()[class]
@@ -147,7 +140,11 @@ impl Attack for OnePixel {
 
         // Initialize the population uniformly over position/colour space.
         let mut population: Vec<Vec<f32>> = (0..self.population)
-            .map(|_| (0..genes_per).map(|_| rng.uniform_scalar(0.0, 1.0)).collect())
+            .map(|_| {
+                (0..genes_per)
+                    .map(|_| rng.uniform_scalar(0.0, 1.0))
+                    .collect()
+            })
             .collect();
         let mut fitness = Vec::with_capacity(self.population);
         for genes in &population {

@@ -41,9 +41,8 @@ impl PerturbationBudget {
     ///
     /// Returns a shape error if the two tensors disagree.
     pub fn project(&self, original: &Tensor, candidate: &Tensor) -> Result<Tensor> {
-        let clipped = candidate.zip_map(original, |c, o| {
-            c.clamp(o - self.epsilon, o + self.epsilon)
-        })?;
+        let clipped =
+            candidate.zip_map(original, |c, o| c.clamp(o - self.epsilon, o + self.epsilon))?;
         Ok(clipped.clamp(self.pixel_min, self.pixel_max))
     }
 

@@ -97,7 +97,10 @@ impl AttackSurface {
     /// Same conditions as [`AttackSurface::logits`].
     pub fn probabilities(&mut self, x: &Tensor) -> Result<Tensor> {
         let logits = self.logits(x)?;
-        Ok(logits.reshape(&[1, logits.numel()])?.softmax_rows()?.row(0)?)
+        Ok(logits
+            .reshape(&[1, logits.numel()])?
+            .softmax_rows()?
+            .row(0)?)
     }
 
     /// Predicted `(class, confidence)` for a single image.
@@ -265,8 +268,7 @@ mod tests {
     fn filtered_gradient_matches_finite_difference() {
         let mut rng = TensorRng::seed_from_u64(2);
         let model = VggConfig::tiny(3, 16, 4).build(&mut rng).unwrap();
-        let mut surface =
-            AttackSurface::with_filter(model, Box::new(Lap::new(8).unwrap()));
+        let mut surface = AttackSurface::with_filter(model, Box::new(Lap::new(8).unwrap()));
         let x = rng.uniform(&[3, 16, 16], 0.2, 0.8);
         let goal = AttackGoal::Targeted { class: 2 };
         let (_, grad) = surface.loss_and_input_grad(&x, goal).unwrap();

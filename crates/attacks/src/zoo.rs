@@ -178,7 +178,13 @@ mod tests {
     #[test]
     fn reduces_targeted_objective_without_gradients() {
         let (mut surface, x) = setup(1);
-        let goal = AttackGoal::Targeted { class: 3 };
+        // Target a class the random victim does not already predict —
+        // otherwise the goal is met at iteration zero and the attack
+        // (correctly) returns the input unchanged.
+        let (source, _) = surface.predict(&x).unwrap();
+        let goal = AttackGoal::Targeted {
+            class: (source + 1) % 5,
+        };
         let before = Zoo::objective(&mut surface, &x, goal).unwrap();
         let zoo = Zoo::new(20, 24, 1e-2, 5e-2, 1).unwrap();
         let adv = zoo.run(&mut surface, &x, goal).unwrap();
@@ -218,8 +224,12 @@ mod tests {
         let (mut s1, x) = setup(4);
         let (mut s2, _) = setup(4);
         let zoo = Zoo::new(5, 8, 1e-2, 2e-2, 11).unwrap();
-        let a = zoo.run(&mut s1, &x, AttackGoal::Targeted { class: 1 }).unwrap();
-        let b = zoo.run(&mut s2, &x, AttackGoal::Targeted { class: 1 }).unwrap();
+        let a = zoo
+            .run(&mut s1, &x, AttackGoal::Targeted { class: 1 })
+            .unwrap();
+        let b = zoo
+            .run(&mut s2, &x, AttackGoal::Targeted { class: 1 })
+            .unwrap();
         assert_eq!(a.adversarial, b.adversarial);
     }
 

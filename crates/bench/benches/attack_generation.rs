@@ -22,7 +22,10 @@ fn bench_attacks(c: &mut Criterion) {
 
     let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
         ("fgsm", Box::new(Fgsm::new(0.08).expect("valid eps"))),
-        ("bim_12", Box::new(Bim::new(0.08, 0.015, 12).expect("valid bim"))),
+        (
+            "bim_12",
+            Box::new(Bim::new(0.08, 0.015, 12).expect("valid bim")),
+        ),
         (
             "lbfgs_20",
             Box::new(LbfgsAttack::new(0.02, 20).expect("valid lbfgs")),

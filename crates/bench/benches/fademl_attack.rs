@@ -85,8 +85,7 @@ fn bench_fademl(c: &mut Criterion) {
                         prepared.model.clone(),
                         filter.build().expect("filter builds"),
                     );
-                    let fademl =
-                        Fademl::new(Box::new(inner()), rounds, 1.0).expect("valid fademl");
+                    let fademl = Fademl::new(Box::new(inner()), rounds, 1.0).expect("valid fademl");
                     black_box(
                         fademl
                             .run(&mut surface, black_box(&source), scenario.goal())

@@ -23,7 +23,13 @@ fn bench_inference(c: &mut Criterion) {
             BenchmarkId::from_parameter(threat),
             &threat,
             |b, &threat| {
-                b.iter(|| black_box(pipeline.classify(black_box(&image), threat).expect("classifies")))
+                b.iter(|| {
+                    black_box(
+                        pipeline
+                            .classify(black_box(&image), threat)
+                            .expect("classifies"),
+                    )
+                })
             },
         );
     }
@@ -32,7 +38,13 @@ fn bench_inference(c: &mut Criterion) {
     let mut forward = c.benchmark_group("model_forward");
     for batch in [1usize, 8, 32] {
         let images: Vec<_> = (0..batch)
-            .map(|i| prepared.test.sample(i % prepared.test.len()).expect("sample").0)
+            .map(|i| {
+                prepared
+                    .test
+                    .sample(i % prepared.test.len())
+                    .expect("sample")
+                    .0
+            })
             .collect();
         let stacked = fademl_tensor::Tensor::stack(&images).expect("stacks");
         forward.bench_with_input(BenchmarkId::from_parameter(batch), &stacked, |b, x| {

@@ -26,20 +26,33 @@ fn main() {
         .first_of_class(scenario.source)
         .expect("stop sign exists");
     let filter = FilterSpec::Lap { np: 16 };
-    let pipeline = InferencePipeline::new(prepared.model.clone(), filter)
-        .expect("pipeline builds");
+    let pipeline = InferencePipeline::new(prepared.model.clone(), filter).expect("pipeline builds");
 
     // (label, attack, goal). DeepFool is untargeted by construction.
     let source_class = scenario.source.index();
     let attacks: Vec<(&str, Box<dyn Attack>, AttackGoal)> = vec![
-        ("L-BFGS", Box::new(LbfgsAttack::new(0.02, 20).expect("valid")), scenario.goal()),
-        ("FGSM", Box::new(Fgsm::new(0.08).expect("valid")), scenario.goal()),
-        ("BIM", Box::new(Bim::new(0.08, 0.015, 12).expect("valid")), scenario.goal()),
+        (
+            "L-BFGS",
+            Box::new(LbfgsAttack::new(0.02, 20).expect("valid")),
+            scenario.goal(),
+        ),
+        (
+            "FGSM",
+            Box::new(Fgsm::new(0.08).expect("valid")),
+            scenario.goal(),
+        ),
+        (
+            "BIM",
+            Box::new(Bim::new(0.08, 0.015, 12).expect("valid")),
+            scenario.goal(),
+        ),
         ("C&W", Box::new(CarliniWagner::standard()), scenario.goal()),
         (
             "DeepFool",
             Box::new(DeepFool::standard()),
-            AttackGoal::Untargeted { source: source_class },
+            AttackGoal::Untargeted {
+                source: source_class,
+            },
         ),
         ("JSMA", Box::new(Jsma::standard()), scenario.goal()),
         (

@@ -28,7 +28,9 @@ fn main() {
     let setup = ExperimentSetup::profile(SetupProfile::Smoke);
     let prepared = setup.prepare().expect("victim setup");
     let epsilon = 0.05f32;
-    eprintln!("[fademl] plain victim ready; adversarially training a twin (this re-attacks every batch)…");
+    eprintln!(
+        "[fademl] plain victim ready; adversarially training a twin (this re-attacks every batch)…"
+    );
 
     let mut hardened = {
         let mut rng = TensorRng::seed_from_u64(setup.seed);
@@ -51,8 +53,7 @@ fn main() {
 
     let fademl_success = |model: &Sequential| -> f32 {
         let filter = FilterSpec::Lap { np: 8 };
-        let pipeline =
-            InferencePipeline::new(model.clone(), filter).expect("pipeline builds");
+        let pipeline = InferencePipeline::new(model.clone(), filter).expect("pipeline builds");
         let mut hits = 0usize;
         let scenarios = Scenario::paper_scenarios();
         for scenario in &scenarios {
@@ -90,17 +91,14 @@ fn main() {
             "FAdeML success thru filter".into(),
         ],
     );
-    for (label, model) in [("plain", &prepared.model), ("adversarially trained", &hardened)] {
+    for (label, model) in [
+        ("plain", &prepared.model),
+        ("adversarially trained", &hardened),
+    ] {
         let clean = top1_accuracy(model, eval.images(), eval.labels()).expect("top-1");
-        let robust =
-            robust_accuracy(model, eval.images(), eval.labels(), epsilon).expect("robust");
+        let robust = robust_accuracy(model, eval.images(), eval.labels(), epsilon).expect("robust");
         let fademl = fademl_success(model);
-        table.push_row(vec![
-            label.to_owned(),
-            pct(clean),
-            pct(robust),
-            pct(fademl),
-        ]);
+        table.push_row(vec![label.to_owned(), pct(clean), pct(robust), pct(fademl)]);
     }
     println!("{table}");
     println!("(the paper's conclusion: filters alone are not enough — this quantifies how far");

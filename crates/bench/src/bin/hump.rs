@@ -28,8 +28,7 @@ fn main() {
         .first_of_class(scenario.source)
         .expect("stop sign exists");
     let mut surface = AttackSurface::new(prepared.model.clone());
-    let bim = Bim::new(params.epsilon, params.bim_alpha, params.bim_iterations)
-        .expect("valid bim");
+    let bim = Bim::new(params.epsilon, params.bim_alpha, params.bim_iterations).expect("valid bim");
     let noise = bim
         .run(&mut surface, &source, scenario.goal())
         .expect("attack runs")
@@ -62,8 +61,8 @@ fn main() {
         for (label, images) in [("clean", clean.images()), ("BIM-attacked", &attacked)] {
             let mut row = vec![label.to_owned()];
             for spec in std::iter::once(FilterSpec::None).chain(sweep.iter().copied()) {
-                let pipeline = InferencePipeline::new(prepared.model.clone(), spec)
-                    .expect("pipeline builds");
+                let pipeline =
+                    InferencePipeline::new(prepared.model.clone(), spec).expect("pipeline builds");
                 let acc = pipeline
                     .top_k_accuracy(images, clean.labels(), ThreatModel::III, 5)
                     .expect("accuracy computes");

@@ -27,7 +27,10 @@ fn main() {
         let mut rng = TensorRng::seed_from_u64(0);
         let model = config.build(&mut rng).expect("profile builds");
         println!("## {label}");
-        println!("input: {}x{}x{}", config.in_channels, config.input_size, config.input_size);
+        println!(
+            "input: {}x{}x{}",
+            config.in_channels, config.input_size, config.input_size
+        );
         println!("{}", model.summary());
         println!();
     }

@@ -40,8 +40,7 @@ fn main() {
             Box::new(
                 Fademl::new(
                     Box::new(
-                        EotPgd::new(0.12, 0.02, 12, sensor.gaussian_std, 4, 11)
-                            .expect("valid"),
+                        EotPgd::new(0.12, 0.02, 12, sensor.gaussian_std, 4, 11).expect("valid"),
                     ),
                     2,
                     1.0,

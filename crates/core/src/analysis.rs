@@ -123,8 +123,7 @@ mod tests {
     #[test]
     fn analysis_produces_consistent_outcome() {
         let p = prepared();
-        let pipeline =
-            InferencePipeline::new(p.model.clone(), FilterSpec::Lap { np: 8 }).unwrap();
+        let pipeline = InferencePipeline::new(p.model.clone(), FilterSpec::Lap { np: 8 }).unwrap();
         let scenario = Scenario::paper_scenarios()[0];
         let image = p.test.first_of_class(scenario.source).unwrap();
         let mut surface = AttackSurface::new(p.model.clone());

@@ -41,9 +41,7 @@ pub fn top5_cost(p_tm1: &Tensor, p_tm23: &Tensor) -> Result<f32> {
             reason: format!("need at least {TOP_K} classes, got {}", p_tm1.numel()),
         });
     }
-    let mass = |p: &Tensor| -> f32 {
-        p.top_k(TOP_K).iter().map(|&c| p.as_slice()[c]).sum()
-    };
+    let mass = |p: &Tensor| -> f32 { p.top_k(TOP_K).iter().map(|&c| p.as_slice()[c]).sum() };
     Ok(mass(p_tm1) - mass(p_tm23))
 }
 

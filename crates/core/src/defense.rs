@@ -83,8 +83,7 @@ pub fn adversarial_fit(
         for chunk in order.chunks(config.base.batch_size) {
             // Split the chunk: the leading part is adversarially
             // perturbed against the current model, the rest stays clean.
-            let adv_count =
-                ((chunk.len() as f32) * config.adversarial_fraction).round() as usize;
+            let adv_count = ((chunk.len() as f32) * config.adversarial_fraction).round() as usize;
             let mut batch_images = Vec::with_capacity(chunk.len());
             let mut batch_labels = Vec::with_capacity(chunk.len());
             // A fresh surface per batch sees the current weights.
@@ -94,7 +93,11 @@ pub fn adversarial_fit(
                 let label = labels[i];
                 if k < adv_count {
                     let adv = fgsm
-                        .run(&mut surface, &image, AttackGoal::Untargeted { source: label })
+                        .run(
+                            &mut surface,
+                            &image,
+                            AttackGoal::Untargeted { source: label },
+                        )
                         .map_err(FademlError::from)?;
                     batch_images.push(adv.adversarial);
                 } else {
@@ -141,9 +144,15 @@ pub fn robust_accuracy(
     for (i, &label) in labels.iter().enumerate() {
         let image = images.index_batch(i)?;
         let adv = fgsm
-            .run(&mut surface, &image, AttackGoal::Untargeted { source: label })
+            .run(
+                &mut surface,
+                &image,
+                AttackGoal::Untargeted { source: label },
+            )
             .map_err(FademlError::from)?;
-        let (predicted, _) = surface.predict(&adv.adversarial).map_err(FademlError::from)?;
+        let (predicted, _) = surface
+            .predict(&adv.adversarial)
+            .map_err(FademlError::from)?;
         if predicted == label {
             hits += 1;
         }
@@ -207,7 +216,7 @@ mod tests {
         let ds = small_dataset();
         let epsilon = 0.03f32;
         let base = TrainConfig {
-            epochs: 12,
+            epochs: 16,
             batch_size: 32,
             optimizer: OptimizerKind::Adam { lr: 3e-3 },
             seed: 5,

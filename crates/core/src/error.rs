@@ -104,7 +104,9 @@ mod tests {
     fn conversions_and_sources() {
         let e = FademlError::from(TensorError::EmptyTensor { op: "x" });
         assert!(e.source().is_some());
-        let e = FademlError::InvalidConfig { reason: "bad".into() };
+        let e = FademlError::InvalidConfig {
+            reason: "bad".into(),
+        };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("bad"));
     }

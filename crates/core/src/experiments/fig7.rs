@@ -49,7 +49,10 @@ impl Fig7Result {
         let mut header = vec!["Attack".to_owned()];
         header.extend(filters.iter().map(|f| f.to_string()));
         let mut table = Table::new(
-            format!("Fig. 7 — scenario {scenario_id}: pipeline verdict through each filter ({})", self.threat),
+            format!(
+                "Fig. 7 — scenario {scenario_id}: pipeline verdict through each filter ({})",
+                self.threat
+            ),
             header,
         );
         for label in AttackParams::labels() {

@@ -223,8 +223,7 @@ pub fn accuracy_grid(
     // Baseline: unattacked images through each filter.
     for &filter in filters {
         let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
-        let acc =
-            pipeline.top_k_accuracy(clean.images(), clean.labels(), threat, 5)?;
+        let acc = pipeline.top_k_accuracy(clean.images(), clean.labels(), threat, 5)?;
         cells.push(AccuracyCell {
             filter,
             attack: "No attack".to_owned(),
@@ -235,14 +234,8 @@ pub fn accuracy_grid(
     for (attack_idx, label) in AttackParams::labels().iter().enumerate() {
         if filter_aware {
             for &filter in filters {
-                let (adv, labels) = craft_eval_set(
-                    prepared,
-                    params,
-                    scenario,
-                    attack_idx,
-                    Some(filter),
-                    n,
-                )?;
+                let (adv, labels) =
+                    craft_eval_set(prepared, params, scenario, attack_idx, Some(filter), n)?;
                 let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
                 let acc = pipeline.top_k_accuracy(&adv, &labels, threat, 5)?;
                 cells.push(AccuracyCell {
@@ -252,8 +245,7 @@ pub fn accuracy_grid(
                 });
             }
         } else {
-            let (adv, labels) =
-                craft_eval_set(prepared, params, scenario, attack_idx, None, n)?;
+            let (adv, labels) = craft_eval_set(prepared, params, scenario, attack_idx, None, n)?;
             for &filter in filters {
                 let pipeline = InferencePipeline::new(prepared.model.clone(), filter)?;
                 let acc = pipeline.top_k_accuracy(&adv, &labels, threat, 5)?;
@@ -277,10 +269,7 @@ pub fn accuracy_grid(
 /// # Errors
 ///
 /// Propagates the first job error encountered.
-pub(crate) fn for_each_scenario_parallel<T, F>(
-    scenarios: &[Scenario],
-    job: F,
-) -> Result<Vec<T>>
+pub(crate) fn for_each_scenario_parallel<T, F>(scenarios: &[Scenario], job: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(&Scenario) -> Result<T> + Sync,

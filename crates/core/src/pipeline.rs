@@ -1,8 +1,8 @@
 use fademl_data::NoiseModel;
 use fademl_filters::{Filter, FilterSpec};
-use fademl_nn::metrics::{predict_top_k, Prediction};
+use fademl_nn::metrics::Prediction;
 use fademl_nn::Sequential;
-use fademl_tensor::{Tensor, TensorRng};
+use fademl_tensor::{Shape, Tensor, TensorRng};
 
 use crate::{FademlError, Result, ThreatModel};
 
@@ -83,19 +83,75 @@ impl InferencePipeline {
     pub fn stage_input(&self, image: &Tensor, threat: ThreatModel) -> Result<Tensor> {
         let mut x = image.clone();
         if threat.reacquires() {
-            // Deterministic per-image noise: seed derived from content so
-            // repeated classification of the same image is reproducible.
-            let fingerprint = x
-                .as_slice()
-                .iter()
-                .fold(0u64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v.to_bits() as u64));
-            let mut rng = TensorRng::seed_from_u64(self.noise_seed ^ fingerprint);
-            x = self.acquisition_noise.apply(&x, &mut rng);
+            x = self.reacquire(&x);
         }
         if threat.filter_applies() {
             x = self.filter.apply(&x)?;
         }
         Ok(x)
+    }
+
+    /// Runs the pipeline stages for a whole `[N, C, H, W]` batch under
+    /// `threat`, producing exactly what per-image [`stage_input`] calls
+    /// would: TM-II sensor noise is seeded per image from its content,
+    /// and the filter (plane-wise by construction) runs once on the
+    /// whole batch.
+    ///
+    /// [`stage_input`]: InferencePipeline::stage_input
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FademlError::InvalidConfig`] for non-rank-4 input, plus
+    /// any filter error.
+    pub fn stage_input_batch(&self, images: &Tensor, threat: ThreatModel) -> Result<Tensor> {
+        if images.rank() != 4 {
+            return Err(FademlError::InvalidConfig {
+                reason: format!("expected [N, C, H, W] images, got {:?}", images.dims()),
+            });
+        }
+        let mut x = images.clone();
+        if threat.reacquires() {
+            let n = images.dims()[0];
+            let mut noised = Vec::with_capacity(images.numel());
+            for i in 0..n {
+                let image = images.index_batch(i)?;
+                noised.extend_from_slice(self.reacquire(&image).as_slice());
+            }
+            x = Tensor::from_vec(noised, Shape::new(images.dims().to_vec()))?;
+        }
+        if threat.filter_applies() {
+            x = self.filter.apply(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// TM-II re-acquisition: deterministic per-image sensor noise, seeded
+    /// from the image content so repeated classification of the same
+    /// image is reproducible (and batch staging matches per-image
+    /// staging exactly).
+    fn reacquire(&self, image: &Tensor) -> Tensor {
+        let fingerprint = image.as_slice().iter().fold(0u64, |acc, &v| {
+            acc.wrapping_mul(31).wrapping_add(v.to_bits() as u64)
+        });
+        let mut rng = TensorRng::seed_from_u64(self.noise_seed ^ fingerprint);
+        self.acquisition_noise.apply(image, &mut rng)
+    }
+
+    /// Builds a [`Verdict`] from one row of class probabilities.
+    fn verdict_from_probabilities(probabilities: Tensor) -> Verdict {
+        let top_classes = probabilities.top_k(5);
+        let probs = probabilities.as_slice();
+        let top_probs: Vec<f32> = top_classes.iter().map(|&c| probs[c]).collect();
+        let top5 = Prediction {
+            top_classes,
+            top_probs,
+        };
+        Verdict {
+            class: top5.class(),
+            confidence: top5.confidence(),
+            top5,
+            probabilities,
+        }
     }
 
     /// Classifies a single `[C, H, W]` image entering under `threat`.
@@ -112,14 +168,31 @@ impl InferencePipeline {
         }
         let staged = self.stage_input(image, threat)?;
         let batch = staged.unsqueeze_batch();
+        // One forward pass; the top-5 ranking is a cheap argsort of the
+        // probability vector we already have.
         let probabilities = self.model.predict_proba(&batch)?.row(0)?;
-        let top5 = predict_top_k(&self.model, &batch, 5)?.remove(0);
-        Ok(Verdict {
-            class: top5.class(),
-            confidence: top5.confidence(),
-            top5,
-            probabilities,
-        })
+        Ok(Self::verdict_from_probabilities(probabilities))
+    }
+
+    /// Classifies a whole `[N, C, H, W]` batch entering under `threat`
+    /// with one filter pass and one model forward, returning one
+    /// [`Verdict`] per image (identical to per-image [`classify`] calls).
+    ///
+    /// [`classify`]: InferencePipeline::classify
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FademlError::InvalidConfig`] for non-rank-4 input, plus
+    /// any filter/model error.
+    pub fn classify_batch(&self, images: &Tensor, threat: ThreatModel) -> Result<Vec<Verdict>> {
+        let staged = self.stage_input_batch(images, threat)?;
+        let probabilities = self.model.predict_proba(&staged)?; // [N, classes]
+        let n = images.dims()[0];
+        let mut verdicts = Vec::with_capacity(n);
+        for i in 0..n {
+            verdicts.push(Self::verdict_from_probabilities(probabilities.row(i)?));
+        }
+        Ok(verdicts)
     }
 
     /// Top-`k` accuracy of the pipeline over a batch entering under
@@ -148,14 +221,31 @@ impl InferencePipeline {
         if labels.is_empty() {
             return Ok(0.0);
         }
+        // Batched evaluation in bounded chunks: each chunk pays one
+        // filter pass and one forward, without materialising activations
+        // for the entire dataset at once.
+        const CHUNK: usize = 64;
+        let n = labels.len();
+        let sample_len = images.numel() / n;
+        let data = images.as_slice();
+        let mut sub_dims = images.dims().to_vec();
         let mut hits = 0usize;
-        for (i, &label) in labels.iter().enumerate() {
-            let verdict = self.classify(&images.index_batch(i)?, threat)?;
-            if verdict.probabilities.top_k(k).contains(&label) {
-                hits += 1;
+        for start in (0..n).step_by(CHUNK) {
+            let end = (start + CHUNK).min(n);
+            sub_dims[0] = end - start;
+            let chunk = Tensor::from_vec(
+                data[start * sample_len..end * sample_len].to_vec(),
+                Shape::new(sub_dims.clone()),
+            )?;
+            let staged = self.stage_input_batch(&chunk, threat)?;
+            let probabilities = self.model.predict_proba(&staged)?;
+            for (i, &label) in labels[start..end].iter().enumerate() {
+                if probabilities.row(i)?.top_k(k).contains(&label) {
+                    hits += 1;
+                }
             }
         }
-        Ok(hits as f32 / labels.len() as f32)
+        Ok(hits as f32 / n as f32)
     }
 }
 
@@ -163,6 +253,7 @@ impl InferencePipeline {
 mod tests {
     use super::*;
     use fademl_nn::vgg::VggConfig;
+    use proptest::prelude::*;
 
     fn pipeline(spec: FilterSpec) -> InferencePipeline {
         let mut rng = TensorRng::seed_from_u64(1);
@@ -198,7 +289,7 @@ mod tests {
         let tm2 = p.stage_input(&img, ThreatModel::II).unwrap();
         let tm3 = p.stage_input(&img, ThreatModel::III).unwrap();
         assert_ne!(tm2, tm3); // sensor noise distinguishes II from III
-        // Still reproducible.
+                              // Still reproducible.
         assert_eq!(tm2, p.stage_input(&img, ThreatModel::II).unwrap());
     }
 
@@ -218,7 +309,9 @@ mod tests {
     #[test]
     fn classify_rejects_batches() {
         let p = pipeline(FilterSpec::None);
-        assert!(p.classify(&Tensor::zeros(&[1, 3, 16, 16]), ThreatModel::I).is_err());
+        assert!(p
+            .classify(&Tensor::zeros(&[1, 3, 16, 16]), ThreatModel::I)
+            .is_err());
     }
 
     #[test]
@@ -240,5 +333,60 @@ mod tests {
     fn filter_spec_accessor() {
         let p = pipeline(FilterSpec::Lar { r: 2 });
         assert_eq!(p.filter_spec(), FilterSpec::Lar { r: 2 });
+    }
+
+    #[test]
+    fn classify_batch_rejects_single_images() {
+        let p = pipeline(FilterSpec::None);
+        assert!(p
+            .classify_batch(&Tensor::zeros(&[3, 16, 16]), ThreatModel::I)
+            .is_err());
+    }
+
+    #[test]
+    fn batch_staging_matches_per_image_under_tm2() {
+        // TM-II is the subtle case: sensor noise must be seeded per
+        // image from its content, not once per batch.
+        let p = pipeline(FilterSpec::Lap { np: 8 });
+        let mut rng = TensorRng::seed_from_u64(11);
+        let images = rng.uniform(&[3, 3, 16, 16], 0.1, 0.9);
+        let staged = p.stage_input_batch(&images, ThreatModel::II).unwrap();
+        for i in 0..3 {
+            let single = p
+                .stage_input(&images.index_batch(i).unwrap(), ThreatModel::II)
+                .unwrap();
+            assert_eq!(staged.index_batch(i).unwrap(), single);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// `classify_batch` must agree with per-image `classify` for
+        /// every threat model — the serving engine depends on it.
+        #[test]
+        fn classify_batch_matches_classify(seed in 0u64..1000, n in 1usize..5) {
+            let p = pipeline(FilterSpec::Lap { np: 8 });
+            let mut rng = TensorRng::seed_from_u64(seed);
+            let images = rng.uniform(&[n, 3, 16, 16], 0.0, 1.0);
+            for threat in ThreatModel::ALL {
+                let batched = p.classify_batch(&images, threat).unwrap();
+                prop_assert_eq!(batched.len(), n);
+                for (i, verdict) in batched.iter().enumerate() {
+                    let single = p
+                        .classify(&images.index_batch(i).unwrap(), threat)
+                        .unwrap();
+                    prop_assert_eq!(verdict.class, single.class);
+                    prop_assert_eq!(&verdict.top5, &single.top5);
+                    for (a, b) in verdict
+                        .probabilities
+                        .as_slice()
+                        .iter()
+                        .zip(single.probabilities.as_slice())
+                    {
+                        prop_assert!((a - b).abs() < 1e-5);
+                    }
+                }
+            }
+        }
     }
 }

@@ -131,10 +131,7 @@ mod tests {
 
     #[test]
     fn renders_aligned_columns() {
-        let mut t = Table::new(
-            "demo",
-            vec!["attack".into(), "accuracy".into()],
-        );
+        let mut t = Table::new("demo", vec!["attack".into(), "accuracy".into()]);
         t.push_row(vec!["FGSM".into(), "93.4%".into()]);
         t.push_row(vec!["L-BFGS".into(), "91.0%".into()]);
         let rendered = t.render();

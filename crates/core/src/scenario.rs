@@ -25,11 +25,31 @@ impl Scenario {
     /// 5. no entry → 60 km/h
     pub fn paper_scenarios() -> Vec<Scenario> {
         vec![
-            Scenario { id: 1, source: ClassId::STOP, target: ClassId::SPEED_60 },
-            Scenario { id: 2, source: ClassId::SPEED_30, target: ClassId::SPEED_80 },
-            Scenario { id: 3, source: ClassId::TURN_LEFT, target: ClassId::TURN_RIGHT },
-            Scenario { id: 4, source: ClassId::TURN_RIGHT, target: ClassId::TURN_LEFT },
-            Scenario { id: 5, source: ClassId::NO_ENTRY, target: ClassId::SPEED_60 },
+            Scenario {
+                id: 1,
+                source: ClassId::STOP,
+                target: ClassId::SPEED_60,
+            },
+            Scenario {
+                id: 2,
+                source: ClassId::SPEED_30,
+                target: ClassId::SPEED_80,
+            },
+            Scenario {
+                id: 3,
+                source: ClassId::TURN_LEFT,
+                target: ClassId::TURN_RIGHT,
+            },
+            Scenario {
+                id: 4,
+                source: ClassId::TURN_RIGHT,
+                target: ClassId::TURN_LEFT,
+            },
+            Scenario {
+                id: 5,
+                source: ClassId::NO_ENTRY,
+                target: ClassId::SPEED_60,
+            },
         ]
     }
 

@@ -245,7 +245,9 @@ mod tests {
 
     #[test]
     fn smoke_profile_trains_to_useful_accuracy() {
-        let prepared = ExperimentSetup::profile(SetupProfile::Smoke).prepare().unwrap();
+        let prepared = ExperimentSetup::profile(SetupProfile::Smoke)
+            .prepare()
+            .unwrap();
         assert!(
             prepared.train_accuracy > 0.5,
             "smoke victim only reached {:.1}% train accuracy",
@@ -273,7 +275,12 @@ mod tests {
         let second = setup.prepare().unwrap();
         assert!(second.from_cache);
         // Identical weights → identical predictions.
-        let x = first.test.images().index_batch(0).unwrap().unsqueeze_batch();
+        let x = first
+            .test
+            .images()
+            .index_batch(0)
+            .unwrap()
+            .unsqueeze_batch();
         assert_eq!(
             first.model.forward(&x).unwrap(),
             second.model.forward(&x).unwrap()
@@ -295,7 +302,11 @@ mod tests {
 
     #[test]
     fn profiles_are_well_formed() {
-        for profile in [SetupProfile::Smoke, SetupProfile::Standard, SetupProfile::Full] {
+        for profile in [
+            SetupProfile::Smoke,
+            SetupProfile::Standard,
+            SetupProfile::Full,
+        ] {
             let setup = ExperimentSetup::profile(profile);
             assert_eq!(setup.vgg.classes, CLASS_COUNT);
             assert_eq!(setup.vgg.input_size, setup.dataset.image_size);

@@ -30,17 +30,41 @@ impl Rgb {
     }
 
     /// Pure white.
-    pub const WHITE: Rgb = Rgb { r: 1.0, g: 1.0, b: 1.0 };
+    pub const WHITE: Rgb = Rgb {
+        r: 1.0,
+        g: 1.0,
+        b: 1.0,
+    };
     /// Near black.
-    pub const BLACK: Rgb = Rgb { r: 0.05, g: 0.05, b: 0.05 };
+    pub const BLACK: Rgb = Rgb {
+        r: 0.05,
+        g: 0.05,
+        b: 0.05,
+    };
     /// Traffic-sign red.
-    pub const SIGN_RED: Rgb = Rgb { r: 0.80, g: 0.10, b: 0.12 };
+    pub const SIGN_RED: Rgb = Rgb {
+        r: 0.80,
+        g: 0.10,
+        b: 0.12,
+    };
     /// Traffic-sign blue.
-    pub const SIGN_BLUE: Rgb = Rgb { r: 0.10, g: 0.25, b: 0.75 };
+    pub const SIGN_BLUE: Rgb = Rgb {
+        r: 0.10,
+        g: 0.25,
+        b: 0.75,
+    };
     /// Priority-road yellow.
-    pub const SIGN_YELLOW: Rgb = Rgb { r: 0.95, g: 0.80, b: 0.15 };
+    pub const SIGN_YELLOW: Rgb = Rgb {
+        r: 0.95,
+        g: 0.80,
+        b: 0.15,
+    };
     /// End-of-restriction grey.
-    pub const SIGN_GREY: Rgb = Rgb { r: 0.45, g: 0.45, b: 0.45 };
+    pub const SIGN_GREY: Rgb = Rgb {
+        r: 0.45,
+        g: 0.45,
+        b: 0.45,
+    };
 
     /// Linear blend towards `other` by `t ∈ [0, 1]`.
     pub fn lerp(self, other: Rgb, t: f32) -> Rgb {

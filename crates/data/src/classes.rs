@@ -158,49 +158,264 @@ pub static CLASSES: [ClassInfo; CLASS_COUNT] = {
     use Glyph::*;
     use SignShape::*;
     [
-        ClassInfo { id: 0, name: "speed limit 20", shape: RedRingCircle, glyph: Number(20) },
-        ClassInfo { id: 1, name: "speed limit 30", shape: RedRingCircle, glyph: Number(30) },
-        ClassInfo { id: 2, name: "speed limit 50", shape: RedRingCircle, glyph: Number(50) },
-        ClassInfo { id: 3, name: "speed limit 60", shape: RedRingCircle, glyph: Number(60) },
-        ClassInfo { id: 4, name: "speed limit 70", shape: RedRingCircle, glyph: Number(70) },
-        ClassInfo { id: 5, name: "speed limit 80", shape: RedRingCircle, glyph: Number(80) },
-        ClassInfo { id: 6, name: "end speed limit 80", shape: GreyStrokeCircle, glyph: Number(80) },
-        ClassInfo { id: 7, name: "speed limit 100", shape: RedRingCircle, glyph: Number(100) },
-        ClassInfo { id: 8, name: "speed limit 120", shape: RedRingCircle, glyph: Number(120) },
-        ClassInfo { id: 9, name: "no passing", shape: RedRingCircle, glyph: Pictogram(0) },
-        ClassInfo { id: 10, name: "no passing trucks", shape: RedRingCircle, glyph: Pictogram(1) },
-        ClassInfo { id: 11, name: "right of way", shape: WarningTriangle, glyph: Pictogram(2) },
-        ClassInfo { id: 12, name: "priority road", shape: Diamond, glyph: None },
-        ClassInfo { id: 13, name: "yield", shape: InvertedTriangle, glyph: None },
-        ClassInfo { id: 14, name: "stop", shape: Octagon, glyph: Pictogram(3) },
-        ClassInfo { id: 15, name: "no vehicles", shape: RedRingCircle, glyph: None },
-        ClassInfo { id: 16, name: "no trucks", shape: RedRingCircle, glyph: Pictogram(4) },
-        ClassInfo { id: 17, name: "no entry", shape: RedCircleBar, glyph: Bar },
-        ClassInfo { id: 18, name: "general caution", shape: WarningTriangle, glyph: Exclamation },
-        ClassInfo { id: 19, name: "curve left", shape: WarningTriangle, glyph: Pictogram(5) },
-        ClassInfo { id: 20, name: "curve right", shape: WarningTriangle, glyph: Pictogram(6) },
-        ClassInfo { id: 21, name: "double curve", shape: WarningTriangle, glyph: Pictogram(7) },
-        ClassInfo { id: 22, name: "bumpy road", shape: WarningTriangle, glyph: Pictogram(8) },
-        ClassInfo { id: 23, name: "slippery road", shape: WarningTriangle, glyph: Pictogram(9) },
-        ClassInfo { id: 24, name: "road narrows right", shape: WarningTriangle, glyph: Pictogram(10) },
-        ClassInfo { id: 25, name: "road work", shape: WarningTriangle, glyph: Pictogram(11) },
-        ClassInfo { id: 26, name: "traffic signals", shape: WarningTriangle, glyph: Pictogram(12) },
-        ClassInfo { id: 27, name: "pedestrians", shape: WarningTriangle, glyph: Pictogram(13) },
-        ClassInfo { id: 28, name: "children crossing", shape: WarningTriangle, glyph: Pictogram(14) },
-        ClassInfo { id: 29, name: "bicycles", shape: WarningTriangle, glyph: Pictogram(15) },
-        ClassInfo { id: 30, name: "ice and snow", shape: WarningTriangle, glyph: Pictogram(16) },
-        ClassInfo { id: 31, name: "wild animals", shape: WarningTriangle, glyph: Pictogram(17) },
-        ClassInfo { id: 32, name: "end all limits", shape: GreyStrokeCircle, glyph: None },
-        ClassInfo { id: 33, name: "turn right ahead", shape: BlueCircle, glyph: ArrowRight },
-        ClassInfo { id: 34, name: "turn left ahead", shape: BlueCircle, glyph: ArrowLeft },
-        ClassInfo { id: 35, name: "ahead only", shape: BlueCircle, glyph: ArrowUp },
-        ClassInfo { id: 36, name: "straight or right", shape: BlueCircle, glyph: ArrowUpRight },
-        ClassInfo { id: 37, name: "straight or left", shape: BlueCircle, glyph: ArrowUpLeft },
-        ClassInfo { id: 38, name: "keep right", shape: BlueCircle, glyph: Pictogram(18) },
-        ClassInfo { id: 39, name: "keep left", shape: BlueCircle, glyph: Pictogram(19) },
-        ClassInfo { id: 40, name: "roundabout", shape: BlueCircle, glyph: Loop },
-        ClassInfo { id: 41, name: "end no passing", shape: GreyStrokeCircle, glyph: Pictogram(0) },
-        ClassInfo { id: 42, name: "end no passing trucks", shape: GreyStrokeCircle, glyph: Pictogram(1) },
+        ClassInfo {
+            id: 0,
+            name: "speed limit 20",
+            shape: RedRingCircle,
+            glyph: Number(20),
+        },
+        ClassInfo {
+            id: 1,
+            name: "speed limit 30",
+            shape: RedRingCircle,
+            glyph: Number(30),
+        },
+        ClassInfo {
+            id: 2,
+            name: "speed limit 50",
+            shape: RedRingCircle,
+            glyph: Number(50),
+        },
+        ClassInfo {
+            id: 3,
+            name: "speed limit 60",
+            shape: RedRingCircle,
+            glyph: Number(60),
+        },
+        ClassInfo {
+            id: 4,
+            name: "speed limit 70",
+            shape: RedRingCircle,
+            glyph: Number(70),
+        },
+        ClassInfo {
+            id: 5,
+            name: "speed limit 80",
+            shape: RedRingCircle,
+            glyph: Number(80),
+        },
+        ClassInfo {
+            id: 6,
+            name: "end speed limit 80",
+            shape: GreyStrokeCircle,
+            glyph: Number(80),
+        },
+        ClassInfo {
+            id: 7,
+            name: "speed limit 100",
+            shape: RedRingCircle,
+            glyph: Number(100),
+        },
+        ClassInfo {
+            id: 8,
+            name: "speed limit 120",
+            shape: RedRingCircle,
+            glyph: Number(120),
+        },
+        ClassInfo {
+            id: 9,
+            name: "no passing",
+            shape: RedRingCircle,
+            glyph: Pictogram(0),
+        },
+        ClassInfo {
+            id: 10,
+            name: "no passing trucks",
+            shape: RedRingCircle,
+            glyph: Pictogram(1),
+        },
+        ClassInfo {
+            id: 11,
+            name: "right of way",
+            shape: WarningTriangle,
+            glyph: Pictogram(2),
+        },
+        ClassInfo {
+            id: 12,
+            name: "priority road",
+            shape: Diamond,
+            glyph: None,
+        },
+        ClassInfo {
+            id: 13,
+            name: "yield",
+            shape: InvertedTriangle,
+            glyph: None,
+        },
+        ClassInfo {
+            id: 14,
+            name: "stop",
+            shape: Octagon,
+            glyph: Pictogram(3),
+        },
+        ClassInfo {
+            id: 15,
+            name: "no vehicles",
+            shape: RedRingCircle,
+            glyph: None,
+        },
+        ClassInfo {
+            id: 16,
+            name: "no trucks",
+            shape: RedRingCircle,
+            glyph: Pictogram(4),
+        },
+        ClassInfo {
+            id: 17,
+            name: "no entry",
+            shape: RedCircleBar,
+            glyph: Bar,
+        },
+        ClassInfo {
+            id: 18,
+            name: "general caution",
+            shape: WarningTriangle,
+            glyph: Exclamation,
+        },
+        ClassInfo {
+            id: 19,
+            name: "curve left",
+            shape: WarningTriangle,
+            glyph: Pictogram(5),
+        },
+        ClassInfo {
+            id: 20,
+            name: "curve right",
+            shape: WarningTriangle,
+            glyph: Pictogram(6),
+        },
+        ClassInfo {
+            id: 21,
+            name: "double curve",
+            shape: WarningTriangle,
+            glyph: Pictogram(7),
+        },
+        ClassInfo {
+            id: 22,
+            name: "bumpy road",
+            shape: WarningTriangle,
+            glyph: Pictogram(8),
+        },
+        ClassInfo {
+            id: 23,
+            name: "slippery road",
+            shape: WarningTriangle,
+            glyph: Pictogram(9),
+        },
+        ClassInfo {
+            id: 24,
+            name: "road narrows right",
+            shape: WarningTriangle,
+            glyph: Pictogram(10),
+        },
+        ClassInfo {
+            id: 25,
+            name: "road work",
+            shape: WarningTriangle,
+            glyph: Pictogram(11),
+        },
+        ClassInfo {
+            id: 26,
+            name: "traffic signals",
+            shape: WarningTriangle,
+            glyph: Pictogram(12),
+        },
+        ClassInfo {
+            id: 27,
+            name: "pedestrians",
+            shape: WarningTriangle,
+            glyph: Pictogram(13),
+        },
+        ClassInfo {
+            id: 28,
+            name: "children crossing",
+            shape: WarningTriangle,
+            glyph: Pictogram(14),
+        },
+        ClassInfo {
+            id: 29,
+            name: "bicycles",
+            shape: WarningTriangle,
+            glyph: Pictogram(15),
+        },
+        ClassInfo {
+            id: 30,
+            name: "ice and snow",
+            shape: WarningTriangle,
+            glyph: Pictogram(16),
+        },
+        ClassInfo {
+            id: 31,
+            name: "wild animals",
+            shape: WarningTriangle,
+            glyph: Pictogram(17),
+        },
+        ClassInfo {
+            id: 32,
+            name: "end all limits",
+            shape: GreyStrokeCircle,
+            glyph: None,
+        },
+        ClassInfo {
+            id: 33,
+            name: "turn right ahead",
+            shape: BlueCircle,
+            glyph: ArrowRight,
+        },
+        ClassInfo {
+            id: 34,
+            name: "turn left ahead",
+            shape: BlueCircle,
+            glyph: ArrowLeft,
+        },
+        ClassInfo {
+            id: 35,
+            name: "ahead only",
+            shape: BlueCircle,
+            glyph: ArrowUp,
+        },
+        ClassInfo {
+            id: 36,
+            name: "straight or right",
+            shape: BlueCircle,
+            glyph: ArrowUpRight,
+        },
+        ClassInfo {
+            id: 37,
+            name: "straight or left",
+            shape: BlueCircle,
+            glyph: ArrowUpLeft,
+        },
+        ClassInfo {
+            id: 38,
+            name: "keep right",
+            shape: BlueCircle,
+            glyph: Pictogram(18),
+        },
+        ClassInfo {
+            id: 39,
+            name: "keep left",
+            shape: BlueCircle,
+            glyph: Pictogram(19),
+        },
+        ClassInfo {
+            id: 40,
+            name: "roundabout",
+            shape: BlueCircle,
+            glyph: Loop,
+        },
+        ClassInfo {
+            id: 41,
+            name: "end no passing",
+            shape: GreyStrokeCircle,
+            glyph: Pictogram(0),
+        },
+        ClassInfo {
+            id: 42,
+            name: "end no passing trucks",
+            shape: GreyStrokeCircle,
+            glyph: Pictogram(1),
+        },
     ]
 };
 
@@ -248,7 +463,10 @@ mod tests {
     #[test]
     fn new_validates_range() {
         assert!(ClassId::new(42).is_ok());
-        assert!(matches!(ClassId::new(43), Err(DataError::UnknownClass { id: 43 })));
+        assert!(matches!(
+            ClassId::new(43),
+            Err(DataError::UnknownClass { id: 43 })
+        ));
     }
 
     #[test]

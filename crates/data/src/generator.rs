@@ -119,11 +119,7 @@ impl SignDataset {
         }
         if images.dims()[0] != labels.len() {
             return Err(DataError::InvalidConfig {
-                reason: format!(
-                    "{} labels for {} images",
-                    labels.len(),
-                    images.dims()[0]
-                ),
+                reason: format!("{} labels for {} images", labels.len(), images.dims()[0]),
             });
         }
         let image_size = images.dims()[2];
@@ -255,9 +251,9 @@ impl SignDataset {
                 continue;
             }
             let take = ((members.len() as f32) * test_fraction).ceil() as usize;
-            let take = take.min(members.len().saturating_sub(1)).max(
-                if members.len() > 1 { 1 } else { 0 },
-            );
+            let take = take
+                .min(members.len().saturating_sub(1))
+                .max(if members.len() > 1 { 1 } else { 0 });
             test_idx.extend_from_slice(&members[..take]);
             train_idx.extend_from_slice(&members[take..]);
         }

@@ -40,11 +40,7 @@ fn draw_digit(canvas: &mut Canvas, digit: u8, x0: f32, y0: f32, w: f32, h: f32, 
 
 /// Draws a multi-digit number centred at `(cx, cy)` with total height `h`.
 pub(crate) fn draw_number(canvas: &mut Canvas, value: u16, cx: f32, cy: f32, h: f32, color: Rgb) {
-    let digits: Vec<u8> = value
-        .to_string()
-        .bytes()
-        .map(|b| b - b'0')
-        .collect();
+    let digits: Vec<u8> = value.to_string().bytes().map(|b| b - b'0').collect();
     let digit_w = h * 0.6;
     let gap = digit_w * 0.25;
     let total_w = digits.len() as f32 * digit_w + (digits.len() - 1) as f32 * gap;
@@ -118,12 +114,44 @@ pub(crate) fn draw_glyph(
         Glyph::ArrowRight => draw_arrow(canvas, cx, cy, 1.0, 0.0, extent, color),
         Glyph::ArrowUp => draw_arrow(canvas, cx, cy, 0.0, -1.0, extent, color),
         Glyph::ArrowUpRight => {
-            draw_arrow(canvas, cx - extent * 0.15, cy, 0.0, -1.0, extent * 0.8, color);
-            draw_arrow(canvas, cx + extent * 0.2, cy, 0.6, -1.0, extent * 0.6, color);
+            draw_arrow(
+                canvas,
+                cx - extent * 0.15,
+                cy,
+                0.0,
+                -1.0,
+                extent * 0.8,
+                color,
+            );
+            draw_arrow(
+                canvas,
+                cx + extent * 0.2,
+                cy,
+                0.6,
+                -1.0,
+                extent * 0.6,
+                color,
+            );
         }
         Glyph::ArrowUpLeft => {
-            draw_arrow(canvas, cx + extent * 0.15, cy, 0.0, -1.0, extent * 0.8, color);
-            draw_arrow(canvas, cx - extent * 0.2, cy, -0.6, -1.0, extent * 0.6, color);
+            draw_arrow(
+                canvas,
+                cx + extent * 0.15,
+                cy,
+                0.0,
+                -1.0,
+                extent * 0.8,
+                color,
+            );
+            draw_arrow(
+                canvas,
+                cx - extent * 0.2,
+                cy,
+                -0.6,
+                -1.0,
+                extent * 0.6,
+                color,
+            );
         }
         Glyph::Loop => {
             canvas.ring(cx, cy, extent * 0.25, extent * 0.42, color);
@@ -138,7 +166,13 @@ pub(crate) fn draw_glyph(
             );
         }
         Glyph::Exclamation => {
-            canvas.rect(cx - extent * 0.08, cy - extent * 0.45, cx + extent * 0.08, cy + extent * 0.1, color);
+            canvas.rect(
+                cx - extent * 0.08,
+                cy - extent * 0.45,
+                cx + extent * 0.08,
+                cy + extent * 0.1,
+                color,
+            );
             canvas.disk(cx, cy + extent * 0.32, extent * 0.1, color);
         }
         Glyph::Pictogram(i) => draw_pictogram(canvas, i, cx, cy, extent, color),
@@ -173,7 +207,10 @@ mod tests {
         }
         for i in 0..10 {
             for j in (i + 1)..10 {
-                assert_ne!(renders[i], renders[j], "digits {i} and {j} render identically");
+                assert_ne!(
+                    renders[i], renders[j],
+                    "digits {i} and {j} render identically"
+                );
             }
         }
     }
@@ -196,7 +233,10 @@ mod tests {
         draw_glyph(&mut right, Glyph::ArrowRight, 0.5, 0.5, 0.5, Rgb::WHITE);
         assert_ne!(left, right);
         // Similar total ink (mirror symmetry).
-        let (fl, fr) = (painted_fraction(&left, Rgb::WHITE), painted_fraction(&right, Rgb::WHITE));
+        let (fl, fr) = (
+            painted_fraction(&left, Rgb::WHITE),
+            painted_fraction(&right, Rgb::WHITE),
+        );
         assert!((fl - fr).abs() < 0.05);
     }
 

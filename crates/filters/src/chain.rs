@@ -147,7 +147,9 @@ mod tests {
     #[test]
     fn chain_with_identity_matches_inner_filter() {
         let lap = Lap::new(16).unwrap();
-        let chain = FilterChain::new().push(Identity::new()).push(Lap::new(16).unwrap());
+        let chain = FilterChain::new()
+            .push(Identity::new())
+            .push(Lap::new(16).unwrap());
         let mut rng = TensorRng::seed_from_u64(3);
         let x = rng.uniform(&[3, 7, 7], 0.0, 1.0);
         assert_eq!(chain.apply(&x).unwrap(), lap.apply(&x).unwrap());

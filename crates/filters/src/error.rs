@@ -57,10 +57,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(FilterError::UnsupportedRank { actual: 2 }.to_string().contains("rank 2"));
-        assert!(FilterError::InvalidParameter { reason: "np = 0".into() }
+        assert!(FilterError::UnsupportedRank { actual: 2 }
             .to_string()
-            .contains("np = 0"));
+            .contains("rank 2"));
+        assert!(FilterError::InvalidParameter {
+            reason: "np = 0".into()
+        }
+        .to_string()
+        .contains("np = 0"));
         let e = FilterError::from(TensorError::EmptyTensor { op: "x" });
         assert!(e.source().is_some());
     }

@@ -305,7 +305,7 @@ mod tests {
         assert!(!n4.contains(&(1, 1))); // diagonal is farther
         let n8 = Kernel::nearest_neighbourhood(8);
         assert!(n8.contains(&(1, 1))); // Moore neighbourhood
-        // Monotone growth and determinism.
+                                       // Monotone growth and determinism.
         assert_eq!(Kernel::nearest_neighbourhood(64).len(), 65);
         assert_eq!(n8, Kernel::nearest_neighbourhood(8));
     }

@@ -227,10 +227,9 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self
-            .cached_input
-            .as_ref()
-            .ok_or(NnError::NoForwardCache { layer: "leaky_relu" })?;
+        let x = self.cached_input.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "leaky_relu",
+        })?;
         let slope = self.slope;
         let local = x.map(|v| if v > 0.0 { 1.0 } else { slope });
         Ok(grad_out.mul(&local)?)

@@ -172,10 +172,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::NoForwardCache { layer: "batch_norm2d" })?;
+        let cache = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "batch_norm2d",
+        })?;
         if grad_out.shape() != &cache.input_shape {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 op: "batch_norm2d_backward",
@@ -291,7 +290,8 @@ mod tests {
         let mut bn = BatchNorm2d::new(1).unwrap();
         let mut rng = TensorRng::seed_from_u64(3);
         for _ in 0..100 {
-            bn.forward_train(&rng.normal(&[4, 1, 4, 4], 0.0, 1.0)).unwrap();
+            bn.forward_train(&rng.normal(&[4, 1, 4, 4], 0.0, 1.0))
+                .unwrap();
         }
         // A constant input through inference normalization is constant.
         let x = Tensor::full(&[1, 1, 4, 4], 0.5);
@@ -318,8 +318,8 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let numeric = (loss(&mut bn.clone(), &plus) - loss(&mut bn.clone(), &minus))
-                / (2.0 * eps);
+            let numeric =
+                (loss(&mut bn.clone(), &plus) - loss(&mut bn.clone(), &minus)) / (2.0 * eps);
             let analytic = grad_in.as_slice()[idx];
             assert!(
                 (numeric - analytic).abs() < 5e-2,

@@ -35,7 +35,12 @@ impl Conv2d {
     pub fn new(spec: ConvSpec, rng: &mut TensorRng) -> Self {
         let fan_in = spec.in_channels * spec.kernel_h * spec.kernel_w;
         let weight = rng.init(
-            &[spec.out_channels, spec.in_channels, spec.kernel_h, spec.kernel_w],
+            &[
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel_h,
+                spec.kernel_w,
+            ],
             Initializer::KaimingNormal { fan_in },
         );
         Conv2d {
@@ -58,7 +63,12 @@ impl Layer for Conv2d {
     }
 
     fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        Ok(conv2d(input, &self.weight.value, &self.bias.value, &self.spec)?)
+        Ok(conv2d(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            &self.spec,
+        )?)
     }
 
     fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
@@ -129,7 +139,12 @@ mod tests {
         conv.forward_train(&x).unwrap();
         conv.backward(&Tensor::ones(y.dims())).unwrap();
         let doubled = w_grad_once.scale(2.0);
-        for (a, b) in conv.params()[0].grad.as_slice().iter().zip(doubled.as_slice()) {
+        for (a, b) in conv.params()[0]
+            .grad
+            .as_slice()
+            .iter()
+            .zip(doubled.as_slice())
+        {
             assert!((a - b).abs() < 1e-4);
         }
     }

@@ -106,10 +106,9 @@ impl Layer for Dense {
         self.weight.grad.add_scaled_inplace(&grad_w, 1.0)?;
         // ∂b = column sums of g.
         let grad_b = grad_out.sum_batch()?;
-        self.bias.grad.add_scaled_inplace(
-            &grad_b.reshape(&[self.out_features])?,
-            1.0,
-        )?;
+        self.bias
+            .grad
+            .add_scaled_inplace(&grad_b.reshape(&[self.out_features])?, 1.0)?;
         // ∂x = g·W  ([n, out] × [out, in]).
         Ok(grad_out.matmul(&self.weight.value)?)
     }
@@ -193,9 +192,8 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let numeric =
-                (fc.forward(&plus).unwrap().sum() - fc.forward(&minus).unwrap().sum())
-                    / (2.0 * eps);
+            let numeric = (fc.forward(&plus).unwrap().sum() - fc.forward(&minus).unwrap().sum())
+                / (2.0 * eps);
             assert!((numeric - gin.as_slice()[idx]).abs() < 1e-2);
         }
         // Weight gradient check.
@@ -206,8 +204,7 @@ mod tests {
             let mut minus = fc.clone();
             minus.params_mut()[0].value.as_mut_slice()[idx] -= eps;
             let numeric =
-                (plus.forward(&x).unwrap().sum() - minus.forward(&x).unwrap().sum())
-                    / (2.0 * eps);
+                (plus.forward(&x).unwrap().sum() - minus.forward(&x).unwrap().sum()) / (2.0 * eps);
             assert!((numeric - wgrad.as_slice()[idx]).abs() < 1e-2);
         }
         // Bias gradient equals batch size for a sum loss.

@@ -43,10 +43,7 @@ pub fn predict_top_k(model: &Sequential, inputs: &Tensor, k: usize) -> Result<Ve
     for i in 0..n {
         let row = probs.row(i)?;
         let top_classes = row.top_k(k);
-        let top_probs = top_classes
-            .iter()
-            .map(|&c| row.as_slice()[c])
-            .collect();
+        let top_probs = top_classes.iter().map(|&c| row.as_slice()[c]).collect();
         out.push(Prediction {
             top_classes,
             top_probs,
@@ -152,7 +149,13 @@ pub fn per_class_accuracy(
     Ok(hits
         .iter()
         .zip(&totals)
-        .map(|(&h, &n)| if n == 0 { None } else { Some(h as f32 / n as f32) })
+        .map(|(&h, &n)| {
+            if n == 0 {
+                None
+            } else {
+                Some(h as f32 / n as f32)
+            }
+        })
         .collect())
 }
 

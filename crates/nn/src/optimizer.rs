@@ -77,7 +77,10 @@ impl Optimizer for Sgd {
             return Ok(());
         }
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| Tensor::zeros_like(&p.value)).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros_like(&p.value))
+                .collect();
         }
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
             if self.weight_decay > 0.0 {
@@ -132,8 +135,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|p| Tensor::zeros_like(&p.value)).collect();
-            self.v = params.iter().map(|p| Tensor::zeros_like(&p.value)).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros_like(&p.value))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros_like(&p.value))
+                .collect();
             self.t = 0;
         }
         self.t += 1;

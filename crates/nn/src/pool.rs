@@ -42,10 +42,9 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let (argmax, in_shape) = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::NoForwardCache { layer: "max_pool2d" })?;
+        let (argmax, in_shape) = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "max_pool2d",
+        })?;
         Ok(max_pool2d_backward(grad_out, argmax, in_shape)?)
     }
 

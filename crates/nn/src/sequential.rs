@@ -146,7 +146,10 @@ impl Sequential {
 
     /// Mutable access to all trainable parameters, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Clips the global L2 norm of all accumulated gradients to
@@ -163,11 +166,7 @@ impl Sequential {
             max_norm > 0.0 && max_norm.is_finite(),
             "max_norm must be positive and finite"
         );
-        let total_sq: f32 = self
-            .params()
-            .iter()
-            .map(|p| p.grad.norm_l2_squared())
-            .sum();
+        let total_sq: f32 = self.params().iter().map(|p| p.grad.norm_l2_squared()).sum();
         let total = total_sq.sqrt();
         if total > max_norm {
             let scale = max_norm / total;
@@ -222,7 +221,10 @@ impl Extend<Box<dyn Layer>> for Sequential {
 impl fmt::Debug for Sequential {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Sequential")
-            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
             .field("param_count", &self.param_count())
             .finish()
     }
@@ -280,8 +282,7 @@ mod tests {
             let mut minus = x.clone();
             minus.as_mut_slice()[idx] -= eps;
             let numeric =
-                (m.forward(&plus).unwrap().sum() - m.forward(&minus).unwrap().sum())
-                    / (2.0 * eps);
+                (m.forward(&plus).unwrap().sum() - m.forward(&minus).unwrap().sum()) / (2.0 * eps);
             assert!(
                 (numeric - gin.as_slice()[idx]).abs() < 2e-2,
                 "idx {idx}: numeric {numeric} vs analytic {}",
@@ -360,10 +361,8 @@ mod tests {
     #[test]
     fn collects_and_extends_from_boxed_layers() {
         let mut rng = TensorRng::seed_from_u64(7);
-        let layers: Vec<Box<dyn Layer>> = vec![
-            Box::new(Dense::new(4, 8, &mut rng)),
-            Box::new(Relu::new()),
-        ];
+        let layers: Vec<Box<dyn Layer>> =
+            vec![Box::new(Dense::new(4, 8, &mut rng)), Box::new(Relu::new())];
         let mut m: Sequential = layers.into_iter().collect();
         assert_eq!(m.len(), 2);
         m.extend(std::iter::once(

@@ -290,7 +290,9 @@ mod tests {
         // Training pass runs end to end.
         let y = model.forward_train(&x).unwrap();
         assert_eq!(y.dims(), &[2, 4]);
-        let gin = model.backward(&fademl_tensor::Tensor::ones(y.dims())).unwrap();
+        let gin = model
+            .backward(&fademl_tensor::Tensor::ones(y.dims()))
+            .unwrap();
         assert_eq!(gin.dims(), x.dims());
         // Invalid dropout probability is rejected at build time.
         let mut rng = TensorRng::seed_from_u64(0);

@@ -1,0 +1,219 @@
+//! Dynamic batching: coalesce submitted requests into `[N, C, H, W]`
+//! batches, keyed by threat model, bounded by `max_batch_size`, with a
+//! linger deadline so a lone request never waits forever.
+//!
+//! The struct is pure state-machine logic — no threads, no channels —
+//! so the coalescing policy is unit-testable in isolation. The server's
+//! batcher thread drives it with `push` / `take_expired` / `flush_all`.
+
+use std::time::{Duration, Instant};
+
+use fademl::ThreatModel;
+
+use crate::request::{Batch, Request};
+
+/// One partially-filled batch for a single threat model.
+#[derive(Debug)]
+struct Bucket {
+    requests: Vec<Request>,
+    /// When this bucket must be dispatched even if not full.
+    deadline: Instant,
+}
+
+/// Coalescing state machine.
+///
+/// Requests for different [`ThreatModel`]s never share a batch: TM-I
+/// skips the filter while TM-II/III stage differently, so mixing them
+/// would force per-image staging and defeat batching.
+#[derive(Debug)]
+pub struct Batcher {
+    max_batch_size: usize,
+    linger: Duration,
+    buckets: [Option<Bucket>; 3],
+}
+
+impl Batcher {
+    /// A batcher dispatching at `max_batch_size` or after `linger`.
+    pub fn new(max_batch_size: usize, linger: Duration) -> Self {
+        assert!(max_batch_size > 0, "max_batch_size must be positive");
+        Batcher {
+            max_batch_size,
+            linger,
+            buckets: [None, None, None],
+        }
+    }
+
+    fn slot_index(threat: ThreatModel) -> usize {
+        ThreatModel::ALL
+            .iter()
+            .position(|t| *t == threat)
+            .expect("ThreatModel::ALL covers every variant")
+    }
+
+    /// Number of requests currently waiting in buckets.
+    pub fn pending(&self) -> usize {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|b| b.requests.len())
+            .sum()
+    }
+
+    /// Adds a request to its threat bucket. Returns a full batch when
+    /// the bucket reaches `max_batch_size`.
+    pub fn push(&mut self, request: Request, now: Instant) -> Option<Batch> {
+        let threat = request.threat;
+        let slot = &mut self.buckets[Self::slot_index(threat)];
+        let bucket = slot.get_or_insert_with(|| Bucket {
+            requests: Vec::with_capacity(self.max_batch_size),
+            deadline: now + self.linger,
+        });
+        bucket.requests.push(request);
+        if bucket.requests.len() >= self.max_batch_size {
+            let bucket = slot.take().expect("bucket just filled");
+            Some(Batch {
+                threat,
+                requests: bucket.requests,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The soonest bucket deadline, if any bucket is non-empty. The
+    /// driving thread uses this as its `recv_timeout` bound.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.buckets.iter().flatten().map(|b| b.deadline).min()
+    }
+
+    /// Dispatches every bucket whose linger deadline has passed.
+    pub fn take_expired(&mut self, now: Instant) -> Vec<Batch> {
+        let mut out = Vec::new();
+        for (idx, slot) in self.buckets.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|b| b.deadline <= now) {
+                let bucket = slot.take().expect("checked non-empty");
+                out.push(Batch {
+                    threat: ThreatModel::ALL[idx],
+                    requests: bucket.requests,
+                });
+            }
+        }
+        out
+    }
+
+    /// Dispatches everything, regardless of deadlines (shutdown drain).
+    pub fn flush_all(&mut self) -> Vec<Batch> {
+        let mut out = Vec::new();
+        for (idx, slot) in self.buckets.iter_mut().enumerate() {
+            if let Some(bucket) = slot.take() {
+                out.push(Batch {
+                    threat: ThreatModel::ALL[idx],
+                    requests: bucket.requests,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ResponseSlot;
+    use fademl_tensor::Tensor;
+
+    fn request(threat: ThreatModel) -> Request {
+        Request {
+            image: Tensor::zeros(&[1, 2, 2]),
+            threat,
+            slot: ResponseSlot::new(),
+            submitted_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn full_bucket_dispatches_immediately() {
+        let mut b = Batcher::new(4, Duration::from_millis(100));
+        let now = Instant::now();
+        for _ in 0..3 {
+            assert!(b.push(request(ThreatModel::I), now).is_none());
+        }
+        let batch = b.push(request(ThreatModel::I), now).expect("4th fills");
+        assert_eq!(batch.requests.len(), 4);
+        assert_eq!(batch.threat, ThreatModel::I);
+        assert_eq!(b.pending(), 0);
+        // Next request starts a fresh bucket — max size is respected.
+        assert!(b.push(request(ThreatModel::I), now).is_none());
+        assert_eq!(b.pending(), 1);
+    }
+
+    #[test]
+    fn threat_models_never_share_a_batch() {
+        let mut b = Batcher::new(2, Duration::from_millis(100));
+        let now = Instant::now();
+        assert!(b.push(request(ThreatModel::I), now).is_none());
+        assert!(b.push(request(ThreatModel::II), now).is_none());
+        assert!(b.push(request(ThreatModel::III), now).is_none());
+        assert_eq!(b.pending(), 3); // three buckets of one, none full
+        let batch = b.push(request(ThreatModel::II), now).expect("TM-II fills");
+        assert_eq!(batch.threat, ThreatModel::II);
+        assert!(batch.requests.iter().all(|r| r.threat == ThreatModel::II));
+        // Flush delivers the two singleton buckets separately.
+        let rest = b.flush_all();
+        assert_eq!(rest.len(), 2);
+        for batch in &rest {
+            assert!(batch.requests.iter().all(|r| r.threat == batch.threat));
+        }
+    }
+
+    #[test]
+    fn linger_deadline_expires_buckets() {
+        let mut b = Batcher::new(8, Duration::from_millis(10));
+        let now = Instant::now();
+        b.push(request(ThreatModel::III), now);
+        assert_eq!(b.next_deadline(), Some(now + Duration::from_millis(10)));
+        assert!(b.take_expired(now).is_empty()); // not yet
+        let later = now + Duration::from_millis(11);
+        let expired = b.take_expired(later);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].requests.len(), 1);
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn deadline_is_earliest_across_buckets() {
+        let mut b = Batcher::new(8, Duration::from_millis(10));
+        let t0 = Instant::now();
+        b.push(request(ThreatModel::I), t0);
+        let t1 = t0 + Duration::from_millis(5);
+        b.push(request(ThreatModel::II), t1);
+        assert_eq!(b.next_deadline(), Some(t0 + Duration::from_millis(10)));
+        // Only the first bucket expires at its deadline.
+        let batches = b.take_expired(t0 + Duration::from_millis(10));
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].threat, ThreatModel::I);
+        assert_eq!(b.pending(), 1);
+    }
+
+    #[test]
+    fn arrival_order_preserved_within_batch() {
+        let mut b = Batcher::new(3, Duration::from_millis(100));
+        let now = Instant::now();
+        let reqs: Vec<_> = (0..3).map(|_| request(ThreatModel::I)).collect();
+        let ids: Vec<_> = reqs
+            .iter()
+            .map(|r| std::sync::Arc::as_ptr(&r.slot))
+            .collect();
+        let mut batch = None;
+        for r in reqs {
+            batch = b.push(r, now);
+        }
+        let got: Vec<_> = batch
+            .expect("third push fills the bucket")
+            .requests
+            .iter()
+            .map(|r| std::sync::Arc::as_ptr(&r.slot))
+            .collect();
+        assert_eq!(got, ids);
+    }
+}

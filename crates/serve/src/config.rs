@@ -1,0 +1,117 @@
+//! Server tuning knobs.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, ServeError};
+
+/// Configuration for an [`InferenceServer`](crate::InferenceServer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Capacity of the bounded submission queue. Submissions beyond
+    /// this are rejected with [`ServeError::Overloaded`] — backpressure
+    /// is explicit, never an unbounded buffer.
+    pub queue_capacity: usize,
+    /// Largest batch the dynamic batcher will coalesce. A full bucket
+    /// is dispatched immediately.
+    pub max_batch_size: usize,
+    /// How long a non-empty bucket may wait for co-batchable requests
+    /// before being dispatched anyway (microseconds; stored as an
+    /// integer so the config is serde-friendly).
+    pub linger_us: u64,
+    /// Number of inference worker threads sharing the model.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 256,
+            max_batch_size: 16,
+            linger_us: 2_000,
+            workers: 2,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The linger deadline as a [`Duration`].
+    pub fn linger(&self) -> Duration {
+        Duration::from_micros(self.linger_us)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when any knob is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "queue_capacity must be positive".into(),
+            });
+        }
+        if self.max_batch_size == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "max_batch_size must be positive".into(),
+            });
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "workers must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ServerConfig::default().validate().unwrap();
+        assert_eq!(
+            ServerConfig::default().linger(),
+            Duration::from_micros(2_000)
+        );
+    }
+
+    #[test]
+    fn zero_knobs_rejected() {
+        for broken in [
+            ServerConfig {
+                queue_capacity: 0,
+                ..Default::default()
+            },
+            ServerConfig {
+                max_batch_size: 0,
+                ..Default::default()
+            },
+            ServerConfig {
+                workers: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                broken.validate(),
+                Err(ServeError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = ServerConfig {
+            queue_capacity: 32,
+            max_batch_size: 8,
+            linger_us: 500,
+            workers: 3,
+        };
+        let text = serde::json::to_string(&config);
+        let back: ServerConfig = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, config);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the serving engine.
+
+use std::fmt;
+
+/// Result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Everything that can go wrong between `submit` and a verdict.
+///
+/// The variants are `Clone` on purpose: one failed batch must deliver
+/// the same error to every request it carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded submission queue is full — the caller should shed
+    /// load (retry later, degrade, or drop). Carries the configured
+    /// capacity so callers can log a meaningful message.
+    Overloaded {
+        /// Configured submission-queue capacity.
+        capacity: usize,
+    },
+    /// The server is shutting down (or has shut down) and accepts no
+    /// new work.
+    ShuttingDown,
+    /// The inference pipeline failed while processing the batch that
+    /// carried this request.
+    Pipeline {
+        /// Stringified pipeline error (kept as text so the error stays
+        /// `Clone` across every request of the failed batch).
+        message: String,
+    },
+    /// A request's image had the wrong shape for the server's pipeline.
+    InvalidRequest {
+        /// Why the request was refused.
+        reason: String,
+    },
+    /// The server configuration is unusable.
+    InvalidConfig {
+        /// Why the configuration was refused.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "submission queue full (capacity {capacity}); load shed")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Pipeline { message } => write!(f, "pipeline failure: {message}"),
+            ServeError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            ServeError::InvalidConfig { reason } => write!(f, "invalid server config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        assert!(ServeError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(ServeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        assert!(ServeError::Pipeline {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(ServeError::InvalidConfig {
+            reason: "zero".into()
+        }
+        .to_string()
+        .contains("zero"));
+    }
+}

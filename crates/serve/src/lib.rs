@@ -1,0 +1,51 @@
+//! # fademl-serve — dynamic-batching inference serving engine
+//!
+//! Production-style serving layer over the FAdeML
+//! [`InferencePipeline`](fademl::InferencePipeline): clients submit
+//! single `[C, H, W]` images, the engine coalesces them into
+//! `[N, C, H, W]` batches (keyed by [`ThreatModel`](fademl::ThreatModel)
+//! — TM-I/II/III stage differently and never share a batch), and a
+//! worker pool runs the batched pipeline path once per batch.
+//!
+//! Design pillars:
+//!
+//! - **Backpressure, not buffering**: the submission queue is bounded;
+//!   when it is full, [`submit`](InferenceServer::submit) returns
+//!   [`ServeError::Overloaded`] immediately so callers shed load at the
+//!   edge.
+//! - **Dynamic batching**: a bucket is dispatched the moment it reaches
+//!   `max_batch_size`, or when its linger deadline passes — batch-size
+//!   throughput without unbounded tail latency.
+//! - **Observability**: [`ServerMetrics`] counts requests, batches,
+//!   batch-size distribution, queue depth, rejections and end-to-end
+//!   latency percentiles; [`MetricsReport`] serializes to JSON.
+//! - **Graceful shutdown**: [`shutdown`](InferenceServer::shutdown)
+//!   (and `Drop`) drains every queued and in-flight request before the
+//!   threads exit — no client ever hangs on a dropped slot.
+//!
+//! ```no_run
+//! use fademl_serve::{InferenceServer, ServerConfig};
+//! use fademl::ThreatModel;
+//! # fn pipeline() -> fademl::InferencePipeline { unimplemented!() }
+//! # fn image() -> fademl_tensor::Tensor { unimplemented!() }
+//!
+//! let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+//! let handle = server.submit(image(), ThreatModel::III).unwrap();
+//! let verdict = handle.wait().unwrap();
+//! println!("class {} at {:.2}", verdict.class, verdict.confidence);
+//! println!("{}", server.shutdown().render());
+//! ```
+
+pub mod batcher;
+pub mod config;
+pub mod error;
+pub mod metrics;
+mod queue;
+pub mod request;
+pub mod server;
+
+pub use config::ServerConfig;
+pub use error::{Result, ServeError};
+pub use metrics::{MetricsReport, ServerMetrics};
+pub use request::ResponseHandle;
+pub use server::InferenceServer;

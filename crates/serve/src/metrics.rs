@@ -1,0 +1,318 @@
+//! Server observability: lock-free counters on the hot path, a compact
+//! latency reservoir, and a serde-serializable snapshot for reports.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Cap on the latency reservoir; beyond this the recorder degrades to
+/// overwrite-oldest so long-running servers stay bounded in memory.
+const LATENCY_RESERVOIR: usize = 65_536;
+
+/// Live counters shared by the submission path, the batcher and the
+/// workers. All hot-path updates are single atomic ops; only latency
+/// recording takes a (short) lock.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    requests_submitted: AtomicU64,
+    requests_rejected: AtomicU64,
+    requests_completed: AtomicU64,
+    requests_failed: AtomicU64,
+    batches_dispatched: AtomicU64,
+    batched_images: AtomicU64,
+    max_batch_seen: AtomicUsize,
+    queue_depth: AtomicUsize,
+    /// Count of dispatched batches per size; index 0 holds size 1.
+    batch_size_counts: Vec<AtomicU64>,
+    /// End-to-end latencies in microseconds (submit → verdict ready).
+    latencies_us: Mutex<LatencyReservoir>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyReservoir {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl ServerMetrics {
+    /// Metrics sized for batches up to `max_batch_size`.
+    pub fn new(max_batch_size: usize) -> Self {
+        ServerMetrics {
+            requests_submitted: AtomicU64::new(0),
+            requests_rejected: AtomicU64::new(0),
+            requests_completed: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+            batched_images: AtomicU64::new(0),
+            max_batch_seen: AtomicUsize::new(0),
+            queue_depth: AtomicUsize::new(0),
+            batch_size_counts: (0..max_batch_size).map(|_| AtomicU64::new(0)).collect(),
+            latencies_us: Mutex::new(LatencyReservoir::default()),
+        }
+    }
+
+    /// Reserves a queue slot in the depth gauge. Call *before* the
+    /// request can reach the batcher: if the gauge were bumped after
+    /// enqueueing, the batcher's decrement could land first, saturate
+    /// at zero, and leave the gauge permanently inflated.
+    pub fn record_enqueue_attempt(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an accepted submission (slot already reserved by
+    /// [`record_enqueue_attempt`](Self::record_enqueue_attempt)).
+    pub fn record_submitted(&self) {
+        self.requests_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a load-shed (queue-full) rejection, releasing the slot
+    /// reserved by the enqueue attempt.
+    pub fn record_rejected(&self) {
+        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+        self.release_queue_slot();
+    }
+
+    /// Records a request leaving the submission queue for a bucket.
+    pub fn record_dequeued(&self) {
+        self.release_queue_slot();
+    }
+
+    /// Releases a reserved queue slot without recording anything else
+    /// (e.g. an enqueue that failed because the server is stopping).
+    pub fn release_queue_slot(&self) {
+        // Saturating: a racing reader must never see usize::MAX depth.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
+    /// Records one dispatched batch of `size` images.
+    pub fn record_batch(&self, size: usize) {
+        debug_assert!(size > 0);
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.batched_images
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch_seen.fetch_max(size, Ordering::Relaxed);
+        if let Some(slot) = self.batch_size_counts.get(size.saturating_sub(1)) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one successfully answered request and its end-to-end
+    /// latency.
+    pub fn record_completed(&self, latency_us: u64) {
+        self.requests_completed.fetch_add(1, Ordering::Relaxed);
+        let mut reservoir = self.latencies_us.lock();
+        if reservoir.samples.len() < LATENCY_RESERVOIR {
+            reservoir.samples.push(latency_us);
+        } else {
+            let at = reservoir.next % LATENCY_RESERVOIR;
+            reservoir.samples[at] = latency_us;
+            reservoir.next = at + 1;
+        }
+    }
+
+    /// Records one request answered with an error.
+    pub fn record_failed(&self) {
+        self.requests_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current submission-queue depth (requests accepted but not yet
+    /// pulled into a batch bucket).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough snapshot for reporting. Counters are
+    /// read individually (relaxed), so totals can be off by in-flight
+    /// requests — fine for observability, never for control flow.
+    pub fn report(&self) -> MetricsReport {
+        let latencies = {
+            let mut snapshot = self.latencies_us.lock().samples.clone();
+            snapshot.sort_unstable();
+            snapshot
+        };
+        let percentile = |p: f64| -> u64 {
+            if latencies.is_empty() {
+                return 0;
+            }
+            let rank = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[rank.min(latencies.len() - 1)]
+        };
+        let batches = self.batches_dispatched.load(Ordering::Relaxed);
+        let images = self.batched_images.load(Ordering::Relaxed);
+        MetricsReport {
+            requests_submitted: self.requests_submitted.load(Ordering::Relaxed),
+            requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
+            requests_completed: self.requests_completed.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            batches_dispatched: batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                images as f64 / batches as f64
+            },
+            max_batch_seen: self.max_batch_seen.load(Ordering::Relaxed) as u64,
+            batch_size_counts: self
+                .batch_size_counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            queue_depth: self.queue_depth() as u64,
+            latency_mean_us: if latencies.is_empty() {
+                0
+            } else {
+                latencies.iter().sum::<u64>() / latencies.len() as u64
+            },
+            latency_p50_us: percentile(0.50),
+            latency_p90_us: percentile(0.90),
+            latency_p99_us: percentile(0.99),
+        }
+    }
+}
+
+/// Point-in-time snapshot of [`ServerMetrics`], ready for JSON or text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Requests accepted into the queue.
+    pub requests_submitted: u64,
+    /// Requests shed because the queue was full.
+    pub requests_rejected: u64,
+    /// Requests answered with a verdict.
+    pub requests_completed: u64,
+    /// Requests answered with an error.
+    pub requests_failed: u64,
+    /// Batches handed to the worker pool.
+    pub batches_dispatched: u64,
+    /// Mean images per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Largest batch dispatched.
+    pub max_batch_seen: u64,
+    /// Batches dispatched per size (index 0 = size 1).
+    pub batch_size_counts: Vec<u64>,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Mean end-to-end latency (µs).
+    pub latency_mean_us: u64,
+    /// Median end-to-end latency (µs).
+    pub latency_p50_us: u64,
+    /// 90th-percentile end-to-end latency (µs).
+    pub latency_p90_us: u64,
+    /// 99th-percentile end-to-end latency (µs).
+    pub latency_p99_us: u64,
+}
+
+impl MetricsReport {
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Human-readable multi-line rendering for logs and reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("serving metrics\n");
+        out.push_str(&format!(
+            "  requests: {} submitted, {} completed, {} failed, {} rejected (queue depth {})\n",
+            self.requests_submitted,
+            self.requests_completed,
+            self.requests_failed,
+            self.requests_rejected,
+            self.queue_depth,
+        ));
+        out.push_str(&format!(
+            "  batches:  {} dispatched, mean size {:.2}, max size {}\n",
+            self.batches_dispatched, self.mean_batch_size, self.max_batch_seen,
+        ));
+        let histogram: Vec<String> = self
+            .batch_size_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(i, count)| format!("{}×{count}", i + 1))
+            .collect();
+        out.push_str(&format!(
+            "  batch size histogram: [{}]\n",
+            histogram.join(", ")
+        ));
+        out.push_str(&format!(
+            "  latency:  mean {}µs, p50 {}µs, p90 {}µs, p99 {}µs\n",
+            self.latency_mean_us, self.latency_p50_us, self.latency_p90_us, self.latency_p99_us,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServerMetrics::new(8);
+        m.record_enqueue_attempt();
+        m.record_submitted();
+        m.record_enqueue_attempt();
+        m.record_submitted();
+        m.record_enqueue_attempt();
+        m.record_rejected();
+        m.record_dequeued();
+        m.record_batch(2);
+        m.record_completed(100);
+        m.record_completed(300);
+        m.record_failed();
+        let r = m.report();
+        assert_eq!(r.requests_submitted, 2);
+        assert_eq!(r.requests_rejected, 1);
+        assert_eq!(r.requests_completed, 2);
+        assert_eq!(r.requests_failed, 1);
+        assert_eq!(r.batches_dispatched, 1);
+        assert_eq!(r.queue_depth, 1);
+        assert_eq!(r.max_batch_seen, 2);
+        assert_eq!(r.batch_size_counts[1], 1);
+        assert!((r.mean_batch_size - 2.0).abs() < 1e-9);
+        assert_eq!(r.latency_mean_us, 200);
+        assert_eq!(r.latency_p50_us, 300); // nearest-rank on 2 samples
+    }
+
+    #[test]
+    fn queue_depth_never_underflows() {
+        let m = ServerMetrics::new(4);
+        m.record_dequeued();
+        assert_eq!(m.queue_depth(), 0);
+    }
+
+    #[test]
+    fn percentiles_on_spread() {
+        let m = ServerMetrics::new(4);
+        for us in 1..=100u64 {
+            m.record_completed(us);
+        }
+        let r = m.report();
+        assert_eq!(r.latency_p50_us, 51);
+        assert_eq!(r.latency_p90_us, 90);
+        assert_eq!(r.latency_p99_us, 99);
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let m = ServerMetrics::new(4);
+        m.record_submitted();
+        m.record_batch(3);
+        m.record_completed(42);
+        let report = m.report();
+        let back: MetricsReport = serde::json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let m = ServerMetrics::new(4);
+        m.record_batch(4);
+        m.record_batch(4);
+        let text = m.report().render();
+        assert!(text.contains("2 dispatched"));
+        assert!(text.contains("4×2"));
+    }
+}

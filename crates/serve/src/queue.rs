@@ -1,0 +1,104 @@
+//! Bounded submission queue with explicit load-shedding.
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+
+use crate::error::{Result, ServeError};
+use crate::request::Request;
+
+/// The server's front door: a bounded channel whose overflow is a typed
+/// [`ServeError::Overloaded`] instead of an ever-growing buffer.
+#[derive(Debug)]
+pub(crate) struct SubmissionQueue {
+    tx: Sender<Request>,
+    capacity: usize,
+}
+
+impl SubmissionQueue {
+    /// Creates the queue and the receiving end the batcher drains.
+    pub fn new(capacity: usize) -> (Self, Receiver<Request>) {
+        let (tx, rx) = channel::bounded(capacity);
+        (SubmissionQueue { tx, capacity }, rx)
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] when the batcher is gone.
+    pub fn submit(&self, request: Request) -> Result<()> {
+        match self.tx.try_send(request) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(request)) => {
+                request.fail(ServeError::Overloaded {
+                    capacity: self.capacity,
+                });
+                Err(ServeError::Overloaded {
+                    capacity: self.capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(request)) => {
+                request.fail(ServeError::ShuttingDown);
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Requests currently buffered.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ResponseSlot;
+    use fademl::ThreatModel;
+    use fademl_tensor::Tensor;
+    use std::time::Instant;
+
+    fn request() -> Request {
+        Request {
+            image: Tensor::zeros(&[1, 2, 2]),
+            threat: ThreatModel::I,
+            slot: ResponseSlot::new(),
+            submitted_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn rejects_when_full_and_recovers_after_drain() {
+        let (queue, rx) = SubmissionQueue::new(2);
+        queue.submit(request()).unwrap();
+        queue.submit(request()).unwrap();
+        assert_eq!(queue.len(), 2);
+        // Third submission is shed with the configured capacity.
+        assert_eq!(
+            queue.submit(request()),
+            Err(ServeError::Overloaded { capacity: 2 })
+        );
+        // Draining one slot makes room again.
+        rx.recv().unwrap();
+        queue.submit(request()).unwrap();
+    }
+
+    #[test]
+    fn rejected_request_handle_resolves() {
+        let (queue, _rx) = SubmissionQueue::new(1);
+        queue.submit(request()).unwrap();
+        let shed = request();
+        let handle = crate::request::ResponseHandle::new(std::sync::Arc::clone(&shed.slot));
+        let _ = queue.submit(shed);
+        // The shed request's slot was answered — nobody hangs.
+        assert_eq!(handle.wait(), Err(ServeError::Overloaded { capacity: 1 }));
+    }
+
+    #[test]
+    fn disconnected_receiver_means_shutdown() {
+        let (queue, rx) = SubmissionQueue::new(1);
+        drop(rx);
+        assert_eq!(queue.submit(request()), Err(ServeError::ShuttingDown));
+    }
+}

@@ -1,0 +1,167 @@
+//! In-flight request plumbing: the queued request, the slot a worker
+//! fills, and the handle a client waits on.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use fademl::{ThreatModel, Verdict};
+use fademl_tensor::Tensor;
+
+use crate::error::{Result, ServeError};
+
+/// One-shot rendezvous between a worker (producer) and a client
+/// (consumer). Std primitives on purpose: the wait side needs a
+/// `Condvar`, and poisoning is handled by taking the inner value.
+#[derive(Debug)]
+pub struct ResponseSlot {
+    outcome: Mutex<Option<Result<Verdict>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Fills the slot and wakes every waiter. Later fills are ignored —
+    /// first verdict wins.
+    pub(crate) fn fill(&self, result: Result<Verdict>) {
+        let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(result);
+            self.ready.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<Verdict> {
+        let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = guard.clone() {
+                return outcome;
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn try_get(&self) -> Option<Result<Verdict>> {
+        self.outcome
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// Client-side handle to a submitted request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl ResponseHandle {
+    pub(crate) fn new(slot: Arc<ResponseSlot>) -> Self {
+        ResponseHandle { slot }
+    }
+
+    /// Blocks until the verdict (or error) for this request is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error the serving engine answered with —
+    /// [`ServeError::Pipeline`] for inference failures,
+    /// [`ServeError::ShuttingDown`] if the request was dropped during
+    /// shutdown.
+    pub fn wait(self) -> Result<Verdict> {
+        self.slot.wait()
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_get(&self) -> Option<Result<Verdict>> {
+        self.slot.try_get()
+    }
+}
+
+/// A request travelling through the engine.
+#[derive(Debug)]
+pub struct Request {
+    /// `[C, H, W]` image to classify.
+    pub image: Tensor,
+    /// Where the image enters the pipeline.
+    pub threat: ThreatModel,
+    /// Where the verdict goes.
+    pub slot: Arc<ResponseSlot>,
+    /// Submission timestamp for end-to-end latency.
+    pub submitted_at: Instant,
+}
+
+impl Request {
+    /// Answers this request with an error.
+    pub fn fail(self, error: ServeError) {
+        self.slot.fill(Err(error));
+    }
+}
+
+/// A coalesced batch ready for a worker: all requests share one threat
+/// model, so they stage and forward together.
+#[derive(Debug)]
+pub struct Batch {
+    /// Common threat model of every request in the batch.
+    pub threat: ThreatModel,
+    /// The member requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn dummy_verdict() -> Verdict {
+        use fademl_nn::metrics::Prediction;
+        Verdict {
+            class: 1,
+            confidence: 0.9,
+            top5: Prediction {
+                top_classes: vec![1, 0],
+                top_probs: vec![0.9, 0.1],
+            },
+            probabilities: Tensor::from_vec(vec![0.1, 0.9], fademl_tensor::Shape::new(vec![2]))
+                .unwrap(),
+        }
+    }
+
+    #[test]
+    fn handle_sees_filled_slot() {
+        let slot = ResponseSlot::new();
+        let handle = ResponseHandle::new(Arc::clone(&slot));
+        assert!(handle.try_get().is_none());
+        slot.fill(Ok(dummy_verdict()));
+        assert_eq!(handle.try_get().unwrap().unwrap().class, 1);
+        assert_eq!(handle.wait().unwrap().class, 1);
+    }
+
+    #[test]
+    fn first_fill_wins() {
+        let slot = ResponseSlot::new();
+        slot.fill(Err(ServeError::ShuttingDown));
+        slot.fill(Ok(dummy_verdict()));
+        assert_eq!(
+            ResponseHandle::new(slot).wait(),
+            Err(ServeError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn wait_blocks_until_fill() {
+        let slot = ResponseSlot::new();
+        let handle = ResponseHandle::new(Arc::clone(&slot));
+        let filler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            slot.fill(Ok(dummy_verdict()));
+        });
+        assert_eq!(handle.wait().unwrap().class, 1);
+        filler.join().unwrap();
+    }
+}

@@ -1,0 +1,444 @@
+//! The serving engine: submission queue → dynamic batcher → worker
+//! pool, with shared metrics and a draining shutdown.
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!  submit(img, tm) ──► bounded queue ──► batcher thread           │
+//!     │ Overloaded      (capacity)       │  buckets per TM,       │
+//!     ▼ when full                        │  flush at max_batch    │
+//!  ResponseHandle ◄──────────────────┐   │  or linger deadline    │
+//!     wait()                         │   ▼                        │
+//!                                    │  batch channel ──► workers │
+//!                                    │                  (classify_batch,
+//!                                    └───────────────────fill slots)
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use fademl::{InferencePipeline, ThreatModel, Verdict};
+use fademl_tensor::Tensor;
+
+use crate::batcher::Batcher;
+use crate::config::ServerConfig;
+use crate::error::{Result, ServeError};
+use crate::metrics::{MetricsReport, ServerMetrics};
+use crate::queue::SubmissionQueue;
+use crate::request::{Batch, Request, ResponseHandle, ResponseSlot};
+
+/// A running inference server wrapping one [`InferencePipeline`].
+///
+/// Dropping the server shuts it down gracefully: queued and in-flight
+/// requests are drained and answered before the threads exit.
+#[derive(Debug)]
+pub struct InferenceServer {
+    queue: SubmissionQueue,
+    shutting_down: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+    config: ServerConfig,
+    batcher_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl InferenceServer {
+    /// Starts the engine: one batcher thread plus `config.workers`
+    /// inference workers sharing `pipeline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for unusable settings.
+    pub fn start(pipeline: InferencePipeline, config: ServerConfig) -> Result<Self> {
+        config.validate()?;
+        let pipeline = Arc::new(pipeline);
+        let metrics = Arc::new(ServerMetrics::new(config.max_batch_size));
+        let (queue, submission_rx) = SubmissionQueue::new(config.queue_capacity);
+        // Small bound: the batcher blocks here when every worker is
+        // busy, which in turn lets the submission queue fill and shed —
+        // backpressure propagates to the edge instead of buffering.
+        let (batch_tx, batch_rx) = channel::bounded::<Batch>(config.workers * 2);
+
+        let batcher_handle = {
+            let metrics = Arc::clone(&metrics);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("fademl-serve-batcher".into())
+                .spawn(move || run_batcher(&submission_rx, &batch_tx, &config, &metrics))
+                .expect("spawn batcher thread")
+        };
+
+        let worker_handles = (0..config.workers)
+            .map(|idx| {
+                let pipeline = Arc::clone(&pipeline);
+                let metrics = Arc::clone(&metrics);
+                let batch_rx = batch_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("fademl-serve-worker-{idx}"))
+                    .spawn(move || run_worker(&batch_rx, &pipeline, &metrics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        drop(batch_rx);
+
+        Ok(InferenceServer {
+            queue,
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            metrics,
+            config,
+            batcher_handle: Some(batcher_handle),
+            worker_handles,
+        })
+    }
+
+    /// Submits one `[C, H, W]` image entering under `threat`. Returns
+    /// immediately with a handle; the verdict is computed by the worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the submission queue is full
+    /// (the caller should shed load), [`ServeError::ShuttingDown`]
+    /// during shutdown, [`ServeError::InvalidRequest`] for non-rank-3
+    /// images.
+    pub fn submit(&self, image: Tensor, threat: ThreatModel) -> Result<ResponseHandle> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if image.rank() != 3 {
+            return Err(ServeError::InvalidRequest {
+                reason: format!("expected a [C, H, W] image, got {:?}", image.dims()),
+            });
+        }
+        let slot = ResponseSlot::new();
+        let handle = ResponseHandle::new(Arc::clone(&slot));
+        let request = Request {
+            image,
+            threat,
+            slot,
+            submitted_at: Instant::now(),
+        };
+        // Reserve the depth-gauge slot before the request can reach the
+        // batcher, so the dequeue decrement can never race ahead of it.
+        self.metrics.record_enqueue_attempt();
+        match self.queue.submit(request) {
+            Ok(()) => {
+                self.metrics.record_submitted();
+                Ok(handle)
+            }
+            Err(err) => {
+                if matches!(err, ServeError::Overloaded { .. }) {
+                    self.metrics.record_rejected();
+                } else {
+                    self.metrics.release_queue_slot();
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Convenience: submit and block for the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](InferenceServer::submit), plus any pipeline
+    /// error the workers hit.
+    pub fn classify(&self, image: Tensor, threat: ThreatModel) -> Result<Verdict> {
+        self.submit(image, threat)?.wait()
+    }
+
+    /// Live metrics snapshot.
+    pub fn metrics(&self) -> MetricsReport {
+        self.metrics.report()
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Graceful shutdown: stops accepting new work, drains every queued
+    /// and in-flight request, joins all threads and returns the final
+    /// metrics.
+    pub fn shutdown(mut self) -> MetricsReport {
+        self.stop();
+        self.metrics.report()
+    }
+
+    fn stop(&mut self) {
+        self.shutting_down.store(true, Ordering::Release);
+        // Dropping the queue's sender disconnects the batcher's
+        // receiver once buffered requests are drained; the batcher then
+        // flushes its buckets and drops the batch sender, which lets
+        // each worker run dry and exit.
+        let (closed, _rx) = SubmissionQueue::new(1);
+        let open = std::mem::replace(&mut self.queue, closed);
+        drop(open);
+        if let Some(handle) = self.batcher_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        if self.batcher_handle.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Batcher loop: pull requests, bucket them by threat model, dispatch
+/// full buckets immediately and lingering buckets at their deadline.
+fn run_batcher(
+    submission_rx: &Receiver<Request>,
+    batch_tx: &Sender<Batch>,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+) {
+    let mut batcher = Batcher::new(config.max_batch_size, config.linger());
+    let dispatch = |batch: Batch| {
+        metrics.record_batch(batch.requests.len());
+        // A send error means every worker is gone (panicked); answer
+        // the batch's requests so no client hangs forever.
+        if let Err(crossbeam::channel::SendError(batch)) = batch_tx.send(batch) {
+            for request in batch.requests {
+                request.fail(ServeError::ShuttingDown);
+            }
+        }
+    };
+    loop {
+        let received = match batcher.next_deadline() {
+            // Nothing buffered: sleep until work arrives.
+            None => submission_rx
+                .recv()
+                .map_err(|_| RecvTimeoutError::Disconnected),
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                submission_rx.recv_timeout(timeout)
+            }
+        };
+        let now = Instant::now();
+        match received {
+            Ok(request) => {
+                metrics.record_dequeued();
+                if let Some(batch) = batcher.push(request, now) {
+                    dispatch(batch);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        for batch in batcher.take_expired(Instant::now()) {
+            dispatch(batch);
+        }
+    }
+    // Shutdown drain: everything still buffered goes out as-is.
+    for batch in batcher.flush_all() {
+        dispatch(batch);
+    }
+}
+
+/// Worker loop: stack each batch into `[N, C, H, W]`, run the batched
+/// pipeline once, and deliver per-request verdicts.
+fn run_worker(batch_rx: &Receiver<Batch>, pipeline: &InferencePipeline, metrics: &ServerMetrics) {
+    while let Ok(batch) = batch_rx.recv() {
+        let threat = batch.threat;
+        let mut images = Vec::with_capacity(batch.requests.len());
+        let mut waiters = Vec::with_capacity(batch.requests.len());
+        for request in batch.requests {
+            images.push(request.image);
+            waiters.push((request.slot, request.submitted_at));
+        }
+        match Tensor::stack(&images) {
+            Ok(stacked) => match pipeline.classify_batch(&stacked, threat) {
+                Ok(verdicts) => {
+                    for (verdict, (slot, submitted_at)) in verdicts.into_iter().zip(&waiters) {
+                        metrics.record_completed(elapsed_us(*submitted_at));
+                        slot.fill(Ok(verdict));
+                    }
+                }
+                Err(err) => {
+                    let shared = ServeError::Pipeline {
+                        message: err.to_string(),
+                    };
+                    for (slot, _) in &waiters {
+                        metrics.record_failed();
+                        slot.fill(Err(shared.clone()));
+                    }
+                }
+            },
+            // Heterogeneous image shapes can't stack; classify each
+            // image individually so well-formed requests still succeed.
+            Err(_) => {
+                for (image, (slot, submitted_at)) in images.iter().zip(&waiters) {
+                    match pipeline.classify(image, threat) {
+                        Ok(verdict) => {
+                            metrics.record_completed(elapsed_us(*submitted_at));
+                            slot.fill(Ok(verdict));
+                        }
+                        Err(err) => {
+                            metrics.record_failed();
+                            slot.fill(Err(ServeError::Pipeline {
+                                message: err.to_string(),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl::InferencePipeline;
+    use fademl_filters::FilterSpec as Spec;
+    use fademl_nn::vgg::VggConfig;
+    use fademl_tensor::TensorRng;
+
+    fn pipeline() -> InferencePipeline {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        InferencePipeline::new(model, Spec::Lap { np: 8 }).unwrap()
+    }
+
+    fn images(n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| rng.uniform(&[3, 16, 16], 0.0, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn serves_verdicts_matching_direct_classification() {
+        let reference = pipeline();
+        let server = InferenceServer::start(
+            pipeline(),
+            ServerConfig {
+                queue_capacity: 64,
+                max_batch_size: 4,
+                linger_us: 1_000,
+                workers: 2,
+            },
+        )
+        .unwrap();
+        let imgs = images(10, 2);
+        let threats = [ThreatModel::I, ThreatModel::II, ThreatModel::III];
+        let handles: Vec<_> = imgs
+            .iter()
+            .enumerate()
+            .map(|(i, img)| {
+                let threat = threats[i % 3];
+                (i, threat, server.submit(img.clone(), threat).unwrap())
+            })
+            .collect();
+        for (i, threat, handle) in handles {
+            let served = handle.wait().unwrap();
+            let direct = reference.classify(&imgs[i], threat).unwrap();
+            assert_eq!(served.class, direct.class, "image {i} under {threat}");
+            assert_eq!(served.top5, direct.top5);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.requests_submitted, 10);
+        assert_eq!(report.requests_completed, 10);
+        assert_eq!(report.requests_failed, 0);
+        // Depth gauge must net out to zero after a full drain — the
+        // enqueue increment is reserved before the batcher can race it.
+        assert_eq!(report.queue_depth, 0);
+        assert!(report.batches_dispatched >= 3); // ≥ one per threat model
+        assert!(report.max_batch_seen <= 4);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        // Long linger + large batches: requests sit in buckets until
+        // shutdown flushes them.
+        let server = InferenceServer::start(
+            pipeline(),
+            ServerConfig {
+                queue_capacity: 64,
+                max_batch_size: 64,
+                linger_us: 60_000_000, // 60s — only the drain can flush
+                workers: 1,
+            },
+        )
+        .unwrap();
+        let handles: Vec<_> = images(5, 3)
+            .into_iter()
+            .map(|img| server.submit(img, ThreatModel::III).unwrap())
+            .collect();
+        let report = server.shutdown();
+        assert_eq!(report.requests_completed, 5);
+        for handle in handles {
+            assert!(handle.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_images_at_submit() {
+        let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+        let err = server
+            .submit(Tensor::zeros(&[1, 3, 16, 16]), ThreatModel::I)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn mixed_shapes_fall_back_to_individual_classification() {
+        let server = InferenceServer::start(
+            pipeline(),
+            ServerConfig {
+                max_batch_size: 2,
+                linger_us: 50_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = TensorRng::seed_from_u64(4);
+        let good = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        let odd = rng.uniform(&[3, 8, 8], 0.0, 1.0); // stacks with nothing
+        let h1 = server.submit(good.clone(), ThreatModel::I).unwrap();
+        let h2 = server.submit(odd, ThreatModel::I).unwrap();
+        // The well-formed image must still be classified.
+        assert!(h1.wait().is_ok());
+        // The odd-shaped one either classifies (16×16 model may reject
+        // it) or reports a pipeline error — but it must not hang.
+        let _ = h2.wait();
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_is_a_graceful_shutdown() {
+        let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+        let handle = server
+            .submit(images(1, 5).pop().unwrap(), ThreatModel::I)
+            .unwrap();
+        drop(server);
+        assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn invalid_config_refused() {
+        assert!(matches!(
+            InferenceServer::start(
+                pipeline(),
+                ServerConfig {
+                    workers: 0,
+                    ..Default::default()
+                }
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+}

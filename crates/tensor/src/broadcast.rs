@@ -18,8 +18,16 @@ pub(crate) fn broadcast_shape(op: &'static str, lhs: &Shape, rhs: &Shape) -> Res
     let rank = a.len().max(b.len());
     let mut out = vec![0usize; rank];
     for i in 0..rank {
-        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
-        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
         out[i] = if da == db || db == 1 {
             da
         } else if da == 1 {
@@ -152,8 +160,14 @@ mod tests {
     #[test]
     fn broadcast_shapes() {
         let s = |v: &[usize]| Shape::new(v.to_vec());
-        assert_eq!(broadcast_shape("t", &s(&[2, 3]), &s(&[3])).unwrap(), s(&[2, 3]));
-        assert_eq!(broadcast_shape("t", &s(&[2, 1]), &s(&[1, 4])).unwrap(), s(&[2, 4]));
+        assert_eq!(
+            broadcast_shape("t", &s(&[2, 3]), &s(&[3])).unwrap(),
+            s(&[2, 3])
+        );
+        assert_eq!(
+            broadcast_shape("t", &s(&[2, 1]), &s(&[1, 4])).unwrap(),
+            s(&[2, 4])
+        );
         assert_eq!(broadcast_shape("t", &s(&[]), &s(&[5])).unwrap(), s(&[5]));
         assert!(broadcast_shape("t", &s(&[2, 3]), &s(&[4])).is_err());
     }

@@ -144,8 +144,7 @@ pub fn im2col(image: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        out_row[oy * ow + ox] =
-                            data[(ch * h + iy as usize) * w + ix as usize];
+                        out_row[oy * ow + ox] = data[(ch * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
@@ -192,14 +191,54 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, h: usize, w: usize) -> Result<Tens
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        out[(ch * h + iy as usize) * w + ix as usize] +=
-                            in_row[oy * ow + ox];
+                        out[(ch * h + iy as usize) * w + ix as usize] += in_row[oy * ow + ox];
                     }
                 }
             }
         }
     }
     Tensor::from_vec(out, Shape::new(vec![c, h, w]))
+}
+
+/// Unfolds a whole `[N, C, H, W]` batch into one `[C·KH·KW, N·OH·OW]`
+/// matrix (sample `n` occupies the column block `n·OH·OW..(n+1)·OH·OW`),
+/// so a batched convolution is a single matmul instead of `N` small ones.
+fn im2col_batch(input: &Tensor, spec: &ConvSpec, oh: usize, ow: usize) -> Result<Tensor> {
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let per_sample = oh * ow;
+    let cols = n * per_sample;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.as_slice();
+    let pad = spec.padding as isize;
+    for sample in 0..n {
+        let src = &data[sample * c * h * w..(sample + 1) * c * h * w];
+        let col_base = sample * per_sample;
+        for ch in 0..c {
+            for kh in 0..spec.kernel_h {
+                for kw in 0..spec.kernel_w {
+                    let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
+                    let out_row =
+                        &mut out[row * cols + col_base..row * cols + col_base + per_sample];
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride) as isize + kh as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding: leave zeros in place
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride) as isize + kw as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out_row[oy * ow + ox] = src[(ch * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::new(vec![rows, cols]))
 }
 
 fn validate_conv_input(input: &Tensor, spec: &ConvSpec) -> Result<(usize, usize, usize)> {
@@ -265,16 +304,23 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
     }
     let (oh, ow) = spec.output_size(h, w)?;
     let w_mat = weight.reshape(&[spec.out_channels, k_flat])?;
-    let mut out = Vec::with_capacity(n * spec.out_channels * oh * ow);
+    // One im2col + one matmul for the whole batch: no per-sample image
+    // clones, and the matmul's wider right-hand side keeps the inner
+    // loop streaming over long contiguous rows.
+    let cols = im2col_batch(input, spec, oh, ow)?; // [K, N·OH·OW]
+    let prod = w_mat.matmul(&cols)?; // [F, N·OH·OW]
+    let prod_data = prod.as_slice();
     let bias_data = bias.as_slice();
+    let per_sample = oh * ow;
+    let mut out = vec![0.0f32; n * spec.out_channels * per_sample];
     for sample in 0..n {
-        let image = input.index_batch(sample)?;
-        let cols = im2col(&image, spec)?;
-        let prod = w_mat.matmul(&cols)?; // [F, OH*OW]
-        let prod_data = prod.as_slice();
         for f in 0..spec.out_channels {
             let b = bias_data[f];
-            out.extend(prod_data[f * oh * ow..(f + 1) * oh * ow].iter().map(|&x| x + b));
+            let src = &prod_data[f * n * per_sample + sample * per_sample..][..per_sample];
+            let dst = &mut out[(sample * spec.out_channels + f) * per_sample..][..per_sample];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s + b;
+            }
         }
     }
     Tensor::from_vec(out, Shape::new(vec![n, spec.out_channels, oh, ow]))
@@ -362,17 +408,14 @@ mod tests {
                         for ch in 0..c {
                             for kh in 0..spec.kernel_h {
                                 for kw in 0..spec.kernel_w {
-                                    let iy = (oy * spec.stride + kh) as isize
-                                        - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kw) as isize
-                                        - spec.padding as isize;
-                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
-                                    {
+                                    let iy =
+                                        (oy * spec.stride + kh) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kw) as isize - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
-                                    acc += input
-                                        .get(&[s, ch, iy as usize, ix as usize])
-                                        .unwrap()
+                                    acc += input.get(&[s, ch, iy as usize, ix as usize]).unwrap()
                                         * weight.get(&[f, ch, kh, kw]).unwrap();
                                 }
                             }
@@ -395,7 +438,12 @@ mod tests {
         let mut rng = TensorRng::seed_from_u64(seed);
         let input = rng.uniform(&[n, spec.in_channels, h, w], -1.0, 1.0);
         let weight = rng.uniform(
-            &[spec.out_channels, spec.in_channels, spec.kernel_h, spec.kernel_w],
+            &[
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel_h,
+                spec.kernel_w,
+            ],
             -0.5,
             0.5,
         );
@@ -475,9 +523,8 @@ mod tests {
         let grads = conv2d_backward(&input, &weight, &grad_out, &spec).unwrap();
 
         let eps = 1e-3f32;
-        let loss = |inp: &Tensor, wgt: &Tensor, b: &Tensor| {
-            conv2d(inp, wgt, b, &spec).unwrap().sum()
-        };
+        let loss =
+            |inp: &Tensor, wgt: &Tensor, b: &Tensor| conv2d(inp, wgt, b, &spec).unwrap().sum();
 
         // Check a sample of input gradient entries.
         for idx in [0usize, 5, 13, 31] {
@@ -485,8 +532,8 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = input.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let numeric = (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias))
-                / (2.0 * eps);
+            let numeric =
+                (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias)) / (2.0 * eps);
             let analytic = grads.input.as_slice()[idx];
             assert!(
                 (numeric - analytic).abs() < 2e-2,
@@ -499,8 +546,7 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = weight.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let numeric = (loss(&input, &plus, &bias) - loss(&input, &minus, &bias))
-                / (2.0 * eps);
+            let numeric = (loss(&input, &plus, &bias) - loss(&input, &minus, &bias)) / (2.0 * eps);
             let analytic = grads.weight.as_slice()[idx];
             assert!(
                 (numeric - analytic).abs() < 5e-2,

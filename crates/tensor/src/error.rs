@@ -78,7 +78,11 @@ impl fmt::Display for TensorError {
                 f,
                 "data length {provided} does not match shape requiring {expected} elements"
             ),
-            TensorError::RankMismatch { op, expected, actual } => write!(
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "`{op}` requires rank {expected} but tensor has rank {actual}"
             ),
@@ -89,7 +93,10 @@ impl fmt::Display for TensorError {
                 write!(f, "invalid geometry: {reason}")
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
             }
             TensorError::InvalidAxis { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank {rank}")

@@ -70,7 +70,11 @@ impl Tensor {
             return Err(TensorError::RankMismatch {
                 op: "matmul_tn",
                 expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
             });
         }
         let (k, m) = (self.dims()[0], self.dims()[1]);
@@ -115,7 +119,11 @@ impl Tensor {
             return Err(TensorError::RankMismatch {
                 op: "matmul_nt",
                 expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
             });
         }
         let (m, k) = (self.dims()[0], self.dims()[1]);

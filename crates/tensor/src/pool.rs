@@ -169,8 +169,7 @@ mod tests {
     #[test]
     fn picks_window_maximum() {
         // 1x1x2x2 input pooled with 2x2 window → single max.
-        let input =
-            Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], [1, 1, 2, 2].into()).unwrap();
+        let input = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], [1, 1, 2, 2].into()).unwrap();
         let pooled = max_pool2d(&input, &PoolSpec::half()).unwrap();
         assert_eq!(pooled.output.as_slice(), &[5.0]);
         assert_eq!(pooled.argmax, vec![1]);
@@ -194,12 +193,10 @@ mod tests {
 
     #[test]
     fn backward_routes_to_argmax() {
-        let input =
-            Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], [1, 1, 2, 2].into()).unwrap();
+        let input = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], [1, 1, 2, 2].into()).unwrap();
         let pooled = max_pool2d(&input, &PoolSpec::half()).unwrap();
         let grad_out = Tensor::full(pooled.output.dims(), 2.5);
-        let grad_in =
-            max_pool2d_backward(&grad_out, &pooled.argmax, input.shape()).unwrap();
+        let grad_in = max_pool2d_backward(&grad_out, &pooled.argmax, input.shape()).unwrap();
         assert_eq!(grad_in.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
     }
 

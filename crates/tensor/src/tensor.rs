@@ -305,7 +305,9 @@ impl Tensor {
     /// Returns [`TensorError::EmptyTensor`] for an empty input list and
     /// [`TensorError::ShapeMismatch`] if element shapes differ.
     pub fn stack(items: &[Tensor]) -> Result<Tensor> {
-        let first = items.first().ok_or(TensorError::EmptyTensor { op: "stack" })?;
+        let first = items
+            .first()
+            .ok_or(TensorError::EmptyTensor { op: "stack" })?;
         let mut data = Vec::with_capacity(first.numel() * items.len());
         for item in items {
             if item.shape != first.shape {
@@ -395,8 +397,8 @@ mod tests {
 
     #[test]
     fn reshape_preserves_data() {
-        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), Shape::new(vec![2, 3]))
-            .unwrap();
+        let t =
+            Tensor::from_vec((0..6).map(|i| i as f32).collect(), Shape::new(vec![2, 3])).unwrap();
         let r = t.reshape(&[3, 2]).unwrap();
         assert_eq!(r.as_slice(), t.as_slice());
         assert_eq!(r.dims(), &[3, 2]);
@@ -405,8 +407,8 @@ mod tests {
 
     #[test]
     fn transpose_2d() {
-        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], Shape::new(vec![2, 3]))
-            .unwrap();
+        let t =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], Shape::new(vec![2, 3])).unwrap();
         let tt = t.transpose().unwrap();
         assert_eq!(tt.dims(), &[3, 2]);
         assert_eq!(tt.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
@@ -445,7 +447,10 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, -2.0], Shape::new(vec![2])).unwrap();
         let b = Tensor::from_vec(vec![3.0, 4.0], Shape::new(vec![2])).unwrap();
         assert_eq!(a.map(f32::abs).as_slice(), &[1.0, 2.0]);
-        assert_eq!(a.zip_map(&b, |x, y| x * y).unwrap().as_slice(), &[3.0, -8.0]);
+        assert_eq!(
+            a.zip_map(&b, |x, y| x * y).unwrap().as_slice(),
+            &[3.0, -8.0]
+        );
         assert!(a.zip_map(&Tensor::zeros(&[3]), |x, _| x).is_err());
     }
 

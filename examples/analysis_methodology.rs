@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ThreatModel::III,
     )?;
 
-    println!("step 1-2  attack crafted on the bare DNN: {}", outcome.attack);
+    println!(
+        "step 1-2  attack crafted on the bare DNN: {}",
+        outcome.attack
+    );
     println!(
         "step 3    Threat Model I verdict : {} ({:.1}%)  — success: {}",
         name(outcome.tm1.class),
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.success_tm23
     );
 
-    println!("\nstep 5    Eq. 2 top-5 comparison (f(cost) = {:+.4}):", outcome.cost.cost);
+    println!(
+        "\nstep 5    Eq. 2 top-5 comparison (f(cost) = {:+.4}):",
+        outcome.cost.cost
+    );
     println!("          {:<28} | {:<28}", "TM-I top-5", "TM-III top-5");
     for rank in 0..5 {
         println!(
@@ -71,7 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "imperceptibility: PSNR {:.1} dB, correlation {:.4}",
         outcome.imperceptibility.psnr_db, outcome.imperceptibility.correlation
     );
-    println!("step 6    (FAdeML feeds this cost back into the noise optimization — see the fig9 binary)");
+    println!(
+        "step 6    (FAdeML feeds this cost back into the noise optimization — see the fig9 binary)"
+    );
     Ok(())
 }
 

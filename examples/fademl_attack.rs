@@ -8,9 +8,7 @@
 use fademl::report::Table;
 use fademl::setup::{ExperimentSetup, SetupProfile};
 use fademl::{InferencePipeline, Scenario, ThreatModel};
-use fademl_attacks::{
-    Attack, AttackSurface, Bim, Fademl, ImperceptibilityReport,
-};
+use fademl_attacks::{Attack, AttackSurface, Bim, Fademl, ImperceptibilityReport};
 use fademl_filters::FilterSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prepared = ExperimentSetup::profile(SetupProfile::Smoke).prepare()?;
     let scenario = Scenario::paper_scenarios()[0];
     let stop_sign = prepared.test.first_of_class(scenario.source)?;
-    println!("victim: {:.1}% train accuracy", prepared.train_accuracy * 100.0);
+    println!(
+        "victim: {:.1}% train accuracy",
+        prepared.train_accuracy * 100.0
+    );
     println!("scenario: {scenario}\n");
 
     // Craft each classical attack once against the bare DNN.
@@ -52,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 ""
             };
-            row.push(format!("{}{} {}", verdict.class, marker, pct(verdict.confidence)));
+            row.push(format!(
+                "{}{} {}",
+                verdict.class,
+                marker,
+                pct(verdict.confidence)
+            ));
         }
         table.push_row(row);
     }

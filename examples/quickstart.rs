@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. FAdeML: the same FGSM, but optimized through filter ∘ DNN.
     let fademl = Fademl::new(Box::new(Fgsm::new(0.10)?), 3, 1.0)?;
-    let mut aware_surface =
-        AttackSurface::with_filter(prepared.model.clone(), filter.build()?);
+    let mut aware_surface = AttackSurface::with_filter(prepared.model.clone(), filter.build()?);
     let aware = fademl.run(&mut aware_surface, &stop_sign, scenario.goal())?;
     let verdict = pipeline.classify(&aware.adversarial, ThreatModel::III)?;
     println!("\nFAdeML[FGSM] (filter-aware):");

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for class in ClassId::all() {
         let img = render_sign(class, 64, &RenderJitter::default())?;
         let name = class.info().name.replace(' ', "_");
-        save_ppm(&img, out_dir.join(format!("class_{:02}_{}.ppm", class.index(), name)))?;
+        save_ppm(
+            &img,
+            out_dir.join(format!("class_{:02}_{}.ppm", class.index(), name)),
+        )?;
     }
 
     // 2. The acquisition pipeline stages for one stop sign.
@@ -46,10 +49,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noise_vis = adv.noise.scale(4.0).add_scalar(0.5).clamp(0.0, 1.0);
     save_ppm(&noise_vis, out_dir.join("adv_3_noise_x4.ppm"))?;
 
-    println!(
-        "wrote {} PPM files to {}",
-        43 + 6,
-        out_dir.display()
-    );
+    println!("wrote {} PPM files to {}", 43 + 6, out_dir.display());
     Ok(())
 }

@@ -58,11 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stop = split.test.first_of_class(ClassId::STOP)?;
     let prediction = predict_top_k(&model, &stop.unsqueeze_batch(), 5)?.remove(0);
     println!("\ntop-5 prediction for a held-out stop sign:");
-    for (class, prob) in prediction
-        .top_classes
-        .iter()
-        .zip(&prediction.top_probs)
-    {
+    for (class, prob) in prediction.top_classes.iter().zip(&prediction.top_probs) {
         println!(
             "  {:>5.1}%  {}",
             prob * 100.0,

@@ -82,7 +82,9 @@ fn filters_neutralize_blind_attacks_more_than_they_pass() {
             let mut surface = AttackSurface::new(p.model.clone());
             let adv = attack.run(&mut surface, &source, scenario.goal()).unwrap();
             let tm1 = pipeline.classify(&adv.adversarial, ThreatModel::I).unwrap();
-            let tm3 = pipeline.classify(&adv.adversarial, ThreatModel::III).unwrap();
+            let tm3 = pipeline
+                .classify(&adv.adversarial, ThreatModel::III)
+                .unwrap();
             if tm1.class == scenario.target.index() {
                 tm1_successes += 1;
             }
@@ -114,14 +116,12 @@ fn fademl_survives_the_filter_better_than_blind_crafting() {
         let mut bare = AttackSurface::new(p.model.clone());
         let blind = bim.run(&mut bare, &source, goal).unwrap();
 
-        let fademl =
-            Fademl::new(Box::new(Bim::new(0.12, 0.02, 10).unwrap()), 2, 1.0).unwrap();
+        let fademl = Fademl::new(Box::new(Bim::new(0.12, 0.02, 10).unwrap()), 2, 1.0).unwrap();
         let mut aware_surface =
             AttackSurface::with_filter(p.model.clone(), filter.build().unwrap());
         let aware = fademl.run(&mut aware_surface, &source, goal).unwrap();
 
-        let mut eval =
-            AttackSurface::with_filter(p.model.clone(), filter.build().unwrap());
+        let mut eval = AttackSurface::with_filter(p.model.clone(), filter.build().unwrap());
         let (blind_loss, _) = eval.loss_and_input_grad(&blind.adversarial, goal).unwrap();
         let (aware_loss, _) = eval.loss_and_input_grad(&aware.adversarial, goal).unwrap();
         blind_total += blind_loss;
@@ -151,7 +151,11 @@ fn untargeted_attacks_reduce_accuracy() {
         correct_before += 1;
         let adv = Fgsm::new(0.12)
             .unwrap()
-            .run(&mut surface, &image, AttackGoal::Untargeted { source: label })
+            .run(
+                &mut surface,
+                &image,
+                AttackGoal::Untargeted { source: label },
+            )
             .unwrap();
         let (pred_after, _) = surface.predict(&adv.adversarial).unwrap();
         if pred_after == label {
@@ -184,7 +188,10 @@ fn extended_attack_library_produces_valid_examples() {
         (Box::new(CarliniWagner::standard()), targeted),
         (Box::new(DeepFool::standard()), untargeted),
         (Box::new(Jsma::standard()), targeted),
-        (Box::new(Zoo::new(15, 24, 1e-2, 5e-2, 1).unwrap()), untargeted),
+        (
+            Box::new(Zoo::new(15, 24, 1e-2, 5e-2, 1).unwrap()),
+            untargeted,
+        ),
         (Box::new(OnePixel::new(3, 12, 6, 1).unwrap()), untargeted),
     ];
     for (attack, goal) in attacks {
@@ -217,7 +224,9 @@ fn gradient_free_attacks_also_die_at_the_filter() {
         .run(&mut surface, &source, scenario.goal())
         .unwrap();
     if adv.success_on_surface {
-        let filtered = pipeline.classify(&adv.adversarial, ThreatModel::III).unwrap();
+        let filtered = pipeline
+            .classify(&adv.adversarial, ThreatModel::III)
+            .unwrap();
         assert_ne!(
             filtered.class,
             scenario.target.index(),
@@ -255,7 +264,9 @@ fn bit_depth_squeezing_removes_small_noise() {
     );
     // And therefore the pipeline verdicts coincide.
     let clean_verdict = pipeline.classify(&source, ThreatModel::III).unwrap();
-    let adv_verdict = pipeline.classify(&adv.adversarial, ThreatModel::III).unwrap();
+    let adv_verdict = pipeline
+        .classify(&adv.adversarial, ThreatModel::III)
+        .unwrap();
     assert_eq!(clean_verdict.class, adv_verdict.class);
 }
 
@@ -282,10 +293,8 @@ fn universal_noise_erodes_accuracy_like_fig6() {
         .iter()
         .map(|img| img.add(&outcome.noise).unwrap().clamp(0.0, 1.0))
         .collect();
-    let clean_acc =
-        top1_accuracy(&p.model, &Tensor::stack(&images).unwrap(), &labels).unwrap();
-    let pert_acc =
-        top1_accuracy(&p.model, &Tensor::stack(&perturbed).unwrap(), &labels).unwrap();
+    let clean_acc = top1_accuracy(&p.model, &Tensor::stack(&images).unwrap(), &labels).unwrap();
+    let pert_acc = top1_accuracy(&p.model, &Tensor::stack(&perturbed).unwrap(), &labels).unwrap();
     assert!(
         pert_acc <= clean_acc,
         "universal noise should not improve accuracy: {clean_acc:.2} → {pert_acc:.2}"

@@ -51,7 +51,18 @@ fn e1_fig5_attacks_succeed_under_tm1() {
 
 #[test]
 fn e2_fig6_attacks_cost_accuracy() {
-    let result = fig6::run(prepared(), &params(), 8).unwrap();
+    // Larger eval sample + stronger budget than the other shape tests:
+    // with few images the average is dominated by single borderline
+    // samples that any perturbation can flip either way.
+    let params = AttackParams {
+        epsilon: 0.3,
+        bim_alpha: 0.04,
+        bim_iterations: 12,
+        lbfgs_c: 0.005,
+        lbfgs_iterations: 12,
+        ..params()
+    };
+    let result = fig6::run(prepared(), &params, 60).unwrap();
     assert_eq!(result.grids.len(), 5);
     // Average attacked accuracy across all scenarios/attacks is below
     // the clean baseline (the paper reports an up-to-10-point drop).
@@ -120,8 +131,14 @@ fn e4_fig9_fademl_survives_filters() {
     );
     // Tables render for every scenario.
     for sid in 1..=5 {
-        assert!(!aware.scenario_table(sid, &small_filters).render().is_empty());
-        assert!(!aware.accuracy_table(sid, &small_filters).render().is_empty());
+        assert!(!aware
+            .scenario_table(sid, &small_filters)
+            .render()
+            .is_empty());
+        assert!(!aware
+            .accuracy_table(sid, &small_filters)
+            .render()
+            .is_empty());
     }
 }
 

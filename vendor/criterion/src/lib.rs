@@ -1,0 +1,289 @@
+//! Offline drop-in for the subset of `criterion` this workspace uses.
+//!
+//! A real statistical harness needs sampling plans, outlier rejection,
+//! and HTML reports; this stub keeps the *API* so benches compile and
+//! run offline, and reports wall-clock mean/median per iteration (plus
+//! element throughput when configured). Good enough to compare the
+//! relative cost of two code paths on the same machine, which is all
+//! the workspace benches assert.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Conversion into a benchmark label (`BenchmarkId`, `&str`, `String`).
+pub trait IntoLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples after a warm-up
+    /// pass that also calibrates iterations-per-sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration: find an iteration count that takes
+        // roughly 10ms so short routines aren't dominated by timer
+        // resolution.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares work-per-iteration so results also print as throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoLabel,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        self.report(&label, &mut bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        self.report(&label, &mut bencher.samples);
+        self
+    }
+
+    /// Finishes the group (report lines were already printed per bench).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("{}/{label:<24} (no samples)", self.name);
+            return;
+        }
+        samples.sort_unstable();
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let median = samples[samples.len() / 2];
+        let mut line = format!(
+            "{}/{label:<24} mean {:>12} median {:>12}",
+            self.name,
+            format_duration(mean),
+            format_duration(median),
+        );
+        if let Some(throughput) = self.throughput {
+            let (count, unit) = match throughput {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let per_sec = count as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  {per_sec:>12.1} {unit}"));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("-- {name} --");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, label: &str, routine: R) -> &mut Self {
+        self.benchmark_group(label.to_string())
+            .bench_function("", routine);
+        self
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(500)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(500)).ends_with(" s"));
+    }
+}

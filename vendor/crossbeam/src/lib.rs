@@ -1,0 +1,5 @@
+//! Offline drop-in for the subset of `crossbeam` 0.8 this workspace
+//! uses: MPMC channels ([`channel`]) and scoped threads ([`thread`]).
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,149 @@
+//! Scoped threads with `crossbeam::thread::scope` semantics: child
+//! panics are collected and surfaced as an `Err` from [`scope`] instead
+//! of unwinding through the caller.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Result type of [`scope`]: `Err` carries the first child panic payload.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Handle passed to the scope closure; spawns threads tied to the scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    // Owned (not borrowed) so the handle can be cloned into spawned
+    // closures without tying a local's borrow to the higher-ranked
+    // `'scope` lifetime.
+    panics: Arc<Mutex<Vec<Box<dyn Any + Send + 'static>>>>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        Scope {
+            inner: self.inner,
+            panics: Arc::clone(&self.panics),
+        }
+    }
+}
+
+/// Handle to a thread spawned with [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish; `Err` means it panicked.
+    pub fn join(self) -> Result<T> {
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            // The closure panicked; the payload was already recorded by
+            // the scope, report a placeholder here.
+            Ok(None) => Err(Box::new("scoped thread panicked")),
+            Err(payload) => Err(payload),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope handle so
+    /// nested spawning is possible (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let nested = self.clone();
+        let handle =
+            self.inner.spawn(
+                move || match catch_unwind(AssertUnwindSafe(|| f(&nested))) {
+                    Ok(v) => Some(v),
+                    Err(payload) => {
+                        nested
+                            .panics
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(payload);
+                        None
+                    }
+                },
+            );
+        ScopedJoinHandle { inner: handle }
+    }
+}
+
+/// Runs `f` with a scope handle; all spawned threads are joined before
+/// this returns. Returns `Err` with the first panic payload if any child
+/// panicked (the closure's own result is discarded in that case).
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panics = Arc::new(Mutex::new(Vec::new()));
+    let result = std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            panics: Arc::clone(&panics),
+        };
+        f(&wrapper)
+    });
+    let mut collected = std::mem::take(&mut *panics.lock().unwrap_or_else(|e| e.into_inner()));
+    if collected.is_empty() {
+        Ok(result)
+    } else {
+        Err(collected.swap_remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn joins_all_children() {
+        let counter = AtomicUsize::new(0);
+        let sum = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            21
+        })
+        .unwrap();
+        assert_eq!(sum, 21);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let outcome = scope(|s| {
+            s.spawn(|_| panic!("child failure"));
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        scope(|s| {
+            let h = s.spawn(|_| 5usize);
+            assert_eq!(h.join().unwrap(), 5);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

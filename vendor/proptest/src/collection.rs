@@ -1,0 +1,81 @@
+//! `Vec` strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Length specification for [`vec`]: a fixed size or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            min: len,
+            max_exclusive: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec length range");
+        SizeRange {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+/// Strategy producing vectors whose elements come from `element` and
+/// whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_length() {
+        let mut rng = TestRng::for_case("m", "fixed", 0);
+        let v = vec(0u32..10, 5).generate(&mut rng);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|x| *x < 10));
+    }
+
+    #[test]
+    fn ranged_length() {
+        let strategy = vec(-1.0f32..1.0, 2..9);
+        for case in 0..50 {
+            let mut rng = TestRng::for_case("m", "ranged", case);
+            let v = strategy.generate(&mut rng);
+            assert!((2..9).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+}

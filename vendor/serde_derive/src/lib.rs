@@ -1,0 +1,390 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! `syn`/`quote` are not available offline, so the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes (all
+//! the workspace uses):
+//!
+//! - non-generic structs: named fields, tuple (incl. newtype), unit
+//! - non-generic enums: unit, named-field and tuple variants
+//!
+//! Generated code follows serde's externally-tagged JSON conventions;
+//! see the vendored `serde` crate's docs.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    /// `struct S;` or unit enum variant.
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("generated impl should tokenize"),
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("error should tokenize"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_body(&tokens, pos)?),
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(group.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+fn parse_struct_body(tokens: &[TokenTree], pos: usize) -> Result<Fields, String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            Ok(Fields::Named(parse_named_fields(group.stream())?))
+        }
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(group.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        None => Ok(Fields::Unit),
+        other => Err(format!("unsupported struct body: {other:?}")),
+    }
+}
+
+/// Splits a token stream on commas that sit outside `<…>` (group tokens
+/// are opaque trees, so only angle brackets need explicit tracking).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    segments.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().expect("non-empty").push(token);
+    }
+    segments.retain(|segment| !segment.is_empty());
+    segments
+}
+
+/// Advances past outer attributes (`#[…]`) and visibility (`pub`,
+/// `pub(crate)`, …).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // '[…]'
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for segment in split_top_level(stream) {
+        let mut pos = 0;
+        skip_attrs_and_vis(&segment, &mut pos);
+        match (segment.get(pos), segment.get(pos + 1)) {
+            (Some(TokenTree::Ident(ident)), Some(TokenTree::Punct(p)))
+                if p.as_char() == ':' && p.spacing() == Spacing::Alone =>
+            {
+                names.push(ident.to_string());
+            }
+            _ => return Err(format!("unsupported field syntax: {segment:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    for segment in split_top_level(stream) {
+        let mut pos = 0;
+        skip_attrs_and_vis(&segment, &mut pos);
+        let name = match segment.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let fields = match segment.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(group.stream())?)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "explicit discriminants are not supported (variant `{name}`)"
+                ))
+            }
+            None => Fields::Unit,
+            other => return Err(format!("unsupported variant body: {other:?}")),
+        };
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `Value::Map(vec![(key, expr), …])` from rendered entry pairs.
+fn map_expr(entries: &[(String, String)]) -> String {
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(key, expr)| format!("(::std::string::String::from({key:?}), {expr})"))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", body.join(", "))
+}
+
+fn seq_expr(items: &[String]) -> String {
+    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+}
+
+fn to_value(expr: &str) -> String {
+    format!("::serde::Serialize::to_value({expr})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_owned(),
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.clone(), to_value(&format!("&self.{f}"))))
+                .collect();
+            map_expr(&entries)
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => to_value("&self.0"),
+        ItemKind::Struct(Fields::Tuple(arity)) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| to_value(&format!("&self.{i}")))
+                .collect();
+            seq_expr(&items)
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{variant} => ::serde::Value::Str(::std::string::String::from({variant:?})),"
+                    ),
+                    Fields::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let inner: Vec<(String, String)> =
+                            fields.iter().map(|f| (f.clone(), to_value(f))).collect();
+                        let payload = map_expr(&inner);
+                        let tagged = map_expr(&[(variant.clone(), payload)]);
+                        format!("{name}::{variant} {{ {bindings} }} => {tagged},")
+                    }
+                    Fields::Tuple(arity) => {
+                        let bindings: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            to_value("f0")
+                        } else {
+                            seq_expr(&bindings.iter().map(|b| to_value(b)).collect::<Vec<_>>())
+                        };
+                        let tagged = map_expr(&[(variant.clone(), payload)]);
+                        format!("{name}::{variant}({}) => {tagged},", bindings.join(", "))
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Expression deserializing a named-field set from map value `src` into
+/// constructor `ctor` (e.g. `Foo` or `Foo::Bar`).
+fn named_ctor(ctor: &str, owner: &str, fields: &[String], src: &str) -> String {
+    let assignments: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({src}.get({f:?}).ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"missing field `\", {f:?}, \"` in {owner}\")))?)?"
+            )
+        })
+        .collect();
+    format!("{ctor} {{ {} }}", assignments.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Struct(Fields::Named(fields)) => {
+            format!("Ok({})", named_ctor(name, name, fields, "value"))
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(arity)) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return Err(::serde::Error::custom(\"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, fields)| matches!(fields, Fields::Unit))
+                .map(|(variant, _)| format!("{variant:?} => return Ok({name}::{variant}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(variant, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fields) => Some(format!(
+                        "{variant:?} => return Ok({}),",
+                        named_ctor(&format!("{name}::{variant}"), name, fields, "payload")
+                    )),
+                    Fields::Tuple(1) => Some(format!(
+                        "{variant:?} => return Ok({name}::{variant}(\
+                         ::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{variant:?} => {{\n\
+                                 let items = payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence for {name}::{variant}\"))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                     return Err(::serde::Error::custom(\
+                                     \"wrong arity for {name}::{variant}\"));\n\
+                                 }}\n\
+                                 return Ok({name}::{variant}({}));\n\
+                             }}",
+                            elems.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(tag) = value.as_str() {{\n\
+                     match tag {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(entries) = value.as_map() {{\n\
+                     if entries.len() == 1 {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{ {} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::Error::custom(\"no matching variant of {name}\"))",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
