@@ -16,4 +16,13 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo clippy (faults feature, deny warnings)"
+cargo clippy -p fademl-serve --features faults --all-targets -- -D warnings
+
+echo "==> fault-injection suite (chaos tests)"
+cargo test -q -p fademl-serve --features faults --test faults
+
+echo "==> chaos stress run"
+cargo test -q -p fademl-serve --release --features faults --test faults chaos_stress_every_handle_resolves
+
 echo "CI OK"

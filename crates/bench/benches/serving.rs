@@ -79,6 +79,7 @@ fn bench_serving(c: &mut Criterion) {
                     max_batch_size: batch.max(2),
                     linger_us: 200,
                     workers: 1,
+                    ..ServerConfig::default()
                 };
                 let server =
                     InferenceServer::start(pipeline.clone(), config).expect("server starts");

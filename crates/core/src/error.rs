@@ -26,6 +26,12 @@ pub enum FademlError {
         /// Human-readable description of the invalid value.
         reason: String,
     },
+    /// An input tensor was rejected before inference (e.g. non-finite
+    /// values that would poison every activation downstream).
+    InvalidInput {
+        /// Human-readable description of the offending value.
+        reason: String,
+    },
     /// Reading or writing cached artifacts failed.
     Io(std::io::Error),
 }
@@ -41,6 +47,9 @@ impl fmt::Display for FademlError {
             FademlError::InvalidConfig { reason } => {
                 write!(f, "invalid experiment configuration: {reason}")
             }
+            FademlError::InvalidInput { reason } => {
+                write!(f, "invalid inference input: {reason}")
+            }
             FademlError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -55,7 +64,7 @@ impl Error for FademlError {
             FademlError::Filter(e) => Some(e),
             FademlError::Attack(e) => Some(e),
             FademlError::Io(e) => Some(e),
-            FademlError::InvalidConfig { .. } => None,
+            FademlError::InvalidConfig { .. } | FademlError::InvalidInput { .. } => None,
         }
     }
 }

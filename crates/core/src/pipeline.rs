@@ -137,6 +137,25 @@ impl InferencePipeline {
         self.acquisition_noise.apply(image, &mut rng)
     }
 
+    /// Rejects tensors carrying non-finite values: a single NaN spreads
+    /// through every conv/matmul reduction and silently corrupts the
+    /// verdict of everything sharing the forward pass. Runs only on the
+    /// classification entry points — staging helpers stay permissive so
+    /// attack evaluation can probe the pipeline with anything.
+    fn validate_input(image: &Tensor) -> Result<()> {
+        if let Some((index, value)) = image
+            .as_slice()
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+        {
+            return Err(FademlError::InvalidInput {
+                reason: format!("non-finite value {value} at flat index {index}"),
+            });
+        }
+        Ok(())
+    }
+
     /// Builds a [`Verdict`] from one row of class probabilities.
     fn verdict_from_probabilities(probabilities: Tensor) -> Verdict {
         let top_classes = probabilities.top_k(5);
@@ -158,14 +177,16 @@ impl InferencePipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`FademlError::InvalidConfig`] for non-rank-3 input, plus
-    /// any filter/model error.
+    /// Returns [`FademlError::InvalidConfig`] for non-rank-3 input,
+    /// [`FademlError::InvalidInput`] for non-finite values, plus any
+    /// filter/model error.
     pub fn classify(&self, image: &Tensor, threat: ThreatModel) -> Result<Verdict> {
         if image.rank() != 3 {
             return Err(FademlError::InvalidConfig {
                 reason: format!("expected a [C, H, W] image, got {:?}", image.dims()),
             });
         }
+        Self::validate_input(image)?;
         let staged = self.stage_input(image, threat)?;
         let batch = staged.unsqueeze_batch();
         // One forward pass; the top-5 ranking is a cheap argsort of the
@@ -182,9 +203,11 @@ impl InferencePipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`FademlError::InvalidConfig`] for non-rank-4 input, plus
-    /// any filter/model error.
+    /// Returns [`FademlError::InvalidConfig`] for non-rank-4 input,
+    /// [`FademlError::InvalidInput`] for non-finite values, plus any
+    /// filter/model error.
     pub fn classify_batch(&self, images: &Tensor, threat: ThreatModel) -> Result<Vec<Verdict>> {
+        Self::validate_input(images)?;
         let staged = self.stage_input_batch(images, threat)?;
         let probabilities = self.model.predict_proba(&staged)?; // [N, classes]
         let n = images.dims()[0];
@@ -333,6 +356,37 @@ mod tests {
     fn filter_spec_accessor() {
         let p = pipeline(FilterSpec::Lar { r: 2 });
         assert_eq!(p.filter_spec(), FilterSpec::Lar { r: 2 });
+    }
+
+    #[test]
+    fn classify_rejects_non_finite_input() {
+        let p = pipeline(FilterSpec::None);
+        let mut rng = TensorRng::seed_from_u64(21);
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut img = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+            img.as_mut_slice()[7] = poison;
+            assert!(matches!(
+                p.classify(&img, ThreatModel::I),
+                Err(FademlError::InvalidInput { .. })
+            ));
+            let mut batch = rng.uniform(&[2, 3, 16, 16], 0.0, 1.0);
+            batch.as_mut_slice()[100] = poison;
+            assert!(matches!(
+                p.classify_batch(&batch, ThreatModel::III),
+                Err(FademlError::InvalidInput { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn staging_stays_permissive_for_attack_probing() {
+        // Attack evaluation probes the filter with arbitrary tensors;
+        // validation belongs to the classification entry points only.
+        let p = pipeline(FilterSpec::Lap { np: 8 });
+        let mut rng = TensorRng::seed_from_u64(22);
+        let mut img = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        img.as_mut_slice()[0] = f32::NAN;
+        assert!(p.stage_input(&img, ThreatModel::III).is_ok());
     }
 
     #[test]

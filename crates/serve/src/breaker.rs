@@ -1,0 +1,156 @@
+//! Graceful degradation: a circuit breaker shared by the worker pool.
+//!
+//! After `threshold` *consecutive* batch-level failures (worker panics
+//! or whole-batch pipeline errors), the breaker opens and the engine
+//! sheds to **degraded mode**: batches still coalesce for transport,
+//! but workers execute them one image at a time, each classification
+//! isolated in its own `catch_unwind`, so one adversarially-poisoned
+//! image can no longer take down co-batched requests. While degraded,
+//! every `probe_every`-th batch is attempted on the full batched path;
+//! one successful probe closes the breaker and restores batching.
+//!
+//! Pure atomics — shared by any number of workers without locking.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::metrics::ServerMetrics;
+
+/// How a worker should execute the batch it just received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Normal batched execution. `probe: true` marks a recovery probe
+    /// issued while degraded — its success closes the breaker.
+    Batched {
+        /// Whether this batch doubles as a degraded-mode recovery probe.
+        probe: bool,
+    },
+    /// Degraded execution: one image at a time, individually isolated.
+    PerImage,
+}
+
+/// Consecutive-failure circuit breaker (see module docs).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: usize,
+    probe_every: usize,
+    consecutive_failures: AtomicUsize,
+    degraded: AtomicBool,
+    /// Batches planned since entering degraded mode; drives the probe
+    /// cadence.
+    degraded_batches: AtomicUsize,
+}
+
+impl CircuitBreaker {
+    /// A breaker opening after `threshold` consecutive batch failures
+    /// and probing every `probe_every`-th degraded batch.
+    pub fn new(threshold: usize, probe_every: usize) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            probe_every: probe_every.max(1),
+            consecutive_failures: AtomicUsize::new(0),
+            degraded: AtomicBool::new(false),
+            degraded_batches: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether the breaker is currently open (degraded mode).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Decides how the next batch should execute, advancing the probe
+    /// cadence while degraded.
+    pub fn plan_batch(&self) -> BatchMode {
+        if !self.is_degraded() {
+            return BatchMode::Batched { probe: false };
+        }
+        let planned = self.degraded_batches.fetch_add(1, Ordering::AcqRel) + 1;
+        if planned.is_multiple_of(self.probe_every) {
+            BatchMode::Batched { probe: true }
+        } else {
+            BatchMode::PerImage
+        }
+    }
+
+    /// Records a successful batched execution. A successful probe
+    /// closes the breaker and reports the transition to `metrics`.
+    pub fn record_success(&self, probe: bool, metrics: &ServerMetrics) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        if probe && self.degraded.swap(false, Ordering::AcqRel) {
+            metrics.record_degraded_exit();
+        }
+    }
+
+    /// Records a batch-level failure (panic or whole-batch pipeline
+    /// error). Opens the breaker — reporting the transition to
+    /// `metrics` — once `threshold` consecutive failures accumulate.
+    pub fn record_batch_failure(&self, metrics: &ServerMetrics) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if failures >= self.threshold && !self.degraded.swap(true, Ordering::AcqRel) {
+            self.degraded_batches.store(0, Ordering::Release);
+            metrics.record_degraded_enter();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let metrics = ServerMetrics::new(4);
+        let breaker = CircuitBreaker::new(3, 4);
+        breaker.record_batch_failure(&metrics);
+        breaker.record_batch_failure(&metrics);
+        // A success in between resets the streak.
+        breaker.record_success(false, &metrics);
+        breaker.record_batch_failure(&metrics);
+        breaker.record_batch_failure(&metrics);
+        assert!(!breaker.is_degraded());
+        breaker.record_batch_failure(&metrics);
+        assert!(breaker.is_degraded());
+        assert_eq!(metrics.report().degraded_entered, 1);
+        // Further failures don't re-enter.
+        breaker.record_batch_failure(&metrics);
+        assert_eq!(metrics.report().degraded_entered, 1);
+    }
+
+    #[test]
+    fn probe_cadence_and_recovery() {
+        let metrics = ServerMetrics::new(4);
+        let breaker = CircuitBreaker::new(1, 3);
+        assert_eq!(breaker.plan_batch(), BatchMode::Batched { probe: false });
+        breaker.record_batch_failure(&metrics);
+        assert!(breaker.is_degraded());
+        // Two per-image batches, then a probe.
+        assert_eq!(breaker.plan_batch(), BatchMode::PerImage);
+        assert_eq!(breaker.plan_batch(), BatchMode::PerImage);
+        assert_eq!(breaker.plan_batch(), BatchMode::Batched { probe: true });
+        // A failed probe keeps the breaker open…
+        breaker.record_batch_failure(&metrics);
+        assert!(breaker.is_degraded());
+        // …and a successful one closes it.
+        assert_eq!(breaker.plan_batch(), BatchMode::PerImage);
+        assert_eq!(breaker.plan_batch(), BatchMode::PerImage);
+        assert_eq!(breaker.plan_batch(), BatchMode::Batched { probe: true });
+        breaker.record_success(true, &metrics);
+        assert!(!breaker.is_degraded());
+        assert_eq!(breaker.plan_batch(), BatchMode::Batched { probe: false });
+        let report = metrics.report();
+        assert_eq!(report.degraded_entered, 1);
+        assert_eq!(report.degraded_exited, 1);
+        assert!(!report.degraded_now);
+    }
+
+    #[test]
+    fn non_probe_success_does_not_close_breaker() {
+        let metrics = ServerMetrics::new(4);
+        let breaker = CircuitBreaker::new(1, 2);
+        breaker.record_batch_failure(&metrics);
+        assert!(breaker.is_degraded());
+        breaker.record_success(false, &metrics);
+        assert!(breaker.is_degraded());
+        assert_eq!(metrics.report().degraded_exited, 0);
+    }
+}

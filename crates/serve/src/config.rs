@@ -22,6 +22,20 @@ pub struct ServerConfig {
     pub linger_us: u64,
     /// Number of inference worker threads sharing the model.
     pub workers: usize,
+    /// Smallest pixel value admitted by input validation. Images with
+    /// any value below this (or non-finite) are rejected with
+    /// [`ServeError::InvalidInput`] before they can share a batch.
+    pub pixel_min: f32,
+    /// Largest pixel value admitted by input validation.
+    pub pixel_max: f32,
+    /// Consecutive batch-level failures (panics or whole-batch pipeline
+    /// errors) after which the circuit breaker sheds to per-image
+    /// classification (degraded mode).
+    pub degrade_after_failures: usize,
+    /// While degraded, every `probe_every`-th batch is attempted on the
+    /// full batched path as a probe; a successful probe restores normal
+    /// batched execution. `1` probes on every batch.
+    pub probe_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -31,6 +45,10 @@ impl Default for ServerConfig {
             max_batch_size: 16,
             linger_us: 2_000,
             workers: 2,
+            pixel_min: 0.0,
+            pixel_max: 1.0,
+            degrade_after_failures: 3,
+            probe_every: 4,
         }
     }
 }
@@ -45,7 +63,8 @@ impl ServerConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] when any knob is zero.
+    /// Returns [`ServeError::InvalidConfig`] when any count knob is
+    /// zero or the admitted pixel range is empty or non-finite.
     pub fn validate(&self) -> Result<()> {
         if self.queue_capacity == 0 {
             return Err(ServeError::InvalidConfig {
@@ -60,6 +79,32 @@ impl ServerConfig {
         if self.workers == 0 {
             return Err(ServeError::InvalidConfig {
                 reason: "workers must be positive".into(),
+            });
+        }
+        if !self.pixel_min.is_finite() || !self.pixel_max.is_finite() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "pixel range [{}, {}] must be finite",
+                    self.pixel_min, self.pixel_max
+                ),
+            });
+        }
+        if self.pixel_min >= self.pixel_max {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "pixel range [{}, {}] is empty",
+                    self.pixel_min, self.pixel_max
+                ),
+            });
+        }
+        if self.degrade_after_failures == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "degrade_after_failures must be positive".into(),
+            });
+        }
+        if self.probe_every == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "probe_every must be positive".into(),
             });
         }
         Ok(())
@@ -94,11 +139,39 @@ mod tests {
                 workers: 0,
                 ..Default::default()
             },
+            ServerConfig {
+                degrade_after_failures: 0,
+                ..Default::default()
+            },
+            ServerConfig {
+                probe_every: 0,
+                ..Default::default()
+            },
         ] {
             assert!(matches!(
                 broken.validate(),
                 Err(ServeError::InvalidConfig { .. })
             ));
+        }
+    }
+
+    #[test]
+    fn broken_pixel_range_rejected() {
+        for (lo, hi) in [
+            (1.0, 0.0),
+            (0.5, 0.5),
+            (f32::NAN, 1.0),
+            (0.0, f32::INFINITY),
+        ] {
+            let broken = ServerConfig {
+                pixel_min: lo,
+                pixel_max: hi,
+                ..Default::default()
+            };
+            assert!(
+                matches!(broken.validate(), Err(ServeError::InvalidConfig { .. })),
+                "range [{lo}, {hi}] should be refused"
+            );
         }
     }
 
@@ -109,6 +182,10 @@ mod tests {
             max_batch_size: 8,
             linger_us: 500,
             workers: 3,
+            pixel_min: -1.0,
+            pixel_max: 2.0,
+            degrade_after_failures: 5,
+            probe_every: 2,
         };
         let text = serde::json::to_string(&config);
         let back: ServerConfig = serde::json::from_str(&text).unwrap();

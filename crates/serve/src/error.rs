@@ -5,6 +5,26 @@ use std::fmt;
 /// Result alias for serving operations.
 pub type Result<T> = std::result::Result<T, ServeError>;
 
+/// Which enforcement point caught an expired request deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineStage {
+    /// The request expired while waiting in the submission queue (or a
+    /// batcher bucket) — it never reached a worker.
+    Queue,
+    /// The request expired between batch dispatch and execution — a
+    /// worker saw it too late to serve a fresh answer.
+    Batch,
+}
+
+impl fmt::Display for DeadlineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlineStage::Queue => write!(f, "queue"),
+            DeadlineStage::Batch => write!(f, "batch"),
+        }
+    }
+}
+
 /// Everything that can go wrong between `submit` and a verdict.
 ///
 /// The variants are `Clone` on purpose: one failed batch must deliver
@@ -28,14 +48,35 @@ pub enum ServeError {
         /// `Clone` across every request of the failed batch).
         message: String,
     },
-    /// A request's image had the wrong shape for the server's pipeline.
-    InvalidRequest {
-        /// Why the request was refused.
+    /// The batch carrying this request was lost to a worker panic (or a
+    /// worker death) — the request itself may have been well-formed.
+    /// The caller may safely retry.
+    BatchFailed {
+        /// What took the batch down (panic message or death report).
+        reason: String,
+    },
+    /// The request's deadline expired before a verdict was computed, so
+    /// the engine refused to serve a stale answer.
+    DeadlineExceeded {
+        /// The enforcement point that caught the expiry.
+        stage: DeadlineStage,
+    },
+    /// The request's image was rejected at admission: wrong shape,
+    /// non-finite values, or pixels outside the configured range. The
+    /// image never reached a shared batch.
+    InvalidInput {
+        /// Why the image was refused.
         reason: String,
     },
     /// The server configuration is unusable.
     InvalidConfig {
         /// Why the configuration was refused.
+        reason: String,
+    },
+    /// The engine itself failed to assemble (e.g. a worker thread could
+    /// not be spawned). Not caused by the request.
+    Internal {
+        /// What went wrong inside the engine.
         reason: String,
     },
 }
@@ -48,8 +89,15 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Pipeline { message } => write!(f, "pipeline failure: {message}"),
-            ServeError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            ServeError::BatchFailed { reason } => {
+                write!(f, "batch failed: {reason}")
+            }
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded in {stage}")
+            }
+            ServeError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
             ServeError::InvalidConfig { reason } => write!(f, "invalid server config: {reason}"),
+            ServeError::Internal { reason } => write!(f, "internal serving error: {reason}"),
         }
     }
 }
@@ -78,5 +126,38 @@ mod tests {
         }
         .to_string()
         .contains("zero"));
+        assert!(ServeError::BatchFailed {
+            reason: "worker panicked".into()
+        }
+        .to_string()
+        .contains("worker panicked"));
+        assert!(ServeError::InvalidInput {
+            reason: "NaN pixel".into()
+        }
+        .to_string()
+        .contains("NaN pixel"));
+        assert!(ServeError::Internal {
+            reason: "spawn failed".into()
+        }
+        .to_string()
+        .contains("spawn failed"));
+    }
+
+    #[test]
+    fn deadline_stage_named_in_display() {
+        assert_eq!(
+            ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Queue
+            }
+            .to_string(),
+            "deadline exceeded in queue"
+        );
+        assert_eq!(
+            ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Batch
+            }
+            .to_string(),
+            "deadline exceeded in batch"
+        );
     }
 }

@@ -16,36 +16,62 @@
 //! - **Dynamic batching**: a bucket is dispatched the moment it reaches
 //!   `max_batch_size`, or when its linger deadline passes — batch-size
 //!   throughput without unbounded tail latency.
+//! - **Fault tolerance**: admission-time input validation
+//!   ([`ServeError::InvalidInput`]), per-request deadlines enforced at
+//!   dequeue and at batch pickup ([`ServeError::DeadlineExceeded`]),
+//!   `catch_unwind` panic isolation that fails only the offending batch
+//!   ([`ServeError::BatchFailed`]), supervised worker respawn, and a
+//!   [`CircuitBreaker`] that sheds to isolated per-image execution
+//!   after repeated batch failures and recovers via probe batches.
 //! - **Observability**: [`ServerMetrics`] counts requests, batches,
-//!   batch-size distribution, queue depth, rejections and end-to-end
-//!   latency percentiles; [`MetricsReport`] serializes to JSON.
+//!   batch-size distribution, queue depth, rejections, panics,
+//!   respawns, deadline misses (with an overshoot histogram), degraded
+//!   transitions and end-to-end latency percentiles; [`MetricsReport`]
+//!   serializes to JSON.
 //! - **Graceful shutdown**: [`shutdown`](InferenceServer::shutdown)
 //!   (and `Drop`) drains every queued and in-flight request before the
 //!   threads exit — no client ever hangs on a dropped slot.
 //!
+//! The engine-wide invariant — *every accepted request's handle
+//! resolves, with a verdict or a typed error* — is chaos-tested by the
+//! deterministic fault-injection harness in [`faults`] (built with
+//! `--features faults`, which production builds never enable).
+//!
 //! ```no_run
 //! use fademl_serve::{InferenceServer, ServerConfig};
 //! use fademl::ThreatModel;
+//! use std::time::Duration;
 //! # fn pipeline() -> fademl::InferencePipeline { unimplemented!() }
 //! # fn image() -> fademl_tensor::Tensor { unimplemented!() }
 //!
 //! let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
-//! let handle = server.submit(image(), ThreatModel::III).unwrap();
+//! let handle = server
+//!     .submit_with_deadline(image(), ThreatModel::III, Some(Duration::from_millis(250)))
+//!     .unwrap();
 //! let verdict = handle.wait().unwrap();
 //! println!("class {} at {:.2}", verdict.class, verdict.confidence);
 //! println!("{}", server.shutdown().render());
 //! ```
 
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod batcher;
+pub mod breaker;
 pub mod config;
 pub mod error;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod metrics;
 mod queue;
 pub mod request;
 pub mod server;
 
+pub use breaker::{BatchMode, CircuitBreaker};
 pub use config::ServerConfig;
-pub use error::{Result, ServeError};
+pub use error::{DeadlineStage, Result, ServeError};
+#[cfg(feature = "faults")]
+pub use faults::FaultPlan;
 pub use metrics::{MetricsReport, ServerMetrics};
 pub use request::ResponseHandle;
 pub use server::InferenceServer;

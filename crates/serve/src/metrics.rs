@@ -1,14 +1,21 @@
 //! Server observability: lock-free counters on the hot path, a compact
 //! latency reservoir, and a serde-serializable snapshot for reports.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::error::DeadlineStage;
+
 /// Cap on the latency reservoir; beyond this the recorder degrades to
 /// overwrite-oldest so long-running servers stay bounded in memory.
 const LATENCY_RESERVOIR: usize = 65_536;
+
+/// Upper edges (µs) of the deadline-miss overshoot histogram buckets;
+/// the last bucket is open-ended.
+const OVERSHOOT_EDGES_US: [u64; 3] = [1_000, 10_000, 100_000];
 
 /// Live counters shared by the submission path, the batcher and the
 /// workers. All hot-path updates are single atomic ops; only latency
@@ -17,6 +24,7 @@ const LATENCY_RESERVOIR: usize = 65_536;
 pub struct ServerMetrics {
     requests_submitted: AtomicU64,
     requests_rejected: AtomicU64,
+    requests_invalid: AtomicU64,
     requests_completed: AtomicU64,
     requests_failed: AtomicU64,
     batches_dispatched: AtomicU64,
@@ -27,6 +35,18 @@ pub struct ServerMetrics {
     batch_size_counts: Vec<AtomicU64>,
     /// End-to-end latencies in microseconds (submit → verdict ready).
     latencies_us: Mutex<LatencyReservoir>,
+    // Fault-tolerance counters.
+    worker_panics: AtomicU64,
+    workers_respawned: AtomicU64,
+    batches_failed: AtomicU64,
+    deadline_missed_queue: AtomicU64,
+    deadline_missed_batch: AtomicU64,
+    /// Deadline-miss overshoot histogram: <1 ms, <10 ms, <100 ms, rest.
+    deadline_overshoot_buckets: [AtomicU64; 4],
+    degraded_entered: AtomicU64,
+    degraded_exited: AtomicU64,
+    degraded_now: AtomicBool,
+    single_image_fallbacks: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -41,6 +61,7 @@ impl ServerMetrics {
         ServerMetrics {
             requests_submitted: AtomicU64::new(0),
             requests_rejected: AtomicU64::new(0),
+            requests_invalid: AtomicU64::new(0),
             requests_completed: AtomicU64::new(0),
             requests_failed: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
@@ -49,6 +70,21 @@ impl ServerMetrics {
             queue_depth: AtomicUsize::new(0),
             batch_size_counts: (0..max_batch_size).map(|_| AtomicU64::new(0)).collect(),
             latencies_us: Mutex::new(LatencyReservoir::default()),
+            worker_panics: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            batches_failed: AtomicU64::new(0),
+            deadline_missed_queue: AtomicU64::new(0),
+            deadline_missed_batch: AtomicU64::new(0),
+            deadline_overshoot_buckets: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+            degraded_entered: AtomicU64::new(0),
+            degraded_exited: AtomicU64::new(0),
+            degraded_now: AtomicBool::new(false),
+            single_image_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -71,6 +107,12 @@ impl ServerMetrics {
     pub fn record_rejected(&self) {
         self.requests_rejected.fetch_add(1, Ordering::Relaxed);
         self.release_queue_slot();
+    }
+
+    /// Records a request refused by admission-time input validation
+    /// (it never reached the queue, so no slot is released).
+    pub fn record_invalid(&self) {
+        self.requests_invalid.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a request leaving the submission queue for a bucket.
@@ -118,6 +160,62 @@ impl ServerMetrics {
         self.requests_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one worker panic caught (or rethrown) while executing a
+    /// batch or a single image.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one worker thread replaced after dying mid-flight.
+    pub fn record_worker_respawn(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch whose every request was answered with an
+    /// error (panic or whole-batch pipeline failure).
+    pub fn record_batch_failed(&self) {
+        self.batches_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request answered with `DeadlineExceeded`, caught at
+    /// `stage`, `overshoot` past its deadline.
+    pub fn record_deadline_miss(&self, stage: DeadlineStage, overshoot: Duration) {
+        match stage {
+            DeadlineStage::Queue => &self.deadline_missed_queue,
+            DeadlineStage::Batch => &self.deadline_missed_batch,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(overshoot.as_micros()).unwrap_or(u64::MAX);
+        let bucket = OVERSHOOT_EDGES_US
+            .iter()
+            .position(|&edge| us < edge)
+            .unwrap_or(OVERSHOOT_EDGES_US.len());
+        self.deadline_overshoot_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the circuit breaker opening (entering degraded mode).
+    pub fn record_degraded_enter(&self) {
+        self.degraded_entered.fetch_add(1, Ordering::Relaxed);
+        self.degraded_now.store(true, Ordering::Release);
+    }
+
+    /// Records a successful probe batch closing the circuit breaker.
+    pub fn record_degraded_exit(&self) {
+        self.degraded_exited.fetch_add(1, Ordering::Relaxed);
+        self.degraded_now.store(false, Ordering::Release);
+    }
+
+    /// Records one request served by isolated per-image classification
+    /// (degraded mode or a mixed-shape batch).
+    pub fn record_single_fallback(&self) {
+        self.single_image_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether the engine is currently in degraded (per-image) mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded_now.load(Ordering::Acquire)
+    }
+
     /// Current submission-queue depth (requests accepted but not yet
     /// pulled into a batch bucket).
     pub fn queue_depth(&self) -> usize {
@@ -145,6 +243,7 @@ impl ServerMetrics {
         MetricsReport {
             requests_submitted: self.requests_submitted.load(Ordering::Relaxed),
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
+            requests_invalid: self.requests_invalid.load(Ordering::Relaxed),
             requests_completed: self.requests_completed.load(Ordering::Relaxed),
             requests_failed: self.requests_failed.load(Ordering::Relaxed),
             batches_dispatched: batches,
@@ -168,6 +267,20 @@ impl ServerMetrics {
             latency_p50_us: percentile(0.50),
             latency_p90_us: percentile(0.90),
             latency_p99_us: percentile(0.99),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            batches_failed: self.batches_failed.load(Ordering::Relaxed),
+            deadline_missed_queue: self.deadline_missed_queue.load(Ordering::Relaxed),
+            deadline_missed_batch: self.deadline_missed_batch.load(Ordering::Relaxed),
+            deadline_overshoot_buckets: self
+                .deadline_overshoot_buckets
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            degraded_entered: self.degraded_entered.load(Ordering::Relaxed),
+            degraded_exited: self.degraded_exited.load(Ordering::Relaxed),
+            degraded_now: self.degraded(),
+            single_image_fallbacks: self.single_image_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -179,6 +292,8 @@ pub struct MetricsReport {
     pub requests_submitted: u64,
     /// Requests shed because the queue was full.
     pub requests_rejected: u64,
+    /// Requests refused by admission-time input validation.
+    pub requests_invalid: u64,
     /// Requests answered with a verdict.
     pub requests_completed: u64,
     /// Requests answered with an error.
@@ -201,6 +316,26 @@ pub struct MetricsReport {
     pub latency_p90_us: u64,
     /// 99th-percentile end-to-end latency (µs).
     pub latency_p99_us: u64,
+    /// Worker panics caught while executing batches or single images.
+    pub worker_panics: u64,
+    /// Worker threads replaced after dying mid-flight.
+    pub workers_respawned: u64,
+    /// Batches whose every request was answered with an error.
+    pub batches_failed: u64,
+    /// Requests whose deadline expired before leaving the queue.
+    pub deadline_missed_queue: u64,
+    /// Requests whose deadline expired between dispatch and execution.
+    pub deadline_missed_batch: u64,
+    /// Deadline-miss overshoot histogram: <1 ms, <10 ms, <100 ms, rest.
+    pub deadline_overshoot_buckets: Vec<u64>,
+    /// Times the circuit breaker opened (entered degraded mode).
+    pub degraded_entered: u64,
+    /// Times a probe batch closed the breaker again.
+    pub degraded_exited: u64,
+    /// Whether the engine was degraded at snapshot time.
+    pub degraded_now: bool,
+    /// Requests served by isolated per-image classification.
+    pub single_image_fallbacks: u64,
 }
 
 impl MetricsReport {
@@ -214,11 +349,12 @@ impl MetricsReport {
         let mut out = String::new();
         out.push_str("serving metrics\n");
         out.push_str(&format!(
-            "  requests: {} submitted, {} completed, {} failed, {} rejected (queue depth {})\n",
+            "  requests: {} submitted, {} completed, {} failed, {} rejected, {} invalid (queue depth {})\n",
             self.requests_submitted,
             self.requests_completed,
             self.requests_failed,
             self.requests_rejected,
+            self.requests_invalid,
             self.queue_depth,
         ));
         out.push_str(&format!(
@@ -239,6 +375,29 @@ impl MetricsReport {
         out.push_str(&format!(
             "  latency:  mean {}µs, p50 {}µs, p90 {}µs, p99 {}µs\n",
             self.latency_mean_us, self.latency_p50_us, self.latency_p90_us, self.latency_p99_us,
+        ));
+        out.push_str(&format!(
+            "  faults:   {} worker panics, {} workers respawned, {} batches failed, {} single-image fallbacks\n",
+            self.worker_panics,
+            self.workers_respawned,
+            self.batches_failed,
+            self.single_image_fallbacks,
+        ));
+        out.push_str(&format!(
+            "  degraded: entered {}, exited {}, currently {}\n",
+            self.degraded_entered,
+            self.degraded_exited,
+            if self.degraded_now { "yes" } else { "no" },
+        ));
+        let buckets = &self.deadline_overshoot_buckets;
+        out.push_str(&format!(
+            "  deadline misses: {} in queue, {} in batch; overshoot [<1ms: {}, <10ms: {}, <100ms: {}, ≥100ms: {}]\n",
+            self.deadline_missed_queue,
+            self.deadline_missed_batch,
+            buckets.first().copied().unwrap_or(0),
+            buckets.get(1).copied().unwrap_or(0),
+            buckets.get(2).copied().unwrap_or(0),
+            buckets.get(3).copied().unwrap_or(0),
         ));
         out
     }
@@ -296,11 +455,50 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_accumulate() {
+        let m = ServerMetrics::new(4);
+        m.record_worker_panic();
+        m.record_worker_panic();
+        m.record_worker_respawn();
+        m.record_batch_failed();
+        m.record_invalid();
+        m.record_single_fallback();
+        m.record_degraded_enter();
+        assert!(m.degraded());
+        m.record_degraded_exit();
+        assert!(!m.degraded());
+        let r = m.report();
+        assert_eq!(r.worker_panics, 2);
+        assert_eq!(r.workers_respawned, 1);
+        assert_eq!(r.batches_failed, 1);
+        assert_eq!(r.requests_invalid, 1);
+        assert_eq!(r.single_image_fallbacks, 1);
+        assert_eq!(r.degraded_entered, 1);
+        assert_eq!(r.degraded_exited, 1);
+        assert!(!r.degraded_now);
+    }
+
+    #[test]
+    fn deadline_misses_bucket_by_overshoot() {
+        let m = ServerMetrics::new(4);
+        m.record_deadline_miss(DeadlineStage::Queue, Duration::from_micros(500));
+        m.record_deadline_miss(DeadlineStage::Queue, Duration::from_millis(5));
+        m.record_deadline_miss(DeadlineStage::Batch, Duration::from_millis(50));
+        m.record_deadline_miss(DeadlineStage::Batch, Duration::from_secs(1));
+        let r = m.report();
+        assert_eq!(r.deadline_missed_queue, 2);
+        assert_eq!(r.deadline_missed_batch, 2);
+        assert_eq!(r.deadline_overshoot_buckets, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
     fn report_serde_round_trip() {
         let m = ServerMetrics::new(4);
         m.record_submitted();
         m.record_batch(3);
         m.record_completed(42);
+        m.record_degraded_enter();
+        m.record_deadline_miss(DeadlineStage::Batch, Duration::from_millis(2));
         let report = m.report();
         let back: MetricsReport = serde::json::from_str(&report.to_json()).unwrap();
         assert_eq!(back, report);
@@ -311,8 +509,12 @@ mod tests {
         let m = ServerMetrics::new(4);
         m.record_batch(4);
         m.record_batch(4);
+        m.record_worker_panic();
+        m.record_degraded_enter();
         let text = m.report().render();
         assert!(text.contains("2 dispatched"));
         assert!(text.contains("4×2"));
+        assert!(text.contains("1 worker panics"));
+        assert!(text.contains("currently yes"));
     }
 }

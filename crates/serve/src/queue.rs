@@ -65,6 +65,7 @@ mod tests {
             threat: ThreatModel::I,
             slot: ResponseSlot::new(),
             submitted_at: Instant::now(),
+            deadline: None,
         }
     }
 

@@ -2,7 +2,7 @@
 //! fills, and the handle a client waits on.
 
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fademl::{ThreatModel, Verdict};
 use fademl_tensor::Tensor;
@@ -27,12 +27,18 @@ impl ResponseSlot {
     }
 
     /// Fills the slot and wakes every waiter. Later fills are ignored —
-    /// first verdict wins.
-    pub(crate) fn fill(&self, result: Result<Verdict>) {
+    /// first verdict wins. Returns `true` when this call was the one
+    /// that filled the slot, so callers can keep metrics exact even
+    /// when failure paths race (e.g. a panic handler and the mid-batch
+    /// drop guard both answering the same request).
+    pub(crate) fn fill(&self, result: Result<Verdict>) -> bool {
         let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
         if guard.is_none() {
             *guard = Some(result);
             self.ready.notify_all();
+            true
+        } else {
+            false
         }
     }
 
@@ -43,6 +49,25 @@ impl ResponseSlot {
                 return outcome;
             }
             guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<Verdict>> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = guard.clone() {
+                return Some(outcome);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            guard = self
+                .ready
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
         }
     }
 
@@ -71,10 +96,19 @@ impl ResponseHandle {
     ///
     /// Returns whatever error the serving engine answered with —
     /// [`ServeError::Pipeline`] for inference failures,
+    /// [`ServeError::BatchFailed`] when a panic took the batch down,
+    /// [`ServeError::DeadlineExceeded`] for expired deadlines,
     /// [`ServeError::ShuttingDown`] if the request was dropped during
     /// shutdown.
     pub fn wait(self) -> Result<Verdict> {
         self.slot.wait()
+    }
+
+    /// Blocks for at most `timeout`; `None` when the request is still
+    /// in flight afterwards. Useful for callers enforcing their own
+    /// liveness bound on top of server-side deadlines.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Verdict>> {
+        self.slot.wait_timeout(timeout)
     }
 
     /// Non-blocking poll; `None` while the request is still in flight.
@@ -94,12 +128,25 @@ pub struct Request {
     pub slot: Arc<ResponseSlot>,
     /// Submission timestamp for end-to-end latency.
     pub submitted_at: Instant,
+    /// Absolute expiry; a request past its deadline is answered with
+    /// [`ServeError::DeadlineExceeded`] instead of a stale verdict.
+    pub deadline: Option<Instant>,
 }
 
 impl Request {
-    /// Answers this request with an error.
-    pub fn fail(self, error: ServeError) {
-        self.slot.fill(Err(error));
+    /// Answers this request with an error. Returns `true` when this
+    /// call filled the slot (first answer wins).
+    pub fn fail(self, error: ServeError) -> bool {
+        self.slot.fill(Err(error))
+    }
+
+    /// How far past its deadline this request is at `now`, or `None`
+    /// while it is still live (or has no deadline).
+    pub fn overshoot(&self, now: Instant) -> Option<Duration> {
+        match self.deadline {
+            Some(deadline) if now > deadline => Some(now.saturating_duration_since(deadline)),
+            _ => None,
+        }
     }
 }
 
@@ -116,7 +163,7 @@ pub struct Batch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
+    use crate::error::DeadlineStage;
 
     fn dummy_verdict() -> Verdict {
         use fademl_nn::metrics::Prediction;
@@ -137,7 +184,7 @@ mod tests {
         let slot = ResponseSlot::new();
         let handle = ResponseHandle::new(Arc::clone(&slot));
         assert!(handle.try_get().is_none());
-        slot.fill(Ok(dummy_verdict()));
+        assert!(slot.fill(Ok(dummy_verdict())));
         assert_eq!(handle.try_get().unwrap().unwrap().class, 1);
         assert_eq!(handle.wait().unwrap().class, 1);
     }
@@ -145,8 +192,8 @@ mod tests {
     #[test]
     fn first_fill_wins() {
         let slot = ResponseSlot::new();
-        slot.fill(Err(ServeError::ShuttingDown));
-        slot.fill(Ok(dummy_verdict()));
+        assert!(slot.fill(Err(ServeError::ShuttingDown)));
+        assert!(!slot.fill(Ok(dummy_verdict())));
         assert_eq!(
             ResponseHandle::new(slot).wait(),
             Err(ServeError::ShuttingDown)
@@ -163,5 +210,44 @@ mod tests {
         });
         assert_eq!(handle.wait().unwrap().class, 1);
         filler.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_then_some() {
+        let slot = ResponseSlot::new();
+        let handle = ResponseHandle::new(Arc::clone(&slot));
+        assert!(handle.wait_timeout(Duration::from_millis(10)).is_none());
+        slot.fill(Err(ServeError::DeadlineExceeded {
+            stage: DeadlineStage::Batch,
+        }));
+        assert_eq!(
+            handle.wait_timeout(Duration::from_millis(10)),
+            Some(Err(ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Batch,
+            }))
+        );
+    }
+
+    #[test]
+    fn overshoot_tracks_deadline() {
+        let now = Instant::now();
+        let request = Request {
+            image: Tensor::zeros(&[1, 2, 2]),
+            threat: ThreatModel::I,
+            slot: ResponseSlot::new(),
+            submitted_at: now,
+            deadline: Some(now + Duration::from_millis(10)),
+        };
+        assert_eq!(request.overshoot(now), None);
+        assert_eq!(request.overshoot(now + Duration::from_millis(10)), None);
+        assert_eq!(
+            request.overshoot(now + Duration::from_millis(15)),
+            Some(Duration::from_millis(5))
+        );
+        let undated = Request {
+            deadline: None,
+            ..request
+        };
+        assert_eq!(undated.overshoot(now + Duration::from_secs(60)), None);
     }
 }

@@ -1,33 +1,89 @@
-//! The serving engine: submission queue → dynamic batcher → worker
-//! pool, with shared metrics and a draining shutdown.
+//! The serving engine: submission queue → dynamic batcher → supervised
+//! worker pool, with shared metrics, fault isolation and a draining
+//! shutdown.
 //!
 //! ```text
 //!                    ┌────────────────────────────────────────────┐
 //!  submit(img, tm) ──► bounded queue ──► batcher thread           │
-//!     │ Overloaded      (capacity)       │  buckets per TM,       │
-//!     ▼ when full                        │  flush at max_batch    │
+//!     │ Overloaded      (capacity)       │  deadline check,       │
+//!     │ InvalidInput                     │  buckets per TM,       │
+//!     ▼ at admission                     │  flush at max_batch    │
 //!  ResponseHandle ◄──────────────────┐   │  or linger deadline    │
 //!     wait()                         │   ▼                        │
 //!                                    │  batch channel ──► workers │
-//!                                    │                  (classify_batch,
-//!                                    └───────────────────fill slots)
+//!                                    │   (catch_unwind, breaker,  │
+//!                                    └────supervised respawn)     │
 //! ```
+//!
+//! Fault model: a worker panic fails only the batch that triggered it
+//! (every handle gets a typed [`ServeError::BatchFailed`]); a worker
+//! *death* is detected by the supervisor and the thread respawned;
+//! consecutive batch failures open the [`CircuitBreaker`] and the pool
+//! sheds to isolated per-image execution until a probe batch succeeds.
+//! The engine-wide invariant — every accepted request's handle
+//! resolves — is enforced by a mid-batch drop guard and chaos-tested
+//! under injected faults (`tests/faults.rs`, `--features faults`).
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use fademl::{InferencePipeline, ThreatModel, Verdict};
 use fademl_tensor::Tensor;
 
 use crate::batcher::Batcher;
+use crate::breaker::{BatchMode, CircuitBreaker};
 use crate::config::ServerConfig;
-use crate::error::{Result, ServeError};
+use crate::error::{DeadlineStage, Result, ServeError};
 use crate::metrics::{MetricsReport, ServerMetrics};
 use crate::queue::SubmissionQueue;
 use crate::request::{Batch, Request, ResponseHandle, ResponseSlot};
+
+#[cfg(feature = "faults")]
+use crate::faults::{self, FaultPlan};
+
+/// The fault-injection hook threaded through the engine. Without the
+/// `faults` feature it is a unit type and every hook call compiles to
+/// nothing.
+#[cfg(feature = "faults")]
+type FaultHandle = Option<FaultPlan>;
+
+/// Zero-sized stand-in when the feature is off; deliberately not
+/// `Copy` so both configurations use identical `clone()` plumbing.
+#[cfg(not(feature = "faults"))]
+#[derive(Debug, Clone)]
+struct FaultHandle;
+
+#[cfg(feature = "faults")]
+fn no_faults() -> FaultHandle {
+    None
+}
+#[cfg(not(feature = "faults"))]
+fn no_faults() -> FaultHandle {
+    FaultHandle
+}
+
+fn fault_on_dequeue(faults: &FaultHandle) {
+    #[cfg(feature = "faults")]
+    if let Some(plan) = faults {
+        plan.on_dequeue();
+    }
+    #[cfg(not(feature = "faults"))]
+    let _ = faults;
+}
+
+fn fault_on_batch_start(faults: &FaultHandle) {
+    #[cfg(feature = "faults")]
+    if let Some(plan) = faults {
+        plan.on_batch_start();
+    }
+    #[cfg(not(feature = "faults"))]
+    let _ = faults;
+}
 
 /// A running inference server wrapping one [`InferencePipeline`].
 ///
@@ -38,22 +94,89 @@ pub struct InferenceServer {
     queue: SubmissionQueue,
     shutting_down: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
+    breaker: Arc<CircuitBreaker>,
     config: ServerConfig,
     batcher_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    supervisor_handle: Option<JoinHandle<()>>,
+}
+
+/// Everything a worker thread needs; shared so the supervisor can
+/// spawn replacements for workers that die mid-flight.
+#[derive(Debug)]
+struct WorkerShared {
+    pipeline: Arc<InferencePipeline>,
+    metrics: Arc<ServerMetrics>,
+    breaker: Arc<CircuitBreaker>,
+    batch_rx: Receiver<Batch>,
+    faults: FaultHandle,
+}
+
+/// Sent to the supervisor when a worker thread ends, cleanly (channel
+/// drained) or not (the thread died unwinding).
+#[derive(Debug)]
+struct WorkerExit {
+    idx: usize,
+    clean: bool,
+}
+
+/// Drop guard inside each worker: whatever kills the thread, the
+/// supervisor hears about it.
+struct ExitNotice {
+    tx: Sender<WorkerExit>,
+    idx: usize,
+    clean: bool,
+}
+
+impl Drop for ExitNotice {
+    fn drop(&mut self) {
+        let _ = self.tx.send(WorkerExit {
+            idx: self.idx,
+            clean: self.clean,
+        });
+    }
 }
 
 impl InferenceServer {
     /// Starts the engine: one batcher thread plus `config.workers`
-    /// inference workers sharing `pipeline`.
+    /// supervised inference workers sharing `pipeline`.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for unusable settings.
+    /// Returns [`ServeError::InvalidConfig`] for unusable settings and
+    /// [`ServeError::Internal`] if a thread cannot be spawned.
     pub fn start(pipeline: InferencePipeline, config: ServerConfig) -> Result<Self> {
+        Self::launch(pipeline, config, no_faults())
+    }
+
+    /// Starts the engine with an armed [`FaultPlan`] (chaos testing).
+    /// Also installs the quiet panic hook so injected panics don't spam
+    /// stderr.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`start`](InferenceServer::start).
+    #[cfg(feature = "faults")]
+    pub fn start_with_faults(
+        pipeline: InferencePipeline,
+        config: ServerConfig,
+        plan: FaultPlan,
+    ) -> Result<Self> {
+        faults::install_quiet_panic_hook();
+        Self::launch(pipeline, config, Some(plan))
+    }
+
+    fn launch(
+        pipeline: InferencePipeline,
+        config: ServerConfig,
+        faults: FaultHandle,
+    ) -> Result<Self> {
         config.validate()?;
         let pipeline = Arc::new(pipeline);
         let metrics = Arc::new(ServerMetrics::new(config.max_batch_size));
+        let breaker = Arc::new(CircuitBreaker::new(
+            config.degrade_after_failures,
+            config.probe_every,
+        ));
         let (queue, submission_rx) = SubmissionQueue::new(config.queue_capacity);
         // Small bound: the batcher blocks here when every worker is
         // busy, which in turn lets the submission queue fill and shed —
@@ -63,32 +186,37 @@ impl InferenceServer {
         let batcher_handle = {
             let metrics = Arc::clone(&metrics);
             let config = config.clone();
-            std::thread::Builder::new()
-                .name("fademl-serve-batcher".into())
-                .spawn(move || run_batcher(&submission_rx, &batch_tx, &config, &metrics))
-                .expect("spawn batcher thread")
+            let faults = faults.clone();
+            spawn_thread("fademl-serve-batcher".into(), move || {
+                run_batcher(&submission_rx, &batch_tx, &config, &metrics, &faults)
+            })?
         };
 
-        let worker_handles = (0..config.workers)
-            .map(|idx| {
-                let pipeline = Arc::clone(&pipeline);
-                let metrics = Arc::clone(&metrics);
-                let batch_rx = batch_rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("fademl-serve-worker-{idx}"))
-                    .spawn(move || run_worker(&batch_rx, &pipeline, &metrics))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        drop(batch_rx);
+        let shared = Arc::new(WorkerShared {
+            pipeline,
+            metrics: Arc::clone(&metrics),
+            breaker: Arc::clone(&breaker),
+            batch_rx,
+            faults,
+        });
+        let (exit_tx, exit_rx) = channel::unbounded::<WorkerExit>();
+        let mut worker_handles = Vec::with_capacity(config.workers);
+        for idx in 0..config.workers {
+            worker_handles.push(spawn_worker(idx, &shared, &exit_tx)?);
+        }
+
+        let supervisor_handle = spawn_thread("fademl-serve-supervisor".into(), move || {
+            run_supervisor(&shared, &exit_rx, &exit_tx, worker_handles);
+        })?;
 
         Ok(InferenceServer {
             queue,
             shutting_down: Arc::new(AtomicBool::new(false)),
             metrics,
+            breaker,
             config,
             batcher_handle: Some(batcher_handle),
-            worker_handles,
+            supervisor_handle: Some(supervisor_handle),
         })
     }
 
@@ -100,24 +228,45 @@ impl InferenceServer {
     ///
     /// [`ServeError::Overloaded`] when the submission queue is full
     /// (the caller should shed load), [`ServeError::ShuttingDown`]
-    /// during shutdown, [`ServeError::InvalidRequest`] for non-rank-3
-    /// images.
+    /// during shutdown, [`ServeError::InvalidInput`] for images that
+    /// fail admission validation (wrong rank, non-finite values,
+    /// pixels outside the configured range).
     pub fn submit(&self, image: Tensor, threat: ThreatModel) -> Result<ResponseHandle> {
+        self.submit_with_deadline(image, threat, None)
+    }
+
+    /// Like [`submit`](InferenceServer::submit), with a per-request
+    /// deadline: if the verdict cannot be produced within `deadline`
+    /// of now, the request is answered with
+    /// [`ServeError::DeadlineExceeded`] instead of a stale result —
+    /// enforced both at dequeue and again when a worker picks up the
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](InferenceServer::submit).
+    pub fn submit_with_deadline(
+        &self,
+        image: Tensor,
+        threat: ThreatModel,
+        deadline: Option<Duration>,
+    ) -> Result<ResponseHandle> {
         if self.shutting_down.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        if image.rank() != 3 {
-            return Err(ServeError::InvalidRequest {
-                reason: format!("expected a [C, H, W] image, got {:?}", image.dims()),
-            });
+        if let Err(error) = validate_image(&image, &self.config) {
+            self.metrics.record_invalid();
+            return Err(error);
         }
         let slot = ResponseSlot::new();
         let handle = ResponseHandle::new(Arc::clone(&slot));
+        let submitted_at = Instant::now();
         let request = Request {
             image,
             threat,
             slot,
-            submitted_at: Instant::now(),
+            submitted_at,
+            deadline: deadline.map(|d| submitted_at + d),
         };
         // Reserve the depth-gauge slot before the request can reach the
         // batcher, so the dequeue decrement can never race ahead of it.
@@ -153,6 +302,12 @@ impl InferenceServer {
         self.metrics.report()
     }
 
+    /// Whether the engine is currently degraded (per-image execution
+    /// behind the circuit breaker).
+    pub fn is_degraded(&self) -> bool {
+        self.breaker.is_degraded()
+    }
+
     /// The configuration the server was started with.
     pub fn config(&self) -> &ServerConfig {
         &self.config
@@ -171,14 +326,14 @@ impl InferenceServer {
         // Dropping the queue's sender disconnects the batcher's
         // receiver once buffered requests are drained; the batcher then
         // flushes its buckets and drops the batch sender, which lets
-        // each worker run dry and exit.
+        // each worker run dry, exit cleanly, and the supervisor follow.
         let (closed, _rx) = SubmissionQueue::new(1);
         let open = std::mem::replace(&mut self.queue, closed);
         drop(open);
         if let Some(handle) = self.batcher_handle.take() {
             let _ = handle.join();
         }
-        for handle in self.worker_handles.drain(..) {
+        if let Some(handle) = self.supervisor_handle.take() {
             let _ = handle.join();
         }
     }
@@ -186,28 +341,142 @@ impl InferenceServer {
 
 impl Drop for InferenceServer {
     fn drop(&mut self) {
-        if self.batcher_handle.is_some() {
+        if self.batcher_handle.is_some() || self.supervisor_handle.is_some() {
             self.stop();
         }
     }
 }
 
-/// Batcher loop: pull requests, bucket them by threat model, dispatch
-/// full buckets immediately and lingering buckets at their deadline.
+/// Spawns a named thread, mapping spawn failure to a typed error.
+fn spawn_thread<F>(name: String, body: F) -> Result<JoinHandle<()>>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.clone())
+        .spawn(body)
+        .map_err(|err| ServeError::Internal {
+            reason: format!("failed to spawn thread {name}: {err}"),
+        })
+}
+
+/// Spawns worker `idx` over the shared context. The `ExitNotice` drop
+/// guard reports the thread's end to the supervisor whether it drains
+/// cleanly or dies unwinding.
+fn spawn_worker(
+    idx: usize,
+    shared: &Arc<WorkerShared>,
+    exit_tx: &Sender<WorkerExit>,
+) -> Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let exit_tx = exit_tx.clone();
+    spawn_thread(format!("fademl-serve-worker-{idx}"), move || {
+        let mut notice = ExitNotice {
+            tx: exit_tx,
+            idx,
+            clean: false,
+        };
+        while let Ok(batch) = shared.batch_rx.recv() {
+            process_batch(&shared, batch);
+        }
+        notice.clean = true;
+    })
+}
+
+/// Supervisor loop: respawn workers that die uncleanly, wind down once
+/// every worker has drained, then join all of them.
+fn run_supervisor(
+    shared: &Arc<WorkerShared>,
+    exit_rx: &Receiver<WorkerExit>,
+    exit_tx: &Sender<WorkerExit>,
+    mut handles: Vec<JoinHandle<()>>,
+) {
+    let mut live = handles.len();
+    while live > 0 {
+        let Ok(exit) = exit_rx.recv() else { break };
+        if exit.clean {
+            live -= 1;
+        } else {
+            shared.metrics.record_worker_respawn();
+            match spawn_worker(exit.idx, shared, exit_tx) {
+                Ok(handle) => handles.push(handle),
+                // Without a replacement the dead worker counts as gone;
+                // the remaining workers keep draining the channel.
+                Err(_) => live -= 1,
+            }
+        }
+    }
+    // Every worker is gone. If the batcher is still dispatching (all
+    // workers died and could not be respawned), answer its batches with
+    // a typed error until the channel disconnects — clients must never
+    // hang on a batch nobody will execute.
+    while let Ok(batch) = shared.batch_rx.recv() {
+        for request in batch.requests {
+            if request.fail(ServeError::BatchFailed {
+                reason: "no workers available".into(),
+            }) {
+                shared.metrics.record_failed();
+            }
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Admission-time input validation: one adversarially-malformed image
+/// must never reach a shared batch, where it would poison co-batched
+/// requests (NaN spreads through conv/matmul reductions) or crash the
+/// worker serving them.
+fn validate_image(image: &Tensor, config: &ServerConfig) -> Result<()> {
+    if image.rank() != 3 {
+        return Err(ServeError::InvalidInput {
+            reason: format!("expected a [C, H, W] image, got {:?}", image.dims()),
+        });
+    }
+    if image.numel() == 0 {
+        return Err(ServeError::InvalidInput {
+            reason: "empty image".into(),
+        });
+    }
+    for (index, &value) in image.as_slice().iter().enumerate() {
+        if !value.is_finite() {
+            return Err(ServeError::InvalidInput {
+                reason: format!("non-finite pixel {value} at flat index {index}"),
+            });
+        }
+        if value < config.pixel_min || value > config.pixel_max {
+            return Err(ServeError::InvalidInput {
+                reason: format!(
+                    "pixel {value} at flat index {index} outside [{}, {}]",
+                    config.pixel_min, config.pixel_max
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Batcher loop: pull requests, enforce in-queue deadlines, bucket by
+/// threat model, dispatch full buckets immediately and lingering
+/// buckets at their deadline.
 fn run_batcher(
     submission_rx: &Receiver<Request>,
     batch_tx: &Sender<Batch>,
     config: &ServerConfig,
     metrics: &ServerMetrics,
+    faults: &FaultHandle,
 ) {
     let mut batcher = Batcher::new(config.max_batch_size, config.linger());
     let dispatch = |batch: Batch| {
         metrics.record_batch(batch.requests.len());
-        // A send error means every worker is gone (panicked); answer
-        // the batch's requests so no client hangs forever.
+        // A send error means every worker is gone; answer the batch's
+        // requests so no client hangs forever.
         if let Err(crossbeam::channel::SendError(batch)) = batch_tx.send(batch) {
             for request in batch.requests {
-                request.fail(ServeError::ShuttingDown);
+                if request.fail(ServeError::ShuttingDown) {
+                    metrics.record_failed();
+                }
             }
         }
     };
@@ -222,11 +491,21 @@ fn run_batcher(
                 submission_rx.recv_timeout(timeout)
             }
         };
-        let now = Instant::now();
         match received {
             Ok(request) => {
                 metrics.record_dequeued();
-                if let Some(batch) = batcher.push(request, now) {
+                fault_on_dequeue(faults);
+                let now = Instant::now();
+                if let Some(overshoot) = request.overshoot(now) {
+                    // Expired while queued: answer now rather than
+                    // serving a stale verdict later.
+                    metrics.record_deadline_miss(DeadlineStage::Queue, overshoot);
+                    if request.fail(ServeError::DeadlineExceeded {
+                        stage: DeadlineStage::Queue,
+                    }) {
+                        metrics.record_failed();
+                    }
+                } else if let Some(batch) = batcher.push(request, now) {
                     dispatch(batch);
                 }
             }
@@ -243,55 +522,192 @@ fn run_batcher(
     }
 }
 
-/// Worker loop: stack each batch into `[N, C, H, W]`, run the batched
-/// pipeline once, and deliver per-request verdicts.
-fn run_worker(batch_rx: &Receiver<Batch>, pipeline: &InferencePipeline, metrics: &ServerMetrics) {
-    while let Ok(batch) = batch_rx.recv() {
-        let threat = batch.threat;
-        let mut images = Vec::with_capacity(batch.requests.len());
-        let mut waiters = Vec::with_capacity(batch.requests.len());
-        for request in batch.requests {
+/// Mid-batch drop guard: if the worker dies between dequeue and
+/// delivery — panic, injected kill, anything that unwinds — every
+/// still-unanswered handle in the batch resolves with a typed error
+/// instead of hanging a client forever.
+struct AnswerOnDrop<'a> {
+    metrics: &'a ServerMetrics,
+    waiters: &'a [(Arc<ResponseSlot>, Instant)],
+}
+
+impl Drop for AnswerOnDrop<'_> {
+    fn drop(&mut self) {
+        for (slot, _) in self.waiters {
+            if slot.fill(Err(ServeError::BatchFailed {
+                reason: "worker terminated mid-batch".into(),
+            })) {
+                self.metrics.record_failed();
+            }
+        }
+    }
+}
+
+/// Executes one batch under full fault isolation: in-batch deadline
+/// enforcement, `catch_unwind` around the pipeline, circuit-breaker
+/// accounting, and the answer-on-drop guard.
+fn process_batch(shared: &WorkerShared, batch: Batch) {
+    let threat = batch.threat;
+    let now = Instant::now();
+    let mut images = Vec::with_capacity(batch.requests.len());
+    let mut waiters = Vec::with_capacity(batch.requests.len());
+    for request in batch.requests {
+        if let Some(overshoot) = request.overshoot(now) {
+            // Expired between dispatch and execution (e.g. behind a
+            // slow batch): refuse to serve a stale answer.
+            shared
+                .metrics
+                .record_deadline_miss(DeadlineStage::Batch, overshoot);
+            if request.fail(ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Batch,
+            }) {
+                shared.metrics.record_failed();
+            }
+        } else {
             images.push(request.image);
             waiters.push((request.slot, request.submitted_at));
         }
-        match Tensor::stack(&images) {
-            Ok(stacked) => match pipeline.classify_batch(&stacked, threat) {
-                Ok(verdicts) => {
-                    for (verdict, (slot, submitted_at)) in verdicts.into_iter().zip(&waiters) {
-                        metrics.record_completed(elapsed_us(*submitted_at));
-                        slot.fill(Ok(verdict));
-                    }
+    }
+    if waiters.is_empty() {
+        return;
+    }
+
+    let guard = AnswerOnDrop {
+        metrics: &shared.metrics,
+        waiters: &waiters,
+    };
+    let mode = shared.breaker.plan_batch();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        fault_on_batch_start(&shared.faults);
+        match mode {
+            BatchMode::Batched { probe } => {
+                execute_batched(shared, probe, &images, threat, &waiters)
+            }
+            BatchMode::PerImage => execute_per_image(shared, &images, threat, &waiters),
+        }
+    }));
+    match outcome {
+        Ok(()) => {}
+        Err(payload) => {
+            // Panic isolation: only this batch fails; the worker (and
+            // every other in-flight batch) survives.
+            shared.metrics.record_worker_panic();
+            shared.metrics.record_batch_failed();
+            shared.breaker.record_batch_failure(&shared.metrics);
+            let error = ServeError::BatchFailed {
+                reason: panic_message(payload.as_ref()),
+            };
+            for (slot, _) in &waiters {
+                if slot.fill(Err(error.clone())) {
+                    shared.metrics.record_failed();
                 }
-                Err(err) => {
-                    let shared = ServeError::Pipeline {
-                        message: err.to_string(),
-                    };
-                    for (slot, _) in &waiters {
-                        metrics.record_failed();
-                        slot.fill(Err(shared.clone()));
-                    }
+            }
+            // An injected worker kill unwinds past the worker loop so
+            // the supervisor's respawn path gets exercised; the guard
+            // (already satisfied above) drops during the unwind.
+            #[cfg(feature = "faults")]
+            if faults::is_worker_kill(payload.as_ref()) {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+    drop(guard);
+}
+
+/// Normal batched execution: stack, one batched forward, deliver.
+/// Mixed-shape batches fall back to isolated per-image execution.
+/// Breaker accounting happens *before* any slot is filled, so clients
+/// observing a resolved handle also observe the breaker transition it
+/// caused.
+fn execute_batched(
+    shared: &WorkerShared,
+    probe: bool,
+    images: &[Tensor],
+    threat: ThreatModel,
+    waiters: &[(Arc<ResponseSlot>, Instant)],
+) {
+    let stacked = match Tensor::stack(images) {
+        Ok(stacked) => stacked,
+        // Heterogeneous image shapes can't stack; classify each image
+        // individually so well-formed requests still succeed.
+        Err(_) => {
+            return execute_per_image(shared, images, threat, waiters);
+        }
+    };
+    match shared.pipeline.classify_batch(&stacked, threat) {
+        Ok(verdicts) => {
+            shared.breaker.record_success(probe, &shared.metrics);
+            for (verdict, (slot, submitted_at)) in verdicts.into_iter().zip(waiters) {
+                if slot.fill(Ok(verdict)) {
+                    shared.metrics.record_completed(elapsed_us(*submitted_at));
                 }
-            },
-            // Heterogeneous image shapes can't stack; classify each
-            // image individually so well-formed requests still succeed.
-            Err(_) => {
-                for (image, (slot, submitted_at)) in images.iter().zip(&waiters) {
-                    match pipeline.classify(image, threat) {
-                        Ok(verdict) => {
-                            metrics.record_completed(elapsed_us(*submitted_at));
-                            slot.fill(Ok(verdict));
-                        }
-                        Err(err) => {
-                            metrics.record_failed();
-                            slot.fill(Err(ServeError::Pipeline {
-                                message: err.to_string(),
-                            }));
-                        }
-                    }
+            }
+        }
+        Err(err) => {
+            shared.metrics.record_batch_failed();
+            shared.breaker.record_batch_failure(&shared.metrics);
+            let error = ServeError::Pipeline {
+                message: err.to_string(),
+            };
+            for (slot, _) in waiters {
+                if slot.fill(Err(error.clone())) {
+                    shared.metrics.record_failed();
                 }
             }
         }
     }
+}
+
+/// Degraded-mode (and mixed-shape) execution: one image at a time,
+/// each classification wrapped in its own `catch_unwind`, so a single
+/// poisoned image fails alone instead of taking down its neighbours.
+fn execute_per_image(
+    shared: &WorkerShared,
+    images: &[Tensor],
+    threat: ThreatModel,
+    waiters: &[(Arc<ResponseSlot>, Instant)],
+) {
+    for (image, (slot, submitted_at)) in images.iter().zip(waiters) {
+        shared.metrics.record_single_fallback();
+        let outcome = catch_unwind(AssertUnwindSafe(|| shared.pipeline.classify(image, threat)));
+        match outcome {
+            Ok(Ok(verdict)) => {
+                if slot.fill(Ok(verdict)) {
+                    shared.metrics.record_completed(elapsed_us(*submitted_at));
+                }
+            }
+            Ok(Err(err)) => {
+                if slot.fill(Err(ServeError::Pipeline {
+                    message: err.to_string(),
+                })) {
+                    shared.metrics.record_failed();
+                }
+            }
+            Err(payload) => {
+                shared.metrics.record_worker_panic();
+                if slot.fill(Err(ServeError::BatchFailed {
+                    reason: panic_message(payload.as_ref()),
+                })) {
+                    shared.metrics.record_failed();
+                }
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload into a `BatchFailed` reason.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    #[cfg(feature = "faults")]
+    if let Some(described) = faults::describe_payload(payload) {
+        return described;
+    }
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        return (*text).to_string();
+    }
+    if let Some(text) = payload.downcast_ref::<String>() {
+        return text.clone();
+    }
+    "worker panicked with an opaque payload".into()
 }
 
 fn elapsed_us(since: Instant) -> u64 {
@@ -329,6 +745,7 @@ mod tests {
                 max_batch_size: 4,
                 linger_us: 1_000,
                 workers: 2,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -357,6 +774,9 @@ mod tests {
         assert_eq!(report.queue_depth, 0);
         assert!(report.batches_dispatched >= 3); // ≥ one per threat model
         assert!(report.max_batch_seen <= 4);
+        assert_eq!(report.worker_panics, 0);
+        assert_eq!(report.workers_respawned, 0);
+        assert!(!report.degraded_now);
     }
 
     #[test]
@@ -370,6 +790,7 @@ mod tests {
                 max_batch_size: 64,
                 linger_us: 60_000_000, // 60s — only the drain can flush
                 workers: 1,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -390,8 +811,61 @@ mod tests {
         let err = server
             .submit(Tensor::zeros(&[1, 3, 16, 16]), ThreatModel::I)
             .unwrap_err();
-        assert!(matches!(err, ServeError::InvalidRequest { .. }));
+        assert!(matches!(err, ServeError::InvalidInput { .. }));
+        assert_eq!(server.metrics().requests_invalid, 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_finite_and_out_of_range_pixels() {
+        let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+        let mut nan = images(1, 7).pop().unwrap();
+        nan.as_mut_slice()[5] = f32::NAN;
+        let mut inf = images(1, 8).pop().unwrap();
+        inf.as_mut_slice()[0] = f32::INFINITY;
+        let mut hot = images(1, 9).pop().unwrap();
+        hot.as_mut_slice()[10] = 3.5;
+        for bad in [nan, inf, hot] {
+            let err = server.submit(bad, ThreatModel::I).unwrap_err();
+            assert!(matches!(err, ServeError::InvalidInput { .. }), "{err}");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.requests_invalid, 3);
+        assert_eq!(report.requests_submitted, 0);
+        assert_eq!(report.queue_depth, 0);
+    }
+
+    #[test]
+    fn custom_pixel_range_admits_wider_values() {
+        let server = InferenceServer::start(
+            pipeline(),
+            ServerConfig {
+                pixel_min: -2.0,
+                pixel_max: 2.0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rng = TensorRng::seed_from_u64(12);
+        let img = rng.uniform(&[3, 16, 16], -1.5, 1.5);
+        assert!(server.submit(img, ThreatModel::I).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn generous_deadline_still_serves() {
+        let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+        let handle = server
+            .submit_with_deadline(
+                images(1, 10).pop().unwrap(),
+                ThreatModel::I,
+                Some(Duration::from_secs(30)),
+            )
+            .unwrap();
+        assert!(handle.wait().is_ok());
+        let report = server.shutdown();
+        assert_eq!(report.deadline_missed_queue, 0);
+        assert_eq!(report.deadline_missed_batch, 0);
     }
 
     #[test]

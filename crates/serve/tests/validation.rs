@@ -1,0 +1,97 @@
+//! Property tests for admission-time input validation: arbitrary
+//! tensors — including non-finite and out-of-range ones — either
+//! classify or come back as a typed [`ServeError::InvalidInput`]. They
+//! never panic a worker and never hang a handle.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use fademl::{InferencePipeline, ThreatModel};
+use fademl_filters::FilterSpec as Spec;
+use fademl_nn::vgg::VggConfig;
+use fademl_serve::{InferenceServer, ServeError, ServerConfig};
+use fademl_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+const PIXELS: usize = 3 * 16 * 16;
+
+/// One server shared by every proptest case: validation is stateless,
+/// and reusing the worker pool keeps the suite fast. Never shut down —
+/// the threads die with the test process.
+fn server() -> &'static InferenceServer {
+    static SERVER: OnceLock<InferenceServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        let pipeline = InferencePipeline::new(model, Spec::Lap { np: 8 }).unwrap();
+        InferenceServer::start(
+            pipeline,
+            ServerConfig {
+                queue_capacity: 64,
+                max_batch_size: 4,
+                linger_us: 1_000,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    })
+}
+
+/// How a generated tensor is corrupted. Index 0 leaves it well-formed.
+const CORRUPTIONS: [f32; 6] = [
+    0.5, // placeholder — kind 0 never pokes
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    7.5,   // above pixel_max
+    -0.25, // below pixel_min
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_tensors_classify_or_reject_but_never_hang(
+        seed in 0u64..100_000,
+        kind in 0usize..6,
+        poke in 0usize..PIXELS,
+        threat_idx in 0usize..3,
+    ) {
+        let server = server();
+        let threat = ThreatModel::ALL[threat_idx];
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut image = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        if kind != 0 {
+            image.as_mut_slice()[poke] = CORRUPTIONS[kind];
+        }
+        match server.submit(image, threat) {
+            Ok(handle) => {
+                prop_assert_eq!(kind, 0, "corrupted tensors must not be admitted");
+                let resolved = handle.wait_timeout(Duration::from_secs(30));
+                prop_assert!(resolved.is_some(), "handle must resolve, not hang");
+                prop_assert!(resolved.unwrap().is_ok(), "well-formed input classifies");
+            }
+            Err(ServeError::InvalidInput { .. }) => {
+                prop_assert!(kind != 0, "well-formed input must be admitted");
+            }
+            Err(other) => panic!("expected admission or InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_ranks_are_rejected_up_front(extra in 1usize..4, seed in 0u64..1000) {
+        let server = server();
+        let mut rng = TensorRng::seed_from_u64(seed);
+        // Rank 3 ± extra: vectors, matrices, batches, rank-5 blobs.
+        let wrong: Tensor = match extra {
+            1 => rng.uniform(&[3, 16], 0.0, 1.0),
+            2 => rng.uniform(&[1, 3, 16, 16], 0.0, 1.0),
+            _ => rng.uniform(&[1, 1, 3, 16, 16], 0.0, 1.0),
+        };
+        prop_assert!(matches!(
+            server.submit(wrong, ThreatModel::I),
+            Err(ServeError::InvalidInput { .. })
+        ));
+    }
+}

@@ -43,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_batch_size: 8,
         linger_us: 2_000,
         workers: 2,
+        ..ServerConfig::default()
     };
     println!("serving with {config:?}\n");
     let server = Arc::new(InferenceServer::start(pipeline, config)?);
