@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> fademl-lint (lock-order, panic-surface, invariants)"
+cargo run -p fademl-lint --release
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

@@ -52,6 +52,10 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod analysis;
 pub mod cost;
 pub mod defense;

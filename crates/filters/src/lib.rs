@@ -33,6 +33,10 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod chain;
 mod error;
 mod filter;

@@ -1,0 +1,235 @@
+//! The `lint.allow` ratchet: a checked-in budget of known findings per
+//! `(rule, file)` that may only shrink.
+//!
+//! Format — one entry per line, `#` starts a comment:
+//!
+//! ```text
+//! <rule> <path> <count>   # justification
+//! ```
+//!
+//! A run fails when any `(rule, path)` group produces more findings
+//! than its budget (missing entry = budget 0). Producing *fewer* is
+//! reported as ratchet slack so the budget gets tightened; it never
+//! fails the gate, keeping the ratchet monotone without blocking
+//! unrelated work.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Finding, GroupSummary, LintReport};
+
+/// Parsed allowlist: `(rule, path) -> (budget, justification)`.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), (usize, String)>,
+}
+
+impl Baseline {
+    /// Parses `lint.allow` text. Malformed lines are reported as
+    /// errors rather than silently ignored — a typo in the allowlist
+    /// must not widen the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-indexed line and a description for the first
+    /// malformed entry.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let (entry, comment) = match raw.split_once('#') {
+                Some((e, c)) => (e.trim(), c.trim().to_string()),
+                None => (raw.trim(), String::new()),
+            };
+            if entry.is_empty() {
+                continue;
+            }
+            let mut parts = entry.split_whitespace();
+            let (Some(rule), Some(path), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "lint.allow:{}: expected `<rule> <path> <count>`, got `{entry}`",
+                    idx + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("lint.allow:{}: `{count}` is not a count", idx + 1))?;
+            entries.insert((rule.to_string(), path.to_string()), (count, comment));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Budget for a `(rule, path)` group; absent entries allow nothing.
+    pub fn budget(&self, rule: &str, path: &str) -> usize {
+        self.entries
+            .get(&(rule.to_string(), path.to_string()))
+            .map_or(0, |(n, _)| *n)
+    }
+
+    /// Applies the baseline to raw findings, producing the report.
+    pub fn apply(&self, findings: Vec<Finding>, files_scanned: usize) -> LintReport {
+        let mut grouped: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            grouped
+                .entry((f.rule.clone(), f.path.clone()))
+                .or_default()
+                .push(f);
+        }
+        let mut groups = Vec::new();
+        let mut new_finding_details = Vec::new();
+        let mut total = 0;
+        let mut baselined = 0;
+        for ((rule, path), mut members) in grouped {
+            members.sort_by_key(|f| f.line);
+            let allowed = self.budget(&rule, &path);
+            let found = members.len();
+            total += found;
+            let new = found.saturating_sub(allowed);
+            baselined += found - new;
+            if new > 0 {
+                // The whole group is listed: which of N sites is "the
+                // new one" is not knowable at line level, and showing
+                // every candidate beats hiding the offender.
+                new_finding_details.extend(members);
+            }
+            groups.push(GroupSummary {
+                rule,
+                path,
+                found,
+                allowed,
+                new,
+            });
+        }
+        // Baseline entries with slack (or whose file no longer yields
+        // findings at all) — candidates for tightening.
+        let mut ratchet_slack = Vec::new();
+        for ((rule, path), (budget, _)) in &self.entries {
+            let found = groups
+                .iter()
+                .find(|g| &g.rule == rule && &g.path == path)
+                .map_or(0, |g| g.found);
+            if found < *budget {
+                ratchet_slack.push(GroupSummary {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    found,
+                    allowed: *budget,
+                    new: 0,
+                });
+            }
+        }
+        new_finding_details
+            .sort_by(|a, b| (&a.rule, &a.path, a.line).cmp(&(&b.rule, &b.path, b.line)));
+        let new_findings = total - baselined;
+        LintReport {
+            schema: 1,
+            files_scanned,
+            total_findings: total,
+            baselined,
+            new_findings,
+            groups,
+            new_finding_details,
+            ratchet_slack,
+        }
+    }
+
+    /// Renders an allowlist matching the given findings exactly,
+    /// preserving justification comments of surviving entries
+    /// (`--update-baseline`).
+    pub fn regenerate(&self, findings: &[Finding], header: &str) -> String {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule.clone(), f.path.clone())).or_default() += 1;
+        }
+        let mut out = String::from(header);
+        for ((rule, path), count) in counts {
+            let comment = self
+                .entries
+                .get(&(rule.clone(), path.clone()))
+                .map(|(_, c)| c.as_str())
+                .unwrap_or("");
+            if comment.is_empty() {
+                out.push_str(&format!("{rule} {path} {count}\n"));
+            } else {
+                out.push_str(&format!("{rule} {path} {count}  # {comment}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, path: &str, line: usize) -> Finding {
+        Finding::new(rule, path, line, "msg", "excerpt")
+    }
+
+    #[test]
+    fn parse_budget_and_comments() {
+        let b = Baseline::parse(
+            "# header\nunwrap crates/x/src/a.rs 2  # proven sizes\n\nindex crates/y/src/b.rs 10\n",
+        )
+        .unwrap();
+        assert_eq!(b.budget("unwrap", "crates/x/src/a.rs"), 2);
+        assert_eq!(b.budget("index", "crates/y/src/b.rs"), 10);
+        assert_eq!(b.budget("index", "crates/z/src/c.rs"), 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Baseline::parse("unwrap only-two-fields\n").is_err());
+        assert!(Baseline::parse("unwrap a.rs many\n").is_err());
+        assert!(Baseline::parse("unwrap a.rs 1 extra\n").is_err());
+    }
+
+    #[test]
+    fn within_budget_is_clean_and_over_budget_fails() {
+        let b = Baseline::parse("unwrap a.rs 2\n").unwrap();
+        let clean = b.apply(
+            vec![finding("unwrap", "a.rs", 1), finding("unwrap", "a.rs", 9)],
+            1,
+        );
+        assert!(clean.is_clean());
+        assert_eq!(clean.baselined, 2);
+
+        let over = b.apply(
+            vec![
+                finding("unwrap", "a.rs", 1),
+                finding("unwrap", "a.rs", 9),
+                finding("unwrap", "a.rs", 20),
+            ],
+            1,
+        );
+        assert!(!over.is_clean());
+        assert_eq!(over.new_findings, 1);
+        // All group members are surfaced so the offender can't hide.
+        assert_eq!(over.new_finding_details.len(), 3);
+    }
+
+    #[test]
+    fn unknown_group_has_zero_budget() {
+        let report = Baseline::default().apply(vec![finding("panic", "b.rs", 3)], 1);
+        assert_eq!(report.new_findings, 1);
+    }
+
+    #[test]
+    fn slack_is_reported_not_fatal() {
+        let b = Baseline::parse("unwrap a.rs 5\nindex gone.rs 3\n").unwrap();
+        let report = b.apply(vec![finding("unwrap", "a.rs", 1)], 1);
+        assert!(report.is_clean());
+        assert_eq!(report.ratchet_slack.len(), 2);
+    }
+
+    #[test]
+    fn regenerate_preserves_justifications() {
+        let b = Baseline::parse("unwrap a.rs 9  # proven\n").unwrap();
+        let text = b.regenerate(
+            &[finding("unwrap", "a.rs", 1), finding("index", "b.rs", 2)],
+            "# hdr\n",
+        );
+        assert!(text.contains("unwrap a.rs 1  # proven"));
+        assert!(text.contains("index b.rs 1\n"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Pass 3 — project invariants clippy cannot express.
+//!
+//! 1. `std-sync-lock` — `fademl-serve` mandates `parking_lot` locks;
+//!    `std::sync::Mutex`/`RwLock` appear only where a `Condvar` forces
+//!    the std pairing (budgeted in `lint.allow` with a justification).
+//! 2. `batcher-wall-clock` — the dynamic batcher is a *pure* state
+//!    machine driven by an injected `now`; reading `Instant::now()` /
+//!    `SystemTime` inside it would make the coalescing policy
+//!    untestable and racy.
+//! 3. `nan-ordering` — metrics percentile code must not use NaN-unsafe
+//!    float comparisons (`partial_cmp`, `sort_by` on floats); latencies
+//!    are integer microseconds, and any float keys must use `total_cmp`.
+//! 4. `dead-variant` — every public error variant of the serving crate
+//!    is constructed somewhere in non-test code; an unconstructible
+//!    variant is dead API surface that callers still have to match on.
+
+use crate::report::Finding;
+use crate::source::{is_ident_byte, SourceFile};
+
+const SERVE_PREFIX: &str = "crates/serve/src/";
+const BATCHER: &str = "crates/serve/src/batcher.rs";
+const METRICS: &str = "crates/serve/src/metrics.rs";
+const ERRORS: &str = "crates/serve/src/error.rs";
+
+/// Runs every invariant lint.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    std_sync_lock(files, &mut findings);
+    batcher_wall_clock(files, &mut findings);
+    nan_ordering(files, &mut findings);
+    dead_variants(files, &mut findings);
+    findings
+}
+
+fn std_sync_lock(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files.iter().filter(|f| f.path.starts_with(SERVE_PREFIX)) {
+        for (line_no, line) in file.code_lines() {
+            if !line.code.contains("std::sync") {
+                continue;
+            }
+            for what in ["Mutex", "RwLock"] {
+                if has_word(&line.code, what) {
+                    out.push(Finding::new(
+                        "std-sync-lock",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "`std::sync::{what}` in fademl-serve — parking_lot is mandated \
+                             (no poisoning, smaller guards); std locks are budgeted only \
+                             where a Condvar forces the pairing"
+                        ),
+                        &line.raw,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn batcher_wall_clock(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files.iter().filter(|f| f.path == BATCHER) {
+        for (line_no, line) in file.code_lines() {
+            for what in ["Instant::now", "SystemTime"] {
+                if line.code.contains(what) {
+                    out.push(Finding::new(
+                        "batcher-wall-clock",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "`{what}` inside the batcher state machine — time must be \
+                             injected through `now` parameters to keep coalescing pure \
+                             and deterministic"
+                        ),
+                        &line.raw,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn nan_ordering(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files.iter().filter(|f| f.path == METRICS) {
+        for (line_no, line) in file.code_lines() {
+            for what in [".partial_cmp(", ".sort_by("] {
+                if line.code.contains(what) {
+                    out.push(Finding::new(
+                        "nan-ordering",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "`{}` in metrics percentile code — NaN-unsafe ordering can \
+                             panic or mis-sort; keep latencies as integer µs or use \
+                             `total_cmp`/`sort_unstable`",
+                            what.trim_matches(|c| c == '.' || c == '(')
+                        ),
+                        &line.raw,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// A declared `pub enum` variant in the serve error module.
+#[derive(Debug)]
+struct Variant {
+    enum_name: String,
+    name: String,
+    line: usize,
+}
+
+fn dead_variants(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let Some(error_file) = files.iter().find(|f| f.path == ERRORS) else {
+        return;
+    };
+    let variants = parse_variants(error_file);
+    for v in variants {
+        let needle = format!("{}::{}", v.enum_name, v.name);
+        let constructed = files
+            .iter()
+            .filter(|f| f.path.starts_with(SERVE_PREFIX) && f.path != ERRORS)
+            .any(|f| {
+                f.code_lines()
+                    .any(|(_, line)| is_construction(&line.code, &needle))
+            });
+        if !constructed {
+            out.push(Finding::new(
+                "dead-variant",
+                ERRORS,
+                v.line,
+                format!(
+                    "`{}::{}` is never constructed in non-test serving code — dead error \
+                     surface callers still must match on; construct it or remove it",
+                    v.enum_name, v.name
+                ),
+                "",
+            ));
+        }
+    }
+}
+
+/// `Enum::Variant` occurrences that look like construction rather than
+/// pattern-matching: lines with `=>` (match arms), `..` (rest
+/// patterns), `matches!` or `if/while let` destructuring don't count.
+fn is_construction(code: &str, needle: &str) -> bool {
+    if !code.contains(needle) {
+        return false;
+    }
+    // A construction site must not also be a pattern position.
+    let boundary_ok = {
+        let idx = code.find(needle).unwrap_or(0);
+        let after = code[idx + needle.len()..].chars().next();
+        !matches!(after, Some(c) if c.is_ascii_alphanumeric() || c == '_')
+    };
+    boundary_ok
+        && !code.contains("=>")
+        && !code.contains("matches!")
+        && !code.contains("..")
+        && !code.contains("if let ")
+        && !code.contains("while let ")
+}
+
+/// Extracts `pub enum` variants (lines at enum depth + 1 starting with
+/// an uppercase identifier) from the error module.
+fn parse_variants(file: &SourceFile) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut depth: usize = 0;
+    // (enum name, depth of its body)
+    let mut current: Option<(String, usize)> = None;
+    for (line_no, line) in file.code_lines() {
+        let code = line.code.as_str();
+        let trimmed = code.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("pub enum ") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                current = Some((name, depth + 1));
+            }
+        }
+        if let Some((enum_name, body_depth)) = &current {
+            // A variant starts a line at exactly the enum-body depth;
+            // struct-variant fields sit one level deeper and closing
+            // braces don't begin with an identifier.
+            if depth == *body_depth {
+                let name: String = trimmed
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    out.push(Variant {
+                        enum_name: enum_name.clone(),
+                        name,
+                        line: line_no,
+                    });
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    if let Some((_, body_depth)) = &current {
+                        if depth == *body_depth {
+                            current = None;
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Whole-word occurrence check: `Mutex` matches in `sync::{Mutex}` but
+/// not inside `MutexGuard` (guard types imply the lock import anyway).
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let idx = from + rel;
+        let before_ok = idx == 0 || !is_ident_byte(bytes[idx - 1]);
+        let after_ok = idx + word.len() >= bytes.len() || !is_ident_byte(bytes[idx + word.len()]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = idx + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn rules(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn std_sync_mutex_import_is_flagged() {
+        let f = SourceFile::from_source(
+            "crates/serve/src/queue.rs",
+            "use std::sync::{Arc, Condvar, Mutex};\n",
+        );
+        let found = check(&[f]);
+        assert_eq!(rules(&found), vec!["std-sync-lock"]);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn std_sync_arc_alone_is_fine_and_scope_is_serve_only() {
+        let serve = SourceFile::from_source(
+            "crates/serve/src/server.rs",
+            "use std::sync::Arc;\nuse std::sync::atomic::AtomicBool;\n",
+        );
+        assert!(check(&[serve]).is_empty());
+        let elsewhere =
+            SourceFile::from_source("crates/nn/src/trainer.rs", "use std::sync::Mutex;\n");
+        assert!(check(&[elsewhere]).is_empty());
+    }
+
+    #[test]
+    fn qualified_std_mutex_path_is_flagged() {
+        let f = SourceFile::from_source(
+            "crates/serve/src/server.rs",
+            "fn f() { let m = std::sync::Mutex::new(0u32); }\n",
+        );
+        assert_eq!(rules(&check(&[f])), vec!["std-sync-lock"]);
+    }
+
+    #[test]
+    fn wall_clock_in_batcher_is_flagged_but_tests_are_exempt() {
+        let f = SourceFile::from_source(
+            "crates/serve/src/batcher.rs",
+            "fn tick(&mut self) {\n    let now = Instant::now();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let now = Instant::now(); }\n}\n",
+        );
+        let found = check(&[f]);
+        assert_eq!(rules(&found), vec!["batcher-wall-clock"]);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn partial_cmp_in_metrics_is_flagged() {
+        let f = SourceFile::from_source(
+            "crates/serve/src/metrics.rs",
+            "fn p(mut v: Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+        );
+        let found = check(&[f]);
+        let mut got = rules(&found);
+        got.sort_unstable();
+        assert_eq!(got, vec!["nan-ordering", "nan-ordering"]);
+    }
+
+    #[test]
+    fn dead_variant_is_flagged_and_constructed_one_is_not() {
+        let errors = SourceFile::from_source(
+            "crates/serve/src/error.rs",
+            "pub enum ServeError {\n    Used {\n        capacity: usize,\n    },\n    NeverMade,\n}\n",
+        );
+        let user = SourceFile::from_source(
+            "crates/serve/src/queue.rs",
+            "fn f() -> ServeError {\n    ServeError::Used { capacity: 1 }\n}\nfn g(e: &ServeError) -> bool {\n    matches!(e, ServeError::NeverMade)\n}\n",
+        );
+        let found = check(&[errors, user]);
+        assert_eq!(rules(&found), vec!["dead-variant"]);
+        assert!(found[0].message.contains("NeverMade"));
+        assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn match_arms_do_not_count_as_construction() {
+        let errors = SourceFile::from_source(
+            "crates/serve/src/error.rs",
+            "pub enum DeadlineStage {\n    Queue,\n}\n",
+        );
+        let user = SourceFile::from_source(
+            "crates/serve/src/metrics.rs",
+            "fn f(s: DeadlineStage) {\n    match s {\n        DeadlineStage::Queue => {}\n    }\n}\n",
+        );
+        let found = check(&[errors, user]);
+        assert_eq!(rules(&found), vec!["dead-variant"]);
+    }
+}

@@ -1,0 +1,52 @@
+//! fademl-lint — purpose-built workspace static analysis.
+//!
+//! Three passes over the line-level source model in [`source`]:
+//!
+//! 1. [`locks`] — inter-procedural lock-order analysis of
+//!    `fademl-serve`, reporting acquisition-order cycles (potential
+//!    deadlocks) and double-acquisitions.
+//! 2. [`panics`] — panic-surface audit of the hot-path crates
+//!    (`unwrap`/`expect`/`panic!`/`unreachable!`, unchecked indexing,
+//!    narrowing `as` casts).
+//! 3. [`invariants`] — project invariants clippy cannot express
+//!    (parking_lot mandate, pure batcher, NaN-safe metrics, dead error
+//!    variants).
+//!
+//! All findings flow through the [`baseline`] ratchet (`lint.allow`)
+//! and are rendered by [`report`] as both a human summary and the
+//! deterministic `results/lint.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod invariants;
+pub mod locks;
+pub mod panics;
+pub mod report;
+pub mod source;
+
+use std::io;
+use std::path::Path;
+
+use baseline::Baseline;
+use report::LintReport;
+
+/// Runs every pass over the workspace at `root` and applies the given
+/// baseline.
+///
+/// # Errors
+///
+/// Propagates file-system errors from the workspace walk.
+pub fn run(root: &Path, baseline: &Baseline) -> io::Result<LintReport> {
+    let files = source::load_workspace(root)?;
+    Ok(baseline.apply(collect_findings(&files), files.len()))
+}
+
+/// Raw findings from all three passes (before the baseline ratchet).
+pub fn collect_findings(files: &[source::SourceFile]) -> Vec<report::Finding> {
+    let mut findings = locks::analyze(files, locks::LOCK_SCOPE);
+    findings.extend(panics::audit(files, panics::HOT_PATH_SCOPE));
+    findings.extend(invariants::check(files));
+    findings
+}

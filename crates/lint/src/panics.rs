@@ -1,0 +1,215 @@
+//! Pass 2 — panic-surface audit.
+//!
+//! Flags constructs that can abort a hot-path request in non-test code
+//! of the latency-critical crates: `unwrap()`, `expect(…)`, `panic!`,
+//! `unreachable!`, unchecked slice/array indexing `x[…]`, and `as`
+//! casts to narrower integer types. Every rule is governed by the
+//! `lint.allow` ratchet, so proven-safe sites (e.g. bounds-checked
+//! inner loops in `fademl-tensor`) are budgeted per file and the count
+//! can only go down.
+
+use crate::report::Finding;
+use crate::source::{is_ident_byte, SourceFile};
+
+/// Default audit scope: the crates on the serving hot path. `core` is
+/// scoped to the deployed pipeline only — experiment drivers may panic.
+pub const HOT_PATH_SCOPE: &[&str] = &[
+    "crates/tensor/src/",
+    "crates/nn/src/",
+    "crates/filters/src/",
+    "crates/serve/src/",
+    "crates/core/src/pipeline.rs",
+];
+
+/// Integer targets where `expr as T` can silently truncate or wrap.
+/// 64-bit targets are exempt: nothing on the hot path is 128-bit.
+const NARROW_INT_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Runs the audit over every file inside `scope`.
+pub fn audit(files: &[SourceFile], scope: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !in_scope(&file.path, scope) {
+            continue;
+        }
+        for (line_no, line) in file.code_lines() {
+            scan_line(&file.path, line_no, &line.code, &line.raw, &mut findings);
+        }
+    }
+    findings
+}
+
+fn in_scope(path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|p| path.starts_with(p))
+}
+
+fn scan_line(path: &str, line_no: usize, code: &str, raw: &str, out: &mut Vec<Finding>) {
+    for (pat, rule, message) in [
+        (
+            ".unwrap()",
+            "unwrap",
+            "`unwrap()` on a hot path aborts the whole worker on None/Err; return a typed error",
+        ),
+        (
+            ".expect(",
+            "expect",
+            "`expect(…)` panics on the hot path; restructure so the invariant is type-enforced",
+        ),
+        (
+            "panic!",
+            "panic",
+            "explicit `panic!` in serving code; batch isolation should never rely on unwinding",
+        ),
+        (
+            "unreachable!",
+            "unreachable",
+            "`unreachable!` is a latent abort; encode the exhaustiveness in the type instead",
+        ),
+    ] {
+        for _ in match_indices_outside_idents(code, pat) {
+            out.push(Finding::new(rule, path, line_no, message, raw));
+        }
+    }
+    scan_indexing(path, line_no, code, raw, out);
+    scan_narrow_casts(path, line_no, code, raw, out);
+}
+
+/// All occurrences of `pat`; when the pattern starts with an
+/// identifier character, occurrences glued to a preceding identifier
+/// byte are skipped (so `dont_panic!` does not match `panic!`).
+fn match_indices_outside_idents(code: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    let needs_boundary = pat.as_bytes().first().copied().is_some_and(is_ident_byte);
+    while let Some(rel) = code[from..].find(pat) {
+        let idx = from + rel;
+        if !needs_boundary || idx == 0 || !is_ident_byte(code.as_bytes()[idx - 1]) {
+            out.push(idx);
+        }
+        from = idx + pat.len();
+    }
+    out
+}
+
+/// Unchecked indexing: `[` directly preceded by an identifier byte,
+/// `)` or `]` is an index/slice expression (types, attributes and
+/// macro brackets are preceded by other characters).
+fn scan_indexing(path: &str, line_no: usize, code: &str, raw: &str, out: &mut Vec<Finding>) {
+    let bytes = code.as_bytes();
+    for i in 1..bytes.len() {
+        if bytes[i] == b'[' {
+            let prev = bytes[i - 1];
+            if is_ident_byte(prev) || prev == b')' || prev == b']' {
+                out.push(Finding::new(
+                    "index",
+                    path,
+                    line_no,
+                    "unchecked indexing panics out-of-bounds; prefer `get`/iterators or budget it",
+                    raw,
+                ));
+            }
+        }
+    }
+}
+
+/// `expr as u8|u16|u32|i8|i16|i32|usize|isize` — potential truncation.
+fn scan_narrow_casts(path: &str, line_no: usize, code: &str, raw: &str, out: &mut Vec<Finding>) {
+    for idx in match_indices_outside_idents(code, " as ") {
+        let after = &code[idx + 4..];
+        let target: String = after
+            .chars()
+            .take_while(|c| is_ident_byte(*c as u8))
+            .collect();
+        if NARROW_INT_TARGETS.contains(&target.as_str()) {
+            out.push(Finding::new(
+                "as-int",
+                path,
+                line_no,
+                format!("`as {target}` silently truncates/wraps; prefer `try_from` or budget it"),
+                raw,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        audit(&[SourceFile::from_source(path, src)], HOT_PATH_SCOPE)
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn hidden_unwrap_is_found_with_location() {
+        let src = "fn hot(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let found = run("crates/serve/src/server.rs", src);
+        assert_eq!(rules(&found), vec!["unwrap"]);
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[0].path, "crates/serve/src/server.rs");
+    }
+
+    #[test]
+    fn test_code_and_strings_are_exempt() {
+        let src = "fn msg() -> &'static str { \"never .unwrap() here\" }\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(run("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+        assert!(run("crates/data/src/generator.rs", src).is_empty());
+        assert!(run("crates/core/src/experiments/fig5.rs", src).is_empty());
+        // …but the deployed pipeline inside core is audited.
+        assert_eq!(run("crates/core/src/pipeline.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn expect_panic_unreachable_are_found() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let v = x.expect(\"set\");\n    if v > 9 { panic!(\"big\"); }\n    match v { 0..=9 => v, _ => unreachable!() }\n}\n";
+        let found = run("crates/nn/src/layer.rs", src);
+        let mut got = rules(&found);
+        got.sort_unstable();
+        assert_eq!(got, vec!["expect", "panic", "unreachable"]);
+    }
+
+    #[test]
+    fn panic_inside_identifier_does_not_match() {
+        let src = "fn f() { dont_panic!(); }\n";
+        assert!(run("crates/nn/src/layer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_expressions_are_found_but_types_are_not() {
+        let src = "const EDGES: [u64; 3] = [1, 2, 3];\nfn f(v: &[f32], i: usize) -> f32 {\n    v[i] + EDGES[0] as f32\n}\n#[derive(Debug)]\nstruct S;\n";
+        let found = run("crates/tensor/src/ops.rs", src);
+        assert_eq!(rules(&found), vec!["index", "index"]);
+        assert!(found.iter().all(|f| f.line == 3));
+    }
+
+    #[test]
+    fn slicing_and_chained_indexing_are_found() {
+        let src = "fn f(v: &[f32]) -> f32 { v[1..3][0] }\n";
+        assert_eq!(run("crates/tensor/src/ops.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn vec_macro_and_attributes_are_not_indexing() {
+        let src = "#[allow(dead_code)]\nfn f() -> Vec<u32> { vec![0; 4] }\n";
+        assert!(run("crates/tensor/src/ops.rs", src).is_empty());
+    }
+
+    #[test]
+    fn narrow_casts_are_found_widening_is_not() {
+        let src =
+            "fn f(n: usize, x: u8) -> (u32, u64, f64) {\n    (n as u32, x as u64, n as f64)\n}\n";
+        let found = run("crates/tensor/src/ops.rs", src);
+        assert_eq!(rules(&found), vec!["as-int"]);
+        assert!(found[0].message.contains("as u32"));
+    }
+}

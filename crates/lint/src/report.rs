@@ -1,0 +1,136 @@
+//! Findings, the allowlist-aware summary, and the human/JSON reports.
+
+use serde::Serialize;
+
+/// One raw finding produced by a pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `unwrap`, `lock-cycle`).
+    pub rule: String,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Trimmed source excerpt of the offending line.
+    pub excerpt: String,
+}
+
+impl Finding {
+    /// Convenience constructor trimming the excerpt.
+    pub fn new(
+        rule: &str,
+        path: &str,
+        line: usize,
+        message: impl Into<String>,
+        excerpt: &str,
+    ) -> Self {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            excerpt: excerpt.trim().chars().take(120).collect(),
+        }
+    }
+}
+
+/// Per-(rule, path) tally after the baseline is applied.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupSummary {
+    /// Rule identifier.
+    pub rule: String,
+    /// File the findings were grouped under.
+    pub path: String,
+    /// Findings the passes produced.
+    pub found: usize,
+    /// Budget granted by `lint.allow`.
+    pub allowed: usize,
+    /// `max(0, found - allowed)` — what fails the gate.
+    pub new: usize,
+}
+
+/// The serializable outcome of a full lint run (`results/lint.json`).
+///
+/// Only *new* findings are listed individually; baselined ones are
+/// rolled up into their group so the committed report stays small and
+/// deterministic.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintReport {
+    /// Report format version.
+    pub schema: u32,
+    /// Source files analysed.
+    pub files_scanned: usize,
+    /// Total findings across all rules.
+    pub total_findings: usize,
+    /// Findings covered by the `lint.allow` baseline.
+    pub baselined: usize,
+    /// Findings exceeding the baseline — nonzero fails CI.
+    pub new_findings: usize,
+    /// (rule, path) groups with at least one finding, sorted.
+    pub groups: Vec<GroupSummary>,
+    /// The findings exceeding the baseline, sorted.
+    pub new_finding_details: Vec<Finding>,
+    /// Baseline entries whose budget exceeds current findings — the
+    /// ratchet should be tightened (warning, not failure).
+    pub ratchet_slack: Vec<GroupSummary>,
+}
+
+impl LintReport {
+    /// Whether the run passes the gate.
+    pub fn is_clean(&self) -> bool {
+        self.new_findings == 0
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fademl-lint: {} files, {} findings ({} baselined, {} new)\n",
+            self.files_scanned, self.total_findings, self.baselined, self.new_findings
+        ));
+        if !self.groups.is_empty() {
+            out.push_str("  per-file tallies (rule path found/allowed):\n");
+            for g in &self.groups {
+                let marker = if g.new > 0 { "  !!" } else { "    " };
+                out.push_str(&format!(
+                    "{marker} {:<16} {:<44} {}/{}\n",
+                    g.rule, g.path, g.found, g.allowed
+                ));
+            }
+        }
+        if !self.new_finding_details.is_empty() {
+            out.push_str("  new findings (fix or add to lint.allow with a justification):\n");
+            for f in &self.new_finding_details {
+                out.push_str(&format!(
+                    "    {}:{}: [{}] {}\n        {}\n",
+                    f.path, f.line, f.rule, f.message, f.excerpt
+                ));
+            }
+        }
+        if !self.ratchet_slack.is_empty() {
+            out.push_str("  ratchet: baseline slack — tighten lint.allow:\n");
+            for g in &self.ratchet_slack {
+                out.push_str(&format!(
+                    "    {:<16} {:<44} allows {}, only {} found\n",
+                    g.rule, g.path, g.allowed, g.found
+                ));
+            }
+        }
+        if self.is_clean() {
+            out.push_str("  OK: no findings beyond the checked-in baseline\n");
+        } else {
+            out.push_str(&format!(
+                "  FAIL: {} finding(s) beyond the baseline\n",
+                self.new_findings
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,86 @@
+//! The tool eating its own dog food: the live workspace must be clean
+//! against the checked-in `lint.allow`, and the committed
+//! `results/lint.json` must match what the current sources produce.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fademl_lint::baseline::Baseline;
+use fademl_lint::{collect_findings, source};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn live_workspace_is_clean_against_baseline() {
+    let root = workspace_root();
+    let baseline_text = fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists");
+    let baseline = Baseline::parse(&baseline_text).expect("lint.allow parses");
+    let report = fademl_lint::run(&root, &baseline).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "lint gate broken — new findings beyond lint.allow:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 50, "workspace walk looks truncated");
+}
+
+#[test]
+fn baseline_has_no_slack() {
+    // The ratchet stays tight: every budgeted count matches reality, so
+    // fixing a site forces the budget down in the same change.
+    let root = workspace_root();
+    let baseline_text = fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists");
+    let baseline = Baseline::parse(&baseline_text).expect("lint.allow parses");
+    let report = fademl_lint::run(&root, &baseline).expect("workspace scan succeeds");
+    assert!(
+        report.ratchet_slack.is_empty(),
+        "lint.allow budgets exceed current findings — tighten them:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn committed_report_matches_current_sources() {
+    let root = workspace_root();
+    let baseline_text = fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists");
+    let baseline = Baseline::parse(&baseline_text).expect("lint.allow parses");
+    let report = fademl_lint::run(&root, &baseline).expect("workspace scan succeeds");
+    let committed =
+        fs::read_to_string(root.join("results/lint.json")).expect("results/lint.json committed");
+    assert_eq!(
+        committed.trim(),
+        report.to_json().trim(),
+        "results/lint.json is stale — rerun `cargo run -p fademl-lint`"
+    );
+}
+
+#[test]
+fn seeded_std_mutex_in_serve_fails_the_gate() {
+    // End-to-end proof of the acceptance criterion: a deliberate
+    // `std::sync::Mutex` added to crates/serve makes the gate fail.
+    let root = workspace_root();
+    let baseline_text = fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists");
+    let baseline = Baseline::parse(&baseline_text).expect("lint.allow parses");
+    let mut files = source::load_workspace(&root).expect("workspace scan succeeds");
+    files.push(source::SourceFile::from_source(
+        "crates/serve/src/injected.rs",
+        "use std::sync::Mutex;\npub fn sneaky(m: &Mutex<u32>) -> u32 {\n    *m.lock().unwrap()\n}\n",
+    ));
+    let count = files.len();
+    let report = baseline.apply(collect_findings(&files), count);
+    assert!(!report.is_clean());
+    assert!(report
+        .new_finding_details
+        .iter()
+        .any(|f| f.rule == "std-sync-lock" && f.path == "crates/serve/src/injected.rs"));
+    // The hidden unwrap in the injected file is caught too.
+    assert!(report
+        .new_finding_details
+        .iter()
+        .any(|f| f.rule == "unwrap" && f.path == "crates/serve/src/injected.rs"));
+}

@@ -37,6 +37,10 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod activation;
 mod batchnorm;
 mod conv;

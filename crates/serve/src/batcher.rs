@@ -43,13 +43,6 @@ impl Batcher {
         }
     }
 
-    fn slot_index(threat: ThreatModel) -> usize {
-        ThreatModel::ALL
-            .iter()
-            .position(|t| *t == threat)
-            .expect("ThreatModel::ALL covers every variant")
-    }
-
     /// Number of requests currently waiting in buckets.
     pub fn pending(&self) -> usize {
         self.buckets
@@ -63,21 +56,28 @@ impl Batcher {
     /// the bucket reaches `max_batch_size`.
     pub fn push(&mut self, request: Request, now: Instant) -> Option<Batch> {
         let threat = request.threat;
-        let slot = &mut self.buckets[Self::slot_index(threat)];
-        let bucket = slot.get_or_insert_with(|| Bucket {
-            requests: Vec::with_capacity(self.max_batch_size),
-            deadline: now + self.linger,
-        });
-        bucket.requests.push(request);
-        if bucket.requests.len() >= self.max_batch_size {
-            let bucket = slot.take().expect("bucket just filled");
-            Some(Batch {
-                threat,
-                requests: bucket.requests,
-            })
-        } else {
-            None
+        let (max_batch_size, linger) = (self.max_batch_size, self.linger);
+        for (slot, t) in self.buckets.iter_mut().zip(ThreatModel::ALL) {
+            if t != threat {
+                continue;
+            }
+            let bucket = slot.get_or_insert_with(|| Bucket {
+                requests: Vec::with_capacity(max_batch_size),
+                deadline: now + linger,
+            });
+            bucket.requests.push(request);
+            if bucket.requests.len() >= max_batch_size {
+                return slot.take().map(|full| Batch {
+                    threat,
+                    requests: full.requests,
+                });
+            }
+            return None;
         }
+        // Unreachable: `buckets` is zipped with `ThreatModel::ALL`,
+        // which covers every variant. Dropping would lose the request's
+        // response slot, so the typed fallback is "no batch yet".
+        None
     }
 
     /// The soonest bucket deadline, if any bucket is non-empty. The
@@ -89,11 +89,10 @@ impl Batcher {
     /// Dispatches every bucket whose linger deadline has passed.
     pub fn take_expired(&mut self, now: Instant) -> Vec<Batch> {
         let mut out = Vec::new();
-        for (idx, slot) in self.buckets.iter_mut().enumerate() {
-            if slot.as_ref().is_some_and(|b| b.deadline <= now) {
-                let bucket = slot.take().expect("checked non-empty");
+        for (slot, threat) in self.buckets.iter_mut().zip(ThreatModel::ALL) {
+            if let Some(bucket) = slot.take_if(|b| b.deadline <= now) {
                 out.push(Batch {
-                    threat: ThreatModel::ALL[idx],
+                    threat,
                     requests: bucket.requests,
                 });
             }
@@ -104,10 +103,10 @@ impl Batcher {
     /// Dispatches everything, regardless of deadlines (shutdown drain).
     pub fn flush_all(&mut self) -> Vec<Batch> {
         let mut out = Vec::new();
-        for (idx, slot) in self.buckets.iter_mut().enumerate() {
+        for (slot, threat) in self.buckets.iter_mut().zip(ThreatModel::ALL) {
             if let Some(bucket) = slot.take() {
                 out.push(Batch {
-                    threat: ThreatModel::ALL[idx],
+                    threat,
                     requests: bucket.requests,
                 });
             }

@@ -150,7 +150,9 @@ impl ServerMetrics {
             reservoir.samples.push(latency_us);
         } else {
             let at = reservoir.next % LATENCY_RESERVOIR;
-            reservoir.samples[at] = latency_us;
+            if let Some(slot) = reservoir.samples.get_mut(at) {
+                *slot = latency_us;
+            }
             reservoir.next = at + 1;
         }
     }
@@ -190,7 +192,9 @@ impl ServerMetrics {
             .iter()
             .position(|&edge| us < edge)
             .unwrap_or(OVERSHOOT_EDGES_US.len());
-        self.deadline_overshoot_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.deadline_overshoot_buckets.get(bucket) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records the circuit breaker opening (entering degraded mode).
@@ -231,12 +235,19 @@ impl ServerMetrics {
             snapshot.sort_unstable();
             snapshot
         };
-        let percentile = |p: f64| -> u64 {
-            if latencies.is_empty() {
+        // Nearest-rank percentile in integer basis points: no float
+        // rounding, no unchecked indexing, and NaN cannot exist because
+        // latencies never leave integer microseconds.
+        let percentile = |p_bp: u64| -> u64 {
+            let Some(last) = latencies.len().checked_sub(1) else {
                 return 0;
-            }
-            let rank = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-            latencies[rank.min(latencies.len() - 1)]
+            };
+            let rank = (last as u64 * p_bp + 5_000) / 10_000;
+            usize::try_from(rank)
+                .ok()
+                .and_then(|r| latencies.get(r))
+                .copied()
+                .unwrap_or(0)
         };
         let batches = self.batches_dispatched.load(Ordering::Relaxed);
         let images = self.batched_images.load(Ordering::Relaxed);
@@ -264,9 +275,9 @@ impl ServerMetrics {
             } else {
                 latencies.iter().sum::<u64>() / latencies.len() as u64
             },
-            latency_p50_us: percentile(0.50),
-            latency_p90_us: percentile(0.90),
-            latency_p99_us: percentile(0.99),
+            latency_p50_us: percentile(5_000),
+            latency_p90_us: percentile(9_000),
+            latency_p99_us: percentile(9_900),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             batches_failed: self.batches_failed.load(Ordering::Relaxed),

@@ -28,6 +28,10 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod broadcast;
 mod conv;
 mod error;
