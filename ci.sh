@@ -28,4 +28,10 @@ cargo test -q -p fademl-serve --features faults --test faults
 echo "==> chaos stress run"
 cargo test -q -p fademl-serve --release --features faults --test faults chaos_stress_every_handle_resolves
 
+echo "==> cargo clippy (checkpoint faults feature, deny warnings)"
+cargo clippy -p fademl-nn --features faults --all-targets -- -D warnings
+
+echo "==> checkpoint IO fault-injection suite"
+cargo test -q -p fademl-nn --features faults --test checkpoint_faults
+
 echo "CI OK"

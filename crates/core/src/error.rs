@@ -34,6 +34,12 @@ pub enum FademlError {
     },
     /// Reading or writing cached artifacts failed.
     Io(std::io::Error),
+    /// A persisted artifact (stage ledger, cached result) failed its
+    /// integrity checks and cannot be trusted.
+    Corrupt {
+        /// Human-readable description of what failed verification.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FademlError {
@@ -51,6 +57,9 @@ impl fmt::Display for FademlError {
                 write!(f, "invalid inference input: {reason}")
             }
             FademlError::Io(e) => write!(f, "i/o error: {e}"),
+            FademlError::Corrupt { reason } => {
+                write!(f, "corrupt artifact: {reason}")
+            }
         }
     }
 }
@@ -64,7 +73,9 @@ impl Error for FademlError {
             FademlError::Filter(e) => Some(e),
             FademlError::Attack(e) => Some(e),
             FademlError::Io(e) => Some(e),
-            FademlError::InvalidConfig { .. } | FademlError::InvalidInput { .. } => None,
+            FademlError::InvalidConfig { .. }
+            | FademlError::InvalidInput { .. }
+            | FademlError::Corrupt { .. } => None,
         }
     }
 }

@@ -9,14 +9,20 @@
 //! - [`fig7`] — Threat Models II/III: LAP/LAR filters neutralize the
 //!   classical attacks; accuracy vs filter strength is hump-shaped.
 //! - [`fig9`] — the FAdeML filter-aware attacks survive the same filters.
+//!
+//! [`resume`] adds crash-resumable variants of every runner: completed
+//! per-scenario stages are journaled to a [`StageLedger`] so a killed
+//! sweep restarts at the first incomplete stage.
 
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
 mod grid;
+pub mod resume;
 
 pub use grid::{AccuracyCell, AccuracyGrid, ScenarioCell};
+pub use resume::{ResumeReport, StageLedger};
 
 use fademl_attacks::{Attack, Bim, Fgsm, LbfgsAttack};
 

@@ -69,6 +69,10 @@ pub mod setup;
 mod threat;
 
 pub use error::FademlError;
+/// Training checkpoint/resume subsystem (re-exported from
+/// [`fademl_nn`]): versioned on-disk snapshots with CRC integrity
+/// trailers, retained generations and newest-intact recovery.
+pub use fademl_nn::checkpoint;
 pub use pipeline::{InferencePipeline, Verdict};
 pub use scenario::Scenario;
 pub use threat::ThreatModel;

@@ -88,6 +88,7 @@ impl ExperimentSetup {
                     lr_decay: 1.0,
                     verbose: false,
                     patience: None,
+                    divergence: None,
                 },
                 test_fraction: 0.25,
                 seed: 7,
@@ -110,6 +111,7 @@ impl ExperimentSetup {
                     lr_decay: 0.9,
                     verbose: true,
                     patience: None,
+                    divergence: None,
                 },
                 test_fraction: 0.25,
                 seed: 7,
@@ -132,6 +134,7 @@ impl ExperimentSetup {
                     lr_decay: 0.9,
                     verbose: true,
                     patience: None,
+                    divergence: None,
                 },
                 test_fraction: 0.25,
                 seed: 7,
@@ -221,13 +224,9 @@ impl ExperimentSetup {
         let history = trainer.fit(&mut model, split.train.images(), split.train.labels())?;
         if self.cache_weights {
             // Best-effort cache write; a failure only costs future time.
-            // Write-then-rename keeps concurrent readers from ever seeing
-            // a half-written file.
-            let path = self.cache_path();
-            let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-            if serialize::save_weights_to_path(&model, &tmp).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
-            }
+            // save_weights_to_path stages and renames internally, so
+            // concurrent readers never see a half-written file.
+            let _ = serialize::save_weights_to_path(&model, self.cache_path());
         }
         Ok(PreparedSetup {
             model,

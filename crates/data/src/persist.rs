@@ -3,46 +3,53 @@
 //! and shared between machines/runs without re-deriving it from a seed
 //! (mirroring how GTSRB itself ships as fixed files).
 
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
+use fademl_tensor::io::{atomic_write, ByteWriter};
 use fademl_tensor::{Shape, Tensor};
 
 use crate::{DataError, Result, SignDataset};
 
 const MAGIC: &[u8; 8] = b"FADEMLD1";
 
+/// Serializes the dataset to the FAdeML binary dataset format — the
+/// single encoder behind both [`save_dataset`] and
+/// [`save_dataset_to_path`].
+pub fn encode_dataset(dataset: &SignDataset) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(MAGIC);
+    w.put_u64(dataset.len() as u64);
+    w.put_u64(dataset.image_size() as u64);
+    for &label in dataset.labels() {
+        w.put_u32(label as u32);
+    }
+    for &x in dataset.images().as_slice() {
+        w.put_f32(x);
+    }
+    w.into_bytes()
+}
+
 /// Writes the dataset to `writer` in the FAdeML binary dataset format.
 ///
 /// # Errors
 ///
 /// Returns [`DataError::Io`] on write failure.
-pub fn save_dataset<W: Write>(dataset: &SignDataset, writer: W) -> Result<()> {
-    let mut w = BufWriter::new(writer);
+pub fn save_dataset<W: Write>(dataset: &SignDataset, mut writer: W) -> Result<()> {
     let io = DataError::from_io;
-    w.write_all(MAGIC).map_err(io)?;
-    let n = dataset.len() as u64;
-    let size = dataset.image_size() as u64;
-    w.write_all(&n.to_le_bytes()).map_err(io)?;
-    w.write_all(&size.to_le_bytes()).map_err(io)?;
-    for &label in dataset.labels() {
-        w.write_all(&(label as u32).to_le_bytes()).map_err(io)?;
-    }
-    for &x in dataset.images().as_slice() {
-        w.write_all(&x.to_le_bytes()).map_err(io)?;
-    }
-    w.flush().map_err(io)?;
+    writer.write_all(&encode_dataset(dataset)).map_err(io)?;
+    writer.flush().map_err(io)?;
     Ok(())
 }
 
-/// Writes the dataset to a file path.
+/// Atomically writes the dataset to a file path (same-directory temp
+/// file + rename), so a crash mid-write never leaves a torn dataset.
 ///
 /// # Errors
 ///
-/// Returns [`DataError::Io`] on create/write failure.
+/// Returns [`DataError::Io`] on create/write/rename failure.
 pub fn save_dataset_to_path<P: AsRef<Path>>(dataset: &SignDataset, path: P) -> Result<()> {
-    save_dataset(dataset, File::create(path).map_err(DataError::from_io)?)
+    atomic_write(path.as_ref(), &encode_dataset(dataset)).map_err(DataError::from_io)
 }
 
 /// Reads a dataset previously written by [`save_dataset`].
@@ -89,13 +96,15 @@ pub fn load_dataset<R: Read>(reader: R) -> Result<SignDataset> {
     SignDataset::from_parts(images, labels)
 }
 
-/// Reads a dataset from a file path.
+/// Reads a dataset from a file path. Refuses leftover staging files
+/// from interrupted atomic writes.
 ///
 /// # Errors
 ///
 /// Same conditions as [`load_dataset`].
 pub fn load_dataset_from_path<P: AsRef<Path>>(path: P) -> Result<SignDataset> {
-    load_dataset(File::open(path).map_err(DataError::from_io)?)
+    let bytes = fademl_tensor::io::read_artifact(path.as_ref()).map_err(DataError::from_io)?;
+    load_dataset(bytes.as_slice())
 }
 
 #[cfg(test)]
@@ -162,6 +171,25 @@ mod tests {
         save_dataset_to_path(&original, &path).unwrap();
         let loaded = load_dataset_from_path(&path).unwrap();
         assert_eq!(loaded, original);
+        // The atomic write leaves no staging files behind, and replacing
+        // an existing dataset in place also round-trips.
+        save_dataset_to_path(&original, &path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| fademl_tensor::io::is_staging_file(&e.path()))
+            .collect();
+        assert!(leftovers.is_empty(), "staging leftovers: {leftovers:?}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn refuses_staging_files() {
+        let dir = std::env::temp_dir().join("fademl_dataset_staging_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let orphan = dir.join(".signs.fds.tmp.42");
+        std::fs::write(&orphan, encode_dataset(&dataset())).unwrap();
+        assert!(load_dataset_from_path(&orphan).is_err());
+        std::fs::remove_file(&orphan).ok();
     }
 }

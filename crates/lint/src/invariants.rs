@@ -13,6 +13,11 @@
 //! 4. `dead-variant` — every public error variant of the serving crate
 //!    is constructed somewhere in non-test code; an unconstructible
 //!    variant is dead API surface that callers still have to match on.
+//! 5. `direct-overwrite` — production code must not clobber files in
+//!    place (`File::create` / `fs::write`): a crash mid-write leaves a
+//!    torn artifact. Durable writes go through
+//!    `fademl_tensor::io::atomic_write` (stage + fsync + rename), whose
+//!    own implementation file is the single blessed exception.
 
 use crate::report::Finding;
 use crate::source::{is_ident_byte, SourceFile};
@@ -21,6 +26,7 @@ const SERVE_PREFIX: &str = "crates/serve/src/";
 const BATCHER: &str = "crates/serve/src/batcher.rs";
 const METRICS: &str = "crates/serve/src/metrics.rs";
 const ERRORS: &str = "crates/serve/src/error.rs";
+const ATOMIC_IMPL: &str = "crates/tensor/src/io.rs";
 
 /// Runs every invariant lint.
 pub fn check(files: &[SourceFile]) -> Vec<Finding> {
@@ -29,6 +35,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
     batcher_wall_clock(files, &mut findings);
     nan_ordering(files, &mut findings);
     dead_variants(files, &mut findings);
+    direct_overwrite(files, &mut findings);
     findings
 }
 
@@ -136,6 +143,29 @@ fn dead_variants(files: &[SourceFile], out: &mut Vec<Finding>) {
                 ),
                 "",
             ));
+        }
+    }
+}
+
+fn direct_overwrite(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files.iter().filter(|f| f.path != ATOMIC_IMPL) {
+        for (line_no, line) in file.code_lines() {
+            for what in ["File::create(", "fs::write("] {
+                if line.code.contains(what) {
+                    out.push(Finding::new(
+                        "direct-overwrite",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "`{}` overwrites the destination in place — a crash mid-write \
+                             leaves a torn file; route artifact writes through \
+                             `fademl_tensor::io::atomic_write` (stage + fsync + rename)",
+                            what.trim_end_matches('(')
+                        ),
+                        &line.raw,
+                    ));
+                }
+            }
         }
     }
 }
@@ -311,6 +341,36 @@ mod tests {
         assert_eq!(rules(&found), vec!["dead-variant"]);
         assert!(found[0].message.contains("NeverMade"));
         assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn direct_overwrite_is_flagged_everywhere_in_production_code() {
+        let ppm = SourceFile::from_source(
+            "crates/data/src/ppm.rs",
+            "fn save() {\n    let mut file = std::fs::File::create(path)?;\n}\n",
+        );
+        assert_eq!(rules(&check(&[ppm])), vec!["direct-overwrite"]);
+        let setup = SourceFile::from_source(
+            "crates/core/src/setup.rs",
+            "fn cache() {\n    fs::write(&path, &bytes)?;\n}\n",
+        );
+        let found = check(&[setup]);
+        assert_eq!(rules(&found), vec!["direct-overwrite"]);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn atomic_write_impl_and_test_code_are_exempt_from_overwrite_rule() {
+        let blessed = SourceFile::from_source(
+            "crates/tensor/src/io.rs",
+            "pub fn atomic_write() {\n    let mut f = fs::File::create(tmp)?;\n}\n",
+        );
+        assert!(check(&[blessed]).is_empty());
+        let test_only = SourceFile::from_source(
+            "crates/nn/src/checkpoint.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(&p, b\"x\").unwrap(); }\n}\n",
+        );
+        assert!(check(&[test_only]).is_empty());
     }
 
     #[test]

@@ -28,6 +28,22 @@ pub enum NnError {
     },
     /// Weight (de)serialization failed.
     Io(std::io::Error),
+    /// A persisted artifact (weight file, checkpoint) failed an
+    /// integrity check: bad magic, truncated body, or CRC mismatch. The
+    /// file must not be loaded — its numbers cannot be trusted.
+    Corrupt {
+        /// Human-readable description of what failed to verify.
+        reason: String,
+    },
+    /// Training diverged (non-finite or spiking loss) and the
+    /// divergence guard ran out of rollback budget or had no intact
+    /// checkpoint to roll back to.
+    Diverged {
+        /// The epoch (0-based) at which divergence was detected.
+        epoch: usize,
+        /// The offending loss value.
+        loss: f32,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -40,6 +56,10 @@ impl fmt::Display for NnError {
             NnError::ArchMismatch { reason } => write!(f, "architecture mismatch: {reason}"),
             NnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             NnError::Io(e) => write!(f, "i/o error: {e}"),
+            NnError::Corrupt { reason } => write!(f, "corrupt artifact: {reason}"),
+            NnError::Diverged { epoch, loss } => {
+                write!(f, "training diverged at epoch {epoch} (loss {loss})")
+            }
         }
     }
 }
@@ -78,6 +98,20 @@ mod tests {
         let e = NnError::NoForwardCache { layer: "conv2d" };
         assert!(e.to_string().contains("conv2d"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn corruption_and_divergence_display() {
+        let e = NnError::Corrupt {
+            reason: "CRC mismatch".into(),
+        };
+        assert!(e.to_string().contains("CRC mismatch"));
+        assert!(e.source().is_none());
+        let e = NnError::Diverged {
+            epoch: 4,
+            loss: f32::NAN,
+        };
+        assert!(e.to_string().contains("epoch 4"));
     }
 
     #[test]

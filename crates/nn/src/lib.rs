@@ -43,6 +43,7 @@
 
 mod activation;
 mod batchnorm;
+pub mod checkpoint;
 mod conv;
 mod dense;
 mod dropout;
@@ -60,6 +61,7 @@ pub mod vgg;
 
 pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
 pub use batchnorm::BatchNorm2d;
+pub use checkpoint::{CheckpointConfig, CheckpointStore, TrainState};
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use dropout::Dropout;
@@ -67,10 +69,13 @@ pub use error::NnError;
 pub use flatten::Flatten;
 pub use layer::{Layer, Param};
 pub use loss::{CrossEntropyLoss, Loss, LossValue, MseLoss};
-pub use optimizer::{Adam, Optimizer, Sgd};
+pub use optimizer::{Adam, Optimizer, OptimizerState, Sgd};
 pub use pool::MaxPool2d;
 pub use sequential::Sequential;
-pub use trainer::{EpochStats, OptimizerKind, TrainConfig, TrainHistory, Trainer};
+pub use trainer::{
+    DivergenceGuard, EpochStats, FitReport, OptimizerKind, TrainConfig, TrainHistory, TrainSignal,
+    Trainer,
+};
 
 /// Convenient result alias for fallible network operations.
 pub type Result<T> = std::result::Result<T, NnError>;

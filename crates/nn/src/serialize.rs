@@ -1,80 +1,145 @@
 //! Model weight persistence.
 //!
 //! Weights are stored in a small self-describing binary format (magic +
-//! version + per-parameter shape and little-endian `f32` payload) so a
-//! trained victim model can be reused across experiment binaries without
+//! per-parameter shape and little-endian `f32` payload) so a trained
+//! victim model can be reused across experiment binaries without
 //! pulling a serialization-format dependency into the workspace.
 //!
 //! Loading is *state-dict style*: the architecture is rebuilt in code and
-//! the weights are poured into it positionally, with every shape checked.
+//! the weights are poured into it positionally, with every shape checked
+//! against the target model **before** any tensor data is allocated.
+//!
+//! Two format versions exist:
+//!
+//! - `FADEMLW2` (current): the body is followed by a CRC-32 trailer, so
+//!   truncation, torn writes and bit-flips are detected before a single
+//!   weight is interpreted. Writers always produce this version, and
+//!   [`save_weights_to_path`] writes it atomically (temp file + rename).
+//! - `FADEMLW1` (legacy): no trailer. Still readable; corruption in a
+//!   v1 file is only caught by the shape checks.
 
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{Read, Write};
 use std::path::Path;
 
+use fademl_tensor::io::{atomic_write, crc32, read_artifact, ByteReader, ByteWriter};
 use fademl_tensor::{Shape, Tensor};
 
 use crate::{NnError, Result, Sequential};
 
-const MAGIC: &[u8; 8] = b"FADEMLW1";
+const MAGIC_V1: &[u8; 8] = b"FADEMLW1";
+const MAGIC_V2: &[u8; 8] = b"FADEMLW2";
 
-/// Writes all model parameters to `writer`.
+/// Parsing cap: no real model in this workspace has parameters beyond
+/// rank 4, so anything larger is corruption, not data. Checked before
+/// the dims vector is allocated.
+const MAX_RANK: usize = 8;
+
+fn corrupt(reason: impl Into<String>) -> NnError {
+    NnError::Corrupt {
+        reason: reason.into(),
+    }
+}
+
+/// Serializes all model parameters to the current (`FADEMLW2`) format.
+pub fn encode_weights(model: &Sequential) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let params = model.params();
+    w.put_u32(params.len() as u32);
+    for p in params {
+        let dims = p.value.dims();
+        w.put_u32(dims.len() as u32);
+        for &d in dims {
+            w.put_u64(d as u64);
+        }
+        for &x in p.value.as_slice() {
+            w.put_f32(x);
+        }
+    }
+    let body = w.into_bytes();
+    let mut out = Vec::with_capacity(MAGIC_V2.len() + body.len() + 4);
+    out.extend_from_slice(MAGIC_V2);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Writes all model parameters to `writer` in the `FADEMLW2` format.
 ///
 /// # Errors
 ///
 /// Returns [`NnError::Io`] on write failure.
-pub fn save_weights<W: Write>(model: &Sequential, writer: W) -> Result<()> {
-    let mut w = BufWriter::new(writer);
-    w.write_all(MAGIC)?;
-    let params = model.params();
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
-    for p in params {
-        let dims = p.value.dims();
-        w.write_all(&(dims.len() as u32).to_le_bytes())?;
-        for &d in dims {
-            w.write_all(&(d as u64).to_le_bytes())?;
-        }
-        for &x in p.value.as_slice() {
-            w.write_all(&x.to_le_bytes())?;
-        }
-    }
-    w.flush()?;
+pub fn save_weights<W: Write>(model: &Sequential, mut writer: W) -> Result<()> {
+    writer.write_all(&encode_weights(model))?;
+    writer.flush()?;
     Ok(())
 }
 
-/// Writes all model parameters to a file path.
-///
-/// A mut reference can be passed for the writer in [`save_weights`]; this
-/// helper simply opens the file for you.
+/// Atomically writes all model parameters to a file path: the bytes are
+/// staged in a same-directory temp file, synced, and renamed over the
+/// destination, so a crash mid-write leaves either the old file or the
+/// new one — never a torn hybrid.
 ///
 /// # Errors
 ///
-/// Returns [`NnError::Io`] on create/write failure.
+/// Returns [`NnError::Io`] on create/write/rename failure.
 pub fn save_weights_to_path<P: AsRef<Path>>(model: &Sequential, path: P) -> Result<()> {
-    save_weights(model, File::create(path)?)
+    atomic_write(path.as_ref(), &encode_weights(model))?;
+    Ok(())
 }
 
-/// Reads weights from `reader` into an existing model. The model must
-/// have been built with the same architecture (parameter order and
-/// shapes are verified).
+/// Parses a weight file (either version) into an existing model. The
+/// model must have been built with the same architecture — parameter
+/// count and every shape are verified against the model before any
+/// tensor data is allocated.
 ///
 /// # Errors
 ///
-/// Returns [`NnError::Io`] on read failure and
-/// [`NnError::ArchMismatch`] when the stream does not match the model's
-/// parameter list.
-pub fn load_weights<R: Read>(model: &mut Sequential, reader: R) -> Result<()> {
-    let mut r = BufReader::new(reader);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(NnError::ArchMismatch {
-            reason: "not a FAdeML weight file (bad magic)".into(),
-        });
+/// Returns [`NnError::Corrupt`] for bad magic, truncation or a CRC
+/// mismatch, and [`NnError::ArchMismatch`] when an intact file does not
+/// match the model's parameter list.
+pub fn decode_weights(bytes: &[u8], model: &mut Sequential) -> Result<()> {
+    if bytes.len() < MAGIC_V2.len() {
+        return Err(corrupt(format!(
+            "file too small for a weight file ({} bytes)",
+            bytes.len()
+        )));
     }
-    let mut u32_buf = [0u8; 4];
-    r.read_exact(&mut u32_buf)?;
-    let count = u32::from_le_bytes(u32_buf) as usize;
+    let (magic, rest) = bytes.split_at(MAGIC_V2.len());
+    if magic == MAGIC_V2 {
+        if rest.len() < 4 {
+            return Err(corrupt("missing CRC trailer"));
+        }
+        let (body, trailer) = rest.split_at(rest.len() - 4);
+        let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let actual = crc32(body);
+        if stored != actual {
+            return Err(corrupt(format!(
+                "CRC mismatch: trailer {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        parse_params(body, model, true)
+    } else if magic == MAGIC_V1 {
+        // Legacy files have no trailer; shape checks are the only guard.
+        parse_params(rest, model, false)
+    } else {
+        Err(corrupt("not a FAdeML weight file (bad magic)"))
+    }
+}
+
+/// Parses the parameter records shared by both format versions.
+/// `verified` marks a CRC-checked body, where any structural surprise
+/// is corruption the CRC somehow missed (reported as such) rather than
+/// an I/O condition.
+fn parse_params(body: &[u8], model: &mut Sequential, verified: bool) -> Result<()> {
+    let rd = |e: std::io::Error| {
+        if verified {
+            corrupt(e.to_string())
+        } else {
+            NnError::Io(e)
+        }
+    };
+    let mut r = ByteReader::new(body);
+    let count = r.get_u32().map_err(rd)? as usize;
     let mut params = model.params_mut();
     if count != params.len() {
         return Err(NnError::ArchMismatch {
@@ -84,14 +149,19 @@ pub fn load_weights<R: Read>(model: &mut Sequential, reader: R) -> Result<()> {
             ),
         });
     }
-    let mut u64_buf = [0u8; 8];
-    for (i, p) in params.iter_mut().enumerate() {
-        r.read_exact(&mut u32_buf)?;
-        let rank = u32::from_le_bytes(u32_buf) as usize;
+    // First pass: staged values, so a failure mid-file never leaves the
+    // model half-overwritten.
+    let mut staged: Vec<Tensor> = Vec::with_capacity(count);
+    for (i, p) in params.iter().enumerate() {
+        let rank = r.get_u32().map_err(rd)? as usize;
+        if rank > MAX_RANK {
+            return Err(corrupt(format!(
+                "parameter {i}: implausible tensor rank {rank}"
+            )));
+        }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            r.read_exact(&mut u64_buf)?;
-            dims.push(u64::from_le_bytes(u64_buf) as usize);
+            dims.push(r.get_u64().map_err(rd)? as usize);
         }
         if dims != p.value.dims() {
             return Err(NnError::ArchMismatch {
@@ -101,24 +171,52 @@ pub fn load_weights<R: Read>(model: &mut Sequential, reader: R) -> Result<()> {
                 ),
             });
         }
+        // The shape matched the live model, so the element count is
+        // bounded by the model itself — safe to allocate.
         let numel: usize = dims.iter().product();
-        let mut data = vec![0.0f32; numel];
-        for x in &mut data {
-            r.read_exact(&mut u32_buf)?;
-            *x = f32::from_le_bytes(u32_buf);
-        }
-        p.value = Tensor::from_vec(data, Shape::new(dims))?;
+        let byte_len = numel
+            .checked_mul(4)
+            .ok_or_else(|| corrupt("tensor byte length overflows"))?;
+        let raw = r.get_bytes(byte_len).map_err(rd)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        staged.push(Tensor::from_vec(data, Shape::new(dims))?);
+    }
+    if verified && r.remaining() != 0 {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the weight records",
+            r.remaining()
+        )));
+    }
+    for (p, value) in params.iter_mut().zip(staged) {
+        p.value = value;
     }
     Ok(())
 }
 
-/// Reads weights from a file path into an existing model.
+/// Reads weights from `reader` into an existing model.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on read failure, plus the conditions of
+/// [`decode_weights`].
+pub fn load_weights<R: Read>(model: &mut Sequential, mut reader: R) -> Result<()> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    decode_weights(&bytes, model)
+}
+
+/// Reads weights from a file path into an existing model. Refuses
+/// leftover staging files from interrupted atomic writes.
 ///
 /// # Errors
 ///
 /// Same conditions as [`load_weights`].
 pub fn load_weights_from_path<P: AsRef<Path>>(model: &mut Sequential, path: P) -> Result<()> {
-    load_weights(model, File::open(path)?)
+    let bytes = read_artifact(path.as_ref())?;
+    decode_weights(&bytes, model)
 }
 
 #[cfg(test)]
@@ -135,6 +233,25 @@ mod tests {
             .push(Dense::new(6, 3, &mut rng))
     }
 
+    /// Handcrafts a legacy `FADEMLW1` file (no CRC trailer).
+    fn encode_v1(model: &Sequential) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        let params = model.params();
+        buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
+        for p in params {
+            let dims = p.value.dims();
+            buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+            for &d in dims {
+                buf.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &x in p.value.as_slice() {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        buf
+    }
+
     #[test]
     fn round_trip_preserves_outputs() {
         let source = model(1);
@@ -149,10 +266,20 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_files_still_load() {
+        let source = model(1);
+        let v1 = encode_v1(&source);
+        let mut target = model(2);
+        load_weights(&mut target, v1.as_slice()).unwrap();
+        let x = Tensor::ones(&[2, 4]);
+        assert_eq!(source.forward(&x).unwrap(), target.forward(&x).unwrap());
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let mut m = model(1);
         let err = load_weights(&mut m, &b"NOTMAGIC\x00\x00\x00\x00"[..]).unwrap_err();
-        assert!(matches!(err, NnError::ArchMismatch { .. }));
+        assert!(matches!(err, NnError::Corrupt { .. }));
     }
 
     #[test]
@@ -173,14 +300,65 @@ mod tests {
         save_weights(&source, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         let mut target = model(2);
+        // Truncation breaks the CRC trailer: typed corruption, not I/O.
         assert!(matches!(
             load_weights(&mut target, buf.as_slice()),
-            Err(NnError::Io(_))
+            Err(NnError::Corrupt { .. })
         ));
     }
 
     #[test]
-    fn file_round_trip() {
+    fn bit_flips_anywhere_are_detected() {
+        let source = model(1);
+        let clean = encode_weights(&source);
+        for at in (0..clean.len()).step_by(41) {
+            let mut bad = clean.clone();
+            bad[at] ^= 0x10;
+            let mut target = model(2);
+            assert!(
+                matches!(
+                    decode_weights(&bad, &mut target),
+                    Err(NnError::Corrupt { .. })
+                ),
+                "flip at byte {at} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_load_leaves_model_untouched() {
+        let source = model(1);
+        let mut buf = encode_v1(&source);
+        // Chop mid-payload: the v1 path fails partway through parsing.
+        buf.truncate(buf.len() - 10);
+        let mut target = model(2);
+        let x = Tensor::ones(&[2, 4]);
+        let before = target.forward(&x).unwrap();
+        assert!(load_weights(&mut target, buf.as_slice()).is_err());
+        assert_eq!(
+            target.forward(&x).unwrap(),
+            before,
+            "failed load must not half-overwrite the model"
+        );
+    }
+
+    #[test]
+    fn legacy_rank_bomb_is_rejected_before_allocating() {
+        // A v1 header claiming a rank in the millions used to drive a
+        // speculative allocation; now it is a typed corruption error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        buf.extend_from_slice(&4u32.to_le_bytes()); // matches model param count
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd rank
+        let mut m = model(1);
+        assert!(matches!(
+            load_weights(&mut m, buf.as_slice()),
+            Err(NnError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_refuses_staging_files() {
         let dir = std::env::temp_dir().join("fademl_weight_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("weights.bin");
@@ -190,6 +368,12 @@ mod tests {
         load_weights_from_path(&mut target, &path).unwrap();
         let x = Tensor::ones(&[1, 4]);
         assert_eq!(source.forward(&x).unwrap(), target.forward(&x).unwrap());
+
+        // A leftover staging file is never loadable.
+        let staged = dir.join(".weights.bin.tmp.123");
+        std::fs::write(&staged, encode_weights(&source)).unwrap();
+        assert!(load_weights_from_path(&mut target, &staged).is_err());
+        std::fs::remove_file(&staged).ok();
         std::fs::remove_file(&path).ok();
     }
 }

@@ -148,6 +148,22 @@ impl TensorRng {
     pub fn fork(&mut self) -> TensorRng {
         TensorRng::seed_from_u64(self.rng.random())
     }
+
+    /// Captures the generator's full internal state so a checkpointed
+    /// training run can resume the *exact* random stream (same future
+    /// shuffles and samples) instead of restarting from the seed.
+    pub fn state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a generator from a state captured with
+    /// [`TensorRng::state`]. The restored generator continues the
+    /// original stream bit-for-bit.
+    pub fn from_state(state: [u64; 4]) -> TensorRng {
+        TensorRng {
+            rng: StdRng::from_state(state),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +242,19 @@ mod tests {
         let mut rng = TensorRng::seed_from_u64(10);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = TensorRng::seed_from_u64(12);
+        a.uniform(&[64], 0.0, 1.0); // advance the stream
+        let mut b = TensorRng::from_state(a.state());
+        assert_eq!(a.uniform(&[32], -1.0, 1.0), b.uniform(&[32], -1.0, 1.0));
+        let mut order_a: Vec<usize> = (0..20).collect();
+        let mut order_b = order_a.clone();
+        a.shuffle(&mut order_a);
+        b.shuffle(&mut order_b);
+        assert_eq!(order_a, order_b);
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod broadcast;
 mod conv;
 mod error;
 mod init;
+pub mod io;
 mod matmul;
 mod ops;
 mod pool;

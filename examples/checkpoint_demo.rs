@@ -1,0 +1,216 @@
+//! Durability drill for the checkpoint/resume subsystem:
+//!
+//! 1. trains a small victim with periodic checkpointing, killing the
+//!    run at a checkpoint boundary (the crash the subsystem is for);
+//! 2. resumes from the newest intact generation with a *fresh* model
+//!    and verifies the final weights are byte-identical to an
+//!    uninterrupted reference run with the same seed;
+//! 3. corrupts the newest checkpoint on disk and shows recovery
+//!    falling back to the previous intact generation;
+//! 4. trains with an absurd learning rate under a [`DivergenceGuard`]
+//!    and shows the rollback-with-backoff path rescuing the run.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_demo
+//! ```
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use fademl_data::{DatasetConfig, NoiseModel, SignDataset, CLASS_COUNT};
+use fademl_nn::vgg::VggConfig;
+use fademl_nn::{
+    CheckpointConfig, CheckpointStore, DivergenceGuard, OptimizerKind, Sequential, TrainConfig,
+    TrainSignal, Trainer,
+};
+use fademl_tensor::{Tensor, TensorRng};
+
+const EPOCHS: usize = 8;
+const KILL_AFTER_EPOCH: usize = 4;
+const CHECKPOINT_EVERY: usize = 2;
+
+fn demo_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fademl_ckpt_demo_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn victim() -> Result<Sequential, Box<dyn std::error::Error>> {
+    let mut rng = TensorRng::seed_from_u64(7);
+    Ok(VggConfig::tiny(3, 16, CLASS_COUNT).build(&mut rng)?)
+}
+
+fn weights(model: &Sequential) -> Vec<Tensor> {
+    model.params().iter().map(|p| p.value.clone()).collect()
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        epochs: EPOCHS,
+        batch_size: 32,
+        optimizer: OptimizerKind::Adam { lr: 3e-3 },
+        seed: 7,
+        lr_decay: 0.95,
+        verbose: false,
+        patience: None,
+        divergence: None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = SignDataset::generate(&DatasetConfig {
+        samples_per_class: 6,
+        image_size: 16,
+        seed: 7,
+        noise: NoiseModel::sensor(),
+        blur_prob: 0.5,
+    })?;
+    println!(
+        "dataset: {} images, {} classes, {}x{} px",
+        dataset.len(),
+        CLASS_COUNT,
+        dataset.image_size(),
+        dataset.image_size()
+    );
+
+    // ------------------------------------------------------------------
+    // Reference: an uninterrupted durable run.
+    // ------------------------------------------------------------------
+    let dir_ref = demo_dir("reference");
+    let mut model_ref = victim()?;
+    let report = Trainer::new(config()).fit_durable(
+        &mut model_ref,
+        dataset.images(),
+        dataset.labels(),
+        &CheckpointConfig::new(&dir_ref)
+            .every(CHECKPOINT_EVERY)
+            .retain(3),
+    )?;
+    println!(
+        "\n[reference] {} epochs, final accuracy {:.1}%, {} checkpoints written",
+        report.history.epochs.len(),
+        report.history.final_accuracy() * 100.0,
+        report.checkpoints_written
+    );
+
+    // ------------------------------------------------------------------
+    // Crash: kill the run right after the epoch-4 checkpoint lands.
+    // ------------------------------------------------------------------
+    let dir = demo_dir("crashed");
+    let ckpt = CheckpointConfig::new(&dir)
+        .every(CHECKPOINT_EVERY)
+        .retain(3);
+    let mut model = victim()?;
+    let halted = Trainer::new(config()).fit_durable_with(
+        &mut model,
+        dataset.images(),
+        dataset.labels(),
+        &ckpt,
+        |epoch, stats| {
+            println!(
+                "  epoch {epoch}: loss {:.4}, accuracy {:.1}%",
+                stats.loss,
+                stats.train_accuracy * 100.0
+            );
+            if epoch == KILL_AFTER_EPOCH {
+                println!("  *** simulated crash after the epoch-{epoch} checkpoint ***");
+                TrainSignal::Halt
+            } else {
+                TrainSignal::Continue
+            }
+        },
+    )?;
+    println!(
+        "[crashed]   completed = {}, epochs on record = {}",
+        halted.completed,
+        halted.history.epochs.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Resume: a fresh process (fresh model) picks up from disk.
+    // ------------------------------------------------------------------
+    let mut model = victim()?;
+    let resumed = Trainer::new(config()).fit_durable(
+        &mut model,
+        dataset.images(),
+        dataset.labels(),
+        &ckpt,
+    )?;
+    println!(
+        "[resumed]   resumed from epoch {:?}, completed = {}, final accuracy {:.1}%",
+        resumed.resumed_from_epoch,
+        resumed.completed,
+        resumed.history.final_accuracy() * 100.0
+    );
+    let identical = weights(&model) == weights(&model_ref);
+    println!("[verify]    resumed weights byte-identical to reference: {identical}");
+    assert!(identical, "crash + resume must reproduce the reference run");
+
+    // ------------------------------------------------------------------
+    // Corruption: rot one byte of the newest generation on disk.
+    // ------------------------------------------------------------------
+    let store = CheckpointStore::open(&dir, 3)?;
+    let generations = store.generations()?;
+    println!("\ngenerations on disk: {:?}", {
+        let gens: Vec<u64> = generations.iter().map(|(g, _)| *g).collect();
+        gens
+    });
+    let (newest_gen, newest_path) = generations.last().expect("at least one generation");
+    let mut file = fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(newest_path)?;
+    file.seek(SeekFrom::Start(100))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 0x40;
+    file.seek(SeekFrom::Start(100))?;
+    file.write_all(&byte)?;
+    file.sync_all()?;
+    drop(file);
+    println!("flipped one bit of generation {newest_gen} at byte offset 100");
+    match CheckpointStore::load(newest_path) {
+        Err(e) => println!("loading the rotten generation: {e}"),
+        Ok(_) => println!("BUG: corruption was not detected"),
+    }
+    let (recovered_gen, _) = store
+        .latest_intact()?
+        .expect("an older intact generation survives");
+    println!("recovery falls back to intact generation {recovered_gen}");
+    assert!(recovered_gen < *newest_gen);
+
+    // ------------------------------------------------------------------
+    // Divergence: an absurd learning rate under the guard.
+    // ------------------------------------------------------------------
+    let dir_div = demo_dir("divergence");
+    let mut wild = config();
+    wild.epochs = 6;
+    wild.optimizer = OptimizerKind::SgdMomentum { lr: 1e4 };
+    wild.divergence = Some(DivergenceGuard {
+        spike_factor: 4.0,
+        max_loss: 10.0,
+        lr_backoff: 1e-3,
+        max_rollbacks: 5,
+    });
+    let mut model = victim()?;
+    match Trainer::new(wild).fit_durable(
+        &mut model,
+        dataset.images(),
+        dataset.labels(),
+        &CheckpointConfig::new(&dir_div).every(1).retain(2),
+    ) {
+        Ok(report) => println!(
+            "\n[divergence] survived with {} rollback(s), final loss {:.4}",
+            report.rollbacks,
+            report.history.epochs.last().map_or(f32::NAN, |e| e.loss)
+        ),
+        Err(e) => println!("\n[divergence] rollback budget exhausted: {e}"),
+    }
+
+    let _ = fs::remove_dir_all(&dir_ref);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir_div);
+    println!("\ncheckpoint drill OK");
+    Ok(())
+}

@@ -45,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lr_decay: 0.95,
         verbose: true,
         patience: Some(4),
+        divergence: None,
     });
     trainer.fit(&mut model, split.train.images(), split.train.labels())?;
 

@@ -174,6 +174,21 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's full 256-bit internal state, for exact
+        /// save/restore across process boundaries (checkpointing).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state. The
+        /// restored generator continues the exact stream the captured
+        /// one would have produced.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -247,6 +262,18 @@ mod tests {
         for _ in 0..100 {
             let j: usize = rng.random_range(0usize..=3);
             assert!(j <= 3);
+        }
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(3);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
