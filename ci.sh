@@ -19,6 +19,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo test (FADEML_THREADS=2: kernels on the worker pool)"
+FADEML_THREADS=2 cargo test -q --workspace
+
+echo "==> kernel bench smoke (bit-identity gate at 1/2/4/8 threads)"
+cargo bench -p fademl-bench --bench kernels -- --test
+
 echo "==> cargo clippy (faults feature, deny warnings)"
 cargo clippy -p fademl-serve --features faults --all-targets -- -D warnings
 

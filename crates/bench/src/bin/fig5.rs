@@ -8,6 +8,7 @@
 use fademl::experiments::fig5;
 
 fn main() {
+    fademl_bench::announce_compute_pool();
     let prepared = fademl_bench::prepare_victim();
     let params = fademl_bench::default_params();
     let result = fig5::run(&prepared, &params).expect("fig5 experiment failed");

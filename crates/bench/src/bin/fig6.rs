@@ -9,6 +9,7 @@
 use fademl::experiments::fig6;
 
 fn main() {
+    fademl_bench::announce_compute_pool();
     let prepared = fademl_bench::prepare_victim();
     let params = fademl_bench::default_params();
     let eval_n = fademl_bench::eval_n_from_env(60);

@@ -11,6 +11,7 @@ use fademl::ThreatModel;
 use fademl_filters::FilterSpec;
 
 fn main() {
+    fademl_bench::announce_compute_pool();
     let prepared = fademl_bench::prepare_victim();
     let params = fademl_bench::default_params();
     let eval_n = fademl_bench::eval_n_from_env(40);

@@ -48,6 +48,19 @@ pub fn eval_n_from_env(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Announces the compute-thread pool the tensor kernels will use and
+/// returns the count. Figure binaries call this first so every run's
+/// log records how the kernels executed; the results themselves never
+/// depend on it (the pool is bit-exact across thread counts).
+pub fn announce_compute_pool() -> usize {
+    let threads = fademl_tensor::par::threads();
+    eprintln!(
+        "[fademl] compute pool: {threads} thread(s) \
+         (override with FADEML_THREADS; kernels are bit-exact across counts)"
+    );
+    threads
+}
+
 /// Prepares (or loads from cache) the victim for the selected profile,
 /// printing a short banner.
 ///

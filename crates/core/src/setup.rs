@@ -89,6 +89,7 @@ impl ExperimentSetup {
                     verbose: false,
                     patience: None,
                     divergence: None,
+                    compute_threads: 0,
                 },
                 test_fraction: 0.25,
                 seed: 7,
@@ -112,6 +113,7 @@ impl ExperimentSetup {
                     verbose: true,
                     patience: None,
                     divergence: None,
+                    compute_threads: 0,
                 },
                 test_fraction: 0.25,
                 seed: 7,
@@ -135,6 +137,7 @@ impl ExperimentSetup {
                     verbose: true,
                     patience: None,
                     divergence: None,
+                    compute_threads: 0,
                 },
                 test_fraction: 0.25,
                 seed: 7,

@@ -19,6 +19,13 @@ pub enum FilterError {
         /// The rank that was provided.
         actual: usize,
     },
+    /// The kernel geometry leaves at least one pixel with every tap out
+    /// of bounds, so border renormalization would divide by zero and
+    /// emit `inf`/`NaN`.
+    DegenerateGeometry {
+        /// Which kernel/image combination is degenerate and where.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FilterError {
@@ -32,6 +39,9 @@ impl fmt::Display for FilterError {
                 f,
                 "filters accept [C, H, W] or [N, C, H, W] tensors, got rank {actual}"
             ),
+            FilterError::DegenerateGeometry { reason } => {
+                write!(f, "degenerate kernel geometry: {reason}")
+            }
         }
     }
 }
@@ -67,5 +77,10 @@ mod tests {
         .contains("np = 0"));
         let e = FilterError::from(TensorError::EmptyTensor { op: "x" });
         assert!(e.source().is_some());
+        assert!(FilterError::DegenerateGeometry {
+            reason: "all taps out of bounds at (0, 0)".into()
+        }
+        .to_string()
+        .contains("degenerate"));
     }
 }

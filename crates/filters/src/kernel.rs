@@ -6,16 +6,66 @@
 //! themselves everywhere). The backward pass scatters with the *same*
 //! per-output renormalization, making it the exact adjoint of the
 //! forward operator.
+//!
+//! The renormalization plane depends only on the kernel geometry and
+//! the image size, so it is computed once per `(h, w)` and cached
+//! inside the kernel. Application is split into a bounds-check-free
+//! interior fast path (where every tap is in bounds and the divisor is
+//! the full weight sum) and a clamped border path, and partitioned over
+//! independent channel planes across the `fademl_tensor::par` pool —
+//! per plane the arithmetic order is identical to the serial loop, so
+//! results are bit-exact regardless of thread count.
 
-use fademl_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use fademl_tensor::{par, Tensor};
 
 use crate::filter::check_image_rank;
 use crate::{FilterError, Result};
 
+/// Cached per-image-size renormalization data.
+struct SumsPlane {
+    /// Per-pixel in-bounds weight sums (`h × w`).
+    sums: Vec<f32>,
+    /// Full tap weight sum, accumulated in tap order — bitwise equal to
+    /// `sums` at interior pixels, used by the fast path.
+    full: f32,
+    /// First pixel whose taps all fall out of bounds, if any. Such a
+    /// geometry would divide by zero during renormalization.
+    degenerate_at: Option<(usize, usize)>,
+}
+
 /// A linear neighbourhood-averaging kernel.
-#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     taps: Vec<(i32, i32, f32)>,
+    /// `(h, w) → SumsPlane` cache; geometry-only, so shared freely.
+    sums_cache: parking_lot::Mutex<HashMap<(usize, usize), Arc<SumsPlane>>>,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel").field("taps", &self.taps).finish()
+    }
+}
+
+impl Clone for Kernel {
+    fn clone(&self) -> Self {
+        Kernel {
+            taps: self.taps.clone(),
+            // The cached planes are immutable and keyed by geometry
+            // only, so the clone can share them.
+            sums_cache: parking_lot::Mutex::new(self.sums_cache.lock().clone()),
+        }
+    }
+}
+
+impl PartialEq for Kernel {
+    fn eq(&self, other: &Self) -> bool {
+        self.taps == other.taps
+    }
 }
 
 impl Kernel {
@@ -50,7 +100,10 @@ impl Kernel {
             .into_iter()
             .map(|(dy, dx, w)| (dy, dx, w / sum))
             .collect();
-        Ok(Kernel { taps })
+        Ok(Kernel {
+            taps,
+            sums_cache: parking_lot::Mutex::new(HashMap::new()),
+        })
     }
 
     /// A uniform kernel over the given offsets.
@@ -87,22 +140,79 @@ impl Kernel {
         })
     }
 
-    /// Per-pixel in-bounds weight sums for an `h × w` plane.
-    fn weight_sums(&self, h: usize, w: usize) -> Vec<f32> {
-        let mut sums = vec![0.0f32; h * w];
-        for y in 0..h as i32 {
-            for x in 0..w as i32 {
-                let mut s = 0.0;
-                for &(dy, dx, wt) in &self.taps {
-                    let (sy, sx) = (y + dy, x + dx);
-                    if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
-                        s += wt;
+    /// The cached renormalization plane for an `h × w` image, computing
+    /// and inserting it on first use. Geometry-only: every subsequent
+    /// `apply`/`backward` on the same image size reuses the plane
+    /// instead of recomputing and reallocating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::DegenerateGeometry`] when some pixel has
+    /// every tap out of bounds (renormalizing there would divide by
+    /// zero and emit `inf`/`NaN`).
+    fn sums_for(&self, h: usize, w: usize) -> Result<Arc<SumsPlane>> {
+        let plane = {
+            let mut cache = self.sums_cache.lock();
+            Arc::clone(cache.entry((h, w)).or_insert_with(|| {
+                let mut sums = vec![0.0f32; h * w];
+                let mut degenerate_at = None;
+                for y in 0..h as i32 {
+                    for x in 0..w as i32 {
+                        let mut s = 0.0;
+                        for &(dy, dx, wt) in &self.taps {
+                            let (sy, sx) = (y + dy, x + dx);
+                            if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
+                                s += wt;
+                            }
+                        }
+                        if s == 0.0 && degenerate_at.is_none() {
+                            degenerate_at = Some((y as usize, x as usize));
+                        }
+                        if let Some(slot) = sums.get_mut((y as usize) * w + x as usize) {
+                            *slot = s;
+                        }
                     }
                 }
-                sums[(y as usize) * w + x as usize] = s;
-            }
+                let mut full = 0.0f32;
+                for &(_, _, wt) in &self.taps {
+                    full += wt;
+                }
+                Arc::new(SumsPlane {
+                    sums,
+                    full,
+                    degenerate_at,
+                })
+            }))
+        };
+        if let Some((y, x)) = plane.degenerate_at {
+            return Err(FilterError::DegenerateGeometry {
+                reason: format!(
+                    "every tap of this {}-tap kernel falls outside a {h}x{w} plane at pixel ({y}, {x})",
+                    self.taps.len()
+                ),
+            });
         }
-        sums
+        Ok(plane)
+    }
+
+    /// Interior rows/columns where *every* tap is in bounds (may be
+    /// empty for kernels wider than the image).
+    fn interior(&self, h: usize, w: usize) -> (Range<i32>, Range<i32>) {
+        let mut min_dy = 0i32;
+        let mut max_dy = 0i32;
+        let mut min_dx = 0i32;
+        let mut max_dx = 0i32;
+        for &(dy, dx, _) in &self.taps {
+            min_dy = min_dy.min(dy);
+            max_dy = max_dy.max(dy);
+            min_dx = min_dx.min(dx);
+            max_dx = max_dx.max(dx);
+        }
+        let y_lo = (-min_dy).max(0);
+        let y_hi = (h as i32 - max_dy.max(0)).max(y_lo);
+        let x_lo = (-min_dx).max(0);
+        let x_hi = (w as i32 - max_dx.max(0)).max(x_lo);
+        (y_lo..y_hi, x_lo..x_hi)
     }
 
     fn plane_geometry(image: &Tensor) -> (usize, usize, usize) {
@@ -115,63 +225,87 @@ impl Kernel {
     /// Applies the kernel to every channel plane of a `[C, H, W]` or
     /// `[N, C, H, W]` tensor.
     ///
+    /// Planes are independent, so they are partitioned across the
+    /// compute pool; within a plane the interior runs bounds-check-free
+    /// and borders take the clamped path, in the same arithmetic order
+    /// as the serial loop (bit-exact across thread counts).
+    ///
     /// # Errors
     ///
-    /// Returns [`FilterError::UnsupportedRank`] for other ranks.
+    /// Returns [`FilterError::UnsupportedRank`] for other ranks, or
+    /// [`FilterError::DegenerateGeometry`] when the kernel cannot reach
+    /// any in-bounds pixel somewhere on a plane this small.
     pub fn apply(&self, image: &Tensor) -> Result<Tensor> {
         check_image_rank(image)?;
         let (planes, h, w) = Self::plane_geometry(image);
-        let sums = self.weight_sums(h, w);
+        let sums = self.sums_for(h, w)?;
+        let (yr, xr) = self.interior(h, w);
         let src = image.as_slice();
-        let mut out = vec![0.0f32; src.len()];
-        for p in 0..planes {
-            let base = p * h * w;
-            for y in 0..h as i32 {
-                for x in 0..w as i32 {
-                    let mut acc = 0.0f32;
-                    for &(dy, dx, wt) in &self.taps {
-                        let (sy, sx) = (y + dy, x + dx);
-                        if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
-                            acc += wt * src[base + (sy as usize) * w + sx as usize];
-                        }
-                    }
-                    let idx = base + (y as usize) * w + x as usize;
-                    out[idx] = acc / sums[idx - base];
-                }
-            }
-        }
+        let out = self.run_planes(src, planes, h, w, sums, yr, xr, false);
         Ok(Tensor::from_vec(out, image.shape().clone())?)
     }
 
     /// Exact adjoint of [`Kernel::apply`]: scatters each output gradient
-    /// through the same renormalized taps.
+    /// through the same renormalized taps. Parallel/caching structure
+    /// mirrors [`Kernel::apply`].
     ///
     /// # Errors
     ///
-    /// Returns [`FilterError::UnsupportedRank`] for bad ranks or a shape
-    /// error when `grad_out` differs from the forward shape.
+    /// Returns [`FilterError::UnsupportedRank`] for bad ranks or
+    /// [`FilterError::DegenerateGeometry`] exactly as in the forward
+    /// direction.
     pub fn backward(&self, grad_out: &Tensor) -> Result<Tensor> {
         check_image_rank(grad_out)?;
         let (planes, h, w) = Self::plane_geometry(grad_out);
-        let sums = self.weight_sums(h, w);
+        let sums = self.sums_for(h, w)?;
+        let (yr, xr) = self.interior(h, w);
         let g = grad_out.as_slice();
-        let mut out = vec![0.0f32; g.len()];
-        for p in 0..planes {
-            let base = p * h * w;
-            for y in 0..h as i32 {
-                for x in 0..w as i32 {
-                    let idx = base + (y as usize) * w + x as usize;
-                    let scaled = g[idx] / sums[idx - base];
-                    for &(dy, dx, wt) in &self.taps {
-                        let (sy, sx) = (y + dy, x + dx);
-                        if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
-                            out[base + (sy as usize) * w + sx as usize] += wt * scaled;
-                        }
-                    }
-                }
-            }
-        }
+        let out = self.run_planes(g, planes, h, w, sums, yr, xr, true);
         Ok(Tensor::from_vec(out, grad_out.shape().clone())?)
+    }
+
+    /// Runs the forward (`adjoint == false`) or backward plane kernel
+    /// over all planes, partitioned across the pool when worthwhile.
+    #[allow(clippy::too_many_arguments)]
+    fn run_planes(
+        &self,
+        src: &[f32],
+        planes: usize,
+        h: usize,
+        w: usize,
+        sums: Arc<SumsPlane>,
+        yr: Range<i32>,
+        xr: Range<i32>,
+        adjoint: bool,
+    ) -> Vec<f32> {
+        let work = planes * h * w * self.taps.len();
+        if !par::should_parallelize(planes, work) {
+            let mut out = vec![0.0f32; src.len()];
+            for p in 0..planes {
+                let plane_src = &src[p * h * w..(p + 1) * h * w];
+                let plane_dst = &mut out[p * h * w..(p + 1) * h * w];
+                run_plane(
+                    &self.taps, plane_src, plane_dst, h, w, &sums, &yr, &xr, adjoint,
+                );
+            }
+            return out;
+        }
+        let src: Arc<Vec<f32>> = Arc::new(src.to_vec());
+        let taps = self.taps.clone();
+        let blocks = par::parallel_rows(planes, move |range: Range<usize>| {
+            let mut block = vec![0.0f32; (range.end - range.start) * h * w];
+            for (slot, p) in range.enumerate() {
+                let plane_src = &src[p * h * w..(p + 1) * h * w];
+                let plane_dst = &mut block[slot * h * w..(slot + 1) * h * w];
+                run_plane(&taps, plane_src, plane_dst, h, w, &sums, &yr, &xr, adjoint);
+            }
+            block
+        });
+        let mut out = Vec::with_capacity(planes * h * w);
+        for block in blocks {
+            out.extend_from_slice(&block);
+        }
+        out
     }
 
     /// The `count` offsets nearest the origin (excluding it), ordered by
@@ -199,6 +333,11 @@ impl Kernel {
         offsets
     }
 
+    /// Number of cached renormalization planes (test/introspection aid).
+    pub fn cached_geometries(&self) -> usize {
+        self.sums_cache.lock().len()
+    }
+
     /// All offsets within Euclidean distance `radius` of the origin
     /// (inclusive), the LAR disc construction.
     pub fn disc(radius: usize) -> Vec<(i32, i32)> {
@@ -213,6 +352,110 @@ impl Kernel {
             }
         }
         offsets
+    }
+}
+
+/// Gather (forward) for one border pixel: taps falling outside the
+/// plane are skipped and the accumulator is divided by that pixel's
+/// in-bounds weight sum.
+#[inline]
+fn border_gather(
+    taps: &[(i32, i32, f32)],
+    src: &[f32],
+    h: i32,
+    w_i: i32,
+    w: usize,
+    y: i32,
+    x: i32,
+) -> f32 {
+    let mut acc = 0.0f32;
+    for &(dy, dx, wt) in taps {
+        let (sy, sx) = (y + dy, x + dx);
+        if sy >= 0 && sy < h && sx >= 0 && sx < w_i {
+            acc += wt * src[(sy as usize) * w + sx as usize];
+        }
+    }
+    acc
+}
+
+/// One plane of the forward or adjoint operator. The interior (`yr` ×
+/// `xr`) runs without per-tap bounds checks and divides by the full
+/// weight sum (bitwise equal to the cached per-pixel sum there); the
+/// border runs the clamped path against `sums`. Tap iteration order —
+/// and therefore every accumulation order — matches the reference
+/// serial loop exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_plane(
+    taps: &[(i32, i32, f32)],
+    src: &[f32],
+    dst: &mut [f32],
+    h: usize,
+    w: usize,
+    sums: &SumsPlane,
+    yr: &Range<i32>,
+    xr: &Range<i32>,
+    adjoint: bool,
+) {
+    let (h_i, w_i) = (h as i32, w as i32);
+    for y in 0..h_i {
+        let fast_row = yr.contains(&y);
+        let row_base = (y as usize) * w;
+        let (x_lo, x_hi) = if fast_row {
+            (xr.start, xr.end)
+        } else {
+            (0, 0) // whole row takes the border path
+        };
+        for x in 0..x_lo {
+            run_border_pixel(taps, src, dst, h_i, w_i, w, y, x, sums, adjoint);
+        }
+        if !adjoint {
+            for x in x_lo..x_hi {
+                let mut acc = 0.0f32;
+                for &(dy, dx, wt) in taps {
+                    acc += wt * src[((y + dy) as usize) * w + (x + dx) as usize];
+                }
+                dst[row_base + x as usize] = acc / sums.full;
+            }
+        } else {
+            for x in x_lo..x_hi {
+                let scaled = src[row_base + x as usize] / sums.full;
+                for &(dy, dx, wt) in taps {
+                    dst[((y + dy) as usize) * w + (x + dx) as usize] += wt * scaled;
+                }
+            }
+        }
+        for x in x_hi.max(0)..w_i {
+            run_border_pixel(taps, src, dst, h_i, w_i, w, y, x, sums, adjoint);
+        }
+    }
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn run_border_pixel(
+    taps: &[(i32, i32, f32)],
+    src: &[f32],
+    dst: &mut [f32],
+    h_i: i32,
+    w_i: i32,
+    w: usize,
+    y: i32,
+    x: i32,
+    sums: &SumsPlane,
+    adjoint: bool,
+) {
+    let idx = (y as usize) * w + x as usize;
+    if !adjoint {
+        let acc = border_gather(taps, src, h_i, w_i, w, y, x);
+        dst[idx] = acc / sums.sums[idx];
+    } else {
+        let scaled = src[idx] / sums.sums[idx];
+        for &(dy, dx, wt) in taps {
+            let (sy, sx) = (y + dy, x + dx);
+            if sy >= 0 && sy < h_i && sx >= 0 && sx < w_i {
+                dst[(sy as usize) * w + sx as usize] += wt * scaled;
+            }
+        }
     }
 }
 
@@ -334,6 +577,76 @@ mod tests {
         let k = box3();
         assert!(k.apply(&Tensor::ones(&[4, 4])).is_err());
         assert!(k.backward(&Tensor::ones(&[4])).is_err());
+    }
+
+    #[test]
+    fn renorm_plane_is_cached_per_geometry() {
+        let k = box3();
+        assert_eq!(k.cached_geometries(), 0);
+        let img = Tensor::ones(&[1, 6, 6]);
+        k.apply(&img).unwrap();
+        assert_eq!(k.cached_geometries(), 1);
+        // Same geometry → no new plane; both directions share it.
+        k.apply(&img).unwrap();
+        k.backward(&img).unwrap();
+        assert_eq!(k.cached_geometries(), 1);
+        k.apply(&Tensor::ones(&[1, 7, 7])).unwrap();
+        assert_eq!(k.cached_geometries(), 2);
+        // Clones share the already-computed planes.
+        assert_eq!(k.clone().cached_geometries(), 2);
+    }
+
+    #[test]
+    fn degenerate_geometry_is_typed_error_not_nan() {
+        // Both taps sit 3 rows away, so on a 2×2 plane no pixel can
+        // reach either — the old code divided by zero there.
+        let k = Kernel::uniform(vec![(3, 0), (-3, 0)]).unwrap();
+        let img = Tensor::ones(&[1, 2, 2]);
+        for result in [k.apply(&img), k.backward(&img)] {
+            match result {
+                Err(FilterError::DegenerateGeometry { reason }) => {
+                    assert!(reason.contains("2x2"), "unhelpful reason: {reason}");
+                }
+                other => panic!("expected DegenerateGeometry, got {other:?}"),
+            }
+        }
+        // A big enough plane keeps the same kernel valid.
+        assert!(k.apply(&Tensor::ones(&[1, 8, 8])).is_ok());
+    }
+
+    #[test]
+    fn interior_fast_path_matches_checked_reference() {
+        // Asymmetric kernel so interior bounds differ per side; compare
+        // against an all-checked reference computed tap-by-tap.
+        let k = Kernel::new(vec![(-2, 0, 1.0), (0, 1, 2.0), (1, -1, 0.5), (0, 0, 1.0)]).unwrap();
+        let mut rng = TensorRng::seed_from_u64(11);
+        let img = rng.uniform(&[2, 9, 8], -1.0, 1.0);
+        let out = k.apply(&img).unwrap();
+        let (h, w) = (9i32, 8i32);
+        let src = img.as_slice();
+        for p in 0..2usize {
+            let base = p * 72;
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = 0.0f32;
+                    let mut sum = 0.0f32;
+                    for &(dy, dx, wt) in k.taps() {
+                        let (sy, sx) = (y + dy, x + dx);
+                        if sy >= 0 && sy < h && sx >= 0 && sx < w {
+                            acc += wt * src[base + (sy * w + sx) as usize];
+                            sum += wt;
+                        }
+                    }
+                    let idx = base + (y * w + x) as usize;
+                    let expect = acc / sum;
+                    assert_eq!(
+                        out.as_slice()[idx].to_bits(),
+                        expect.to_bits(),
+                        "mismatch at plane {p} ({y}, {x})"
+                    );
+                }
+            }
+        }
     }
 
     proptest! {

@@ -18,6 +18,12 @@
 //!    torn artifact. Durable writes go through
 //!    `fademl_tensor::io::atomic_write` (stage + fsync + rename), whose
 //!    own implementation file is the single blessed exception.
+//! 6. `raw-thread-spawn` — compute parallelism goes through the
+//!    persistent worker pool in `fademl_tensor::par` (one pool, caller
+//!    participates, bit-exact partitioning); serving owns its worker
+//!    lifecycle in `fademl-serve`. Ad-hoc `std::thread::spawn` /
+//!    `thread::Builder` anywhere else creates unpooled threads with no
+//!    panic isolation and per-call spawn cost on the hot path.
 
 use crate::report::Finding;
 use crate::source::{is_ident_byte, SourceFile};
@@ -27,6 +33,7 @@ const BATCHER: &str = "crates/serve/src/batcher.rs";
 const METRICS: &str = "crates/serve/src/metrics.rs";
 const ERRORS: &str = "crates/serve/src/error.rs";
 const ATOMIC_IMPL: &str = "crates/tensor/src/io.rs";
+const THREAD_POOL_IMPL: &str = "crates/tensor/src/par.rs";
 
 /// Runs every invariant lint.
 pub fn check(files: &[SourceFile]) -> Vec<Finding> {
@@ -36,6 +43,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
     nan_ordering(files, &mut findings);
     dead_variants(files, &mut findings);
     direct_overwrite(files, &mut findings);
+    raw_thread_spawn(files, &mut findings);
     findings
 }
 
@@ -160,6 +168,33 @@ fn direct_overwrite(files: &[SourceFile], out: &mut Vec<Finding>) {
                             "`{}` overwrites the destination in place — a crash mid-write \
                              leaves a torn file; route artifact writes through \
                              `fademl_tensor::io::atomic_write` (stage + fsync + rename)",
+                            what.trim_end_matches('(')
+                        ),
+                        &line.raw,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn raw_thread_spawn(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files
+        .iter()
+        .filter(|f| f.path != THREAD_POOL_IMPL && !f.path.starts_with(SERVE_PREFIX))
+    {
+        for (line_no, line) in file.code_lines() {
+            for what in ["thread::spawn(", "thread::Builder"] {
+                if line.code.contains(what) {
+                    out.push(Finding::new(
+                        "raw-thread-spawn",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "`{}` outside `fademl_tensor::par` and `fademl-serve` — compute \
+                             parallelism must go through the persistent pool \
+                             (`par::parallel_rows`): ad-hoc threads skip panic isolation \
+                             and pay spawn cost on every call",
                             what.trim_end_matches('(')
                         ),
                         &line.raw,
@@ -369,6 +404,41 @@ mod tests {
         let test_only = SourceFile::from_source(
             "crates/nn/src/checkpoint.rs",
             "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(&p, b\"x\").unwrap(); }\n}\n",
+        );
+        assert!(check(&[test_only]).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_outside_pool_and_serve_is_flagged() {
+        let rogue = SourceFile::from_source(
+            "crates/nn/src/trainer.rs",
+            "fn f() {\n    let h = std::thread::spawn(move || work());\n}\n",
+        );
+        let found = check(&[rogue]);
+        assert_eq!(rules(&found), vec!["raw-thread-spawn"]);
+        assert_eq!(found[0].line, 2);
+        let builder = SourceFile::from_source(
+            "crates/core/src/setup.rs",
+            "fn f() {\n    let b = thread::Builder::new().name(\"x\".into());\n}\n",
+        );
+        assert_eq!(rules(&check(&[builder])), vec!["raw-thread-spawn"]);
+    }
+
+    #[test]
+    fn pool_impl_serve_and_test_code_are_exempt_from_spawn_rule() {
+        let pool = SourceFile::from_source(
+            "crates/tensor/src/par.rs",
+            "fn grow() {\n    thread::Builder::new().spawn(worker_loop);\n}\n",
+        );
+        assert!(check(&[pool]).is_empty());
+        let serve = SourceFile::from_source(
+            "crates/serve/src/server.rs",
+            "fn launch() {\n    let h = std::thread::spawn(move || run());\n}\n",
+        );
+        assert!(check(&[serve]).is_empty());
+        let test_only = SourceFile::from_source(
+            "crates/nn/src/model.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n",
         );
         assert!(check(&[test_only]).is_empty());
     }

@@ -43,6 +43,13 @@ pub struct TrainConfig {
     /// aborting when the loss goes non-finite or spikes (`None`
     /// disables it; ignored by plain [`Trainer::fit`]).
     pub divergence: Option<DivergenceGuard>,
+    /// Compute threads for the parallel tensor kernels during this fit.
+    /// `0` (the default) leaves the process-wide setting untouched
+    /// (`FADEML_THREADS` or auto-detection); a positive value installs
+    /// a [`fademl_tensor::par::set_threads`] override at fit entry.
+    /// Kernel results are bit-exact for every thread count, so this
+    /// knob never changes trained weights.
+    pub compute_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -56,6 +63,7 @@ impl Default for TrainConfig {
             verbose: false,
             patience: None,
             divergence: None,
+            compute_threads: 0,
         }
     }
 }
@@ -186,6 +194,9 @@ impl Trainer {
             return Err(NnError::InvalidConfig {
                 reason: "epochs and batch_size must be positive".into(),
             });
+        }
+        if self.config.compute_threads > 0 {
+            fademl_tensor::par::set_threads(self.config.compute_threads);
         }
         let n = images.dims().first().copied().unwrap_or(0);
         if n != labels.len() || n == 0 {
@@ -329,6 +340,9 @@ impl Trainer {
             return Err(NnError::InvalidConfig {
                 reason: "checkpoint period must be positive".into(),
             });
+        }
+        if self.config.compute_threads > 0 {
+            fademl_tensor::par::set_threads(self.config.compute_threads);
         }
         let n = images.dims().first().copied().unwrap_or(0);
         if n != labels.len() || n == 0 {
@@ -800,6 +814,42 @@ mod tests {
         assert_eq!(report_a.history, report_b.history);
         let _ = std::fs::remove_dir_all(&dir_a);
         let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn parallel_training_is_deterministic_and_matches_serial() {
+        let (x, y) = toy_data();
+        let run = |threads: usize, tag: &str| {
+            let dir = ckpt_dir(tag);
+            let mut model = mlp();
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: 4,
+                batch_size: 8,
+                seed: 23,
+                compute_threads: threads,
+                ..TrainConfig::default()
+            });
+            let report = trainer
+                .fit_durable(&mut model, &x, &y, &crate::CheckpointConfig::new(&dir))
+                .unwrap();
+            assert!(report.completed);
+            let _ = std::fs::remove_dir_all(&dir);
+            (weights(&model), report.history)
+        };
+        // Two pooled runs agree with each other AND with a serial run:
+        // the par kernels are bit-exact, so the thread count can never
+        // leak into the weights.
+        let (w_par_a, h_par_a) = run(4, "par_a");
+        let (w_par_b, h_par_b) = run(4, "par_b");
+        let (w_serial, h_serial) = run(1, "serial");
+        assert_eq!(w_par_a, w_par_b, "two 4-thread runs must be byte-identical");
+        assert_eq!(
+            w_par_a, w_serial,
+            "4-thread weights must match the serial run bit-for-bit"
+        );
+        assert_eq!(h_par_a, h_par_b);
+        assert_eq!(h_par_a, h_serial);
+        fademl_tensor::par::set_threads(1);
     }
 
     #[test]

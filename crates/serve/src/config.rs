@@ -36,6 +36,14 @@ pub struct ServerConfig {
     /// full batched path as a probe; a successful probe restores normal
     /// batched execution. `1` probes on every batch.
     pub probe_every: usize,
+    /// Compute threads for the parallel tensor kernels (matmul, conv,
+    /// filters) backing the batched inference path. `0` (the default)
+    /// defers to the `FADEML_THREADS` environment variable or
+    /// auto-detection; a positive value installs a process-wide
+    /// [`fademl_tensor::par::set_threads`] override at server start.
+    /// Kernels are bit-exact across thread counts, so this only changes
+    /// throughput, never predictions.
+    pub compute_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +57,7 @@ impl Default for ServerConfig {
             pixel_max: 1.0,
             degrade_after_failures: 3,
             probe_every: 4,
+            compute_threads: 0,
         }
     }
 }
@@ -186,6 +195,7 @@ mod tests {
             pixel_max: 2.0,
             degrade_after_failures: 5,
             probe_every: 2,
+            compute_threads: 4,
         };
         let text = serde::json::to_string(&config);
         let back: ServerConfig = serde::json::from_str(&text).unwrap();

@@ -171,6 +171,9 @@ impl InferenceServer {
         faults: FaultHandle,
     ) -> Result<Self> {
         config.validate()?;
+        if config.compute_threads > 0 {
+            fademl_tensor::par::set_threads(config.compute_threads);
+        }
         let pipeline = Arc::new(pipeline);
         let metrics = Arc::new(ServerMetrics::new(config.max_batch_size));
         let breaker = Arc::new(CircuitBreaker::new(

@@ -8,10 +8,25 @@
 //!
 //! The backward pass returns gradients w.r.t. input, weight and bias; the
 //! input gradient is what the adversarial attacks ultimately consume.
+//!
+//! # Parallel decomposition
+//!
+//! The forward pass partitions the *batch* across the [`crate::par`]
+//! pool (each worker unfolds, multiplies and bias-fuses its own
+//! samples); the backward pass partitions ∂weight/∂bias over *filters*
+//! and ∂input over samples. In every case each output element is owned
+//! by exactly one chunk and its accumulation order matches the serial
+//! loop — crucially, ∂weight sums its per-sample contributions in
+//! increasing sample order within one owner — so results are bit-exact
+//! regardless of thread count.
+
+use std::ops::Range;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Result, Shape, Tensor, TensorError};
+use crate::matmul::{gemm_nt_block, gemm_rows, pack_b, transpose_into};
+use crate::{par, Result, Shape, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -99,6 +114,79 @@ pub struct Conv2dGrads {
     pub bias: Tensor,
 }
 
+/// Core im2col fill: unfolds one `[C, H, W]` image (`src`) into `dst`
+/// (`[C·KH·KW, OH·OW]`, row-major). `dst` must arrive zeroed — padded
+/// positions are left untouched.
+fn im2col_into(
+    src: &[f32],
+    spec: &ConvSpec,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    dst: &mut [f32],
+) {
+    let cols = oh * ow;
+    let pad = spec.padding as isize;
+    for ch in 0..spec.in_channels {
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
+                let out_row = &mut dst[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + kh as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // zero padding: leave zeros in place
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kw as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = src[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col_into`]: folds `cols` back into `dst` (`[C, H, W]`,
+/// must arrive zeroed), summing overlapping contributions.
+fn col2im_add(
+    cols: &[f32],
+    spec: &ConvSpec,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    dst: &mut [f32],
+) {
+    let n_cols = oh * ow;
+    let pad = spec.padding as isize;
+    for ch in 0..spec.in_channels {
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
+                let in_row = &cols[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + kh as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kw as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[(ch * h + iy as usize) * w + ix as usize] += in_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Unfolds one `[C, H, W]` image into an im2col matrix
 /// `[C·KH·KW, OH·OW]` for the given geometry.
 ///
@@ -125,32 +213,9 @@ pub fn im2col(image: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
     }
     let (oh, ow) = spec.output_size(h, w)?;
     let rows = c * spec.kernel_h * spec.kernel_w;
-    let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
-    let data = image.as_slice();
-    let pad = spec.padding as isize;
-    for ch in 0..c {
-        for kh in 0..spec.kernel_h {
-            for kw in 0..spec.kernel_w {
-                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
-                let out_row = &mut out[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride) as isize + kh as isize - pad;
-                    if iy < 0 || iy >= h as isize {
-                        continue; // zero padding: leave zeros in place
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride) as isize + kw as isize - pad;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out_row[oy * ow + ox] = data[(ch * h + iy as usize) * w + ix as usize];
-                    }
-                }
-            }
-        }
-    }
-    Tensor::from_vec(out, Shape::new(vec![rows, cols]))
+    let mut out = vec![0.0f32; rows * oh * ow];
+    im2col_into(image.as_slice(), spec, h, w, oh, ow, &mut out);
+    Tensor::from_vec(out, Shape::new(vec![rows, oh * ow]))
 }
 
 /// Folds an im2col matrix back into an image, *summing* overlapping
@@ -173,72 +238,8 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, h: usize, w: usize) -> Result<Tens
         });
     }
     let mut out = vec![0.0f32; c * h * w];
-    let data = cols.as_slice();
-    let pad = spec.padding as isize;
-    let n_cols = oh * ow;
-    for ch in 0..c {
-        for kh in 0..spec.kernel_h {
-            for kw in 0..spec.kernel_w {
-                let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
-                let in_row = &data[row * n_cols..(row + 1) * n_cols];
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride) as isize + kh as isize - pad;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride) as isize + kw as isize - pad;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out[(ch * h + iy as usize) * w + ix as usize] += in_row[oy * ow + ox];
-                    }
-                }
-            }
-        }
-    }
+    col2im_add(cols.as_slice(), spec, h, w, oh, ow, &mut out);
     Tensor::from_vec(out, Shape::new(vec![c, h, w]))
-}
-
-/// Unfolds a whole `[N, C, H, W]` batch into one `[C·KH·KW, N·OH·OW]`
-/// matrix (sample `n` occupies the column block `n·OH·OW..(n+1)·OH·OW`),
-/// so a batched convolution is a single matmul instead of `N` small ones.
-fn im2col_batch(input: &Tensor, spec: &ConvSpec, oh: usize, ow: usize) -> Result<Tensor> {
-    let dims = input.dims();
-    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-    let rows = c * spec.kernel_h * spec.kernel_w;
-    let per_sample = oh * ow;
-    let cols = n * per_sample;
-    let mut out = vec![0.0f32; rows * cols];
-    let data = input.as_slice();
-    let pad = spec.padding as isize;
-    for sample in 0..n {
-        let src = &data[sample * c * h * w..(sample + 1) * c * h * w];
-        let col_base = sample * per_sample;
-        for ch in 0..c {
-            for kh in 0..spec.kernel_h {
-                for kw in 0..spec.kernel_w {
-                    let row = (ch * spec.kernel_h + kh) * spec.kernel_w + kw;
-                    let out_row =
-                        &mut out[row * cols + col_base..row * cols + col_base + per_sample];
-                    for oy in 0..oh {
-                        let iy = (oy * spec.stride) as isize + kh as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // zero padding: leave zeros in place
-                        }
-                        for ox in 0..ow {
-                            let ix = (ox * spec.stride) as isize + kw as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            out_row[oy * ow + ox] = src[(ch * h + iy as usize) * w + ix as usize];
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Tensor::from_vec(out, Shape::new(vec![rows, cols]))
 }
 
 fn validate_conv_input(input: &Tensor, spec: &ConvSpec) -> Result<(usize, usize, usize)> {
@@ -249,24 +250,78 @@ fn validate_conv_input(input: &Tensor, spec: &ConvSpec) -> Result<(usize, usize,
             actual: input.rank(),
         });
     }
-    let (n, c, h, w) = (
-        input.dims()[0],
-        input.dims()[1],
-        input.dims()[2],
-        input.dims()[3],
-    );
-    if c != spec.in_channels {
+    if input.dims()[1] != spec.in_channels {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d",
             lhs: input.dims().to_vec(),
             rhs: vec![spec.in_channels],
         });
     }
-    let _ = n;
-    Ok((h, w, n))
+    Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
+}
+
+/// Immutable per-call geometry shared by the forward/backward workers.
+#[derive(Clone, Copy)]
+struct ConvGeom {
+    spec: ConvSpec,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    k_flat: usize,
+}
+
+impl ConvGeom {
+    fn image_len(&self) -> usize {
+        self.spec.in_channels * self.h * self.w
+    }
+
+    fn cols_len(&self) -> usize {
+        self.k_flat * self.oh * self.ow
+    }
+
+    fn out_plane_len(&self) -> usize {
+        self.spec.out_channels * self.oh * self.ow
+    }
+}
+
+/// Forward worker: convolves the samples in `range`, returning their
+/// `[len, F, OH, OW]` output block. The bias is fused into the
+/// cache-hot per-sample product block — there is no second batch-wide
+/// sweep (and no reorder copy; the per-sample GEMM output already has
+/// the `[F, OH·OW]` layout the NCHW output needs).
+fn conv2d_block(
+    input: &[f32],
+    w_mat: &[f32],
+    bias: &[f32],
+    geom: ConvGeom,
+    range: Range<usize>,
+) -> Vec<f32> {
+    let ohw = geom.oh * geom.ow;
+    let mut out = Vec::with_capacity((range.end - range.start) * geom.out_plane_len());
+    let mut cols = vec![0.0f32; geom.cols_len()];
+    for sample in range {
+        let src = &input[sample * geom.image_len()..(sample + 1) * geom.image_len()];
+        cols.fill(0.0);
+        im2col_into(src, &geom.spec, geom.h, geom.w, geom.oh, geom.ow, &mut cols);
+        let packed = pack_b(&cols, geom.k_flat, ohw);
+        let mut block = gemm_rows(w_mat, geom.spec.out_channels, geom.k_flat, &packed, ohw);
+        for (f, row) in block.chunks_exact_mut(ohw).enumerate() {
+            let b = bias[f];
+            for o in row {
+                *o += b;
+            }
+        }
+        out.extend_from_slice(&block);
+    }
+    out
 }
 
 /// Batched 2-D convolution: `[N, C, H, W] → [N, F, OH, OW]`.
+///
+/// Samples are independent, so the batch is partitioned across the
+/// [`crate::par`] pool; per sample the result is identical to the
+/// serial path bit-for-bit (see the module docs).
 ///
 /// # Errors
 ///
@@ -274,7 +329,7 @@ fn validate_conv_input(input: &Tensor, spec: &ConvSpec) -> Result<(usize, usize,
 /// disagree with `spec`, `weight`/`bias` have the wrong shapes, or the
 /// geometry is impossible.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
-    let (h, w, n) = validate_conv_input(input, spec)?;
+    let (n, h, w) = validate_conv_input(input, spec)?;
     let k_flat = spec.in_channels * spec.kernel_h * spec.kernel_w;
     if weight.dims()
         != [
@@ -303,32 +358,112 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
         });
     }
     let (oh, ow) = spec.output_size(h, w)?;
-    let w_mat = weight.reshape(&[spec.out_channels, k_flat])?;
-    // One im2col + one matmul for the whole batch: no per-sample image
-    // clones, and the matmul's wider right-hand side keeps the inner
-    // loop streaming over long contiguous rows.
-    let cols = im2col_batch(input, spec, oh, ow)?; // [K, N·OH·OW]
-    let prod = w_mat.matmul(&cols)?; // [F, N·OH·OW]
-    let prod_data = prod.as_slice();
-    let bias_data = bias.as_slice();
-    let per_sample = oh * ow;
-    let mut out = vec![0.0f32; n * spec.out_channels * per_sample];
+    let geom = ConvGeom {
+        spec: *spec,
+        h,
+        w,
+        oh,
+        ow,
+        k_flat,
+    };
+    // A `[F, C, KH, KW]` weight is already `[F, K]` row-major.
+    let work = n
+        .saturating_mul(geom.out_plane_len())
+        .saturating_mul(k_flat);
+    let out = if par::should_parallelize(n, work) {
+        let input: Arc<Vec<f32>> = Arc::new(input.as_slice().to_vec());
+        let w_mat: Arc<Vec<f32>> = Arc::new(weight.as_slice().to_vec());
+        let bias: Arc<Vec<f32>> = Arc::new(bias.as_slice().to_vec());
+        let blocks = par::parallel_rows(n, move |range: Range<usize>| {
+            conv2d_block(&input, &w_mat, &bias, geom, range)
+        });
+        let mut out = Vec::with_capacity(n * geom.out_plane_len());
+        for block in blocks {
+            out.extend_from_slice(&block);
+        }
+        out
+    } else {
+        conv2d_block(
+            input.as_slice(),
+            weight.as_slice(),
+            bias.as_slice(),
+            geom,
+            0..n,
+        )
+    };
+    Tensor::from_vec(out, Shape::new(vec![n, spec.out_channels, oh, ow]))
+}
+
+/// ∂weight/∂bias worker: computes gradient rows for the filters in
+/// `range`, looping samples in increasing order per element so the
+/// cross-sample accumulation matches the serial association.
+fn conv_grad_filters_block(
+    grad_out: &[f32],
+    cols_all: &[f32],
+    geom: ConvGeom,
+    n: usize,
+    range: Range<usize>,
+) -> (Vec<f32>, Vec<f32>) {
+    let ohw = geom.oh * geom.ow;
+    let len = range.end - range.start;
+    let mut grad_w = vec![0.0f32; len * geom.k_flat];
+    let mut grad_b = vec![0.0f32; len];
     for sample in 0..n {
-        for f in 0..spec.out_channels {
-            let b = bias_data[f];
-            let src = &prod_data[f * n * per_sample + sample * per_sample..][..per_sample];
-            let dst = &mut out[(sample * spec.out_channels + f) * per_sample..][..per_sample];
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = s + b;
+        let g_sample = &grad_out[sample * geom.out_plane_len()..][..geom.out_plane_len()];
+        let cols = &cols_all[sample * geom.cols_len()..][..geom.cols_len()];
+        for (slot, f) in range.clone().enumerate() {
+            let g_row = &g_sample[f * ohw..(f + 1) * ohw];
+            // ∂bias: sum over spatial positions, then across samples.
+            if let Some(b) = grad_b.get_mut(slot) {
+                *b += g_row.iter().sum::<f32>();
             }
+            // ∂weight row f += g_row · colsᵀ (dot per k, o-order).
+            let w_row = &mut grad_w[slot * geom.k_flat..(slot + 1) * geom.k_flat];
+            gemm_nt_block(g_row, 1, cols, ohw, geom.k_flat, w_row, true);
         }
     }
-    Tensor::from_vec(out, Shape::new(vec![n, spec.out_channels, oh, ow]))
+    (grad_w, grad_b)
+}
+
+/// ∂input worker: for each sample in `range`, computes
+/// `col2im(w_matᵀ · g_mat)` and returns the concatenated image blocks.
+fn conv_grad_input_block(
+    grad_out: &[f32],
+    w_t: &[f32],
+    geom: ConvGeom,
+    range: Range<usize>,
+) -> Vec<f32> {
+    let ohw = geom.oh * geom.ow;
+    let mut out = vec![0.0f32; (range.end - range.start) * geom.image_len()];
+    for (slot, sample) in range.enumerate() {
+        let g_mat = &grad_out[sample * geom.out_plane_len()..][..geom.out_plane_len()];
+        let packed = pack_b(g_mat, geom.spec.out_channels, ohw);
+        let gcols = gemm_rows(w_t, geom.k_flat, geom.spec.out_channels, &packed, ohw);
+        let dst = &mut out[slot * geom.image_len()..(slot + 1) * geom.image_len()];
+        col2im_add(&gcols, &geom.spec, geom.h, geom.w, geom.oh, geom.ow, dst);
+    }
+    out
+}
+
+/// im2col worker: unfolds the samples in `range` into their
+/// concatenated `[len · K, OH·OW]` column blocks.
+fn im2col_samples_block(input: &[f32], geom: ConvGeom, range: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; (range.end - range.start) * geom.cols_len()];
+    for (slot, sample) in range.enumerate() {
+        let src = &input[sample * geom.image_len()..(sample + 1) * geom.image_len()];
+        let dst = &mut out[slot * geom.cols_len()..(slot + 1) * geom.cols_len()];
+        im2col_into(src, &geom.spec, geom.h, geom.w, geom.oh, geom.ow, dst);
+    }
+    out
 }
 
 /// Backward pass of [`conv2d`].
 ///
 /// `grad_out` must have the forward output's shape `[N, F, OH, OW]`.
+///
+/// ∂weight and ∂bias are partitioned over *filters* (each worker owns
+/// whole gradient rows and sums samples in order), ∂input over samples;
+/// both are bit-exact across thread counts.
 ///
 /// # Errors
 ///
@@ -339,7 +474,7 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     spec: &ConvSpec,
 ) -> Result<Conv2dGrads> {
-    let (h, w, n) = validate_conv_input(input, spec)?;
+    let (n, h, w) = validate_conv_input(input, spec)?;
     let (oh, ow) = spec.output_size(h, w)?;
     if grad_out.dims() != [n, spec.out_channels, oh, ow] {
         return Err(TensorError::ShapeMismatch {
@@ -349,38 +484,75 @@ pub fn conv2d_backward(
         });
     }
     let k_flat = spec.in_channels * spec.kernel_h * spec.kernel_w;
-    let w_mat = weight.reshape(&[spec.out_channels, k_flat])?;
+    let geom = ConvGeom {
+        spec: *spec,
+        h,
+        w,
+        oh,
+        ow,
+        k_flat,
+    };
+    let work = n
+        .saturating_mul(geom.out_plane_len())
+        .saturating_mul(k_flat);
+    let parallel = par::should_parallelize(n.max(spec.out_channels), work);
 
+    if !parallel {
+        let input_data = input.as_slice();
+        let g_data = grad_out.as_slice();
+        let cols_all = im2col_samples_block(input_data, geom, 0..n);
+        let (grad_w, grad_b) =
+            conv_grad_filters_block(g_data, &cols_all, geom, n, 0..spec.out_channels);
+        let w_t = transpose_into(weight.as_slice(), spec.out_channels, k_flat);
+        let grad_input = conv_grad_input_block(g_data, &w_t, geom, 0..n);
+        return Ok(Conv2dGrads {
+            input: Tensor::from_vec(grad_input, input.shape().clone())?,
+            weight: Tensor::from_vec(grad_w, Shape::new(weight.dims().to_vec()))?,
+            bias: Tensor::from_vec(grad_b, Shape::new(vec![spec.out_channels]))?,
+        });
+    }
+
+    let input_arc: Arc<Vec<f32>> = Arc::new(input.as_slice().to_vec());
+    let g_arc: Arc<Vec<f32>> = Arc::new(grad_out.as_slice().to_vec());
+
+    // Phase 1: unfold every sample once (partitioned over samples); the
+    // column matrices are shared read-only by the ∂weight workers.
+    let in_for_cols = Arc::clone(&input_arc);
+    let col_blocks = par::parallel_rows(n, move |range: Range<usize>| {
+        im2col_samples_block(&in_for_cols, geom, range)
+    });
+    let mut cols_all = Vec::with_capacity(n * geom.cols_len());
+    for block in col_blocks {
+        cols_all.extend_from_slice(&block);
+    }
+    let cols_all = Arc::new(cols_all);
+
+    // Phase 2: ∂weight + ∂bias over filter rows.
+    let g_for_w = Arc::clone(&g_arc);
+    let grad_blocks = par::parallel_rows(spec.out_channels, move |range: Range<usize>| {
+        conv_grad_filters_block(&g_for_w, &cols_all, geom, n, range)
+    });
+    let mut grad_w = Vec::with_capacity(spec.out_channels * k_flat);
+    let mut grad_b = Vec::with_capacity(spec.out_channels);
+    for (w_block, b_block) in grad_blocks {
+        grad_w.extend_from_slice(&w_block);
+        grad_b.extend_from_slice(&b_block);
+    }
+
+    // Phase 3: ∂input over samples.
+    let w_t = Arc::new(transpose_into(weight.as_slice(), spec.out_channels, k_flat));
+    let in_blocks = par::parallel_rows(n, move |range: Range<usize>| {
+        conv_grad_input_block(&g_arc, &w_t, geom, range)
+    });
     let mut grad_input = Vec::with_capacity(input.numel());
-    let mut grad_weight = Tensor::zeros(&[spec.out_channels, k_flat]);
-    let mut grad_bias = vec![0.0f32; spec.out_channels];
-
-    for sample in 0..n {
-        let image = input.index_batch(sample)?;
-        let cols = im2col(&image, spec)?;
-        let g = grad_out.index_batch(sample)?; // [F, OH, OW]
-        let g_mat = g.reshape(&[spec.out_channels, oh * ow])?;
-
-        // ∂bias: sum over spatial positions.
-        let g_data = g_mat.as_slice();
-        for f in 0..spec.out_channels {
-            grad_bias[f] += g_data[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
-        }
-
-        // ∂weight += g_mat · colsᵀ  ([F, OH·OW] × [OH·OW, K] = [F, K]).
-        let gw = g_mat.matmul_nt(&cols)?;
-        grad_weight.add_scaled_inplace(&gw, 1.0)?;
-
-        // ∂input = col2im(w_matᵀ · g_mat).
-        let gcols = w_mat.matmul_tn(&g_mat)?; // [K, OH·OW]
-        let gi = col2im(&gcols, spec, h, w)?;
-        grad_input.extend_from_slice(gi.as_slice());
+    for block in in_blocks {
+        grad_input.extend_from_slice(&block);
     }
 
     Ok(Conv2dGrads {
         input: Tensor::from_vec(grad_input, input.shape().clone())?,
-        weight: grad_weight.reshape(weight.dims())?,
-        bias: Tensor::from_vec(grad_bias, Shape::new(vec![spec.out_channels]))?,
+        weight: Tensor::from_vec(grad_w, Shape::new(weight.dims().to_vec()))?,
+        bias: Tensor::from_vec(grad_b, Shape::new(vec![spec.out_channels]))?,
     })
 }
 

@@ -39,6 +39,7 @@ mod init;
 pub mod io;
 mod matmul;
 mod ops;
+pub mod par;
 mod pool;
 mod reduce;
 mod shape;

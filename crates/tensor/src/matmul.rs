@@ -1,12 +1,183 @@
-//! Dense matrix multiplication.
+//! Dense matrix multiplication: cache-blocked kernels with row-range
+//! parallelism.
+//!
+//! All three entry points (`matmul`, `matmul_tn`, `matmul_nt`) share a
+//! small set of serial block kernels and partition *rows of the output*
+//! across the [`crate::par`] pool. Each output element is owned by
+//! exactly one chunk and its `k`-accumulation runs in increasing-`p`
+//! order in a single `f32` accumulator — the same order as the
+//! reference three-loop kernel — so results are **bit-exact regardless
+//! of thread count**. That invariant is what keeps checkpoints
+//! byte-reproducible and the seed-sensitive statistical tests stable;
+//! see the proptests in `tests/par_invariance.rs`.
+//!
+//! `B` is repacked once per call into `KC × NC` panels so the innermost
+//! loop streams over contiguous memory even for wide right-hand sides.
+//! Packing copies values without arithmetic, so it cannot perturb the
+//! accumulation order.
 
-use crate::{Result, Shape, Tensor, TensorError};
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::{par, Result, Shape, Tensor, TensorError};
+
+/// Row-block height: how many `A` rows are kept hot per panel pass.
+const MC: usize = 64;
+/// Depth-block: `k` is consumed in runs of `KC` (in increasing order,
+/// preserving the per-element accumulation sequence).
+const KC: usize = 256;
+/// Column panel width of the packed `B`.
+const NC: usize = 512;
+
+/// Packs `b` (`[k, n]`, row-major) into `KC × NC` panels laid out so
+/// panel `(jc, pc)` starts at `jc * k + pc * ncb` and stores its `kcb`
+/// rows contiguously (`ncb` floats each). Pure data movement.
+pub(crate) fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut packed = vec![0.0f32; k * n];
+    for jc in (0..n).step_by(NC) {
+        let ncb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kcb = KC.min(k - pc);
+            let dst_base = jc * k + pc * ncb;
+            for pp in 0..kcb {
+                let src = &b[(pc + pp) * n + jc..][..ncb];
+                let dst = &mut packed[dst_base + pp * ncb..][..ncb];
+                dst.copy_from_slice(src);
+            }
+        }
+    }
+    packed
+}
+
+/// Serial blocked kernel: multiplies `rows` rows of `A` (`a_block`,
+/// `[rows, k]` row-major) by a [`pack_b`]-packed `B` (`[k, n]`),
+/// returning the `[rows, n]` product.
+///
+/// Per output element the `k` terms are added in increasing-`p` order
+/// into a single accumulator chain starting at `0.0` — identical to
+/// the naive i-k-j loop, so blocking changes nothing numerically.
+pub(crate) fn gemm_rows(
+    a_block: &[f32],
+    rows: usize,
+    k: usize,
+    packed_b: &[f32],
+    n: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * n];
+    for jc in (0..n).step_by(NC) {
+        let ncb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kcb = KC.min(k - pc);
+            let panel = &packed_b[jc * k + pc * ncb..][..kcb * ncb];
+            for ic in (0..rows).step_by(MC) {
+                let mcb = MC.min(rows - ic);
+                for i in ic..ic + mcb {
+                    let a_row = &a_block[i * k + pc..][..kcb];
+                    let o_row = &mut out[i * n + jc..][..ncb];
+                    for (pp, &a_ip) in a_row.iter().enumerate() {
+                        let b_row = &panel[pp * ncb..][..ncb];
+                        for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
+                            *o += a_ip * b_pj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Dot-product kernel for `A × Bᵀ`: `a_block` is `[rows, k]`, `b` is
+/// `[n, k]` (both row-major, so every dot streams two contiguous rows).
+/// When `accumulate` is false the result is stored; when true it is
+/// added onto `out` (used by `conv2d_backward`'s ∂weight accumulation
+/// across samples, matching the serial `grad += gw` association).
+pub(crate) fn gemm_nt_block(
+    a_block: &[f32],
+    rows: usize,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    for i in 0..rows {
+        let a_row = &a_block[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            if accumulate {
+                *o += acc;
+            } else {
+                *o = acc;
+            }
+        }
+    }
+}
+
+/// Transposes `src` (`[rows, cols]` row-major) into `[cols, rows]`.
+pub(crate) fn transpose_into(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for (r, row) in src.chunks_exact(cols).enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            if let Some(slot) = out.get_mut(c * rows + r) {
+                *slot = v;
+            }
+        }
+    }
+    out
+}
+
+/// Shared driver: `a` is `[m, k]` row-major, `b` is `[k, n]`; partitions
+/// output rows across the pool when the work justifies it.
+fn gemm_driver(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let packed = pack_b(b, k, n);
+    let work = m.saturating_mul(k).saturating_mul(n);
+    if !par::should_parallelize(m, work) {
+        return gemm_rows(a, m, k, &packed, n);
+    }
+    // The pool requires 'static jobs (no unsafe lifetime erasure in
+    // this workspace), so share the operands via Arc: one O(m·k) copy
+    // against O(m·k·n) compute.
+    let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
+    let packed = Arc::new(packed);
+    let blocks = par::parallel_rows(m, move |rows: Range<usize>| {
+        let len = rows.end - rows.start;
+        gemm_rows(&a[rows.start * k..rows.end * k], len, k, &packed, n)
+    });
+    let mut out = Vec::with_capacity(m * n);
+    for block in blocks {
+        out.extend_from_slice(&block);
+    }
+    out
+}
+
+fn check_rank2(op: &'static str, lhs: &Tensor, rhs: &Tensor) -> Result<()> {
+    for t in [lhs, rhs] {
+        if t.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op,
+                expected: 2,
+                actual: t.rank(),
+            });
+        }
+    }
+    Ok(())
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Uses a cache-friendly i-k-j loop order with the inner loop over
-    /// contiguous rows of the right operand.
+    /// Cache-blocked (`MC × KC × NC`) over a packed `B`, partitioned by
+    /// output rows across the [`crate::par`] pool, and bit-exact across
+    /// thread counts (see the module docs). Non-finite values propagate:
+    /// a `NaN`/`Inf` anywhere in either operand reaches every output it
+    /// mathematically touches (there is deliberately no zero-skip —
+    /// `0 × NaN` must stay `NaN`).
     ///
     /// # Errors
     ///
@@ -14,20 +185,7 @@ impl Tensor {
     /// rank 2, or [`TensorError::ShapeMismatch`] if the inner dimensions
     /// disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: self.rank(),
-            });
-        }
-        if other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: other.rank(),
-            });
-        }
+        check_rank2("matmul", self, other)?;
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
@@ -37,46 +195,24 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b_pj;
-                }
-            }
-        }
+        let out = gemm_driver(self.as_slice(), other.as_slice(), m, k, n);
         Tensor::from_vec(out, Shape::new(vec![m, n]))
     }
 
-    /// `selfᵀ × other` without materializing the transpose.
-    ///
-    /// `self` is `[k, m]`, `other` is `[k, n]`, result is `[m, n]`.
+    /// `selfᵀ × other` without materializing the transpose for the
+    /// caller: `self` is `[k, m]`, `other` is `[k, n]`, result `[m, n]`.
     /// This shows up in the backward pass of dense layers
     /// (`∂W = xᵀ · ∂y`).
+    ///
+    /// Internally `self` *is* transposed into a scratch buffer (an
+    /// O(k·m) copy) so the same blocked row-parallel kernel — and the
+    /// same increasing-`p` accumulation order — serves all layouts.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`].
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul_tn",
-                expected: 2,
-                actual: if self.rank() != 2 {
-                    self.rank()
-                } else {
-                    other.rank()
-                },
-            });
-        }
+        check_rank2("matmul_tn", self, other)?;
         let (k, m) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
@@ -86,22 +222,8 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &a_pi) in a_row.iter().enumerate() {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
-                    *o += a_pi * b_pj;
-                }
-            }
-        }
+        let at = transpose_into(self.as_slice(), k, m); // [m, k]
+        let out = gemm_driver(&at, other.as_slice(), m, k, n);
         Tensor::from_vec(out, Shape::new(vec![m, n]))
     }
 
@@ -110,22 +232,14 @@ impl Tensor {
     /// `self` is `[m, k]`, `other` is `[n, k]`, result is `[m, n]`.
     /// This shows up in the backward pass of dense layers
     /// (`∂x = ∂y · Wᵀ` for a `[out, in]` weight laid out as `[n, k]`).
+    /// Both operands are already row-major along `k`, so this stays a
+    /// streaming dot-product kernel, row-partitioned across the pool.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`].
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul_nt",
-                expected: 2,
-                actual: if self.rank() != 2 {
-                    self.rank()
-                } else {
-                    other.rank()
-                },
-            });
-        }
+        check_rank2("matmul_nt", self, other)?;
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (n, k2) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
@@ -135,19 +249,31 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                out[i * n + j] = acc;
-            }
+        let work = m.saturating_mul(k).saturating_mul(n);
+        if !par::should_parallelize(m, work) {
+            let mut out = vec![0.0f32; m * n];
+            gemm_nt_block(self.as_slice(), m, other.as_slice(), k, n, &mut out, false);
+            return Tensor::from_vec(out, Shape::new(vec![m, n]));
+        }
+        let a: Arc<Vec<f32>> = Arc::new(self.as_slice().to_vec());
+        let b: Arc<Vec<f32>> = Arc::new(other.as_slice().to_vec());
+        let blocks = par::parallel_rows(m, move |rows: Range<usize>| {
+            let len = rows.end - rows.start;
+            let mut block = vec![0.0f32; len * n];
+            gemm_nt_block(
+                &a[rows.start * k..rows.end * k],
+                len,
+                &b,
+                k,
+                n,
+                &mut block,
+                false,
+            );
+            block
+        });
+        let mut out = Vec::with_capacity(m * n);
+        for block in blocks {
+            out.extend_from_slice(&block);
         }
         Tensor::from_vec(out, Shape::new(vec![m, n]))
     }
@@ -191,6 +317,28 @@ mod tests {
     }
 
     #[test]
+    fn blocked_kernel_matches_naive_beyond_block_bounds() {
+        // Dimensions straddling MC/KC/NC boundaries so several panels
+        // and partial edge blocks are exercised.
+        let (m, k, n) = (MC + 3, KC + 5, NC + 7);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37) % 101) as f32 * 0.25 - 12.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 53) % 89) as f32 * 0.125 - 5.0)
+            .collect();
+        let fast = mat(m, k, &a).matmul(&mat(k, n, &b)).unwrap();
+        // Naive reference in the same per-element accumulation order.
+        for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (MC, NC), (7, KC)] {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            assert_eq!(fast.as_slice()[i * n + j].to_bits(), acc.to_bits());
+        }
+    }
+
+    #[test]
     fn matmul_tn_equals_explicit_transpose() {
         let a = mat(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = mat(3, 4, &(0..12).map(|i| i as f32).collect::<Vec<_>>());
@@ -206,6 +354,67 @@ mod tests {
         let fused = a.matmul_nt(&b).unwrap();
         let explicit = a.matmul(&b.transpose().unwrap()).unwrap();
         assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn nan_in_left_operand_reaches_output() {
+        // Regression for the removed `a_ip == 0.0` sparse-skip: a NaN
+        // multiplied by anything — and anything multiplied by 0 × NaN —
+        // must stay NaN instead of being laundered into a clean logit.
+        let mut av = vec![1.0f32; 6];
+        av[4] = f32::NAN; // a[1][1]
+        let a = mat(2, 3, &av);
+        let b = mat(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = a.matmul(&b).unwrap();
+        // Row 0 untouched, row 1 fully poisoned.
+        assert!(c.as_slice()[..2].iter().all(|v| v.is_finite()));
+        assert!(c.as_slice()[2..].iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn nan_in_right_operand_reaches_output_even_against_zero() {
+        // 0.0 × NaN must be NaN: the old kernel skipped zero entries of
+        // A and produced a finite 0.0 here.
+        let a = mat(1, 2, &[0.0, 0.0]);
+        let mut bv = vec![1.0f32; 4];
+        bv[2] = f32::NAN; // b[1][0]
+        let b = mat(2, 2, &bv);
+        let c = a.matmul(&b).unwrap();
+        assert!(
+            c.as_slice()[0].is_nan(),
+            "0·NaN was laundered to {}",
+            c.as_slice()[0]
+        );
+        assert!(c.as_slice()[1].is_finite());
+    }
+
+    #[test]
+    fn nan_propagates_through_tn_and_nt() {
+        let mut av = vec![0.0f32; 6];
+        av[0] = f32::NAN;
+        let a_tn = mat(3, 2, &av); // NaN at [0][0] → poisons output row 0
+        let b = mat(3, 2, &[1.0; 6]);
+        let c = a_tn.matmul_tn(&b).unwrap();
+        assert!(c.as_slice()[..2].iter().all(|v| v.is_nan()));
+        assert!(c.as_slice()[2..].iter().all(|v| v.is_finite()));
+
+        let a = mat(2, 3, &[0.0; 6]);
+        let mut bv = vec![1.0f32; 6];
+        bv[0] = f32::NAN; // b row 0 → output column 0
+        let b_nt = mat(2, 3, &bv);
+        let c = a.matmul_nt(&b_nt).unwrap();
+        assert!(c.as_slice()[0].is_nan());
+        assert!(c.as_slice()[2].is_nan());
+        assert!(c.as_slice()[1].is_finite());
+        assert!(c.as_slice()[3].is_finite());
+    }
+
+    #[test]
+    fn infinity_propagates() {
+        let a = mat(1, 2, &[0.0, 1.0]);
+        let b = mat(2, 1, &[f32::INFINITY, 1.0]);
+        // 0·∞ = NaN, NaN + 1 = NaN.
+        assert!(a.matmul(&b).unwrap().as_slice()[0].is_nan());
     }
 
     proptest! {

@@ -1,0 +1,180 @@
+//! Thread-count invariance: every kernel routed through the
+//! `fademl_tensor::par` pool must produce **bit-identical** output at
+//! any thread count. This is the invariant that lets PR 4's byte-exact
+//! checkpoint/resume and the seed-sensitive statistical tests survive
+//! parallelisation — partitioning only ever splits independent outputs,
+//! never a reduction's association order.
+//!
+//! `set_threads` is a process-wide override, so every test here
+//! serialises on one mutex and restores the serial setting on exit.
+
+use std::sync::Mutex;
+
+use fademl_tensor::{conv2d, conv2d_backward, par, ConvSpec, Tensor, TensorRng};
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+static THREADS_GUARD: Mutex<()> = Mutex::new(());
+
+/// Thread counts probed by every invariance check: serial, even splits,
+/// and a prime count that never divides the row counts evenly.
+const SWEEP: [usize; 4] = [1, 2, 4, 7];
+
+/// Runs `op` once per thread count in [`SWEEP`] and returns the bit
+/// patterns of each run's output, serial first.
+fn sweep_bits(op: impl Fn() -> Vec<f32>) -> Vec<Vec<u32>> {
+    let _guard = THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let runs = SWEEP
+        .iter()
+        .map(|&t| {
+            par::set_threads(t);
+            op().iter().map(|v| v.to_bits()).collect()
+        })
+        .collect();
+    par::set_threads(1);
+    runs
+}
+
+fn assert_invariant(op: impl Fn() -> Vec<f32>, what: &str) {
+    let runs = sweep_bits(op);
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            run, &runs[0],
+            "{what}: output at {} threads diverged from serial",
+            SWEEP[i]
+        );
+    }
+}
+
+fn filled(rng: &mut TensorRng, dims: &[usize]) -> Tensor {
+    rng.uniform(dims, -2.0, 2.0)
+}
+
+// ---------------------------------------------------------------- fixed
+// Adversarial fixed shapes: degenerate 1×1, primes everywhere, fewer
+// rows than workers, and shapes big enough to actually engage the pool
+// (work ≥ the `should_parallelize` threshold).
+
+#[test]
+fn matmul_family_invariant_on_adversarial_shapes() {
+    let mut rng = TensorRng::seed_from_u64(7);
+    for (m, k, n) in [
+        (1, 1, 1),      // scalar product, below every threshold
+        (2, 257, 3),    // prime k spanning two KC blocks
+        (3, 1, 1031),   // prime n spanning three NC panels
+        (7, 64, 513),   // rows below the sweep's max thread count
+        (67, 129, 65),  // primes straddling MC/KC block edges
+        (128, 256, 64), // well past the parallel threshold
+    ] {
+        let a = filled(&mut rng, &[m, k]);
+        let b = filled(&mut rng, &[k, n]);
+        let at = filled(&mut rng, &[k, m]);
+        let bt = filled(&mut rng, &[n, k]);
+        assert_invariant(
+            || a.matmul(&b).expect("matmul").into_vec(),
+            &format!("matmul {m}x{k}x{n}"),
+        );
+        assert_invariant(
+            || at.matmul_tn(&b).expect("matmul_tn").into_vec(),
+            &format!("matmul_tn {m}x{k}x{n}"),
+        );
+        assert_invariant(
+            || a.matmul_nt(&bt).expect("matmul_nt").into_vec(),
+            &format!("matmul_nt {m}x{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn conv2d_invariant_on_adversarial_shapes() {
+    let mut rng = TensorRng::seed_from_u64(11);
+    // (batch, spec, h, w): single sample, fewer samples than workers,
+    // stride/padding asymmetry, and a pool-engaging VGG-ish layer.
+    for (n, spec, h, w) in [
+        (1, ConvSpec::new(1, 1, 1, 1, 0), 1, 1),
+        (3, ConvSpec::new(2, 5, 3, 2, 1), 7, 11),
+        (8, ConvSpec::new(3, 32, 3, 1, 1), 32, 32),
+    ] {
+        let input = filled(&mut rng, &[n, spec.in_channels, h, w]);
+        let weight = filled(
+            &mut rng,
+            &[
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel_h,
+                spec.kernel_w,
+            ],
+        );
+        let bias = filled(&mut rng, &[spec.out_channels]);
+        let out = conv2d(&input, &weight, &bias, &spec).expect("conv2d");
+        let grad_out = filled(&mut rng, out.dims());
+        assert_invariant(
+            || {
+                conv2d(&input, &weight, &bias, &spec)
+                    .expect("conv2d")
+                    .into_vec()
+            },
+            &format!("conv2d n={n} {spec:?}"),
+        );
+        assert_invariant(
+            || {
+                let grads =
+                    conv2d_backward(&input, &weight, &grad_out, &spec).expect("conv2d_backward");
+                let mut all = grads.input.into_vec();
+                all.extend(grads.weight.into_vec());
+                all.extend(grads.bias.into_vec());
+                all
+            },
+            &format!("conv2d_backward n={n} {spec:?}"),
+        );
+    }
+}
+
+// ------------------------------------------------------------- proptest
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random small-to-medium GEMMs are bit-identical across the sweep.
+    #[test]
+    fn matmul_bits_invariant(seed in 0u64..1_000_000, m in 1usize..24, k in 1usize..80, n in 1usize..80) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let a = filled(&mut rng, &[m, k]);
+        let b = filled(&mut rng, &[k, n]);
+        let runs = sweep_bits(|| a.matmul(&b).expect("matmul").into_vec());
+        for run in &runs[1..] {
+            prop_assert_eq!(run, &runs[0]);
+        }
+    }
+
+    /// Random conv forward+backward are bit-identical across the sweep.
+    #[test]
+    fn conv_bits_invariant(
+        seed in 0u64..1_000_000,
+        batch in 1usize..6,
+        c in 1usize..4,
+        f in 1usize..6,
+        h in 3usize..12,
+        w in 3usize..12,
+    ) {
+        let spec = ConvSpec::new(c, f, 3, 1, 1);
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let input = filled(&mut rng, &[batch, c, h, w]);
+        let weight = filled(&mut rng, &[f, c, 3, 3]);
+        let bias = filled(&mut rng, &[f]);
+        let out = conv2d(&input, &weight, &bias, &spec).expect("conv2d");
+        let grad_out = filled(&mut rng, out.dims());
+        let runs = sweep_bits(|| {
+            let fwd = conv2d(&input, &weight, &bias, &spec).expect("conv2d");
+            let grads = conv2d_backward(&input, &weight, &grad_out, &spec).expect("backward");
+            let mut all = fwd.into_vec();
+            all.extend(grads.input.into_vec());
+            all.extend(grads.weight.into_vec());
+            all.extend(grads.bias.into_vec());
+            all
+        });
+        for run in &runs[1..] {
+            prop_assert_eq!(run, &runs[0]);
+        }
+        prop_assert!(runs[0].iter().all(|bits| !f32::from_bits(*bits).is_nan()));
+    }
+}

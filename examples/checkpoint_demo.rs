@@ -55,6 +55,7 @@ fn config() -> TrainConfig {
         verbose: false,
         patience: None,
         divergence: None,
+        compute_threads: 0,
     }
 }
 

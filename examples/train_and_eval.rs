@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         verbose: true,
         patience: Some(4),
         divergence: None,
+        compute_threads: 0,
     });
     trainer.fit(&mut model, split.train.images(), split.train.labels())?;
 
