@@ -40,4 +40,16 @@ cargo clippy -p fademl-nn --features faults --all-targets -- -D warnings
 echo "==> checkpoint IO fault-injection suite"
 cargo test -q -p fademl-nn --features faults --test checkpoint_faults
 
+echo "==> loopback e2e smoke (wire codec, router, hot swap, shutdown drain)"
+cargo test -q -p fademl-net --test loopback
+
+echo "==> cargo clippy (net faults feature, deny warnings)"
+cargo clippy -p fademl-net --features faults --all-targets -- -D warnings
+
+echo "==> network chaos suite (torn frames, drops, slow-loris, replica death)"
+cargo test -q -p fademl-net --features faults --test chaos
+
+echo "==> net serving bench smoke (emits BENCH_serving.json)"
+FADEML_THREADS=2 cargo bench -p fademl-bench --bench net_serving -- --test
+
 echo "CI OK"

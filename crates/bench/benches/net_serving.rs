@@ -1,0 +1,171 @@
+//! Network serving throughput: loopback TCP through the full
+//! `fademl-net` stack — wire codec, replica router, batching replicas —
+//! swept over client counts. Emits `BENCH_serving.json` at the repo
+//! root with throughput and latency percentiles per client count.
+//!
+//! `cargo bench -p fademl-bench --bench net_serving` — full run.
+//! `cargo bench -p fademl-bench --bench net_serving -- --test` — CI
+//! smoke: a handful of requests per client; the JSON is still written
+//! (tagged `"mode": "smoke"`) so the artifact pipeline is exercised.
+
+use std::time::{Duration, Instant};
+
+use fademl::{InferencePipeline, ThreatModel};
+use fademl_filters::FilterSpec;
+use fademl_net::{NetClient, NetConfig, NetServer, RouterConfig};
+use fademl_nn::vgg::VggConfig;
+use fademl_serve::ServerConfig;
+use fademl_tensor::TensorRng;
+
+const CLIENT_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn pipeline() -> InferencePipeline {
+    // Random weights: the bench measures the serving path, not accuracy.
+    let mut rng = TensorRng::seed_from_u64(42);
+    let model = VggConfig::tiny(3, 16, 6).build(&mut rng).expect("model");
+    InferencePipeline::new(model, FilterSpec::Lap { np: 8 }).expect("pipeline")
+}
+
+struct Cell {
+    clients: usize,
+    requests: u64,
+    elapsed_ms: u128,
+    throughput_rps: f64,
+    p50_us: u128,
+    p90_us: u128,
+    p99_us: u128,
+    max_us: u128,
+}
+
+fn percentile(sorted: &[u128], p: usize) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Runs `clients` loopback clients against a fresh 2-replica server and
+/// returns the merged latency distribution.
+fn run_cell(clients: usize, quick: bool) -> Cell {
+    let config = RouterConfig {
+        replicas: 2,
+        replica: ServerConfig {
+            queue_capacity: 256,
+            max_batch_size: 8,
+            linger_us: 500,
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        ..RouterConfig::default()
+    };
+    let server = NetServer::start(pipeline(), config, NetConfig::default()).expect("server");
+    let addr = server.local_addr();
+
+    // Smoke: fixed request count. Full: fixed wall-clock per client.
+    let per_client_requests = if quick { 10 } else { u64::MAX };
+    let deadline = if quick {
+        Duration::from_secs(3600)
+    } else {
+        Duration::from_millis(1_500)
+    };
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for w in 0..clients as u64 {
+        workers.push(std::thread::spawn(move || {
+            let mut client = NetClient::connect(addr).expect("connect");
+            let mut rng = TensorRng::seed_from_u64(1_000 + w);
+            let begun = Instant::now();
+            let mut latencies_us: Vec<u128> = Vec::new();
+            let mut i = 0u64;
+            while i < per_client_requests && begun.elapsed() < deadline {
+                let image = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+                let sent = Instant::now();
+                client
+                    .classify(&image, ThreatModel::ALL[(i % 3) as usize])
+                    .expect("classifies");
+                latencies_us.push(sent.elapsed().as_micros());
+                i += 1;
+            }
+            client.goodbye();
+            latencies_us
+        }));
+    }
+    let mut latencies: Vec<u128> = Vec::new();
+    for handle in workers {
+        latencies.extend(handle.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed();
+    let report = server.shutdown();
+    assert_eq!(
+        report.serving.requests_failed, 0,
+        "bench load must serve cleanly"
+    );
+
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    Cell {
+        clients,
+        requests,
+        elapsed_ms: elapsed.as_millis(),
+        throughput_rps: requests as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies, 50),
+        p90_us: percentile(&latencies, 90),
+        p99_us: percentile(&latencies, 99),
+        max_us: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "[net_serving] host cores: {host_cores}, mode: {}",
+        if quick { "smoke (--test)" } else { "full" }
+    );
+
+    let cells: Vec<Cell> = CLIENT_SWEEP
+        .iter()
+        .map(|&clients| {
+            let cell = run_cell(clients, quick);
+            eprintln!(
+                "[net_serving] clients={clients}  {:>7.0} req/s  p50 {:>6} µs  p99 {:>6} µs  ({} requests)",
+                cell.throughput_rps, cell.p50_us, cell.p99_us, cell.requests
+            );
+            cell
+        })
+        .collect();
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let json_path = format!("{root}/BENCH_serving.json");
+    let mut json = String::from("{\n  \"bench\": \"net_serving\",\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "smoke" } else { "full" }
+    ));
+    json.push_str(
+        "  \"note\": \"loopback TCP through wire codec + 2-replica router; latency is \
+         client-observed round trip\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"elapsed_ms\": {}, \
+             \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \
+             \"max_us\": {}}}{}\n",
+            c.clients,
+            c.requests,
+            c.elapsed_ms,
+            c.throughput_rps,
+            c.p50_us,
+            c.p90_us,
+            c.p99_us,
+            c.max_us,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write BENCH_serving.json");
+    eprintln!("[net_serving] wrote {json_path}");
+}

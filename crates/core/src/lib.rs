@@ -73,6 +73,10 @@ pub use error::FademlError;
 /// [`fademl_nn`]): versioned on-disk snapshots with CRC integrity
 /// trailers, retained generations and newest-intact recovery.
 pub use fademl_nn::checkpoint;
+/// Weight artifact codec (re-exported from [`fademl_nn`]): the
+/// `FADEMLW2` CRC-trailed binary format used for victim caching and
+/// zero-downtime weight swaps in the serving layer.
+pub use fademl_nn::serialize;
 pub use pipeline::{InferencePipeline, Verdict};
 pub use scenario::Scenario;
 pub use threat::ThreatModel;

@@ -74,6 +74,14 @@ impl InferencePipeline {
         &self.model
     }
 
+    /// Mutable access to the victim model. The hot-swap path clones the
+    /// deployed pipeline, decodes a new weight artifact into the clone,
+    /// and publishes it atomically — the live pipeline itself is never
+    /// mutated in place.
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
     /// Runs the pipeline stages an image would traverse under `threat`
     /// and returns the tensor that reaches the DNN input buffer.
     ///

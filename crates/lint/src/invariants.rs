@@ -21,9 +21,16 @@
 //! 6. `raw-thread-spawn` — compute parallelism goes through the
 //!    persistent worker pool in `fademl_tensor::par` (one pool, caller
 //!    participates, bit-exact partitioning); serving owns its worker
-//!    lifecycle in `fademl-serve`. Ad-hoc `std::thread::spawn` /
-//!    `thread::Builder` anywhere else creates unpooled threads with no
-//!    panic isolation and per-call spawn cost on the hot path.
+//!    lifecycle in `fademl-serve`, and the network front owns its
+//!    accept/handler threads in `fademl-net`. Ad-hoc
+//!    `std::thread::spawn` / `thread::Builder` anywhere else creates
+//!    unpooled threads with no panic isolation and per-call spawn cost
+//!    on the hot path.
+//! 7. `raw-socket` — all TCP construction (`TcpListener::bind`,
+//!    `TcpStream::connect`) lives in `fademl-net`, behind the framed
+//!    wire protocol with its length caps and CRC checks. A socket
+//!    opened anywhere else bypasses admission control, quotas and the
+//!    typed error mapping, and widens the attack surface.
 
 use crate::report::Finding;
 use crate::source::{is_ident_byte, SourceFile};
@@ -34,6 +41,7 @@ const METRICS: &str = "crates/serve/src/metrics.rs";
 const ERRORS: &str = "crates/serve/src/error.rs";
 const ATOMIC_IMPL: &str = "crates/tensor/src/io.rs";
 const THREAD_POOL_IMPL: &str = "crates/tensor/src/par.rs";
+const NET_PREFIX: &str = "crates/net/src/";
 
 /// Runs every invariant lint.
 pub fn check(files: &[SourceFile]) -> Vec<Finding> {
@@ -44,6 +52,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
     dead_variants(files, &mut findings);
     direct_overwrite(files, &mut findings);
     raw_thread_spawn(files, &mut findings);
+    raw_socket(files, &mut findings);
     findings
 }
 
@@ -179,10 +188,11 @@ fn direct_overwrite(files: &[SourceFile], out: &mut Vec<Finding>) {
 }
 
 fn raw_thread_spawn(files: &[SourceFile], out: &mut Vec<Finding>) {
-    for file in files
-        .iter()
-        .filter(|f| f.path != THREAD_POOL_IMPL && !f.path.starts_with(SERVE_PREFIX))
-    {
+    for file in files.iter().filter(|f| {
+        f.path != THREAD_POOL_IMPL
+            && !f.path.starts_with(SERVE_PREFIX)
+            && !f.path.starts_with(NET_PREFIX)
+    }) {
         for (line_no, line) in file.code_lines() {
             for what in ["thread::spawn(", "thread::Builder"] {
                 if line.code.contains(what) {
@@ -191,10 +201,33 @@ fn raw_thread_spawn(files: &[SourceFile], out: &mut Vec<Finding>) {
                         &file.path,
                         line_no,
                         format!(
-                            "`{}` outside `fademl_tensor::par` and `fademl-serve` — compute \
-                             parallelism must go through the persistent pool \
-                             (`par::parallel_rows`): ad-hoc threads skip panic isolation \
-                             and pay spawn cost on every call",
+                            "`{}` outside `fademl_tensor::par`, `fademl-serve` and \
+                             `fademl-net` — compute parallelism must go through the \
+                             persistent pool (`par::parallel_rows`): ad-hoc threads skip \
+                             panic isolation and pay spawn cost on every call",
+                            what.trim_end_matches('(')
+                        ),
+                        &line.raw,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn raw_socket(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files.iter().filter(|f| !f.path.starts_with(NET_PREFIX)) {
+        for (line_no, line) in file.code_lines() {
+            for what in ["TcpListener::bind(", "TcpStream::connect("] {
+                if line.code.contains(what) {
+                    out.push(Finding::new(
+                        "raw-socket",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "`{}` outside `fademl-net` — TCP endpoints must go through the \
+                             framed wire protocol (length caps, CRC, typed errors, \
+                             admission control); a raw socket bypasses all of it",
                             what.trim_end_matches('(')
                         ),
                         &line.raw,
@@ -439,6 +472,45 @@ mod tests {
         let test_only = SourceFile::from_source(
             "crates/nn/src/model.rs",
             "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n",
+        );
+        assert!(check(&[test_only]).is_empty());
+    }
+
+    #[test]
+    fn net_crate_is_exempt_from_spawn_rule() {
+        let net = SourceFile::from_source(
+            "crates/net/src/server.rs",
+            "fn accept() {\n    let h = std::thread::Builder::new().spawn(run)?;\n}\n",
+        );
+        assert!(check(&[net]).is_empty());
+    }
+
+    #[test]
+    fn raw_socket_outside_net_is_flagged() {
+        let listener = SourceFile::from_source(
+            "crates/serve/src/server.rs",
+            "fn f() {\n    let l = TcpListener::bind(\"0.0.0.0:80\")?;\n}\n",
+        );
+        let found = check(&[listener]);
+        assert_eq!(rules(&found), vec!["raw-socket"]);
+        assert_eq!(found[0].line, 2);
+        let dialer = SourceFile::from_source(
+            "crates/core/src/setup.rs",
+            "fn f() {\n    let s = std::net::TcpStream::connect(addr)?;\n}\n",
+        );
+        assert_eq!(rules(&check(&[dialer])), vec!["raw-socket"]);
+    }
+
+    #[test]
+    fn net_crate_and_test_code_are_exempt_from_socket_rule() {
+        let net = SourceFile::from_source(
+            "crates/net/src/server.rs",
+            "fn f() {\n    let l = TcpListener::bind(&addr)?;\n    let s = TcpStream::connect(addr)?;\n}\n",
+        );
+        assert!(check(&[net]).is_empty());
+        let test_only = SourceFile::from_source(
+            "crates/serve/src/server.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let s = TcpStream::connect(a).unwrap(); }\n}\n",
         );
         assert!(check(&[test_only]).is_empty());
     }

@@ -1,4 +1,5 @@
-//! Pass 1 — lock-order deadlock detection over `crates/serve`.
+//! Pass 1 — lock-order deadlock detection over `crates/serve` and
+//! `crates/net`.
 //!
 //! Every `Mutex`/`RwLock` acquisition site (`.lock()` / `.read()` /
 //! `.write()`, parking_lot and std alike) is extracted per function.
@@ -21,8 +22,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::report::Finding;
 use crate::source::{is_ident_byte, SourceFile};
 
-/// Default lock-analysis scope: the serving engine.
-pub const LOCK_SCOPE: &[&str] = &["crates/serve/src/"];
+/// Default lock-analysis scope: the serving engine and the network
+/// front (router health state, connection registry, quota buckets).
+pub const LOCK_SCOPE: &[&str] = &["crates/serve/src/", "crates/net/src/"];
 
 /// One lock acquisition site.
 #[derive(Debug, Clone, PartialEq, Eq)]

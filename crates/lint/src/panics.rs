@@ -18,6 +18,7 @@ pub const HOT_PATH_SCOPE: &[&str] = &[
     "crates/nn/src/",
     "crates/filters/src/",
     "crates/serve/src/",
+    "crates/net/src/",
     "crates/core/src/pipeline.rs",
 ];
 

@@ -1,0 +1,183 @@
+//! Property tests for the wire codec: arbitrary frames round-trip
+//! bit-exactly, and hostile bytes — truncations, bit flips, lying
+//! length prefixes, plain garbage — always come back as a typed
+//! [`FrameError`], never a panic and never an oversized allocation.
+
+use std::io::Cursor;
+
+use fademl::{ThreatModel, Verdict};
+use fademl_net::wire::{
+    decode_frame, encode_frame, read_frame, Frame, FrameError, WireFault, WireRequest,
+    WireResponse, HEADER_LEN, MAX_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+};
+use fademl_net::NetError;
+use fademl_nn::metrics::Prediction;
+use fademl_serve::{DeadlineStage, ServeError};
+use fademl_tensor::TensorRng;
+use proptest::prelude::*;
+
+/// A short lowercase string derived from `seed` (the shim has no string
+/// strategy, so strings are built from drawn integers).
+fn string_for(seed: u64) -> String {
+    let len = (seed % 24) as usize;
+    (0..len)
+        .map(|i| {
+            let x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(i as u32);
+            char::from(b'a' + (x % 26) as u8)
+        })
+        .collect()
+}
+
+/// Small tensor dims (rank 1–3, each dim 1–4) derived from `seed`.
+fn dims_for(seed: u64) -> Vec<usize> {
+    let rank = 1 + (seed % 3) as usize;
+    (0..rank)
+        .map(|i| 1 + ((seed >> (8 + 4 * i)) % 4) as usize)
+        .collect()
+}
+
+fn verdict_for(rng: &mut TensorRng, seed: u64) -> Verdict {
+    let probs = rng.uniform(&[6], 0.0, 1.0);
+    let values = probs.as_slice().to_vec();
+    let topk = (seed % 6) as usize;
+    Verdict {
+        class: (seed % 1000) as usize,
+        confidence: values[0],
+        top5: Prediction {
+            top_classes: (0..topk).map(|i| (seed as usize + i) % 100).collect(),
+            top_probs: values[..topk].to_vec(),
+        },
+        probabilities: rng.uniform(&dims_for(seed ^ 0xABCD), -1.0, 1.0),
+    }
+}
+
+fn error_for(seed: u64) -> ServeError {
+    let reason = string_for(seed ^ 0x5555);
+    match seed % 9 {
+        0 => ServeError::Overloaded {
+            capacity: (seed % 10_000) as usize,
+        },
+        1 => ServeError::ShuttingDown,
+        2 => ServeError::Pipeline { message: reason },
+        3 => ServeError::BatchFailed { reason },
+        4 => ServeError::DeadlineExceeded {
+            stage: if seed & 16 == 0 {
+                DeadlineStage::Queue
+            } else {
+                DeadlineStage::Batch
+            },
+        },
+        5 => ServeError::InvalidInput { reason },
+        6 => ServeError::InvalidConfig { reason },
+        7 => ServeError::Internal { reason },
+        _ => ServeError::SwapFailed { reason },
+    }
+}
+
+/// Builds one of the four frame kinds deterministically from drawn
+/// integers, covering every payload codec.
+fn frame_for(kind: u64, id: u64, seed: u64) -> Frame {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    match kind % 4 {
+        0 => Frame::Request(WireRequest {
+            id,
+            threat: ThreatModel::ALL[(seed % 3) as usize],
+            deadline_us: seed.wrapping_mul(31),
+            tenant: string_for(seed),
+            image: rng.uniform(&dims_for(seed), -1.0, 1.0),
+        }),
+        1 => Frame::Response(WireResponse {
+            id,
+            verdict: verdict_for(&mut rng, seed),
+        }),
+        2 => Frame::Error(WireFault {
+            id,
+            error: error_for(seed),
+        }),
+        _ => Frame::Goodbye,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_frames_round_trip_bit_exactly(
+        kind in 0u64..4,
+        id in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+    ) {
+        let frame = frame_for(kind, id, seed);
+        let bytes = encode_frame(&frame).expect("in-cap frame encodes");
+        let (decoded, consumed) = decode_frame(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(
+        kind in 0u64..4,
+        seed in 0u64..u64::MAX,
+        cut in 0u64..u64::MAX,
+    ) {
+        let bytes = encode_frame(&frame_for(kind, 7, seed)).expect("encodes");
+        let keep = (cut % bytes.len() as u64) as usize;
+        let truncated = &bytes[..keep];
+        // A strict prefix is never a complete frame; reaching an Err
+        // without panicking is the property.
+        prop_assert!(decode_frame(truncated).is_err());
+        // The streaming reader sees the same prefix as a mid-frame EOF.
+        match read_frame(&mut Cursor::new(truncated.to_vec())) {
+            Err(NetError::Disconnected { .. } | NetError::Frame(_)) => {}
+            other => prop_assert!(false, "expected typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_decode_silently(
+        kind in 0u64..4,
+        seed in 0u64..u64::MAX,
+        flip in 0u64..u64::MAX,
+    ) {
+        let mut bytes = encode_frame(&frame_for(kind, 9, seed)).expect("encodes");
+        let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        // Magic/version flips fail structurally; everything else is
+        // covered by the CRC. Either way: typed error, no panic.
+        prop_assert!(decode_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn lying_length_prefixes_are_refused_before_allocation(
+        declared in (MAX_PAYLOAD as u64 + 1)..u64::from(u32::MAX),
+        kind in 0u64..8,
+    ) {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(WIRE_MAGIC);
+        header.push(WIRE_VERSION);
+        header.push(kind as u8);
+        header.extend_from_slice(&(declared as u32).to_le_bytes());
+        prop_assert!(matches!(
+            decode_frame(&header),
+            Err(FrameError::TooLarge { .. })
+        ));
+        // The stream reader refuses on the header alone: the (absent)
+        // multi-megabyte body is never read, never allocated.
+        match read_frame(&mut Cursor::new(header)) {
+            Err(NetError::Frame(FrameError::TooLarge { declared: d, .. })) => {
+                prop_assert_eq!(d, declared);
+            }
+            other => prop_assert!(false, "expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(raw in proptest::collection::vec(0u64..256, 0..256)) {
+        let bytes: Vec<u8> = raw.iter().map(|b| *b as u8).collect();
+        // Any outcome is fine as long as it is a value, not a panic.
+        let _ = decode_frame(&bytes);
+        let _ = read_frame(&mut Cursor::new(bytes));
+    }
+}

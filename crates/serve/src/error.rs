@@ -79,6 +79,13 @@ pub enum ServeError {
         /// What went wrong inside the engine.
         reason: String,
     },
+    /// A hot weight swap was refused: the artifact failed CRC
+    /// validation or its shapes don't match the live architecture. The
+    /// previously deployed weights keep serving untouched.
+    SwapFailed {
+        /// Why the artifact was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -98,6 +105,9 @@ impl fmt::Display for ServeError {
             ServeError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
             ServeError::InvalidConfig { reason } => write!(f, "invalid server config: {reason}"),
             ServeError::Internal { reason } => write!(f, "internal serving error: {reason}"),
+            ServeError::SwapFailed { reason } => {
+                write!(f, "weight swap rejected: {reason}")
+            }
         }
     }
 }
@@ -141,6 +151,11 @@ mod tests {
         }
         .to_string()
         .contains("spawn failed"));
+        assert!(ServeError::SwapFailed {
+            reason: "CRC mismatch".into()
+        }
+        .to_string()
+        .contains("CRC mismatch"));
     }
 
     #[test]

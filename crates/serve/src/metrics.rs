@@ -47,6 +47,10 @@ pub struct ServerMetrics {
     degraded_exited: AtomicU64,
     degraded_now: AtomicBool,
     single_image_fallbacks: AtomicU64,
+    /// Completed hot weight swaps. Monotone: a reader observing
+    /// generation `g` knows every batch started after the swap ran on
+    /// weights of generation ≥ `g`.
+    swap_generation: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -85,6 +89,7 @@ impl ServerMetrics {
             degraded_exited: AtomicU64::new(0),
             degraded_now: AtomicBool::new(false),
             single_image_fallbacks: AtomicU64::new(0),
+            swap_generation: AtomicU64::new(0),
         }
     }
 
@@ -215,6 +220,17 @@ impl ServerMetrics {
         self.single_image_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one completed hot weight swap, returning the new
+    /// generation number (1-based).
+    pub fn record_swap(&self) -> u64 {
+        self.swap_generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Generation of the currently deployed weights (0 = as started).
+    pub fn swap_generation(&self) -> u64 {
+        self.swap_generation.load(Ordering::Acquire)
+    }
+
     /// Whether the engine is currently in degraded (per-image) mode.
     pub fn degraded(&self) -> bool {
         self.degraded_now.load(Ordering::Acquire)
@@ -292,12 +308,18 @@ impl ServerMetrics {
             degraded_exited: self.degraded_exited.load(Ordering::Relaxed),
             degraded_now: self.degraded(),
             single_image_fallbacks: self.single_image_fallbacks.load(Ordering::Relaxed),
+            swap_generation: self.swap_generation(),
+            replicas: Vec::new(),
         }
     }
 }
 
 /// Point-in-time snapshot of [`ServerMetrics`], ready for JSON or text.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand: reports written before the
+/// router era lack the `swap_generation` and `replicas` fields, and
+/// those must keep parsing (they default to `0` / empty).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MetricsReport {
     /// Requests accepted into the queue.
     pub requests_submitted: u64,
@@ -347,12 +369,157 @@ pub struct MetricsReport {
     pub degraded_now: bool,
     /// Requests served by isolated per-image classification.
     pub single_image_fallbacks: u64,
+    /// Generation of the deployed weights (0 = the weights the server
+    /// started with; bumped once per completed hot swap). In an
+    /// aggregated router report this is the *minimum* across replicas —
+    /// the generation every replica has provably reached.
+    pub swap_generation: u64,
+    /// Per-replica breakdown, populated only when this report was
+    /// aggregated by a router; empty for a single in-process server.
+    pub replicas: Vec<ReplicaReport>,
+}
+
+/// One replica's row in an aggregated router report: enough to see at
+/// a glance which replica is shedding, degraded, or behind on a swap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Replica index within the router.
+    pub replica: u64,
+    /// Whether the router considered this replica routable at snapshot
+    /// time (not breaker-open, not past its failure threshold).
+    pub healthy: bool,
+    /// Submission-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Whether the replica's circuit breaker was open (degraded mode).
+    pub degraded: bool,
+    /// Weight generation this replica is serving.
+    pub swap_generation: u64,
+    /// Requests this replica shed with `Overloaded`.
+    pub requests_rejected: u64,
+    /// Requests this replica answered with a verdict.
+    pub requests_completed: u64,
+    /// Requests this replica answered with an error.
+    pub requests_failed: u64,
+}
+
+impl ReplicaReport {
+    /// Summarizes one replica's full report into its router-view row.
+    pub fn from_report(replica: u64, healthy: bool, report: &MetricsReport) -> Self {
+        ReplicaReport {
+            replica,
+            healthy,
+            queue_depth: report.queue_depth,
+            degraded: report.degraded_now,
+            swap_generation: report.swap_generation,
+            requests_rejected: report.requests_rejected,
+            requests_completed: report.requests_completed,
+            requests_failed: report.requests_failed,
+        }
+    }
 }
 
 impl MetricsReport {
     /// Pretty JSON rendering.
     pub fn to_json(&self) -> String {
         serde::json::to_string_pretty(self)
+    }
+
+    /// Folds per-replica reports into one router-level report. Each
+    /// part is `(replica index, healthy, report)`.
+    ///
+    /// Counters sum; histograms sum elementwise; the mean batch size is
+    /// recomputed from totals; latency percentiles take the worst
+    /// replica (a conservative tail estimate — exact merging would need
+    /// the raw reservoirs); the mean latency is weighted by completed
+    /// requests; `swap_generation` is the minimum across replicas, the
+    /// generation every replica has provably reached.
+    pub fn aggregate(parts: &[(u64, bool, MetricsReport)]) -> MetricsReport {
+        let mut total = MetricsReport::empty();
+        let mut latency_weight: u64 = 0;
+        let mut latency_weighted_sum: u128 = 0;
+        let mut batched_images = 0.0f64;
+        for (replica, healthy, part) in parts {
+            total.requests_submitted += part.requests_submitted;
+            total.requests_rejected += part.requests_rejected;
+            total.requests_invalid += part.requests_invalid;
+            total.requests_completed += part.requests_completed;
+            total.requests_failed += part.requests_failed;
+            total.batches_dispatched += part.batches_dispatched;
+            batched_images += part.mean_batch_size * part.batches_dispatched as f64;
+            total.max_batch_seen = total.max_batch_seen.max(part.max_batch_seen);
+            sum_into(&mut total.batch_size_counts, &part.batch_size_counts);
+            total.queue_depth += part.queue_depth;
+            latency_weight += part.requests_completed;
+            latency_weighted_sum +=
+                u128::from(part.latency_mean_us) * u128::from(part.requests_completed);
+            total.latency_p50_us = total.latency_p50_us.max(part.latency_p50_us);
+            total.latency_p90_us = total.latency_p90_us.max(part.latency_p90_us);
+            total.latency_p99_us = total.latency_p99_us.max(part.latency_p99_us);
+            total.worker_panics += part.worker_panics;
+            total.workers_respawned += part.workers_respawned;
+            total.batches_failed += part.batches_failed;
+            total.deadline_missed_queue += part.deadline_missed_queue;
+            total.deadline_missed_batch += part.deadline_missed_batch;
+            sum_into(
+                &mut total.deadline_overshoot_buckets,
+                &part.deadline_overshoot_buckets,
+            );
+            total.degraded_entered += part.degraded_entered;
+            total.degraded_exited += part.degraded_exited;
+            total.degraded_now |= part.degraded_now;
+            total.single_image_fallbacks += part.single_image_fallbacks;
+            total
+                .replicas
+                .push(ReplicaReport::from_report(*replica, *healthy, part));
+        }
+        total.mean_batch_size = if total.batches_dispatched == 0 {
+            0.0
+        } else {
+            batched_images / total.batches_dispatched as f64
+        };
+        total.latency_mean_us = if latency_weight == 0 {
+            0
+        } else {
+            u64::try_from(latency_weighted_sum / u128::from(latency_weight)).unwrap_or(u64::MAX)
+        };
+        total.swap_generation = parts
+            .iter()
+            .map(|(_, _, part)| part.swap_generation)
+            .min()
+            .unwrap_or(0);
+        total
+    }
+
+    /// All-zero report, the identity element for [`aggregate`](Self::aggregate).
+    fn empty() -> MetricsReport {
+        MetricsReport {
+            requests_submitted: 0,
+            requests_rejected: 0,
+            requests_invalid: 0,
+            requests_completed: 0,
+            requests_failed: 0,
+            batches_dispatched: 0,
+            mean_batch_size: 0.0,
+            max_batch_seen: 0,
+            batch_size_counts: Vec::new(),
+            queue_depth: 0,
+            latency_mean_us: 0,
+            latency_p50_us: 0,
+            latency_p90_us: 0,
+            latency_p99_us: 0,
+            worker_panics: 0,
+            workers_respawned: 0,
+            batches_failed: 0,
+            deadline_missed_queue: 0,
+            deadline_missed_batch: 0,
+            deadline_overshoot_buckets: Vec::new(),
+            degraded_entered: 0,
+            degraded_exited: 0,
+            degraded_now: false,
+            single_image_fallbacks: 0,
+            swap_generation: 0,
+            replicas: Vec::new(),
+        }
     }
 
     /// Human-readable multi-line rendering for logs and reports.
@@ -410,7 +577,88 @@ impl MetricsReport {
             buckets.get(2).copied().unwrap_or(0),
             buckets.get(3).copied().unwrap_or(0),
         ));
+        out.push_str(&format!(
+            "  weights:  generation {}\n",
+            self.swap_generation
+        ));
+        for r in &self.replicas {
+            out.push_str(&format!(
+                "  replica {}: {}, gen {}, depth {}, {} done, {} failed, {} shed{}\n",
+                r.replica,
+                if r.healthy { "healthy" } else { "unhealthy" },
+                r.swap_generation,
+                r.queue_depth,
+                r.requests_completed,
+                r.requests_failed,
+                r.requests_rejected,
+                if r.degraded { ", degraded" } else { "" },
+            ));
+        }
         out
+    }
+}
+
+/// Elementwise `lhs += rhs`, growing `lhs` if `rhs` is longer (replica
+/// histograms can differ in length across configs).
+fn sum_into(lhs: &mut Vec<u64>, rhs: &[u64]) {
+    if lhs.len() < rhs.len() {
+        lhs.resize(rhs.len(), 0);
+    }
+    for (slot, add) in lhs.iter_mut().zip(rhs) {
+        *slot += add;
+    }
+}
+
+impl Deserialize for MetricsReport {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        fn req<T: Deserialize>(
+            value: &serde::Value,
+            name: &str,
+        ) -> std::result::Result<T, serde::Error> {
+            let field = value
+                .get(name)
+                .ok_or_else(|| serde::Error::custom(format!("missing field `{name}`")))?;
+            T::from_value(field)
+        }
+        // Fields added after the first shipped report schema: absent in
+        // old JSON, so they fall back to their zero value.
+        fn opt<T: Deserialize + Default>(
+            value: &serde::Value,
+            name: &str,
+        ) -> std::result::Result<T, serde::Error> {
+            match value.get(name) {
+                Some(field) => T::from_value(field),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(MetricsReport {
+            requests_submitted: req(value, "requests_submitted")?,
+            requests_rejected: req(value, "requests_rejected")?,
+            requests_invalid: req(value, "requests_invalid")?,
+            requests_completed: req(value, "requests_completed")?,
+            requests_failed: req(value, "requests_failed")?,
+            batches_dispatched: req(value, "batches_dispatched")?,
+            mean_batch_size: req(value, "mean_batch_size")?,
+            max_batch_seen: req(value, "max_batch_seen")?,
+            batch_size_counts: req(value, "batch_size_counts")?,
+            queue_depth: req(value, "queue_depth")?,
+            latency_mean_us: req(value, "latency_mean_us")?,
+            latency_p50_us: req(value, "latency_p50_us")?,
+            latency_p90_us: req(value, "latency_p90_us")?,
+            latency_p99_us: req(value, "latency_p99_us")?,
+            worker_panics: req(value, "worker_panics")?,
+            workers_respawned: req(value, "workers_respawned")?,
+            batches_failed: req(value, "batches_failed")?,
+            deadline_missed_queue: req(value, "deadline_missed_queue")?,
+            deadline_missed_batch: req(value, "deadline_missed_batch")?,
+            deadline_overshoot_buckets: req(value, "deadline_overshoot_buckets")?,
+            degraded_entered: req(value, "degraded_entered")?,
+            degraded_exited: req(value, "degraded_exited")?,
+            degraded_now: req(value, "degraded_now")?,
+            single_image_fallbacks: req(value, "single_image_fallbacks")?,
+            swap_generation: opt(value, "swap_generation")?,
+            replicas: opt(value, "replicas")?,
+        })
     }
 }
 
@@ -513,6 +761,91 @@ mod tests {
         let report = m.report();
         let back: MetricsReport = serde::json::from_str(&report.to_json()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn swap_generation_is_monotone() {
+        let m = ServerMetrics::new(4);
+        assert_eq!(m.swap_generation(), 0);
+        assert_eq!(m.record_swap(), 1);
+        assert_eq!(m.record_swap(), 2);
+        assert_eq!(m.swap_generation(), 2);
+        assert_eq!(m.report().swap_generation, 2);
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_takes_min_generation() {
+        let a = ServerMetrics::new(4);
+        a.record_enqueue_attempt();
+        a.record_submitted();
+        a.record_batch(2);
+        a.record_completed(100);
+        a.record_completed(100);
+        a.record_swap();
+        a.record_swap();
+        let b = ServerMetrics::new(8);
+        b.record_enqueue_attempt();
+        b.record_submitted();
+        b.record_enqueue_attempt();
+        b.record_rejected();
+        b.record_batch(4);
+        b.record_completed(400);
+        b.record_degraded_enter();
+        b.record_swap();
+        let merged = MetricsReport::aggregate(&[(0, true, a.report()), (1, false, b.report())]);
+        assert_eq!(merged.requests_submitted, 2);
+        assert_eq!(merged.requests_rejected, 1);
+        assert_eq!(merged.requests_completed, 3);
+        assert_eq!(merged.batches_dispatched, 2);
+        // 2 images + 4 images over 2 batches.
+        assert!((merged.mean_batch_size - 3.0).abs() < 1e-9);
+        assert_eq!(merged.max_batch_seen, 4);
+        // b's histogram is longer; merged must cover both.
+        assert_eq!(merged.batch_size_counts.len(), 8);
+        assert_eq!(merged.batch_size_counts[1], 1);
+        assert_eq!(merged.batch_size_counts[3], 1);
+        // Weighted mean: (100*2 + 400*1) / 3 = 200.
+        assert_eq!(merged.latency_mean_us, 200);
+        // Conservative tail: worst replica wins.
+        assert_eq!(merged.latency_p99_us, 400);
+        assert!(merged.degraded_now);
+        // a reached gen 2, b only gen 1 → the fleet has proven gen 1.
+        assert_eq!(merged.swap_generation, 1);
+        assert_eq!(merged.replicas.len(), 2);
+        assert!(merged.replicas[0].healthy);
+        assert!(!merged.replicas[1].healthy);
+        assert_eq!(merged.replicas[0].swap_generation, 2);
+        assert_eq!(merged.replicas[1].requests_rejected, 1);
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_empty() {
+        let merged = MetricsReport::aggregate(&[]);
+        assert_eq!(merged.requests_submitted, 0);
+        assert_eq!(merged.swap_generation, 0);
+        assert!(merged.replicas.is_empty());
+    }
+
+    #[test]
+    fn legacy_report_without_router_fields_still_parses() {
+        let m = ServerMetrics::new(4);
+        m.record_submitted();
+        m.record_swap();
+        let report = m.report();
+        // Simulate a pre-router report: strip the fields that did not
+        // exist when the first schema shipped.
+        let serde::Value::Map(fields) = report.to_value() else {
+            panic!("report must serialize to a map");
+        };
+        let legacy: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(name, _)| name != "swap_generation" && name != "replicas")
+            .collect();
+        let back =
+            MetricsReport::from_value(&serde::Value::Map(legacy)).expect("legacy schema parses");
+        assert_eq!(back.swap_generation, 0);
+        assert!(back.replicas.is_empty());
+        assert_eq!(back.requests_submitted, report.requests_submitted);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use fademl::{InferencePipeline, ThreatModel, Verdict};
 use fademl_tensor::Tensor;
+use parking_lot::RwLock;
 
 use crate::batcher::Batcher;
 use crate::breaker::{BatchMode, CircuitBreaker};
@@ -95,6 +96,10 @@ pub struct InferenceServer {
     shutting_down: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
     breaker: Arc<CircuitBreaker>,
+    /// The deployed pipeline behind a swap point. Workers snapshot the
+    /// inner `Arc` once per batch, so a hot swap replaces the pointer
+    /// while in-flight batches drain on the weights they started with.
+    pipeline: Arc<RwLock<Arc<InferencePipeline>>>,
     config: ServerConfig,
     batcher_handle: Option<JoinHandle<()>>,
     supervisor_handle: Option<JoinHandle<()>>,
@@ -104,7 +109,7 @@ pub struct InferenceServer {
 /// spawn replacements for workers that die mid-flight.
 #[derive(Debug)]
 struct WorkerShared {
-    pipeline: Arc<InferencePipeline>,
+    pipeline: Arc<RwLock<Arc<InferencePipeline>>>,
     metrics: Arc<ServerMetrics>,
     breaker: Arc<CircuitBreaker>,
     batch_rx: Receiver<Batch>,
@@ -174,7 +179,7 @@ impl InferenceServer {
         if config.compute_threads > 0 {
             fademl_tensor::par::set_threads(config.compute_threads);
         }
-        let pipeline = Arc::new(pipeline);
+        let pipeline = Arc::new(RwLock::new(Arc::new(pipeline)));
         let metrics = Arc::new(ServerMetrics::new(config.max_batch_size));
         let breaker = Arc::new(CircuitBreaker::new(
             config.degrade_after_failures,
@@ -196,7 +201,7 @@ impl InferenceServer {
         };
 
         let shared = Arc::new(WorkerShared {
-            pipeline,
+            pipeline: Arc::clone(&pipeline),
             metrics: Arc::clone(&metrics),
             breaker: Arc::clone(&breaker),
             batch_rx,
@@ -217,6 +222,7 @@ impl InferenceServer {
             shutting_down: Arc::new(AtomicBool::new(false)),
             metrics,
             breaker,
+            pipeline,
             config,
             batcher_handle: Some(batcher_handle),
             supervisor_handle: Some(supervisor_handle),
@@ -303,6 +309,46 @@ impl InferenceServer {
     /// Live metrics snapshot.
     pub fn metrics(&self) -> MetricsReport {
         self.metrics.report()
+    }
+
+    /// Generation of the currently deployed weights (0 = the weights
+    /// the server started with; bumped once per completed swap).
+    pub fn swap_generation(&self) -> u64 {
+        self.metrics.swap_generation()
+    }
+
+    /// Atomically publishes `next` as the deployed pipeline and returns
+    /// the new weight generation.
+    ///
+    /// Zero-downtime by construction: workers snapshot the pipeline
+    /// pointer once per batch, so every in-flight batch finishes on the
+    /// consistent weights it started with, every batch picked up after
+    /// this call sees `next` in full, and no request is paused or
+    /// dropped while the pointer flips.
+    pub fn swap_pipeline(&self, next: InferencePipeline) -> u64 {
+        *self.pipeline.write() = Arc::new(next);
+        self.metrics.record_swap()
+    }
+
+    /// Hot weight swap from a serialized `FADEMLW2` artifact (see
+    /// [`fademl::serialize`]). The bytes are decoded into a clone of
+    /// the deployed pipeline — CRC trailer and per-layer shape
+    /// validation included — so the live weights are replaced only if
+    /// the whole artifact is valid. Returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SwapFailed`] when the artifact fails CRC or shape
+    /// validation; the previous weights keep serving untouched.
+    pub fn swap_weights(&self, artifact: &[u8]) -> Result<u64> {
+        let current = pipeline_snapshot(&self.pipeline);
+        let mut next = (*current).clone();
+        fademl::serialize::decode_weights(artifact, next.model_mut()).map_err(|err| {
+            ServeError::SwapFailed {
+                reason: err.to_string(),
+            }
+        })?;
+        Ok(self.swap_pipeline(next))
     }
 
     /// Whether the engine is currently degraded (per-image execution
@@ -546,6 +592,13 @@ impl Drop for AnswerOnDrop<'_> {
     }
 }
 
+/// Clones the live pipeline pointer. The read guard lives only for the
+/// inner expression, so no caller ever holds the pipeline lock across
+/// other lock acquisitions or a concurrent swap.
+fn pipeline_snapshot(slot: &RwLock<Arc<InferencePipeline>>) -> Arc<InferencePipeline> {
+    Arc::clone(&slot.read())
+}
+
 /// Executes one batch under full fault isolation: in-batch deadline
 /// enforcement, `catch_unwind` around the pipeline, circuit-breaker
 /// accounting, and the answer-on-drop guard.
@@ -580,13 +633,17 @@ fn process_batch(shared: &WorkerShared, batch: Batch) {
         waiters: &waiters,
     };
     let mode = shared.breaker.plan_batch();
+    // One pipeline snapshot per batch: a concurrent hot swap flips the
+    // shared pointer, but this batch keeps the consistent weights it
+    // started with — no request can observe torn weights.
+    let pipeline = pipeline_snapshot(&shared.pipeline);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         fault_on_batch_start(&shared.faults);
         match mode {
             BatchMode::Batched { probe } => {
-                execute_batched(shared, probe, &images, threat, &waiters)
+                execute_batched(shared, &pipeline, probe, &images, threat, &waiters)
             }
-            BatchMode::PerImage => execute_per_image(shared, &images, threat, &waiters),
+            BatchMode::PerImage => execute_per_image(shared, &pipeline, &images, threat, &waiters),
         }
     }));
     match outcome {
@@ -624,6 +681,7 @@ fn process_batch(shared: &WorkerShared, batch: Batch) {
 /// caused.
 fn execute_batched(
     shared: &WorkerShared,
+    pipeline: &InferencePipeline,
     probe: bool,
     images: &[Tensor],
     threat: ThreatModel,
@@ -634,10 +692,10 @@ fn execute_batched(
         // Heterogeneous image shapes can't stack; classify each image
         // individually so well-formed requests still succeed.
         Err(_) => {
-            return execute_per_image(shared, images, threat, waiters);
+            return execute_per_image(shared, pipeline, images, threat, waiters);
         }
     };
-    match shared.pipeline.classify_batch(&stacked, threat) {
+    match pipeline.classify_batch(&stacked, threat) {
         Ok(verdicts) => {
             shared.breaker.record_success(probe, &shared.metrics);
             for (verdict, (slot, submitted_at)) in verdicts.into_iter().zip(waiters) {
@@ -666,13 +724,14 @@ fn execute_batched(
 /// poisoned image fails alone instead of taking down its neighbours.
 fn execute_per_image(
     shared: &WorkerShared,
+    pipeline: &InferencePipeline,
     images: &[Tensor],
     threat: ThreatModel,
     waiters: &[(Arc<ResponseSlot>, Instant)],
 ) {
     for (image, (slot, submitted_at)) in images.iter().zip(waiters) {
         shared.metrics.record_single_fallback();
-        let outcome = catch_unwind(AssertUnwindSafe(|| shared.pipeline.classify(image, threat)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| pipeline.classify(image, threat)));
         match outcome {
             Ok(Ok(verdict)) => {
                 if slot.fill(Ok(verdict)) {
@@ -903,6 +962,66 @@ mod tests {
             .unwrap();
         drop(server);
         assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn swap_weights_changes_served_verdicts() {
+        let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+        assert_eq!(server.swap_generation(), 0);
+        let img = images(1, 20).pop().unwrap();
+        let before = server.classify(img.clone(), ThreatModel::I).unwrap();
+
+        // A differently-seeded model, shipped as a FADEMLW2 artifact.
+        let mut rng = TensorRng::seed_from_u64(99);
+        let other = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        let reference = InferencePipeline::new(other.clone(), Spec::Lap { np: 8 }).unwrap();
+        let artifact = fademl::serialize::encode_weights(&other);
+        let generation = server.swap_weights(&artifact).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(server.swap_generation(), 1);
+
+        let after = server.classify(img.clone(), ThreatModel::I).unwrap();
+        let direct = reference.classify(&img, ThreatModel::I).unwrap();
+        assert_eq!(after.class, direct.class);
+        assert_eq!(after.top5, direct.top5);
+        // The probabilities must come from the new weights, not the old.
+        assert_ne!(before.probabilities, after.probabilities);
+        let report = server.shutdown();
+        assert_eq!(report.swap_generation, 1);
+        assert_eq!(report.requests_failed, 0);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_refused_and_old_weights_keep_serving() {
+        let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+        let img = images(1, 21).pop().unwrap();
+        let before = server.classify(img.clone(), ThreatModel::II).unwrap();
+
+        let mut rng = TensorRng::seed_from_u64(99);
+        let other = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        let mut artifact = fademl::serialize::encode_weights(&other);
+        let mid = artifact.len() / 2;
+        artifact[mid] ^= 0xFF; // break the CRC
+        let err = server.swap_weights(&artifact).unwrap_err();
+        assert!(matches!(err, ServeError::SwapFailed { .. }), "{err}");
+        assert_eq!(server.swap_generation(), 0);
+
+        let after = server.classify(img, ThreatModel::II).unwrap();
+        assert_eq!(before.probabilities, after.probabilities);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mismatched_architecture_artifact_is_refused() {
+        let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+        // Different class count → per-layer shapes can't match.
+        let mut rng = TensorRng::seed_from_u64(5);
+        let wrong = VggConfig::tiny(3, 16, 9).build(&mut rng).unwrap();
+        let artifact = fademl::serialize::encode_weights(&wrong);
+        let err = server.swap_weights(&artifact).unwrap_err();
+        assert!(matches!(err, ServeError::SwapFailed { .. }), "{err}");
+        assert_eq!(server.swap_generation(), 0);
+        server.shutdown();
     }
 
     #[test]
