@@ -52,4 +52,10 @@ cargo test -q -p fademl-net --features faults --test chaos
 echo "==> net serving bench smoke (emits BENCH_serving.json)"
 FADEML_THREADS=2 cargo bench -p fademl-bench --bench net_serving -- --test
 
+echo "==> detection triage chaos suite (score panics, blown budgets, fail-open)"
+cargo test -q -p fademl-serve --features faults --test triage_chaos
+
+echo "==> detection bench smoke (emits BENCH_detection.json, asserts AUC > 0.5)"
+cargo bench -p fademl-bench --bench detection -- --test
+
 echo "CI OK"

@@ -13,7 +13,12 @@
 //! [`resume`] adds crash-resumable variants of every runner: completed
 //! per-scenario stages are journaled to a [`StageLedger`] so a killed
 //! sweep restarts at the first incomplete stage.
+//!
+//! [`detection`] extends the suite past the paper: a detect-under-attack
+//! sweep scoring the serving stack's triage detector (ROC/AUC) on a
+//! correlated frame stream with FGSM/FAdeML segments mixed in.
 
+pub mod detection;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
@@ -21,6 +26,10 @@ pub mod fig9;
 mod grid;
 pub mod resume;
 
+pub use detection::{
+    run_detection_resumable, DetectionParams, DetectionResult, RocPoint, SegmentKind,
+    SegmentOutcome,
+};
 pub use grid::{AccuracyCell, AccuracyGrid, ScenarioCell};
 pub use resume::{ResumeReport, StageLedger};
 

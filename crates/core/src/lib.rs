@@ -77,7 +77,7 @@ pub use fademl_nn::checkpoint;
 /// `FADEMLW2` CRC-trailed binary format used for victim caching and
 /// zero-downtime weight swaps in the serving layer.
 pub use fademl_nn::serialize;
-pub use pipeline::{InferencePipeline, Verdict};
+pub use pipeline::{Detection, InferencePipeline, Verdict};
 pub use scenario::Scenario;
 pub use threat::ThreatModel;
 

@@ -6,6 +6,25 @@ use fademl_tensor::{Shape, Tensor, TensorRng};
 
 use crate::{FademlError, Result, ThreatModel};
 
+/// Outcome of the serving-side adversarial triage stage for one image.
+///
+/// Attached to a [`Verdict`] by `fademl-serve` when a detector is
+/// configured; `None` means the image was never triaged (direct
+/// pipeline use, or a server running without detection). A triage
+/// fail-open (detector panic/timeout) also reports `None` — detection
+/// is advisory and absence of a verdict is the honest encoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Isolation-forest anomaly score in `(0, 1)`; higher ⇒ more
+    /// anomalous relative to the clean training distribution.
+    pub score: f32,
+    /// `true` if the score crossed the configured triage threshold.
+    pub flagged: bool,
+    /// `true` if the image was classified on the hardened path
+    /// (stronger filter, isolated per-image execution).
+    pub hardened: bool,
+}
+
 /// What the deployed pipeline reports for one image.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Verdict {
@@ -17,6 +36,9 @@ pub struct Verdict {
     pub top5: Prediction,
     /// Full class-probability vector.
     pub probabilities: Tensor,
+    /// Adversarial-triage outcome, when the serving layer scored the
+    /// image (see [`Detection`]).
+    pub detection: Option<Detection>,
 }
 
 /// The deployed inference pipeline of the paper's Fig. 2: data
@@ -178,6 +200,7 @@ impl InferencePipeline {
             confidence: top5.confidence(),
             top5,
             probabilities,
+            detection: None,
         }
     }
 

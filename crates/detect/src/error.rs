@@ -1,0 +1,104 @@
+//! Typed error surface of the detector crate.
+//!
+//! The detector sits admission-adjacent on the serving hot path, so
+//! every failure mode here is a value the triage stage can route on —
+//! never a panic. Corruption of a persisted detector artifact is a
+//! distinct variant from a malformed input image because the serving
+//! layer reacts differently: a corrupt artifact refuses to load at
+//! startup, while a bad input fails open at score time.
+
+use std::fmt;
+use std::io;
+
+/// Everything `fademl-detect` can refuse to do, as a value.
+#[derive(Debug)]
+pub enum DetectError {
+    /// The image (or feature vector) handed to the detector does not
+    /// match what it was fitted on.
+    InvalidInput {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// The detector configuration is out of the supported envelope.
+    InvalidConfig {
+        /// Which knob is out of range and why.
+        reason: String,
+    },
+    /// A serialized detector artifact failed validation: bad magic,
+    /// CRC mismatch, over-cap structural field, or an inconsistent
+    /// tree topology.
+    Corrupt {
+        /// What the decoder tripped over.
+        reason: String,
+    },
+    /// The underlying filesystem failed while persisting or loading.
+    Io(io::Error),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::InvalidInput { reason } => write!(f, "invalid detector input: {reason}"),
+            DetectError::InvalidConfig { reason } => write!(f, "invalid detector config: {reason}"),
+            DetectError::Corrupt { reason } => write!(f, "corrupt detector artifact: {reason}"),
+            DetectError::Io(e) => write!(f, "detector io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DetectError {
+    fn from(e: io::Error) -> Self {
+        DetectError::Io(e)
+    }
+}
+
+/// Shorthand used throughout the crate.
+pub type Result<T> = std::result::Result<T, DetectError>;
+
+/// Builds the `Corrupt` variant; the decoder uses this everywhere so
+/// the call sites stay one line.
+pub fn corrupt(reason: impl Into<String>) -> DetectError {
+    DetectError::Corrupt {
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(DetectError, &str)> = vec![
+            (
+                DetectError::InvalidInput {
+                    reason: "rank".into(),
+                },
+                "invalid detector input",
+            ),
+            (
+                DetectError::InvalidConfig {
+                    reason: "trees".into(),
+                },
+                "invalid detector config",
+            ),
+            (corrupt("crc"), "corrupt detector artifact"),
+            (
+                DetectError::Io(io::Error::other("disk")),
+                "detector io error",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Multi-scale feature extraction over image pyramids.
+//!
+//! The detector never looks at raw pixels: each image is summarized as
+//! a short vector of per-scale statistics and the isolation forest is
+//! fitted over those. The scales are a mean pyramid — each level is a
+//! 2×2 box average of the previous one — so a perturbation that is
+//! *small per pixel but incoherent across pixels* (the FGSM / FAdeML
+//! signature) shows up as inflated gradient and Laplacian energy at the
+//! fine scales while the coarse-scale statistics stay near the clean
+//! manifold. Six statistics are computed per scale:
+//!
+//! | # | statistic | what it captures |
+//! |---|-----------|------------------|
+//! | 0 | mean      | global brightness |
+//! | 1 | variance  | contrast |
+//! | 2 | gradient energy (mean abs 1-pixel diff, H+V) | local roughness |
+//! | 3 | Laplacian energy (mean abs 4-neighbour residual) | per-pixel noise |
+//! | 4 | dynamic range (max − min) | clipping / saturation |
+//! | 5 | channel-mean variance | color cast consistency |
+//!
+//! Everything here is **serial, allocation-light scalar code** on
+//! purpose: scoring runs on the request-submission thread inside the
+//! serving engine, and the bit-exactness invariant (identical scores at
+//! every `fademl_tensor::par` thread count) holds trivially because no
+//! parallel kernel is involved.
+
+use fademl_tensor::Tensor;
+
+use crate::error::{DetectError, Result};
+
+/// Statistics computed per pyramid level.
+pub const FEATURES_PER_SCALE: usize = 6;
+
+/// Most pyramid levels a detector may be configured with. At 8 scales
+/// the coarsest level of even a 4K frame is down to a handful of
+/// pixels; anything beyond is a corrupt artifact, not a configuration.
+pub const MAX_SCALES: usize = 8;
+
+/// Length of the feature vector for a given pyramid depth.
+pub fn feature_dim(scales: usize) -> usize {
+    scales * FEATURES_PER_SCALE
+}
+
+/// Smallest image side that supports `scales` pyramid levels: the
+/// coarsest level must keep at least 2×2 pixels so the gradient
+/// statistics remain defined.
+pub fn min_side(scales: usize) -> usize {
+    2usize << scales.saturating_sub(1)
+}
+
+/// Extracts the multi-scale feature vector of a `[C, H, W]` image.
+///
+/// Fails with a typed error on wrong rank, an empty tensor, an
+/// unsupported scale count, or an image too small for the requested
+/// pyramid depth. Non-finite pixels are tolerated (the forest treats
+/// `NaN` comparisons as "right branch"), because the caller on the
+/// serving path has already validated finiteness and the experiment
+/// path wants scoring to be total.
+pub fn pyramid_features(image: &Tensor, scales: usize) -> Result<Vec<f32>> {
+    if scales == 0 || scales > MAX_SCALES {
+        return Err(DetectError::InvalidConfig {
+            reason: format!("scales must be in 1..={MAX_SCALES}, got {scales}"),
+        });
+    }
+    let dims = image.dims();
+    let (channels, height, width) = match dims {
+        &[c, h, w] => (c, h, w),
+        _ => {
+            return Err(DetectError::InvalidInput {
+                reason: format!("expected a [C, H, W] image, got shape {dims:?}"),
+            })
+        }
+    };
+    if channels == 0 || height == 0 || width == 0 {
+        return Err(DetectError::InvalidInput {
+            reason: format!("empty image {dims:?}"),
+        });
+    }
+    let need = min_side(scales);
+    if height < need || width < need {
+        return Err(DetectError::InvalidInput {
+            reason: format!("image {height}x{width} too small for {scales} scales (need {need})"),
+        });
+    }
+
+    let mut features = Vec::with_capacity(feature_dim(scales));
+    let mut planes: Vec<f32> = image.as_slice().to_vec();
+    let (mut h, mut w) = (height, width);
+    for level in 0..scales {
+        features.extend_from_slice(&scale_stats(&planes, h, w));
+        if level + 1 < scales {
+            let (next, nh, nw) = downsample(&planes, h, w);
+            planes = next;
+            h = nh;
+            w = nw;
+        }
+    }
+    Ok(features)
+}
+
+/// The six per-scale statistics over `channels` planes of `h*w` pixels.
+fn scale_stats(planes: &[f32], h: usize, w: usize) -> [f32; FEATURES_PER_SCALE] {
+    let plane_len = h * w;
+    let total = planes.len() as f64;
+
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in planes {
+        sum += f64::from(v);
+        sum_sq += f64::from(v) * f64::from(v);
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let mean = sum / total;
+    let var = (sum_sq / total - mean * mean).max(0.0);
+
+    let mut grad_sum = 0.0f64;
+    let mut grad_n = 0.0f64;
+    let mut lap_sum = 0.0f64;
+    let mut lap_n = 0.0f64;
+    let mut chan_means: Vec<f64> = Vec::new();
+    for plane in planes.chunks_exact(plane_len) {
+        let psum: f64 = plane.iter().map(|&v| f64::from(v)).sum();
+        chan_means.push(psum / plane_len as f64);
+
+        // Horizontal neighbours, per row so pairs never wrap rows.
+        for row in plane.chunks_exact(w) {
+            for pair in row.windows(2) {
+                if let &[a, b] = pair {
+                    grad_sum += f64::from((b - a).abs());
+                    grad_n += 1.0;
+                }
+            }
+        }
+        // Vertical neighbours: offset-by-one-row zip over the flat plane.
+        for (&a, &b) in plane.iter().zip(plane.iter().skip(w)) {
+            grad_sum += f64::from((b - a).abs());
+            grad_n += 1.0;
+        }
+        // 4-neighbour Laplacian over the interior.
+        if h >= 3 && w >= 3 {
+            let rows: Vec<&[f32]> = plane.chunks_exact(w).collect();
+            for triple in rows.windows(3) {
+                if let &[above, center, below] = triple {
+                    for ((aw, cw), bw) in above
+                        .windows(3)
+                        .zip(center.windows(3))
+                        .zip(below.windows(3))
+                    {
+                        if let (&[_, up, _], &[left, mid, right], &[_, down, _]) = (aw, cw, bw) {
+                            lap_sum += f64::from((4.0 * mid - up - down - left - right).abs());
+                            lap_n += 1.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let grad = if grad_n > 0.0 { grad_sum / grad_n } else { 0.0 };
+    let lap = if lap_n > 0.0 { lap_sum / lap_n } else { 0.0 };
+
+    let chan_var = if chan_means.len() > 1 {
+        let m = chan_means.iter().sum::<f64>() / chan_means.len() as f64;
+        chan_means.iter().map(|c| (c - m) * (c - m)).sum::<f64>() / chan_means.len() as f64
+    } else {
+        0.0
+    };
+
+    [
+        mean as f32,
+        var as f32,
+        grad as f32,
+        lap as f32,
+        max - min,
+        chan_var as f32,
+    ]
+}
+
+/// 2×2 box-average downsampling of every plane; odd trailing rows and
+/// columns are dropped (floor semantics).
+fn downsample(planes: &[f32], h: usize, w: usize) -> (Vec<f32>, usize, usize) {
+    let (oh, ow) = (h / 2, w / 2);
+    let channels = planes.len() / (h * w);
+    let mut out = Vec::with_capacity(channels * oh * ow);
+    for plane in planes.chunks_exact(h * w) {
+        for row_pair in plane.chunks_exact(2 * w).take(oh) {
+            let (top, bottom) = row_pair.split_at(w);
+            for (tp, bp) in top.chunks_exact(2).zip(bottom.chunks_exact(2)).take(ow) {
+                if let (&[a, b], &[c, d]) = (tp, bp) {
+                    out.push((a + b + c + d) * 0.25);
+                }
+            }
+        }
+    }
+    (out, oh, ow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fademl_tensor::TensorRng;
+
+    fn image(rng: &mut TensorRng, side: usize) -> Tensor {
+        rng.uniform(&[3, side, side], 0.0, 1.0)
+    }
+
+    #[test]
+    fn feature_vector_has_expected_length() {
+        let mut rng = TensorRng::seed_from_u64(7);
+        let img = image(&mut rng, 16);
+        for scales in 1..=3 {
+            let f = pyramid_features(&img, scales).unwrap();
+            assert_eq!(f.len(), feature_dim(scales));
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn wrong_rank_and_tiny_images_are_typed_errors() {
+        let mut rng = TensorRng::seed_from_u64(7);
+        let flat = rng.uniform(&[16, 16], 0.0, 1.0);
+        assert!(matches!(
+            pyramid_features(&flat, 2),
+            Err(DetectError::InvalidInput { .. })
+        ));
+        let small = rng.uniform(&[3, 4, 4], 0.0, 1.0);
+        assert!(matches!(
+            pyramid_features(&small, 3),
+            Err(DetectError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            pyramid_features(&small, 0),
+            Err(DetectError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            pyramid_features(&small, MAX_SCALES + 1),
+            Err(DetectError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_image_has_zero_texture_features() {
+        let img = Tensor::from_vec(
+            vec![0.5; 3 * 8 * 8],
+            fademl_tensor::Shape::new(vec![3, 8, 8]),
+        )
+        .unwrap();
+        let f = pyramid_features(&img, 2).unwrap();
+        // mean is preserved, variance / gradients / laplacian / range /
+        // channel spread all vanish at every scale.
+        for level in f.chunks_exact(FEATURES_PER_SCALE) {
+            if let &[mean, var, grad, lap, range, chan] = level {
+                assert!((mean - 0.5).abs() < 1e-6);
+                for v in [var, grad, lap, range, chan] {
+                    assert!(v.abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iid_noise_inflates_fine_scale_texture() {
+        let mut rng = TensorRng::seed_from_u64(11);
+        // Smooth image: constant gradient ramp.
+        let side = 16;
+        let mut data = Vec::new();
+        for _ in 0..3 {
+            for y in 0..side {
+                for x in 0..side {
+                    data.push((y + x) as f32 / (2 * side) as f32);
+                }
+            }
+        }
+        let smooth =
+            Tensor::from_vec(data, fademl_tensor::Shape::new(vec![3, side, side])).unwrap();
+        let noise = rng.uniform(&[3, side, side], -0.1, 0.1);
+        let noisy_data: Vec<f32> = smooth
+            .as_slice()
+            .iter()
+            .zip(noise.as_slice())
+            .map(|(a, b)| a + b)
+            .collect();
+        let noisy =
+            Tensor::from_vec(noisy_data, fademl_tensor::Shape::new(vec![3, side, side])).unwrap();
+        let fs = pyramid_features(&smooth, 2).unwrap();
+        let fnz = pyramid_features(&noisy, 2).unwrap();
+        // Laplacian energy at the finest scale (index 3) must jump.
+        assert!(!fnz.is_empty());
+        let lap_smooth = fs.get(3).copied().unwrap_or(0.0);
+        let lap_noisy = fnz.get(3).copied().unwrap_or(0.0);
+        assert!(
+            lap_noisy > 4.0 * lap_smooth + 1e-3,
+            "laplacian should explode under iid noise: {lap_smooth} vs {lap_noisy}"
+        );
+    }
+
+    #[test]
+    fn downsample_halves_dims_with_floor() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let img = image(&mut rng, 9);
+        let (next, h, w) = downsample(img.as_slice(), 9, 9);
+        assert_eq!((h, w), (4, 4));
+        assert_eq!(next.len(), 3 * 4 * 4);
+        // Each output is the mean of a 2x2 block, so bounded by input range.
+        assert!(next.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}

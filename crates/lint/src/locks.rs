@@ -22,9 +22,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::report::Finding;
 use crate::source::{is_ident_byte, SourceFile};
 
-/// Default lock-analysis scope: the serving engine and the network
-/// front (router health state, connection registry, quota buckets).
-pub const LOCK_SCOPE: &[&str] = &["crates/serve/src/", "crates/net/src/"];
+/// Default lock-analysis scope: the admission detector, the serving
+/// engine and the network front (router health state, connection
+/// registry, quota buckets).
+pub const LOCK_SCOPE: &[&str] = &["crates/detect/src/", "crates/serve/src/", "crates/net/src/"];
 
 /// One lock acquisition site.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -17,6 +17,7 @@ pub const HOT_PATH_SCOPE: &[&str] = &[
     "crates/tensor/src/",
     "crates/nn/src/",
     "crates/filters/src/",
+    "crates/detect/src/",
     "crates/serve/src/",
     "crates/net/src/",
     "crates/core/src/pipeline.rs",

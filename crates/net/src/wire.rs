@@ -25,7 +25,7 @@
 
 use std::io::{self, Read, Write};
 
-use fademl::{ThreatModel, Verdict};
+use fademl::{Detection, ThreatModel, Verdict};
 use fademl_nn::metrics::Prediction;
 use fademl_serve::error::{DeadlineStage, ServeError};
 use fademl_tensor::io::{crc32, ByteReader, ByteWriter};
@@ -55,6 +55,14 @@ const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_ERROR: u8 = 3;
 const KIND_GOODBYE: u8 = 4;
+
+/// Tag opening the optional detection-verdict extension of a Response
+/// payload. Responses without a detection verdict end right after the
+/// probability tensor — byte-identical to the pre-extension format —
+/// and decoders only read the extension when bytes remain, so old
+/// payloads parse as `detection: None` and old clients never see the
+/// extra bytes unless the verdict actually carries them.
+const DETECTION_PRESENT: u8 = 1;
 
 /// Typed decode failure. Mirrors the checkpoint codec's discipline:
 /// corrupt, truncated or hostile input becomes one of these — never a
@@ -401,6 +409,20 @@ fn encode_response(resp: &WireResponse) -> Result<Vec<u8>, FrameError> {
         w.put_f32(prob);
     }
     put_tensor(&mut w, &v.probabilities)?;
+    // Version-tolerant trailing extension: only emitted when present,
+    // so detection-free responses stay byte-identical to the original
+    // format (see DETECTION_PRESENT).
+    if let Some(d) = v.detection {
+        if !d.score.is_finite() {
+            return Err(FrameError::BadPayload {
+                reason: "non-finite detection score".into(),
+            });
+        }
+        w.put_u8(DETECTION_PRESENT);
+        w.put_f32(d.score);
+        w.put_u8(u8::from(d.flagged));
+        w.put_u8(u8::from(d.hardened));
+    }
     Ok(w.into_bytes())
 }
 
@@ -423,6 +445,31 @@ fn decode_response(payload: &[u8]) -> Result<WireResponse, FrameError> {
         top_probs.push(read_payload(r.get_f32())?);
     }
     let probabilities = get_tensor(&mut r)?;
+    // Trailing optional detection extension: absent on old-format
+    // payloads, which therefore drain right here and parse as `None`.
+    let detection = if r.remaining() > 0 {
+        let tag = read_payload(r.get_u8())?;
+        if tag != DETECTION_PRESENT {
+            return Err(FrameError::BadPayload {
+                reason: format!("unknown detection tag {tag}"),
+            });
+        }
+        let score = read_payload(r.get_f32())?;
+        if !score.is_finite() {
+            return Err(FrameError::BadPayload {
+                reason: "non-finite detection score".into(),
+            });
+        }
+        let flagged = bool_field(read_payload(r.get_u8())?, "detection flagged")?;
+        let hardened = bool_field(read_payload(r.get_u8())?, "detection hardened")?;
+        Some(Detection {
+            score,
+            flagged,
+            hardened,
+        })
+    } else {
+        None
+    };
     expect_drained(&r)?;
     Ok(WireResponse {
         id,
@@ -434,8 +481,20 @@ fn decode_response(payload: &[u8]) -> Result<WireResponse, FrameError> {
                 top_probs,
             },
             probabilities,
+            detection,
         },
     })
+}
+
+/// Strict wire boolean: anything but 0/1 is corruption, not truthiness.
+fn bool_field(byte: u8, what: &str) -> Result<bool, FrameError> {
+    match byte {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(FrameError::BadPayload {
+            reason: format!("{what} byte must be 0/1, got {other}"),
+        }),
+    }
 }
 
 // ServeError tags on the wire. Stable protocol constants — reordering
@@ -722,6 +781,7 @@ mod tests {
                     top_probs: vec![0.75, 0.2, 0.05],
                 },
                 probabilities: image(),
+                detection: None,
             },
         });
         let bytes = encode_frame(&frame).unwrap();
@@ -905,6 +965,164 @@ mod tests {
             panic!("wrong error");
         };
         assert_eq!(message.len(), MAX_STRING);
+    }
+
+    /// Frames `payload` as a `kind` record with a freshly computed CRC,
+    /// so payload-level corruption tests get past the frame check and
+    /// actually exercise the payload decoder.
+    fn frame_raw(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut f = ByteWriter::new();
+        f.put_bytes(WIRE_MAGIC);
+        f.put_u8(WIRE_VERSION);
+        f.put_u8(kind);
+        f.put_u32(u32::try_from(payload.len()).unwrap());
+        f.put_bytes(payload);
+        let framed = f.into_bytes();
+        let (_, covered) = framed.split_at(8);
+        let crc = crc32(covered);
+        let mut f = ByteWriter::new();
+        f.put_bytes(&framed);
+        f.put_u32(crc);
+        f.into_bytes()
+    }
+
+    fn response_with_detection() -> Frame {
+        Frame::Response(WireResponse {
+            id: 41,
+            verdict: Verdict {
+                class: 2,
+                confidence: 0.6,
+                top5: Prediction {
+                    top_classes: vec![2, 4],
+                    top_probs: vec![0.6, 0.3],
+                },
+                probabilities: image(),
+                detection: Some(Detection {
+                    score: 0.87,
+                    flagged: true,
+                    hardened: true,
+                }),
+            },
+        })
+    }
+
+    /// Byte length of the trailing detection extension: tag + f32
+    /// score + flagged + hardened.
+    const DETECTION_EXT_LEN: usize = 7;
+
+    #[test]
+    fn detection_extension_round_trips_and_absence_is_byte_identical() {
+        let with = response_with_detection();
+        let bytes = encode_frame(&with).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap().0, with);
+
+        // A detection-free response must stay byte-identical to the
+        // pre-extension format: exactly DETECTION_EXT_LEN shorter.
+        let Frame::Response(resp) = &with else {
+            panic!("wrong kind");
+        };
+        let mut legacy = resp.clone();
+        legacy.verdict.detection = None;
+        let legacy_bytes = encode_frame(&Frame::Response(legacy)).unwrap();
+        assert_eq!(legacy_bytes.len() + DETECTION_EXT_LEN, bytes.len());
+    }
+
+    #[test]
+    fn legacy_response_payload_parses_as_no_detection() {
+        // Simulate a payload from an old server: take the extended
+        // payload and drop the trailing extension bytes.
+        let bytes = encode_frame(&response_with_detection()).unwrap();
+        let payload = &bytes[HEADER_LEN..bytes.len() - 4];
+        let legacy_payload = &payload[..payload.len() - DETECTION_EXT_LEN];
+        let (frame, _) = decode_frame(&frame_raw(KIND_RESPONSE, legacy_payload)).unwrap();
+        let Frame::Response(resp) = frame else {
+            panic!("wrong kind");
+        };
+        assert_eq!(resp.verdict.detection, None);
+        assert_eq!(resp.verdict.class, 2);
+    }
+
+    #[test]
+    fn truncated_detection_fields_are_refused() {
+        // Cutting 1..DETECTION_EXT_LEN-1 bytes leaves a partial
+        // extension; even behind a valid frame CRC that is a typed
+        // BadPayload, never a panic.
+        let bytes = encode_frame(&response_with_detection()).unwrap();
+        let payload = &bytes[HEADER_LEN..bytes.len() - 4];
+        for cut in 1..DETECTION_EXT_LEN {
+            let partial = &payload[..payload.len() - cut];
+            let err = decode_frame(&frame_raw(KIND_RESPONSE, partial)).unwrap_err();
+            assert!(
+                matches!(err, FrameError::BadPayload { .. }),
+                "cut={cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flipped_detection_fields_are_refused() {
+        let bytes = encode_frame(&response_with_detection()).unwrap();
+        let payload = bytes[HEADER_LEN..bytes.len() - 4].to_vec();
+        let ext_start = payload.len() - DETECTION_EXT_LEN;
+
+        // Unknown extension tag.
+        let mut bad = payload.clone();
+        bad[ext_start] = 9;
+        assert!(matches!(
+            decode_frame(&frame_raw(KIND_RESPONSE, &bad)).unwrap_err(),
+            FrameError::BadPayload { .. }
+        ));
+
+        // Non-finite score (all-ones exponent ⇒ NaN).
+        let mut bad = payload.clone();
+        bad[ext_start + 3] = 0xFF;
+        bad[ext_start + 4] = 0x7F;
+        assert!(matches!(
+            decode_frame(&frame_raw(KIND_RESPONSE, &bad)).unwrap_err(),
+            FrameError::BadPayload { .. }
+        ));
+
+        // Flagged / hardened bytes (extension offsets 5 and 6) must be
+        // strict booleans.
+        for off in [5usize, 6] {
+            let mut bad = payload.clone();
+            bad[ext_start + off] ^= 0x04;
+            assert!(matches!(
+                decode_frame(&frame_raw(KIND_RESPONSE, &bad)).unwrap_err(),
+                FrameError::BadPayload { .. }
+            ));
+        }
+
+        // Without recomputing the CRC, any flip in the extension is
+        // caught at the frame layer before the payload decoder runs.
+        for at in bytes.len() - 4 - DETECTION_EXT_LEN..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x10;
+            let err = decode_frame(&bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FrameError::CrcMismatch { .. } | FrameError::Truncated { .. }
+                ),
+                "flip at {at}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_detection_score_refused_on_encode() {
+        let Frame::Response(mut resp) = response_with_detection() else {
+            panic!("wrong kind");
+        };
+        resp.verdict.detection = Some(Detection {
+            score: f32::NAN,
+            flagged: false,
+            hardened: false,
+        });
+        assert!(matches!(
+            encode_frame(&Frame::Response(resp)).unwrap_err(),
+            FrameError::BadPayload { .. }
+        ));
     }
 
     #[test]

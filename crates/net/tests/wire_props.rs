@@ -5,7 +5,7 @@
 
 use std::io::Cursor;
 
-use fademl::{ThreatModel, Verdict};
+use fademl::{Detection, ThreatModel, Verdict};
 use fademl_net::wire::{
     decode_frame, encode_frame, read_frame, Frame, FrameError, WireFault, WireRequest,
     WireResponse, HEADER_LEN, MAX_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
@@ -50,7 +50,22 @@ fn verdict_for(rng: &mut TensorRng, seed: u64) -> Verdict {
             top_probs: values[..topk].to_vec(),
         },
         probabilities: rng.uniform(&dims_for(seed ^ 0xABCD), -1.0, 1.0),
+        detection: detection_for(rng, seed),
     }
+}
+
+/// Roughly half the generated verdicts carry a detection extension, so
+/// the round-trip properties cover both the legacy-shaped payload and
+/// the extended one.
+fn detection_for(rng: &mut TensorRng, seed: u64) -> Option<Detection> {
+    if seed & 1 == 0 {
+        return None;
+    }
+    Some(Detection {
+        score: rng.uniform_scalar(0.0, 1.0),
+        flagged: seed & 2 != 0,
+        hardened: seed & 6 == 6,
+    })
 }
 
 fn error_for(seed: u64) -> ServeError {

@@ -128,6 +128,7 @@ mod tests {
             slot: ResponseSlot::new(),
             submitted_at: Instant::now(),
             deadline: None,
+            triage: None,
         }
     }
 

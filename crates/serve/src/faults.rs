@@ -13,7 +13,11 @@
 //!   forcing in-batch deadline expiry behind it;
 //! - **stall-on-Nth-dequeue**: the batcher sleeps before handling a
 //!   dequeued request, forcing in-queue deadline expiry and queue
-//!   backpressure.
+//!   backpressure;
+//! - **panic-on-Nth-score** / **delay-on-Nth-score**: the triage
+//!   detector panics (or sleeps past its budget) while scoring the Nth
+//!   admitted image, exercising the fail-open guarantees of the
+//!   detection stage.
 //!
 //! Batch and dequeue sequence numbers are 1-based and counted by the
 //! plan itself (shared across clones), so a single-worker server is
@@ -35,8 +39,11 @@ pub struct FaultPlan {
     kill_batches: Vec<u64>,
     batch_delays: Vec<(u64, Duration)>,
     dequeue_stalls: Vec<(u64, Duration)>,
+    score_panics: Vec<u64>,
+    score_delays: Vec<(u64, Duration)>,
     batch_seq: Arc<AtomicU64>,
     dequeue_seq: Arc<AtomicU64>,
+    score_seq: Arc<AtomicU64>,
 }
 
 impl FaultPlan {
@@ -77,6 +84,36 @@ impl FaultPlan {
     pub fn stall_dequeue(mut self, seq: u64, stall: Duration) -> Self {
         self.dequeue_stalls.push((seq, stall));
         self
+    }
+
+    /// The triage detector panics while scoring image number `seq`
+    /// (1-based, in admission order). The engine must fail open: the
+    /// request is served unscored, never failed.
+    #[must_use]
+    pub fn panic_on_score(mut self, seq: u64) -> Self {
+        self.score_panics.push(seq);
+        self
+    }
+
+    /// The triage detector sleeps for `delay` while scoring image
+    /// number `seq`, blowing any configured scoring budget so the
+    /// timeout fail-open path fires.
+    #[must_use]
+    pub fn delay_score(mut self, seq: u64, delay: Duration) -> Self {
+        self.score_delays.push((seq, delay));
+        self
+    }
+
+    /// Triage-side hook, called once per scoring attempt inside the
+    /// triage stage's panic isolation. May sleep or panic.
+    pub(crate) fn on_score(&self) {
+        let seq = self.score_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some((_, delay)) = self.score_delays.iter().find(|(s, _)| *s == seq) {
+            std::thread::sleep(*delay);
+        }
+        if self.score_panics.contains(&seq) {
+            std::panic::panic_any(InjectedPanic { seq });
+        }
     }
 
     /// Worker-side hook, called once per batch inside the engine's
@@ -197,6 +234,20 @@ mod tests {
         let payload = catch_unwind(|| panic!("genuine")).unwrap_err();
         assert!(describe_payload(payload.as_ref()).is_none());
         assert!(!is_worker_kill(payload.as_ref()));
+    }
+
+    #[test]
+    fn score_hooks_count_independently() {
+        let plan = FaultPlan::new()
+            .panic_on_score(2)
+            .delay_score(1, Duration::from_millis(2));
+        let start = std::time::Instant::now();
+        assert!(catch_unwind(AssertUnwindSafe(|| plan.on_score())).is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        let payload = catch_unwind(AssertUnwindSafe(|| plan.on_score())).unwrap_err();
+        assert!(payload.is::<InjectedPanic>());
+        // The batch counter is untouched by score events.
+        assert!(catch_unwind(AssertUnwindSafe(|| plan.on_batch_start())).is_ok());
     }
 
     #[test]

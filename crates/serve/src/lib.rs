@@ -28,6 +28,16 @@
 //!   respawns, deadline misses (with an overshoot histogram), degraded
 //!   transitions and end-to-end latency percentiles; [`MetricsReport`]
 //!   serializes to JSON.
+//! - **Adversarial triage** (defense in depth): started with a fitted
+//!   [`fademl_detect::Detector`] via
+//!   [`start_with_triage`](InferenceServer::start_with_triage), the
+//!   engine scores every admitted image and routes flagged inputs to a
+//!   *hardened* path — stronger pre-processing filter, isolated
+//!   per-image execution, filter-bypassing threat models revoked —
+//!   instead of dropping them. The detector itself fails *open*: a
+//!   scoring panic, error or budget overrun yields a typed
+//!   [`TriageVerdict::FailOpen`] and normal-path service, never a
+//!   failed request (see [`triage`]).
 //! - **Graceful shutdown**: [`shutdown`](InferenceServer::shutdown)
 //!   (and `Drop`) drains every queued and in-flight request before the
 //!   threads exit — no client ever hangs on a dropped slot.
@@ -67,12 +77,14 @@ pub mod metrics;
 mod queue;
 pub mod request;
 pub mod server;
+pub mod triage;
 
 pub use breaker::{BatchMode, CircuitBreaker};
 pub use config::ServerConfig;
 pub use error::{DeadlineStage, Result, ServeError};
 #[cfg(feature = "faults")]
 pub use faults::FaultPlan;
-pub use metrics::{MetricsReport, ServerMetrics};
+pub use metrics::{DetectionReport, MetricsReport, ServerMetrics};
 pub use request::ResponseHandle;
 pub use server::InferenceServer;
+pub use triage::{FailOpenKind, TriageConfig, TriageVerdict};

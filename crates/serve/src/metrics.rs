@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::error::DeadlineStage;
+use crate::triage::FailOpenKind;
 
 /// Cap on the latency reservoir; beyond this the recorder degrades to
 /// overwrite-oldest so long-running servers stay bounded in memory.
@@ -51,12 +52,65 @@ pub struct ServerMetrics {
     /// generation `g` knows every batch started after the swap ran on
     /// weights of generation ≥ `g`.
     swap_generation: AtomicU64,
+    // Adversarial-triage counters (all zero when triage is disabled;
+    // the report's `detection` section materializes only once any of
+    // them moves, so non-triage reports stay schema-identical).
+    triage_clean: AtomicU64,
+    triage_flagged: AtomicU64,
+    triage_fail_open_panics: AtomicU64,
+    triage_fail_open_timeouts: AtomicU64,
+    triage_fail_open_errors: AtomicU64,
+    /// Total microseconds spent scoring (mean overhead = total / scored).
+    triage_score_time_us: AtomicU64,
+    /// Anomaly scores in integer basis points (0..=10 000).
+    triage_scores_bp: Mutex<LatencyReservoir>,
+    hardened_served: AtomicU64,
+    /// End-to-end latencies of hardened-path requests, kept separately
+    /// so the hardened/normal latency split is visible.
+    hardened_latencies_us: Mutex<LatencyReservoir>,
 }
 
 #[derive(Debug, Default)]
 struct LatencyReservoir {
     samples: Vec<u64>,
     next: usize,
+}
+
+impl LatencyReservoir {
+    /// Records one sample, degrading to overwrite-oldest at the cap.
+    fn record(&mut self, value: u64) {
+        if self.samples.len() < LATENCY_RESERVOIR {
+            self.samples.push(value);
+        } else {
+            let at = self.next % LATENCY_RESERVOIR;
+            if let Some(slot) = self.samples.get_mut(at) {
+                *slot = value;
+            }
+            self.next = at + 1;
+        }
+    }
+
+    /// Sorted snapshot for percentile extraction.
+    fn sorted(&self) -> Vec<u64> {
+        let mut snapshot = self.samples.clone();
+        snapshot.sort_unstable();
+        snapshot
+    }
+}
+
+/// Nearest-rank percentile (`p_bp` in basis points) over a sorted
+/// sample set: no float rounding, no unchecked indexing, and NaN
+/// cannot exist because samples never leave integer space.
+fn percentile(sorted: &[u64], p_bp: u64) -> u64 {
+    let Some(last) = sorted.len().checked_sub(1) else {
+        return 0;
+    };
+    let rank = (last as u64 * p_bp + 5_000) / 10_000;
+    usize::try_from(rank)
+        .ok()
+        .and_then(|r| sorted.get(r))
+        .copied()
+        .unwrap_or(0)
 }
 
 impl ServerMetrics {
@@ -90,6 +144,15 @@ impl ServerMetrics {
             degraded_now: AtomicBool::new(false),
             single_image_fallbacks: AtomicU64::new(0),
             swap_generation: AtomicU64::new(0),
+            triage_clean: AtomicU64::new(0),
+            triage_flagged: AtomicU64::new(0),
+            triage_fail_open_panics: AtomicU64::new(0),
+            triage_fail_open_timeouts: AtomicU64::new(0),
+            triage_fail_open_errors: AtomicU64::new(0),
+            triage_score_time_us: AtomicU64::new(0),
+            triage_scores_bp: Mutex::new(LatencyReservoir::default()),
+            hardened_served: AtomicU64::new(0),
+            hardened_latencies_us: Mutex::new(LatencyReservoir::default()),
         }
     }
 
@@ -150,16 +213,7 @@ impl ServerMetrics {
     /// latency.
     pub fn record_completed(&self, latency_us: u64) {
         self.requests_completed.fetch_add(1, Ordering::Relaxed);
-        let mut reservoir = self.latencies_us.lock();
-        if reservoir.samples.len() < LATENCY_RESERVOIR {
-            reservoir.samples.push(latency_us);
-        } else {
-            let at = reservoir.next % LATENCY_RESERVOIR;
-            if let Some(slot) = reservoir.samples.get_mut(at) {
-                *slot = latency_us;
-            }
-            reservoir.next = at + 1;
-        }
+        self.latencies_us.lock().record(latency_us);
     }
 
     /// Records one request answered with an error.
@@ -220,6 +274,41 @@ impl ServerMetrics {
         self.single_image_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one image triaged below the flagging threshold.
+    pub fn record_triage_clean(&self, score_bp: u64, took_us: u64) {
+        self.triage_clean.fetch_add(1, Ordering::Relaxed);
+        self.triage_score_time_us
+            .fetch_add(took_us, Ordering::Relaxed);
+        self.triage_scores_bp.lock().record(score_bp);
+    }
+
+    /// Records one image flagged by the triage detector.
+    pub fn record_triage_flagged(&self, score_bp: u64, took_us: u64) {
+        self.triage_flagged.fetch_add(1, Ordering::Relaxed);
+        self.triage_score_time_us
+            .fetch_add(took_us, Ordering::Relaxed);
+        self.triage_scores_bp.lock().record(score_bp);
+    }
+
+    /// Records one triage scoring attempt that failed open (the
+    /// request was served unscored on the normal path).
+    pub fn record_triage_fail_open(&self, kind: FailOpenKind) {
+        match kind {
+            FailOpenKind::Panic => &self.triage_fail_open_panics,
+            FailOpenKind::Timeout => &self.triage_fail_open_timeouts,
+            FailOpenKind::Error => &self.triage_fail_open_errors,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request completed on the hardened path and its
+    /// end-to-end latency (also recorded in the overall reservoir by
+    /// [`record_completed`](Self::record_completed)).
+    pub fn record_hardened(&self, latency_us: u64) {
+        self.hardened_served.fetch_add(1, Ordering::Relaxed);
+        self.hardened_latencies_us.lock().record(latency_us);
+    }
+
     /// Records one completed hot weight swap, returning the new
     /// generation number (1-based).
     pub fn record_swap(&self) -> u64 {
@@ -246,25 +335,7 @@ impl ServerMetrics {
     /// read individually (relaxed), so totals can be off by in-flight
     /// requests — fine for observability, never for control flow.
     pub fn report(&self) -> MetricsReport {
-        let latencies = {
-            let mut snapshot = self.latencies_us.lock().samples.clone();
-            snapshot.sort_unstable();
-            snapshot
-        };
-        // Nearest-rank percentile in integer basis points: no float
-        // rounding, no unchecked indexing, and NaN cannot exist because
-        // latencies never leave integer microseconds.
-        let percentile = |p_bp: u64| -> u64 {
-            let Some(last) = latencies.len().checked_sub(1) else {
-                return 0;
-            };
-            let rank = (last as u64 * p_bp + 5_000) / 10_000;
-            usize::try_from(rank)
-                .ok()
-                .and_then(|r| latencies.get(r))
-                .copied()
-                .unwrap_or(0)
-        };
+        let latencies = self.latencies_us.lock().sorted();
         let batches = self.batches_dispatched.load(Ordering::Relaxed);
         let images = self.batched_images.load(Ordering::Relaxed);
         MetricsReport {
@@ -291,9 +362,9 @@ impl ServerMetrics {
             } else {
                 latencies.iter().sum::<u64>() / latencies.len() as u64
             },
-            latency_p50_us: percentile(5_000),
-            latency_p90_us: percentile(9_000),
-            latency_p99_us: percentile(9_900),
+            latency_p50_us: percentile(&latencies, 5_000),
+            latency_p90_us: percentile(&latencies, 9_000),
+            latency_p99_us: percentile(&latencies, 9_900),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             batches_failed: self.batches_failed.load(Ordering::Relaxed),
@@ -310,8 +381,77 @@ impl ServerMetrics {
             single_image_fallbacks: self.single_image_fallbacks.load(Ordering::Relaxed),
             swap_generation: self.swap_generation(),
             replicas: Vec::new(),
+            detection: self.detection_report(),
         }
     }
+
+    /// The `detection` report section, or `None` when triage never ran
+    /// (so reports from servers without a detector stay byte-identical
+    /// to the pre-triage schema).
+    fn detection_report(&self) -> Option<DetectionReport> {
+        let clean = self.triage_clean.load(Ordering::Relaxed);
+        let flagged = self.triage_flagged.load(Ordering::Relaxed);
+        let fail_open_panics = self.triage_fail_open_panics.load(Ordering::Relaxed);
+        let fail_open_timeouts = self.triage_fail_open_timeouts.load(Ordering::Relaxed);
+        let fail_open_errors = self.triage_fail_open_errors.load(Ordering::Relaxed);
+        let hardened_served = self.hardened_served.load(Ordering::Relaxed);
+        let activity = clean + flagged + fail_open_panics + fail_open_timeouts + fail_open_errors;
+        if activity == 0 && hardened_served == 0 {
+            return None;
+        }
+        let scored = clean + flagged;
+        let scores = self.triage_scores_bp.lock().sorted();
+        let hardened = self.hardened_latencies_us.lock().sorted();
+        Some(DetectionReport {
+            clean,
+            flagged,
+            fail_open_panics,
+            fail_open_timeouts,
+            fail_open_errors,
+            mean_score_time_us: self
+                .triage_score_time_us
+                .load(Ordering::Relaxed)
+                .checked_div(scored)
+                .unwrap_or(0),
+            score_p50_bp: percentile(&scores, 5_000),
+            score_p90_bp: percentile(&scores, 9_000),
+            score_p99_bp: percentile(&scores, 9_900),
+            hardened_served,
+            hardened_latency_p50_us: percentile(&hardened, 5_000),
+            hardened_latency_p99_us: percentile(&hardened, 9_900),
+        })
+    }
+}
+
+/// The triage/hardened-path section of a [`MetricsReport`]. Present
+/// only on servers that ran the detection stage; absent from (and
+/// ignored in) legacy reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Images scored below the flagging threshold.
+    pub clean: u64,
+    /// Images flagged and routed to the hardened path.
+    pub flagged: u64,
+    /// Scoring attempts that failed open because the detector panicked.
+    pub fail_open_panics: u64,
+    /// Scoring attempts that failed open past the latency budget.
+    pub fail_open_timeouts: u64,
+    /// Scoring attempts that failed open on a typed detector error.
+    pub fail_open_errors: u64,
+    /// Mean per-image triage overhead in microseconds.
+    pub mean_score_time_us: u64,
+    /// Median anomaly score in basis points (0..=10 000).
+    pub score_p50_bp: u64,
+    /// 90th-percentile anomaly score in basis points.
+    pub score_p90_bp: u64,
+    /// 99th-percentile anomaly score in basis points.
+    pub score_p99_bp: u64,
+    /// Requests completed on the hardened path.
+    pub hardened_served: u64,
+    /// Median end-to-end latency of hardened-path requests (µs).
+    pub hardened_latency_p50_us: u64,
+    /// 99th-percentile end-to-end latency of hardened-path requests (µs).
+    pub hardened_latency_p99_us: u64,
 }
 
 /// Point-in-time snapshot of [`ServerMetrics`], ready for JSON or text.
@@ -377,6 +517,9 @@ pub struct MetricsReport {
     /// Per-replica breakdown, populated only when this report was
     /// aggregated by a router; empty for a single in-process server.
     pub replicas: Vec<ReplicaReport>,
+    /// Adversarial-triage section; `None` on servers that never ran
+    /// the detection stage (including every pre-triage report).
+    pub detection: Option<DetectionReport>,
 }
 
 /// One replica's row in an aggregated router report: enough to see at
@@ -437,6 +580,8 @@ impl MetricsReport {
         let mut total = MetricsReport::empty();
         let mut latency_weight: u64 = 0;
         let mut latency_weighted_sum: u128 = 0;
+        let mut score_time_weight: u64 = 0;
+        let mut score_time_weighted_sum: u128 = 0;
         let mut batched_images = 0.0f64;
         for (replica, healthy, part) in parts {
             total.requests_submitted += part.requests_submitted;
@@ -468,6 +613,30 @@ impl MetricsReport {
             total.degraded_exited += part.degraded_exited;
             total.degraded_now |= part.degraded_now;
             total.single_image_fallbacks += part.single_image_fallbacks;
+            if let Some(detection) = &part.detection {
+                let merged = total.detection.get_or_insert_with(DetectionReport::default);
+                // Counters sum; the mean score time is re-weighted
+                // below; percentiles take the worst replica (same
+                // conservative tail estimate as latency percentiles).
+                merged.clean += detection.clean;
+                merged.flagged += detection.flagged;
+                merged.fail_open_panics += detection.fail_open_panics;
+                merged.fail_open_timeouts += detection.fail_open_timeouts;
+                merged.fail_open_errors += detection.fail_open_errors;
+                merged.score_p50_bp = merged.score_p50_bp.max(detection.score_p50_bp);
+                merged.score_p90_bp = merged.score_p90_bp.max(detection.score_p90_bp);
+                merged.score_p99_bp = merged.score_p99_bp.max(detection.score_p99_bp);
+                merged.hardened_served += detection.hardened_served;
+                merged.hardened_latency_p50_us = merged
+                    .hardened_latency_p50_us
+                    .max(detection.hardened_latency_p50_us);
+                merged.hardened_latency_p99_us = merged
+                    .hardened_latency_p99_us
+                    .max(detection.hardened_latency_p99_us);
+                score_time_weight += detection.clean + detection.flagged;
+                score_time_weighted_sum += u128::from(detection.mean_score_time_us)
+                    * u128::from(detection.clean + detection.flagged);
+            }
             total
                 .replicas
                 .push(ReplicaReport::from_report(*replica, *healthy, part));
@@ -487,6 +656,14 @@ impl MetricsReport {
             .map(|(_, _, part)| part.swap_generation)
             .min()
             .unwrap_or(0);
+        if let Some(detection) = &mut total.detection {
+            detection.mean_score_time_us = if score_time_weight == 0 {
+                0
+            } else {
+                u64::try_from(score_time_weighted_sum / u128::from(score_time_weight))
+                    .unwrap_or(u64::MAX)
+            };
+        }
         total
     }
 
@@ -519,6 +696,7 @@ impl MetricsReport {
             single_image_fallbacks: 0,
             swap_generation: 0,
             replicas: Vec::new(),
+            detection: None,
         }
     }
 
@@ -581,6 +759,25 @@ impl MetricsReport {
             "  weights:  generation {}\n",
             self.swap_generation
         ));
+        if let Some(d) = &self.detection {
+            out.push_str(&format!(
+                "  triage:   {} clean, {} flagged, fail-open [{} panic, {} timeout, {} error], mean score time {}µs\n",
+                d.clean,
+                d.flagged,
+                d.fail_open_panics,
+                d.fail_open_timeouts,
+                d.fail_open_errors,
+                d.mean_score_time_us,
+            ));
+            out.push_str(&format!(
+                "  scores:   p50 {}bp, p90 {}bp, p99 {}bp\n",
+                d.score_p50_bp, d.score_p90_bp, d.score_p99_bp,
+            ));
+            out.push_str(&format!(
+                "  hardened: {} served, latency p50 {}µs, p99 {}µs\n",
+                d.hardened_served, d.hardened_latency_p50_us, d.hardened_latency_p99_us,
+            ));
+        }
         for r in &self.replicas {
             out.push_str(&format!(
                 "  replica {}: {}, gen {}, depth {}, {} done, {} failed, {} shed{}\n",
@@ -658,6 +855,7 @@ impl Deserialize for MetricsReport {
             single_image_fallbacks: req(value, "single_image_fallbacks")?,
             swap_generation: opt(value, "swap_generation")?,
             replicas: opt(value, "replicas")?,
+            detection: opt(value, "detection")?,
         })
     }
 }
@@ -846,6 +1044,109 @@ mod tests {
         assert_eq!(back.swap_generation, 0);
         assert!(back.replicas.is_empty());
         assert_eq!(back.requests_submitted, report.requests_submitted);
+    }
+
+    #[test]
+    fn detection_section_absent_until_triage_runs() {
+        let m = ServerMetrics::new(4);
+        m.record_submitted();
+        m.record_completed(50);
+        let report = m.report();
+        assert!(report.detection.is_none());
+        // Absent means absent on the wire too: the JSON must not even
+        // mention the key with a null, so pre-triage consumers doing
+        // strict schema checks see the exact legacy document... or at
+        // worst a null, which `opt` also maps to `None`.
+        let back: MetricsReport = serde::json::from_str(&report.to_json()).unwrap();
+        assert!(back.detection.is_none());
+    }
+
+    #[test]
+    fn detection_counters_accumulate_and_round_trip() {
+        let m = ServerMetrics::new(4);
+        m.record_triage_clean(4_000, 30);
+        m.record_triage_clean(4_500, 50);
+        m.record_triage_flagged(8_000, 40);
+        m.record_triage_fail_open(FailOpenKind::Panic);
+        m.record_triage_fail_open(FailOpenKind::Timeout);
+        m.record_triage_fail_open(FailOpenKind::Error);
+        m.record_hardened(700);
+        let report = m.report();
+        let d = report.detection.as_ref().expect("triage ran");
+        assert_eq!(d.clean, 2);
+        assert_eq!(d.flagged, 1);
+        assert_eq!(d.fail_open_panics, 1);
+        assert_eq!(d.fail_open_timeouts, 1);
+        assert_eq!(d.fail_open_errors, 1);
+        assert_eq!(d.mean_score_time_us, 40); // (30 + 50 + 40) / 3
+        assert_eq!(d.score_p50_bp, 4_500);
+        assert_eq!(d.score_p99_bp, 8_000);
+        assert_eq!(d.hardened_served, 1);
+        assert_eq!(d.hardened_latency_p50_us, 700);
+        let back: MetricsReport = serde::json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn legacy_report_without_detection_field_still_parses() {
+        let m = ServerMetrics::new(4);
+        m.record_triage_flagged(9_000, 25);
+        let report = m.report();
+        assert!(report.detection.is_some());
+        let serde::Value::Map(fields) = report.to_value() else {
+            panic!("report must serialize to a map");
+        };
+        let legacy: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(name, _)| name != "detection")
+            .collect();
+        let back = MetricsReport::from_value(&serde::Value::Map(legacy))
+            .expect("pre-triage schema parses");
+        assert!(back.detection.is_none());
+        assert_eq!(back.requests_submitted, report.requests_submitted);
+    }
+
+    #[test]
+    fn aggregate_merges_detection_sections() {
+        let a = ServerMetrics::new(4);
+        a.record_triage_clean(4_000, 10);
+        a.record_triage_flagged(8_000, 30);
+        a.record_hardened(500);
+        let b = ServerMetrics::new(4);
+        b.record_submitted(); // no triage on this replica
+        let c = ServerMetrics::new(4);
+        c.record_triage_clean(3_000, 50);
+        c.record_triage_fail_open(FailOpenKind::Panic);
+        let merged = MetricsReport::aggregate(&[
+            (0, true, a.report()),
+            (1, true, b.report()),
+            (2, true, c.report()),
+        ]);
+        let d = merged.detection.as_ref().expect("two replicas triaged");
+        assert_eq!(d.clean, 2);
+        assert_eq!(d.flagged, 1);
+        assert_eq!(d.fail_open_panics, 1);
+        assert_eq!(d.hardened_served, 1);
+        // Weighted mean: (20*2 + 50*1) / 3 = 30.
+        assert_eq!(d.mean_score_time_us, 30);
+        // Worst replica wins the score tail.
+        assert_eq!(d.score_p99_bp, 8_000);
+        // Replicas without triage leave the merged section untouched.
+        let plain = MetricsReport::aggregate(&[(0, true, b.report())]);
+        assert!(plain.detection.is_none());
+    }
+
+    #[test]
+    fn render_mentions_detection_when_present() {
+        let m = ServerMetrics::new(4);
+        m.record_triage_clean(4_000, 10);
+        m.record_triage_flagged(9_000, 20);
+        m.record_hardened(800);
+        let text = m.report().render();
+        assert!(text.contains("1 clean, 1 flagged"));
+        assert!(text.contains("1 served"));
+        let plain = ServerMetrics::new(4);
+        assert!(!plain.report().render().contains("triage"));
     }
 
     #[test]

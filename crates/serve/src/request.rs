@@ -8,6 +8,7 @@ use fademl::{ThreatModel, Verdict};
 use fademl_tensor::Tensor;
 
 use crate::error::{Result, ServeError};
+use crate::triage::TriageVerdict;
 
 /// One-shot rendezvous between a worker (producer) and a client
 /// (consumer). Std primitives on purpose: the wait side needs a
@@ -131,6 +132,10 @@ pub struct Request {
     /// Absolute expiry; a request past its deadline is answered with
     /// [`ServeError::DeadlineExceeded`] instead of a stale verdict.
     pub deadline: Option<Instant>,
+    /// Admission-time triage outcome; `None` on servers without a
+    /// detection stage. A flagged request is routed to the hardened
+    /// path by the worker pool.
+    pub triage: Option<TriageVerdict>,
 }
 
 impl Request {
@@ -176,6 +181,7 @@ mod tests {
             },
             probabilities: Tensor::from_vec(vec![0.1, 0.9], fademl_tensor::Shape::new(vec![2]))
                 .unwrap(),
+            detection: None,
         }
     }
 
@@ -237,6 +243,7 @@ mod tests {
             slot: ResponseSlot::new(),
             submitted_at: now,
             deadline: Some(now + Duration::from_millis(10)),
+            triage: None,
         };
         assert_eq!(request.overshoot(now), None);
         assert_eq!(request.overshoot(now + Duration::from_millis(10)), None);

@@ -32,7 +32,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use fademl::{InferencePipeline, ThreatModel, Verdict};
+use fademl::{Detection, InferencePipeline, ThreatModel, Verdict};
+use fademl_detect::Detector;
 use fademl_tensor::Tensor;
 use parking_lot::RwLock;
 
@@ -43,6 +44,7 @@ use crate::error::{DeadlineStage, Result, ServeError};
 use crate::metrics::{MetricsReport, ServerMetrics};
 use crate::queue::SubmissionQueue;
 use crate::request::{Batch, Request, ResponseHandle, ResponseSlot};
+use crate::triage::{hardened_threat, TriageConfig, TriageRuntime, TriageVerdict};
 
 #[cfg(feature = "faults")]
 use crate::faults::{self, FaultPlan};
@@ -51,13 +53,13 @@ use crate::faults::{self, FaultPlan};
 /// `faults` feature it is a unit type and every hook call compiles to
 /// nothing.
 #[cfg(feature = "faults")]
-type FaultHandle = Option<FaultPlan>;
+pub(crate) type FaultHandle = Option<FaultPlan>;
 
 /// Zero-sized stand-in when the feature is off; deliberately not
 /// `Copy` so both configurations use identical `clone()` plumbing.
 #[cfg(not(feature = "faults"))]
 #[derive(Debug, Clone)]
-struct FaultHandle;
+pub(crate) struct FaultHandle;
 
 #[cfg(feature = "faults")]
 fn no_faults() -> FaultHandle {
@@ -86,6 +88,15 @@ fn fault_on_batch_start(faults: &FaultHandle) {
     let _ = faults;
 }
 
+pub(crate) fn fault_on_score(faults: &FaultHandle) {
+    #[cfg(feature = "faults")]
+    if let Some(plan) = faults {
+        plan.on_score();
+    }
+    #[cfg(not(feature = "faults"))]
+    let _ = faults;
+}
+
 /// A running inference server wrapping one [`InferencePipeline`].
 ///
 /// Dropping the server shuts it down gracefully: queued and in-flight
@@ -100,6 +111,13 @@ pub struct InferenceServer {
     /// inner `Arc` once per batch, so a hot swap replaces the pointer
     /// while in-flight batches drain on the weights they started with.
     pipeline: Arc<RwLock<Arc<InferencePipeline>>>,
+    /// The detection/triage stage, when the server was started with a
+    /// fitted detector. Scores at admission; workers route flagged
+    /// requests through its hardened pipeline.
+    triage: Option<Arc<TriageRuntime>>,
+    /// Fault-injection handle consulted by the admission-time scoring
+    /// path (workers and the batcher hold their own clones).
+    faults: FaultHandle,
     config: ServerConfig,
     batcher_handle: Option<JoinHandle<()>>,
     supervisor_handle: Option<JoinHandle<()>>,
@@ -114,6 +132,7 @@ struct WorkerShared {
     breaker: Arc<CircuitBreaker>,
     batch_rx: Receiver<Batch>,
     faults: FaultHandle,
+    triage: Option<Arc<TriageRuntime>>,
 }
 
 /// Sent to the supervisor when a worker thread ends, cleanly (channel
@@ -150,7 +169,25 @@ impl InferenceServer {
     /// Returns [`ServeError::InvalidConfig`] for unusable settings and
     /// [`ServeError::Internal`] if a thread cannot be spawned.
     pub fn start(pipeline: InferencePipeline, config: ServerConfig) -> Result<Self> {
-        Self::launch(pipeline, config, no_faults())
+        Self::launch(pipeline, config, None, no_faults())
+    }
+
+    /// Starts the engine with an adversarial-detection triage stage:
+    /// every admitted image is scored by `detector`, and flagged inputs
+    /// are served through the hardened path (stronger filter, isolated
+    /// per-image execution) instead of the shared batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`start`](InferenceServer::start), plus
+    /// [`ServeError::InvalidConfig`] for an unusable [`TriageConfig`].
+    pub fn start_with_triage(
+        pipeline: InferencePipeline,
+        config: ServerConfig,
+        detector: Detector,
+        triage: TriageConfig,
+    ) -> Result<Self> {
+        Self::launch(pipeline, config, Some((detector, triage)), no_faults())
     }
 
     /// Starts the engine with an armed [`FaultPlan`] (chaos testing).
@@ -167,18 +204,45 @@ impl InferenceServer {
         plan: FaultPlan,
     ) -> Result<Self> {
         faults::install_quiet_panic_hook();
-        Self::launch(pipeline, config, Some(plan))
+        Self::launch(pipeline, config, None, Some(plan))
+    }
+
+    /// Triage stage plus an armed [`FaultPlan`]: the configuration the
+    /// detection chaos suite runs under.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`start_with_triage`](InferenceServer::start_with_triage).
+    #[cfg(feature = "faults")]
+    pub fn start_with_triage_and_faults(
+        pipeline: InferencePipeline,
+        config: ServerConfig,
+        detector: Detector,
+        triage: TriageConfig,
+        plan: FaultPlan,
+    ) -> Result<Self> {
+        faults::install_quiet_panic_hook();
+        Self::launch(pipeline, config, Some((detector, triage)), Some(plan))
     }
 
     fn launch(
         pipeline: InferencePipeline,
         config: ServerConfig,
+        triage: Option<(Detector, TriageConfig)>,
         faults: FaultHandle,
     ) -> Result<Self> {
         config.validate()?;
         if config.compute_threads > 0 {
             fademl_tensor::par::set_threads(config.compute_threads);
         }
+        let triage = match triage {
+            Some((detector, triage_config)) => Some(Arc::new(TriageRuntime::new(
+                detector,
+                triage_config,
+                &pipeline,
+            )?)),
+            None => None,
+        };
         let pipeline = Arc::new(RwLock::new(Arc::new(pipeline)));
         let metrics = Arc::new(ServerMetrics::new(config.max_batch_size));
         let breaker = Arc::new(CircuitBreaker::new(
@@ -205,7 +269,8 @@ impl InferenceServer {
             metrics: Arc::clone(&metrics),
             breaker: Arc::clone(&breaker),
             batch_rx,
-            faults,
+            faults: faults.clone(),
+            triage: triage.clone(),
         });
         let (exit_tx, exit_rx) = channel::unbounded::<WorkerExit>();
         let mut worker_handles = Vec::with_capacity(config.workers);
@@ -223,6 +288,8 @@ impl InferenceServer {
             metrics,
             breaker,
             pipeline,
+            triage,
+            faults,
             config,
             batcher_handle: Some(batcher_handle),
             supervisor_handle: Some(supervisor_handle),
@@ -267,6 +334,14 @@ impl InferenceServer {
             self.metrics.record_invalid();
             return Err(error);
         }
+        // Admission-adjacent triage: score before the request can join
+        // a shared batch, so routing is settled at enqueue time. A
+        // detector failure resolves to a fail-open verdict — scoring
+        // can never reject the request.
+        let triage = self
+            .triage
+            .as_ref()
+            .map(|runtime| runtime.score(&image, &self.metrics, &self.faults));
         let slot = ResponseSlot::new();
         let handle = ResponseHandle::new(Arc::clone(&slot));
         let submitted_at = Instant::now();
@@ -276,6 +351,7 @@ impl InferenceServer {
             slot,
             submitted_at,
             deadline: deadline.map(|d| submitted_at + d),
+            triage,
         };
         // Reserve the depth-gauge slot before the request can reach the
         // batcher, so the dequeue decrement can never race ahead of it.
@@ -326,8 +402,20 @@ impl InferenceServer {
     /// this call sees `next` in full, and no request is paused or
     /// dropped while the pointer flips.
     pub fn swap_pipeline(&self, next: InferencePipeline) -> u64 {
+        // The hardened pipeline shares the swapped model: rebuild it
+        // first so no flagged request can observe new weights on the
+        // normal path but old weights on the hardened one for longer
+        // than one in-flight batch.
+        if let Some(triage) = &self.triage {
+            triage.rebuild_hardened(&next);
+        }
         *self.pipeline.write() = Arc::new(next);
         self.metrics.record_swap()
+    }
+
+    /// Whether this server runs the adversarial-detection triage stage.
+    pub fn triage_enabled(&self) -> bool {
+        self.triage.is_some()
     }
 
     /// Hot weight swap from a serialized `FADEMLW2` artifact (see
@@ -571,19 +659,28 @@ fn run_batcher(
     }
 }
 
+/// One request awaiting execution inside a batch: its slot, its
+/// submission time, and the detection annotation (if triaged) to carry
+/// back on the verdict.
+struct Waiter {
+    slot: Arc<ResponseSlot>,
+    submitted_at: Instant,
+    detection: Option<Detection>,
+}
+
 /// Mid-batch drop guard: if the worker dies between dequeue and
 /// delivery — panic, injected kill, anything that unwinds — every
 /// still-unanswered handle in the batch resolves with a typed error
 /// instead of hanging a client forever.
 struct AnswerOnDrop<'a> {
     metrics: &'a ServerMetrics,
-    waiters: &'a [(Arc<ResponseSlot>, Instant)],
+    waiters: &'a [Waiter],
 }
 
 impl Drop for AnswerOnDrop<'_> {
     fn drop(&mut self) {
-        for (slot, _) in self.waiters {
-            if slot.fill(Err(ServeError::BatchFailed {
+        for waiter in self.waiters {
+            if waiter.slot.fill(Err(ServeError::BatchFailed {
                 reason: "worker terminated mid-batch".into(),
             })) {
                 self.metrics.record_failed();
@@ -607,6 +704,8 @@ fn process_batch(shared: &WorkerShared, batch: Batch) {
     let now = Instant::now();
     let mut images = Vec::with_capacity(batch.requests.len());
     let mut waiters = Vec::with_capacity(batch.requests.len());
+    let mut hard_images = Vec::new();
+    let mut hard_waiters = Vec::new();
     for request in batch.requests {
         if let Some(overshoot) = request.overshoot(now) {
             // Expired between dispatch and execution (e.g. behind a
@@ -619,18 +718,39 @@ fn process_batch(shared: &WorkerShared, batch: Batch) {
             }) {
                 shared.metrics.record_failed();
             }
+            continue;
+        }
+        // Flagged requests peel off to the hardened path; everything
+        // else (clean, fail-open, untriaged) stays on the shared batch.
+        let hardened = shared.triage.is_some()
+            && matches!(request.triage, Some(TriageVerdict::Flagged { .. }));
+        let waiter = Waiter {
+            slot: request.slot,
+            submitted_at: request.submitted_at,
+            detection: request.triage.and_then(|t| t.detection(hardened)),
+        };
+        if hardened {
+            hard_images.push(request.image);
+            hard_waiters.push(waiter);
         } else {
             images.push(request.image);
-            waiters.push((request.slot, request.submitted_at));
+            waiters.push(waiter);
         }
     }
-    if waiters.is_empty() {
+    if waiters.is_empty() && hard_waiters.is_empty() {
         return;
     }
 
+    // Both guards are armed before either path executes: a worker kill
+    // mid-way through the normal subset must still answer the hardened
+    // subset (and vice versa) during the unwind.
     let guard = AnswerOnDrop {
         metrics: &shared.metrics,
         waiters: &waiters,
+    };
+    let hard_guard = AnswerOnDrop {
+        metrics: &shared.metrics,
+        waiters: &hard_waiters,
     };
     let mode = shared.breaker.plan_batch();
     // One pipeline snapshot per batch: a concurrent hot swap flips the
@@ -639,11 +759,30 @@ fn process_batch(shared: &WorkerShared, batch: Batch) {
     let pipeline = pipeline_snapshot(&shared.pipeline);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         fault_on_batch_start(&shared.faults);
-        match mode {
-            BatchMode::Batched { probe } => {
-                execute_batched(shared, &pipeline, probe, &images, threat, &waiters)
+        if !waiters.is_empty() {
+            match mode {
+                BatchMode::Batched { probe } => {
+                    execute_batched(shared, &pipeline, probe, &images, threat, &waiters);
+                }
+                BatchMode::PerImage => {
+                    execute_per_image(shared, &pipeline, &images, threat, &waiters, false);
+                }
             }
-            BatchMode::PerImage => execute_per_image(shared, &pipeline, &images, threat, &waiters),
+        }
+        // The hardened subset always runs isolated per-image on the
+        // stronger-filter pipeline, with the filter-bypassing threat
+        // model revoked — the same degraded-mode machinery the circuit
+        // breaker uses, so one adversarial input fails alone.
+        if let (Some(triage), false) = (&shared.triage, hard_waiters.is_empty()) {
+            let hardened = triage.hardened_snapshot();
+            execute_per_image(
+                shared,
+                &hardened,
+                &hard_images,
+                hardened_threat(threat),
+                &hard_waiters,
+                true,
+            );
         }
     }));
     match outcome {
@@ -657,20 +796,21 @@ fn process_batch(shared: &WorkerShared, batch: Batch) {
             let error = ServeError::BatchFailed {
                 reason: panic_message(payload.as_ref()),
             };
-            for (slot, _) in &waiters {
-                if slot.fill(Err(error.clone())) {
+            for waiter in waiters.iter().chain(&hard_waiters) {
+                if waiter.slot.fill(Err(error.clone())) {
                     shared.metrics.record_failed();
                 }
             }
             // An injected worker kill unwinds past the worker loop so
-            // the supervisor's respawn path gets exercised; the guard
-            // (already satisfied above) drops during the unwind.
+            // the supervisor's respawn path gets exercised; the guards
+            // (already satisfied above) drop during the unwind.
             #[cfg(feature = "faults")]
             if faults::is_worker_kill(payload.as_ref()) {
                 std::panic::resume_unwind(payload);
             }
         }
     }
+    drop(hard_guard);
     drop(guard);
 }
 
@@ -685,22 +825,25 @@ fn execute_batched(
     probe: bool,
     images: &[Tensor],
     threat: ThreatModel,
-    waiters: &[(Arc<ResponseSlot>, Instant)],
+    waiters: &[Waiter],
 ) {
     let stacked = match Tensor::stack(images) {
         Ok(stacked) => stacked,
         // Heterogeneous image shapes can't stack; classify each image
         // individually so well-formed requests still succeed.
         Err(_) => {
-            return execute_per_image(shared, pipeline, images, threat, waiters);
+            return execute_per_image(shared, pipeline, images, threat, waiters, false);
         }
     };
     match pipeline.classify_batch(&stacked, threat) {
         Ok(verdicts) => {
             shared.breaker.record_success(probe, &shared.metrics);
-            for (verdict, (slot, submitted_at)) in verdicts.into_iter().zip(waiters) {
-                if slot.fill(Ok(verdict)) {
-                    shared.metrics.record_completed(elapsed_us(*submitted_at));
+            for (mut verdict, waiter) in verdicts.into_iter().zip(waiters) {
+                verdict.detection = waiter.detection;
+                if waiter.slot.fill(Ok(verdict)) {
+                    shared
+                        .metrics
+                        .record_completed(elapsed_us(waiter.submitted_at));
                 }
             }
         }
@@ -710,8 +853,8 @@ fn execute_batched(
             let error = ServeError::Pipeline {
                 message: err.to_string(),
             };
-            for (slot, _) in waiters {
-                if slot.fill(Err(error.clone())) {
+            for waiter in waiters {
+                if waiter.slot.fill(Err(error.clone())) {
                     shared.metrics.record_failed();
                 }
             }
@@ -719,27 +862,39 @@ fn execute_batched(
     }
 }
 
-/// Degraded-mode (and mixed-shape) execution: one image at a time,
-/// each classification wrapped in its own `catch_unwind`, so a single
+/// Isolated per-image execution: one image at a time, each
+/// classification wrapped in its own `catch_unwind`, so a single
 /// poisoned image fails alone instead of taking down its neighbours.
+/// Serves three callers — degraded mode behind the breaker,
+/// mixed-shape fallback, and (with `hardened`) the triage stage's
+/// hardened path, which additionally records the hardened latency
+/// split.
 fn execute_per_image(
     shared: &WorkerShared,
     pipeline: &InferencePipeline,
     images: &[Tensor],
     threat: ThreatModel,
-    waiters: &[(Arc<ResponseSlot>, Instant)],
+    waiters: &[Waiter],
+    hardened: bool,
 ) {
-    for (image, (slot, submitted_at)) in images.iter().zip(waiters) {
-        shared.metrics.record_single_fallback();
+    for (image, waiter) in images.iter().zip(waiters) {
+        if !hardened {
+            shared.metrics.record_single_fallback();
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| pipeline.classify(image, threat)));
         match outcome {
-            Ok(Ok(verdict)) => {
-                if slot.fill(Ok(verdict)) {
-                    shared.metrics.record_completed(elapsed_us(*submitted_at));
+            Ok(Ok(mut verdict)) => {
+                verdict.detection = waiter.detection;
+                if waiter.slot.fill(Ok(verdict)) {
+                    let latency = elapsed_us(waiter.submitted_at);
+                    shared.metrics.record_completed(latency);
+                    if hardened {
+                        shared.metrics.record_hardened(latency);
+                    }
                 }
             }
             Ok(Err(err)) => {
-                if slot.fill(Err(ServeError::Pipeline {
+                if waiter.slot.fill(Err(ServeError::Pipeline {
                     message: err.to_string(),
                 })) {
                     shared.metrics.record_failed();
@@ -747,7 +902,7 @@ fn execute_per_image(
             }
             Err(payload) => {
                 shared.metrics.record_worker_panic();
-                if slot.fill(Err(ServeError::BatchFailed {
+                if waiter.slot.fill(Err(ServeError::BatchFailed {
                     reason: panic_message(payload.as_ref()),
                 })) {
                     shared.metrics.record_failed();
@@ -1022,6 +1177,150 @@ mod tests {
         assert!(matches!(err, ServeError::SwapFailed { .. }), "{err}");
         assert_eq!(server.swap_generation(), 0);
         server.shutdown();
+    }
+
+    fn detector(seed: u64) -> Detector {
+        let config = fademl_detect::DetectorConfig {
+            trees: 16,
+            subsample: 16,
+            scales: 2,
+            seed,
+        };
+        Detector::fit_images(&images(32, seed), &config).unwrap()
+    }
+
+    #[test]
+    fn triage_annotates_clean_verdicts() {
+        // Threshold 1.0: isolation scores are strictly below 1, so
+        // nothing flags and everything serves on the batched path.
+        let server = InferenceServer::start_with_triage(
+            pipeline(),
+            ServerConfig::default(),
+            detector(40),
+            TriageConfig {
+                threshold: 1.0,
+                ..TriageConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(server.triage_enabled());
+        for img in images(4, 41) {
+            let verdict = server.classify(img, ThreatModel::II).unwrap();
+            let detection = verdict.detection.expect("triaged verdicts are annotated");
+            assert!(!detection.flagged);
+            assert!(!detection.hardened);
+            assert!((0.0..1.0).contains(&detection.score));
+        }
+        let report = server.shutdown();
+        let d = report.detection.expect("triage section present");
+        assert_eq!(d.clean, 4);
+        assert_eq!(d.flagged, 0);
+        assert_eq!(d.hardened_served, 0);
+        assert_eq!(
+            d.fail_open_panics + d.fail_open_timeouts + d.fail_open_errors,
+            0
+        );
+    }
+
+    #[test]
+    fn flagged_requests_take_hardened_path() {
+        // Threshold 0.0 flags everything: every request must be served
+        // through the stronger filter with TM-I escalated to TM-III.
+        let hardened_filter = Spec::Lap { np: 32 };
+        let mut rng = TensorRng::seed_from_u64(1);
+        let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        let reference = InferencePipeline::new(model, hardened_filter).unwrap();
+        let server = InferenceServer::start_with_triage(
+            pipeline(),
+            ServerConfig::default(),
+            detector(42),
+            TriageConfig {
+                threshold: 0.0,
+                hardened_filter,
+                ..TriageConfig::default()
+            },
+        )
+        .unwrap();
+        let imgs = images(3, 43);
+        for img in &imgs {
+            let verdict = server.classify(img.clone(), ThreatModel::I).unwrap();
+            let detection = verdict.detection.expect("flagged verdicts are annotated");
+            assert!(detection.flagged);
+            assert!(detection.hardened);
+            let direct = reference.classify(img, ThreatModel::III).unwrap();
+            assert_eq!(verdict.class, direct.class);
+            assert_eq!(verdict.probabilities, direct.probabilities);
+        }
+        let report = server.shutdown();
+        let d = report.detection.expect("triage section present");
+        assert_eq!(d.flagged, 3);
+        assert_eq!(d.hardened_served, 3);
+        assert_eq!(report.requests_completed, 3);
+        assert_eq!(report.requests_failed, 0);
+        // Hardened execution is per-image but is not degraded-mode
+        // accounting: the breaker never opened.
+        assert_eq!(report.single_image_fallbacks, 0);
+        assert!(!report.degraded_now);
+    }
+
+    #[test]
+    fn swap_rebuilds_hardened_pipeline() {
+        let hardened_filter = Spec::Lap { np: 32 };
+        let server = InferenceServer::start_with_triage(
+            pipeline(),
+            ServerConfig::default(),
+            detector(44),
+            TriageConfig {
+                threshold: 0.0,
+                hardened_filter,
+                ..TriageConfig::default()
+            },
+        )
+        .unwrap();
+        let img = images(1, 45).pop().unwrap();
+        let before = server.classify(img.clone(), ThreatModel::III).unwrap();
+
+        let mut rng = TensorRng::seed_from_u64(99);
+        let other = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+        let reference = InferencePipeline::new(other.clone(), hardened_filter).unwrap();
+        let artifact = fademl::serialize::encode_weights(&other);
+        server.swap_weights(&artifact).unwrap();
+
+        // The hardened path must serve the swapped weights, not the
+        // generation the server started with.
+        let after = server.classify(img.clone(), ThreatModel::III).unwrap();
+        let direct = reference.classify(&img, ThreatModel::III).unwrap();
+        assert_eq!(after.class, direct.class);
+        assert_eq!(after.probabilities, direct.probabilities);
+        assert_ne!(before.probabilities, after.probabilities);
+        server.shutdown();
+    }
+
+    #[test]
+    fn plain_server_reports_no_detection_section() {
+        let server = InferenceServer::start(pipeline(), ServerConfig::default()).unwrap();
+        assert!(!server.triage_enabled());
+        let verdict = server
+            .classify(images(1, 46).pop().unwrap(), ThreatModel::I)
+            .unwrap();
+        assert!(verdict.detection.is_none());
+        assert!(server.shutdown().detection.is_none());
+    }
+
+    #[test]
+    fn invalid_triage_config_refused() {
+        assert!(matches!(
+            InferenceServer::start_with_triage(
+                pipeline(),
+                ServerConfig::default(),
+                detector(47),
+                TriageConfig {
+                    threshold: f32::NAN,
+                    ..TriageConfig::default()
+                },
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Chaos tests for the adversarial-detection triage stage
+//! (`--features faults`).
+//!
+//! The stage-specific invariant on top of the engine-wide one: the
+//! detector can *never* fail a request. A scoring panic, typed error,
+//! or blown latency budget resolves to a fail-open verdict and
+//! normal-path service; the request still completes (or fails for an
+//! unrelated, typed reason). Zero panics escape triage.
+
+#![cfg(feature = "faults")]
+
+use std::time::Duration;
+
+use fademl::{InferencePipeline, ThreatModel};
+use fademl_detect::{Detector, DetectorConfig};
+use fademl_filters::FilterSpec as Spec;
+use fademl_nn::vgg::VggConfig;
+use fademl_serve::{
+    FaultPlan, InferenceServer, ResponseHandle, ServeError, ServerConfig, TriageConfig,
+};
+use fademl_tensor::{Tensor, TensorRng};
+
+/// Generous bound for "resolves": far above any real processing time,
+/// far below a hung test.
+const RESOLVE_WITHIN: Duration = Duration::from_secs(30);
+
+fn pipeline() -> InferencePipeline {
+    let mut rng = TensorRng::seed_from_u64(1);
+    let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+    InferencePipeline::new(model, Spec::Lap { np: 8 }).unwrap()
+}
+
+fn images(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| rng.uniform(&[3, 16, 16], 0.0, 1.0))
+        .collect()
+}
+
+fn detector(seed: u64) -> Detector {
+    let config = DetectorConfig {
+        trees: 16,
+        subsample: 16,
+        scales: 2,
+        seed,
+    };
+    Detector::fit_images(&images(32, seed), &config).unwrap()
+}
+
+/// One worker, small batches: sequence numbers are deterministic.
+fn single_worker_config() -> ServerConfig {
+    ServerConfig {
+        queue_capacity: 64,
+        max_batch_size: 2,
+        linger_us: 20_000,
+        workers: 1,
+        ..ServerConfig::default()
+    }
+}
+
+/// Flag everything: every successfully scored request takes the
+/// hardened path, maximizing triage surface under chaos.
+fn flag_all() -> TriageConfig {
+    TriageConfig {
+        threshold: 0.0,
+        ..TriageConfig::default()
+    }
+}
+
+fn resolve(handle: ResponseHandle) -> Result<fademl::Verdict, ServeError> {
+    handle
+        .wait_timeout(RESOLVE_WITHIN)
+        .expect("handle must resolve, not hang")
+}
+
+#[test]
+fn detector_panic_fails_open_never_fails_the_request() {
+    let server = InferenceServer::start_with_triage_and_faults(
+        pipeline(),
+        single_worker_config(),
+        detector(10),
+        flag_all(),
+        FaultPlan::new().panic_on_score(2),
+    )
+    .unwrap();
+    let imgs = images(3, 11);
+    let handles: Vec<_> = imgs
+        .into_iter()
+        .map(|img| server.submit(img, ThreatModel::I).unwrap())
+        .collect();
+    let verdicts: Vec<_> = handles
+        .into_iter()
+        .map(|h| resolve(h).expect("fail-open must still serve"))
+        .collect();
+    // Scores 1 and 3 flagged → hardened; score 2 panicked → fail-open,
+    // served unannotated on the normal path.
+    assert!(verdicts[0].detection.expect("scored").hardened);
+    assert!(verdicts[1].detection.is_none());
+    assert!(verdicts[2].detection.expect("scored").hardened);
+    let report = server.shutdown();
+    let d = report.detection.expect("triage ran");
+    assert_eq!(d.fail_open_panics, 1);
+    assert_eq!(d.flagged, 2);
+    assert_eq!(d.hardened_served, 2);
+    assert_eq!(report.requests_completed, 3);
+    assert_eq!(report.requests_failed, 0);
+    // The panic was absorbed inside triage, not attributed to workers.
+    assert_eq!(report.worker_panics, 0);
+}
+
+#[test]
+fn blown_score_budget_fails_open_with_typed_timeout() {
+    let server = InferenceServer::start_with_triage_and_faults(
+        pipeline(),
+        single_worker_config(),
+        detector(20),
+        TriageConfig {
+            threshold: 0.0,
+            score_budget_us: 1_000,
+            ..TriageConfig::default()
+        },
+        FaultPlan::new().delay_score(1, Duration::from_millis(50)),
+    )
+    .unwrap();
+    let mut imgs = images(2, 21).into_iter();
+    let slow = resolve(
+        server
+            .submit(imgs.next().unwrap(), ThreatModel::II)
+            .unwrap(),
+    )
+    .expect("timeout fails open, request still serves");
+    assert!(slow.detection.is_none());
+    let fast = resolve(
+        server
+            .submit(imgs.next().unwrap(), ThreatModel::II)
+            .unwrap(),
+    )
+    .expect("unscathed request serves");
+    assert!(fast.detection.expect("scored in budget").flagged);
+    let report = server.shutdown();
+    let d = report.detection.expect("triage ran");
+    assert_eq!(d.fail_open_timeouts, 1);
+    assert_eq!(d.flagged, 1);
+    assert_eq!(report.requests_failed, 0);
+}
+
+#[test]
+fn every_scoring_attempt_poisoned_still_serves_everything() {
+    let mut plan = FaultPlan::new();
+    for seq in 1..=6 {
+        plan = plan.panic_on_score(seq);
+    }
+    let server = InferenceServer::start_with_triage_and_faults(
+        pipeline(),
+        single_worker_config(),
+        detector(30),
+        flag_all(),
+        plan,
+    )
+    .unwrap();
+    let handles: Vec<_> = images(6, 31)
+        .into_iter()
+        .map(|img| server.submit(img, ThreatModel::III).unwrap())
+        .collect();
+    for handle in handles {
+        let verdict = resolve(handle).expect("total detector loss must not fail requests");
+        assert!(verdict.detection.is_none());
+    }
+    let report = server.shutdown();
+    let d = report.detection.expect("triage ran");
+    assert_eq!(d.fail_open_panics, 6);
+    assert_eq!(d.clean + d.flagged, 0);
+    assert_eq!(d.hardened_served, 0);
+    assert_eq!(report.requests_completed, 6);
+    assert_eq!(report.requests_failed, 0);
+}
+
+#[test]
+fn hardened_path_survives_injected_batch_panic() {
+    // The batch-start panic fires while the batch holds hardened
+    // requests: both subsets must resolve with the typed batch error.
+    let server = InferenceServer::start_with_triage_and_faults(
+        pipeline(),
+        single_worker_config(),
+        detector(40),
+        flag_all(),
+        FaultPlan::new().panic_on_batch(1),
+    )
+    .unwrap();
+    let mut imgs = images(4, 41).into_iter();
+    let h1 = server.submit(imgs.next().unwrap(), ThreatModel::I).unwrap();
+    let h2 = server.submit(imgs.next().unwrap(), ThreatModel::I).unwrap();
+    for handle in [h1, h2] {
+        match resolve(handle) {
+            Err(ServeError::BatchFailed { reason }) => {
+                assert!(reason.contains("injected panic"), "reason: {reason}");
+            }
+            other => panic!("expected BatchFailed, got {other:?}"),
+        }
+    }
+    // The worker survived; later flagged requests serve hardened.
+    let h3 = server.submit(imgs.next().unwrap(), ThreatModel::I).unwrap();
+    let verdict = resolve(h3).expect("worker recovered");
+    assert!(verdict.detection.expect("scored").hardened);
+    server.shutdown();
+}
+
+#[test]
+fn worker_kill_with_hardened_requests_in_flight_resolves_all() {
+    let server = InferenceServer::start_with_triage_and_faults(
+        pipeline(),
+        single_worker_config(),
+        detector(50),
+        flag_all(),
+        FaultPlan::new().kill_worker_on_batch(1),
+    )
+    .unwrap();
+    let handles: Vec<_> = images(6, 51)
+        .into_iter()
+        .map(|img| server.submit(img, ThreatModel::I).unwrap())
+        .collect();
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    for handle in handles {
+        match resolve(handle) {
+            Ok(_) => completed += 1,
+            Err(ServeError::BatchFailed { .. }) => failed += 1,
+            Err(other) => panic!("unexpected error under worker kill: {other:?}"),
+        }
+    }
+    assert_eq!(completed + failed, 6);
+    assert!(failed >= 1, "the killed batch must fail typed");
+    assert!(completed >= 1, "the respawned worker must serve the rest");
+    let report = server.shutdown();
+    assert_eq!(report.workers_respawned, 1);
+    assert_eq!(
+        report.requests_completed + report.requests_failed,
+        report.requests_submitted
+    );
+}
+
+#[test]
+fn combined_chaos_preserves_the_resolve_invariant() {
+    // Score panics + batch panic + worker kill + dequeue stall, all on
+    // one schedule: nothing hangs, everything resolves typed.
+    let server = InferenceServer::start_with_triage_and_faults(
+        pipeline(),
+        single_worker_config(),
+        detector(60),
+        TriageConfig {
+            threshold: 0.5,
+            ..TriageConfig::default()
+        },
+        FaultPlan::new()
+            .panic_on_score(2)
+            .panic_on_score(5)
+            .panic_on_batch(2)
+            .kill_worker_on_batch(4)
+            .stall_dequeue(3, Duration::from_millis(5)),
+    )
+    .unwrap();
+    let handles: Vec<_> = images(12, 61)
+        .into_iter()
+        .enumerate()
+        .map(|(i, img)| {
+            let threat = ThreatModel::ALL[i % 3];
+            server.submit(img, threat).unwrap()
+        })
+        .collect();
+    for handle in handles {
+        match resolve(handle) {
+            Ok(_) => {}
+            Err(
+                ServeError::BatchFailed { .. }
+                | ServeError::Pipeline { .. }
+                | ServeError::DeadlineExceeded { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error under chaos: {other:?}"),
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(
+        report.requests_completed + report.requests_failed,
+        report.requests_submitted
+    );
+    let d = report.detection.expect("triage ran");
+    assert_eq!(d.fail_open_panics, 2);
+    assert_eq!(d.clean + d.flagged, 10);
+}
