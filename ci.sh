@@ -10,8 +10,28 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> fademl-lint (lock-order, panic-surface, invariants)"
+echo "==> fademl-lint self-check suite (unit, property-fuzz, seeded violations)"
+cargo test -q -p fademl-lint
+
+echo "==> fademl-lint (8 passes: locks, panics, invariants, unsafe, hot-alloc, lock-io, swallowed, wire-cap)"
+lint_started=$(date +%s)
 cargo run -p fademl-lint --release
+lint_elapsed=$(( $(date +%s) - lint_started ))
+
+echo "==> fademl-lint wall-clock budget (analysis must stay fast enough to never be skipped)"
+# Generous bound: the full 8-pass run takes well under a second; the
+# budget catches an accidental quadratic blow-up, not normal variance.
+if [ "$lint_elapsed" -gt 30 ]; then
+  echo "fademl-lint took ${lint_elapsed}s (> 30s budget)" >&2
+  exit 1
+fi
+echo "    ${lint_elapsed}s (budget 30s); per-pass timings in results/lint_stats.txt"
+
+echo "==> fademl-lint artifacts are committed fresh"
+git diff --exit-code -- results/lint.json lint.allow || {
+  echo "results/lint.json or lint.allow is stale — rerun cargo run -p fademl-lint and commit" >&2
+  exit 1
+}
 
 echo "==> cargo build --release"
 cargo build --release --workspace

@@ -226,9 +226,9 @@ impl ExperimentSetup {
         let mut trainer = Trainer::new(self.train.clone());
         let history = trainer.fit(&mut model, split.train.images(), split.train.labels())?;
         if self.cache_weights {
-            // Best-effort cache write; a failure only costs future time.
             // save_weights_to_path stages and renames internally, so
             // concurrent readers never see a half-written file.
+            // best-effort: a failed cache write only costs future time.
             let _ = serialize::save_weights_to_path(&model, self.cache_path());
         }
         Ok(PreparedSetup {

@@ -17,10 +17,12 @@ use std::collections::BTreeMap;
 
 use crate::report::{Finding, GroupSummary, LintReport};
 
-/// Parsed allowlist: `(rule, path) -> (budget, justification)`.
+/// Parsed allowlist: `rule → path → (budget, justification)`. The
+/// nesting (rather than a `(String, String)` key) lets [`Baseline::budget`]
+/// look up with borrowed `&str`s — zero allocations per query.
 #[derive(Debug, Clone, Default)]
 pub struct Baseline {
-    entries: BTreeMap<(String, String), (usize, String)>,
+    entries: BTreeMap<String, BTreeMap<String, (usize, String)>>,
 }
 
 impl Baseline {
@@ -33,7 +35,7 @@ impl Baseline {
     /// Returns the 1-indexed line and a description for the first
     /// malformed entry.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut entries = BTreeMap::new();
+        let mut entries: BTreeMap<String, BTreeMap<String, (usize, String)>> = BTreeMap::new();
         for (idx, raw) in text.lines().enumerate() {
             let (entry, comment) = match raw.split_once('#') {
                 Some((e, c)) => (e.trim(), c.trim().to_string()),
@@ -54,7 +56,10 @@ impl Baseline {
             let count: usize = count
                 .parse()
                 .map_err(|_| format!("lint.allow:{}: `{count}` is not a count", idx + 1))?;
-            entries.insert((rule.to_string(), path.to_string()), (count, comment));
+            entries
+                .entry(rule.to_string())
+                .or_default()
+                .insert(path.to_string(), (count, comment));
         }
         Ok(Baseline { entries })
     }
@@ -62,8 +67,17 @@ impl Baseline {
     /// Budget for a `(rule, path)` group; absent entries allow nothing.
     pub fn budget(&self, rule: &str, path: &str) -> usize {
         self.entries
-            .get(&(rule.to_string(), path.to_string()))
+            .get(rule)
+            .and_then(|paths| paths.get(path))
             .map_or(0, |(n, _)| *n)
+    }
+
+    /// The justification comment for a `(rule, path)` entry, if any.
+    fn comment(&self, rule: &str, path: &str) -> Option<&str> {
+        self.entries
+            .get(rule)
+            .and_then(|paths| paths.get(path))
+            .map(|(_, c)| c.as_str())
     }
 
     /// Applies the baseline to raw findings, producing the report.
@@ -103,26 +117,28 @@ impl Baseline {
         // Baseline entries with slack (or whose file no longer yields
         // findings at all) — candidates for tightening.
         let mut ratchet_slack = Vec::new();
-        for ((rule, path), (budget, _)) in &self.entries {
-            let found = groups
-                .iter()
-                .find(|g| &g.rule == rule && &g.path == path)
-                .map_or(0, |g| g.found);
-            if found < *budget {
-                ratchet_slack.push(GroupSummary {
-                    rule: rule.clone(),
-                    path: path.clone(),
-                    found,
-                    allowed: *budget,
-                    new: 0,
-                });
+        for (rule, paths) in &self.entries {
+            for (path, (budget, _)) in paths {
+                let found = groups
+                    .iter()
+                    .find(|g| &g.rule == rule && &g.path == path)
+                    .map_or(0, |g| g.found);
+                if found < *budget {
+                    ratchet_slack.push(GroupSummary {
+                        rule: rule.clone(),
+                        path: path.clone(),
+                        found,
+                        allowed: *budget,
+                        new: 0,
+                    });
+                }
             }
         }
         new_finding_details
             .sort_by(|a, b| (&a.rule, &a.path, a.line).cmp(&(&b.rule, &b.path, b.line)));
         let new_findings = total - baselined;
         LintReport {
-            schema: 1,
+            schema: 2,
             files_scanned,
             total_findings: total,
             baselined,
@@ -135,19 +151,18 @@ impl Baseline {
 
     /// Renders an allowlist matching the given findings exactly,
     /// preserving justification comments of surviving entries
-    /// (`--update-baseline`).
+    /// (`--update-baseline`). Running it twice is byte-idempotent: the
+    /// output depends only on the findings and surviving comments.
     pub fn regenerate(&self, findings: &[Finding], header: &str) -> String {
-        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
         for f in findings {
-            *counts.entry((f.rule.clone(), f.path.clone())).or_default() += 1;
+            *counts
+                .entry((f.rule.as_str(), f.path.as_str()))
+                .or_default() += 1;
         }
         let mut out = String::from(header);
         for ((rule, path), count) in counts {
-            let comment = self
-                .entries
-                .get(&(rule.clone(), path.clone()))
-                .map(|(_, c)| c.as_str())
-                .unwrap_or("");
+            let comment = self.comment(rule, path).unwrap_or("");
             if comment.is_empty() {
                 out.push_str(&format!("{rule} {path} {count}\n"));
             } else {
@@ -231,5 +246,15 @@ mod tests {
         );
         assert!(text.contains("unwrap a.rs 1  # proven"));
         assert!(text.contains("index b.rs 1\n"));
+    }
+
+    #[test]
+    fn regenerate_is_idempotent() {
+        let b = Baseline::parse("unwrap a.rs 9  # proven\nindex gone.rs 2  # stale\n").unwrap();
+        let findings = [finding("unwrap", "a.rs", 1), finding("index", "b.rs", 2)];
+        let first = b.regenerate(&findings, "# hdr\n");
+        let reparsed = Baseline::parse(&first).unwrap();
+        let second = reparsed.regenerate(&findings, "# hdr\n");
+        assert_eq!(first, second);
     }
 }

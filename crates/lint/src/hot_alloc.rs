@@ -1,0 +1,179 @@
+//! Pass — `hot-path-alloc`: the measured allocation debt ROADMAP
+//! item 2 (shape-keyed kernel selection + scratch arenas) pays down.
+//!
+//! The serve worker loop (`process_batch`) is the root. Every function
+//! reachable from it through the [`Policy::Permissive`] workspace call
+//! graph and living in the compute crates ([`SINK_SCOPE`]) is audited
+//! for allocation calls: `Vec::new` / `Box::new` / `vec![…]` /
+//! `to_vec` / `with_capacity` / `collect` / `clone`. Each site is one
+//! finding, ratcheted through `lint.allow` — the budget is today's
+//! im2col/packing scratch, and the scratch-arena refactor shrinks it.
+//!
+//! Scoping the *sinks* to the compute crates is deliberate: batch
+//! assembly in `crates/serve` allocates once per request by design
+//! (response vectors, wire frames), while per-call allocation inside
+//! the kernels is the steady-state cost the arena removes. `Arc::clone`
+//! / `Rc::clone` are refcount bumps, not allocations, and are exempt.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{is_test_fn, CallGraph};
+use crate::ir::{Ir, Receiver};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Reachability roots: the serve worker batch loop.
+pub const ROOTS: &[&str] = &["process_batch"];
+
+/// Where allocation findings are reported: the compute crates that
+/// run per-batch work, plus the pipeline glue.
+pub const SINK_SCOPE: &[&str] = &[
+    "crates/tensor/src/",
+    "crates/nn/src/",
+    "crates/filters/src/",
+    "crates/detect/src/",
+    "crates/core/src/pipeline.rs",
+];
+
+/// Method-style allocation calls (any receiver).
+const ALLOC_METHODS: &[&str] = &["to_vec", "with_capacity", "collect"];
+
+/// Runs the allocation audit. `graph` must be the whole-workspace
+/// permissive call graph built from `ir`.
+pub fn audit(ir: &Ir, files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
+    let hot: BTreeSet<String> = graph.reachable(ROOTS.iter().copied());
+    let mut findings = Vec::new();
+    for (fi, file) in ir.files.iter().enumerate() {
+        if !SINK_SCOPE.iter().any(|p| file.path.starts_with(p)) {
+            continue;
+        }
+        for f in &file.fns {
+            if !hot.contains(&f.name) || is_test_fn(&files[fi], f) {
+                continue;
+            }
+            for stmt in f.stmts() {
+                for call in &stmt.calls {
+                    if let Some(what) = alloc_kind(call) {
+                        findings.push(Finding::new(
+                            "hot-path-alloc",
+                            &file.path,
+                            call.line,
+                            format!(
+                                "`{what}` in `{}`, reachable from the serve worker \
+                                 loop — scratch-arena debt (ROADMAP item 2)",
+                                f.name
+                            ),
+                            raw_line(&files[fi], call.line),
+                        ));
+                    }
+                }
+                if stmt.text.contains("vec![") || stmt.text.contains("vec!(") {
+                    findings.push(Finding::new(
+                        "hot-path-alloc",
+                        &file.path,
+                        stmt.line,
+                        format!(
+                            "`vec![…]` in `{}`, reachable from the serve worker \
+                             loop — scratch-arena debt (ROADMAP item 2)",
+                            f.name
+                        ),
+                        raw_line(&files[fi], stmt.line),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn raw_line(file: &SourceFile, line: usize) -> &str {
+    file.lines
+        .get(line.wrapping_sub(1))
+        .map_or("", |l| l.raw.as_str())
+}
+
+/// Classifies an allocating call site, exempting refcount clones.
+fn alloc_kind(call: &crate::ir::CallSite) -> Option<String> {
+    match (call.name.as_str(), &call.recv) {
+        ("new", Receiver::Path(seg)) if seg == "Vec" || seg == "Box" || seg == "String" => {
+            Some(format!("{seg}::new"))
+        }
+        ("clone", Receiver::Path(seg)) if seg == "Arc" || seg == "Rc" => None,
+        ("clone", _) => Some(".clone()".to_string()),
+        (m, _) if ALLOC_METHODS.contains(&m) => Some(format!(".{m}()")),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::Policy;
+
+    fn run(paths_srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = paths_srcs
+            .iter()
+            .map(|(p, s)| SourceFile::from_source(*p, s))
+            .collect();
+        let ir = Ir::parse(&files);
+        let graph = CallGraph::build(&ir, &files, &[], Policy::Permissive);
+        audit(&ir, &files, &graph)
+    }
+
+    #[test]
+    fn allocation_reachable_from_worker_loop_is_flagged() {
+        let found = run(&[
+            (
+                "crates/serve/src/server.rs",
+                "fn process_batch(p: &P) { p.classify_batch(); }\n",
+            ),
+            (
+                "crates/core/src/pipeline.rs",
+                "fn classify_batch() { kernel(); }\n",
+            ),
+            (
+                "crates/tensor/src/kernels.rs",
+                "fn kernel() {\n    let scratch = Vec::with_capacity(64);\n    let v = vec![0.0; 8];\n}\n",
+            ),
+        ]);
+        let rules: Vec<_> = found.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+        assert_eq!(
+            rules,
+            vec![("hot-path-alloc", 2), ("hot-path-alloc", 3)],
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_and_out_of_scope_allocations_are_ignored() {
+        let found = run(&[
+            (
+                "crates/serve/src/server.rs",
+                "fn process_batch(p: &P) { run(); }\nfn assemble() { let v: Vec<u8> = Vec::new(); }\n",
+            ),
+            (
+                "crates/tensor/src/kernels.rs",
+                "fn cold() { let v = Vec::with_capacity(4); }\nfn run() {}\n",
+            ),
+        ]);
+        // `assemble` is in serve (out of sink scope) and `cold` is not
+        // reachable from the loop.
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn arc_clone_is_exempt_but_deep_clone_is_not() {
+        let found = run(&[
+            (
+                "crates/serve/src/server.rs",
+                "fn process_batch(p: &P) { kernel(); }\n",
+            ),
+            (
+                "crates/nn/src/model.rs",
+                "fn kernel(w: &W) {\n    let shared = Arc::clone(&w.arc);\n    let copy = w.tensor.clone();\n}\n",
+            ),
+        ]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3);
+    }
+}

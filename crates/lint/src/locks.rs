@@ -1,61 +1,36 @@
-//! Pass 1 — lock-order deadlock detection over `crates/serve` and
-//! `crates/net`.
+//! Pass 1 — lock-order deadlock detection over the detector, the
+//! serving engine, and the network front.
 //!
-//! Every `Mutex`/`RwLock` acquisition site (`.lock()` / `.read()` /
-//! `.write()`, parking_lot and std alike) is extracted per function.
-//! A guard bound with `let` is treated as held until the end of its
-//! function (a deliberate over-approximation); a temporary guard is
-//! held for the rest of its source line. Acquiring lock B while A is
-//! held adds the order edge `A → B`; calls to intra-crate functions
-//! (free functions, `Type::fn`, and `self.method(…)`) propagate the
-//! callee's transitively-acquired locks under the caller's held set.
-//! Any cycle in the resulting lock-order graph is a potential deadlock
-//! and is reported with the source location of every edge.
+//! Rebuilt on the shared IR ([`crate::ir`]) and call graph
+//! ([`crate::callgraph`]): every `Mutex`/`RwLock` acquisition site
+//! (`.lock()` / `.read()` / `.write()`, parking_lot and std alike) is
+//! found by the guard-liveness walker in [`crate::guards`] — a
+//! `let`-bound guard is held until the end of its enclosing block (or
+//! an explicit `drop(g)`), a temporary guard for its statement. While
+//! A is held, acquiring B adds the order edge `A → B`; calls resolved
+//! under [`Policy::Strict`] propagate the callee's transitively-
+//! acquired locks under the caller's held set. Any cycle in the
+//! resulting lock-order graph is a potential deadlock and is reported
+//! with the source location of every edge; re-acquiring a held lock is
+//! `lock-held-twice`.
 //!
-//! Known limitations (see DESIGN.md §11): locks are identified by
-//! field/variable name, method calls through non-`self` receivers are
-//! not resolved, and guards dropped early (`drop(g)`, inner scopes)
-//! still count as held.
+//! Known limitations (see DESIGN.md §11/§16): locks are identified by
+//! field/variable name, and method calls through non-`self` receivers
+//! are not resolved (deliberately — see the condvar notes in
+//! [`crate::callgraph`]).
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{is_test_fn, resolves, CallGraph, Policy};
+use crate::guards::{walk_fn, Event, ACQUIRE_METHODS};
+use crate::ir::Ir;
 use crate::report::Finding;
-use crate::source::{is_ident_byte, SourceFile};
+use crate::source::SourceFile;
 
 /// Default lock-analysis scope: the admission detector, the serving
 /// engine and the network front (router health state, connection
 /// registry, quota buckets).
 pub const LOCK_SCOPE: &[&str] = &["crates/detect/src/", "crates/serve/src/", "crates/net/src/"];
-
-/// One lock acquisition site.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Acquire {
-    lock: String,
-    path: String,
-    line: usize,
-    binds_guard: bool,
-}
-
-/// One intra-crate call site.
-#[derive(Debug, Clone)]
-struct Call {
-    callee: String,
-    path: String,
-    line: usize,
-}
-
-#[derive(Debug, Clone)]
-enum Event {
-    Acquire(Acquire),
-    Call(Call),
-}
-
-/// One function with its ordered acquisition/call events.
-#[derive(Debug, Clone)]
-struct FnBody {
-    name: String,
-    events: Vec<Event>,
-}
 
 /// A directed lock-order edge with provenance.
 #[derive(Debug, Clone)]
@@ -70,290 +45,37 @@ struct Edge {
 }
 
 /// Runs the lock-order analysis over every file inside `scope`.
-pub fn analyze(files: &[SourceFile], scope: &[&str]) -> Vec<Finding> {
-    let in_scope: Vec<&SourceFile> = files
-        .iter()
-        .filter(|f| scope.iter().any(|p| f.path.starts_with(p)))
-        .collect();
-    let mut functions: Vec<FnBody> = Vec::new();
-    for file in &in_scope {
-        extract_functions(file, &mut functions);
-    }
-    let fn_names: BTreeSet<&str> = functions.iter().map(|f| f.name.as_str()).collect();
+pub fn analyze(ir: &Ir, files: &[SourceFile], scope: &[&str]) -> Vec<Finding> {
+    let graph = CallGraph::build(ir, files, scope, Policy::Strict);
 
     // Transitive lock set per function name (names merged across
     // impls — a conservative over-approximation).
-    let mut reach: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for f in &functions {
-        let entry = reach.entry(f.name.clone()).or_default();
-        for e in &f.events {
-            if let Event::Acquire(a) = e {
-                entry.insert(a.lock.clone());
+    let mut seed: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for_each_fn(ir, files, scope, |_, f| {
+        let entry = seed.entry(f.name.clone()).or_default();
+        walk_fn(f, &mut |_, ev| {
+            if let Event::Acquire(h) = ev {
+                entry.insert(h.lock.clone());
             }
-        }
-    }
-    loop {
-        let mut changed = false;
-        for f in &functions {
-            let mut add: BTreeSet<String> = BTreeSet::new();
-            for e in &f.events {
-                if let Event::Call(c) = e {
-                    if let Some(locks) = reach.get(&c.callee) {
-                        add.extend(locks.iter().cloned());
-                    }
-                }
-            }
-            let entry = reach.entry(f.name.clone()).or_default();
-            for lock in add {
-                changed |= entry.insert(lock);
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+        });
+    });
+    let reach = graph.propagate(seed);
 
     let mut findings = Vec::new();
     let mut edges: Vec<Edge> = Vec::new();
-    for f in &functions {
-        collect_edges(f, &fn_names, &reach, &mut edges, &mut findings);
-    }
-    report_cycles(&edges, &mut findings);
-    findings
-}
-
-/// Walks one file, attributing events to the innermost enclosing `fn`.
-fn extract_functions(file: &SourceFile, out: &mut Vec<FnBody>) {
-    // (fn name, body-open depth) — a stack for nested fns/closures.
-    let mut stack: Vec<(String, usize, Vec<Event>)> = Vec::new();
-    // A `fn` header seen, waiting for its body `{` at paren depth 0.
-    let mut pending: Option<String> = None;
-    let mut brace_depth: usize = 0;
-    let mut paren_depth: usize = 0;
-    let mut prev_code = String::new();
-    // Whether the statement continuing onto the current line opened
-    // with `let` (so a `.lock()` further down the chain binds a guard).
-    let mut stmt_let = false;
-    for (line_no, line) in file.code_lines() {
-        let code = line.code.as_str();
-        scan_events(file, line_no, code, &prev_code, stmt_let, &mut stack);
-        let trimmed = code.trim_end();
-        if !trimmed.trim().is_empty() {
-            prev_code = code.to_string();
-            if trimmed.ends_with(';') || trimmed.ends_with('{') || trimmed.ends_with('}') {
-                stmt_let = false;
-            } else if code.contains("let ") {
-                stmt_let = true;
-            }
-        }
-        let bytes = code.as_bytes();
-        let mut i = 0;
-        while i < bytes.len() {
-            if bytes[i] == b'f'
-                && code[i..].starts_with("fn ")
-                && (i == 0 || !is_ident_byte(bytes[i - 1]))
-            {
-                let name: String = code[i + 3..]
-                    .chars()
-                    .take_while(|c| is_ident_byte(*c as u8))
-                    .collect();
-                if !name.is_empty() {
-                    pending = Some(name);
-                    paren_depth = 0;
-                }
-                i += 3;
-                continue;
-            }
-            match bytes[i] {
-                b'(' => paren_depth += 1,
-                b')' => paren_depth = paren_depth.saturating_sub(1),
-                b'{' => {
-                    brace_depth += 1;
-                    if paren_depth == 0 {
-                        if let Some(name) = pending.take() {
-                            stack.push((name, brace_depth, Vec::new()));
-                        }
-                    }
-                }
-                b'}' => {
-                    if stack.last().is_some_and(|(_, d, _)| *d == brace_depth) {
-                        if let Some((name, _, events)) = stack.pop() {
-                            out.push(FnBody { name, events });
-                        }
-                    }
-                    brace_depth = brace_depth.saturating_sub(1);
-                }
-                b';' if paren_depth == 0 => {
-                    // `fn f();` in a trait — no body follows.
-                    pending = None;
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-    }
-    // Unbalanced braces (shouldn't happen on valid code): flush.
-    while let Some((name, _, events)) = stack.pop() {
-        out.push(FnBody { name, events });
-    }
-}
-
-/// Finds acquisition and call sites on one line, attributing them to
-/// the innermost open function.
-fn scan_events(
-    file: &SourceFile,
-    line_no: usize,
-    code: &str,
-    prev_code: &str,
-    stmt_let: bool,
-    stack: &mut [(String, usize, Vec<Event>)],
-) {
-    let Some((_, _, events)) = stack.last_mut() else {
-        return;
-    };
-    let bytes = code.as_bytes();
-    for method in ["lock", "read", "write"] {
-        let pat = format!(".{method}()");
-        let mut from = 0;
-        while let Some(rel) = code[from..].find(&pat) {
-            let idx = from + rel;
-            // Receiver on this line, or — for rustfmt'd chains like
-            // `self.outcome\n    .lock()` — the tail of the previous line.
-            let binds_guard = stmt_let || code[..idx].contains("let ");
-            let receiver = match receiver_name(code, idx) {
-                Some(name) => Some(name),
-                None if code[..idx].trim().is_empty() => trailing_ident(prev_code),
-                None => None,
-            };
-            if let Some(lock) = receiver {
-                events.push(Event::Acquire(Acquire {
-                    lock,
-                    path: file.path.clone(),
-                    line: line_no,
-                    binds_guard,
-                }));
-            }
-            from = idx + pat.len();
-        }
-    }
-    // Call sites: `name(` where name is a plain identifier reached via
-    // a path (`Type::name`), `self.name`, or nothing (free function).
-    let mut i = 0;
-    while i < bytes.len() {
-        if is_ident_byte(bytes[i]) && (i == 0 || !is_ident_byte(bytes[i - 1])) {
-            let start = i;
-            while i < bytes.len() && is_ident_byte(bytes[i]) {
-                i += 1;
-            }
-            if bytes.get(i) == Some(&b'(') {
-                let name = &code[start..i];
-                let qualifier_ok = if start >= 1 && bytes[start - 1] == b'.' {
-                    // Method call: only `self.name(…)` is resolvable.
-                    code[..start - 1].ends_with("self") && !code[..start - 1].ends_with("_self")
-                } else {
-                    // Free or path call (`::` and bare both resolve
-                    // within the crate); macros (`name!(`) never reach
-                    // here because `!` breaks the ident+paren adjacency.
-                    true
-                };
-                if qualifier_ok && !["lock", "read", "write"].contains(&name) {
-                    events.push(Event::Call(Call {
-                        callee: name.to_string(),
-                        path: file.path.clone(),
-                        line: line_no,
-                    }));
-                }
-            }
-        } else {
-            i += 1;
-        }
-    }
-}
-
-/// The last identifier of a line (`self.outcome` → `outcome`) — the
-/// receiver of a method chain continued on the next line.
-fn trailing_ident(code: &str) -> Option<String> {
-    let trimmed = code.trim_end();
-    let bytes = trimmed.as_bytes();
-    let mut start = trimmed.len();
-    while start > 0 && is_ident_byte(bytes[start - 1]) {
-        start -= 1;
-    }
-    if start == trimmed.len() {
-        return None;
-    }
-    let name = &trimmed[start..];
-    (name != "self").then(|| name.to_string())
-}
-
-/// The identifier immediately owning `.lock()` — e.g. `latencies_us`
-/// for `self.latencies_us.lock()`, `m` for `m.lock()`.
-fn receiver_name(code: &str, dot_idx: usize) -> Option<String> {
-    let bytes = code.as_bytes();
-    let mut end = dot_idx;
-    // Skip back over one balanced `(...)` group (e.g. `guard().lock()`).
-    if end > 0 && bytes[end - 1] == b')' {
-        let mut depth = 0;
-        while end > 0 {
-            end -= 1;
-            match bytes[end] {
-                b')' => depth += 1,
-                b'(' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    let mut start = end;
-    while start > 0 && is_ident_byte(bytes[start - 1]) {
-        start -= 1;
-    }
-    if start == end {
-        return None;
-    }
-    let name = &code[start..end];
-    if name == "self" {
-        return None;
-    }
-    Some(name.to_string())
-}
-
-/// Produces order edges (and held-twice findings) for one function.
-fn collect_edges(
-    f: &FnBody,
-    fn_names: &BTreeSet<&str>,
-    reach: &BTreeMap<String, BTreeSet<String>>,
-    edges: &mut Vec<Edge>,
-    findings: &mut Vec<Finding>,
-) {
-    let mut held: Vec<Acquire> = Vec::new();
-    let mut temps: Vec<Acquire> = Vec::new();
-    let mut last_line = 0;
-    for event in &f.events {
-        let line = match event {
-            Event::Acquire(a) => a.line,
-            Event::Call(c) => c.line,
-        };
-        if line != last_line {
-            temps.clear();
-            last_line = line;
-        }
-        match event {
+    for_each_fn(ir, files, scope, |path, f| {
+        walk_fn(f, &mut |held, ev| match ev {
             Event::Acquire(site) => {
-                for h in held.iter().chain(temps.iter()) {
+                for h in held {
                     if h.lock == site.lock {
                         findings.push(Finding::new(
                             "lock-held-twice",
-                            &site.path,
+                            path,
                             site.line,
                             format!(
                                 "`{}` re-acquired in `{}` while already held since {}:{} — \
                                  self-deadlock (std) or UB-adjacent (parking_lot)",
-                                site.lock, f.name, h.path, h.line
+                                site.lock, f.name, path, h.line
                             ),
                             "",
                         ));
@@ -361,36 +83,35 @@ fn collect_edges(
                         edges.push(Edge {
                             from: h.lock.clone(),
                             to: site.lock.clone(),
-                            held_at: (h.path.clone(), h.line),
-                            taken_at: (site.path.clone(), site.line),
+                            held_at: (path.to_string(), h.line),
+                            taken_at: (path.to_string(), site.line),
                             via: None,
                         });
                     }
                 }
-                if site.binds_guard {
-                    held.push(site.clone());
-                } else {
-                    temps.push(site.clone());
-                }
             }
             Event::Call(call) => {
-                if !fn_names.contains(call.callee.as_str()) {
-                    continue;
+                if held.is_empty()
+                    || !resolves(&call.recv, Policy::Strict)
+                    || ACQUIRE_METHODS.contains(&call.name.as_str())
+                    || !graph.defs.contains_key(&call.name)
+                {
+                    return;
                 }
-                let Some(locks) = reach.get(&call.callee) else {
-                    continue;
+                let Some(locks) = reach.get(&call.name) else {
+                    return;
                 };
-                for h in held.iter().chain(temps.iter()) {
+                for h in held {
                     for lock in locks {
                         if *lock == h.lock {
                             findings.push(Finding::new(
                                 "lock-held-twice",
-                                &call.path,
+                                path,
                                 call.line,
                                 format!(
                                     "call to `{}` (re)acquires `{}` already held in `{}` \
                                      since {}:{}",
-                                    call.callee, lock, f.name, h.path, h.line
+                                    call.name, lock, f.name, path, h.line
                                 ),
                                 "",
                             ));
@@ -398,14 +119,36 @@ fn collect_edges(
                             edges.push(Edge {
                                 from: h.lock.clone(),
                                 to: lock.clone(),
-                                held_at: (h.path.clone(), h.line),
-                                taken_at: (call.path.clone(), call.line),
-                                via: Some(call.callee.clone()),
+                                held_at: (path.to_string(), h.line),
+                                taken_at: (path.to_string(), call.line),
+                                via: Some(call.name.clone()),
                             });
                         }
                     }
                 }
             }
+        });
+    });
+    report_cycles(&edges, &mut findings);
+    findings
+}
+
+/// Calls `visit(path, fn)` for every non-test function in scope.
+fn for_each_fn<'a>(
+    ir: &'a Ir,
+    files: &[SourceFile],
+    scope: &[&str],
+    mut visit: impl FnMut(&'a str, &'a crate::ir::FnItem),
+) {
+    for (fi, file) in ir.files.iter().enumerate() {
+        if !scope.is_empty() && !scope.iter().any(|p| file.path.starts_with(p)) {
+            continue;
+        }
+        for f in &file.fns {
+            if is_test_fn(&files[fi], f) {
+                continue;
+            }
+            visit(&file.path, f);
         }
     }
 }
@@ -497,7 +240,8 @@ mod tests {
 
     fn run(src: &str) -> Vec<Finding> {
         let files = [SourceFile::from_source("crates/serve/src/x.rs", src)];
-        analyze(&files, LOCK_SCOPE)
+        let ir = Ir::parse(&files);
+        analyze(&ir, &files, LOCK_SCOPE)
     }
 
     fn rules(findings: &[Finding]) -> Vec<&str> {
@@ -645,6 +389,47 @@ mod tests {
     fn ba(&self) {
         let g2 = self.m2.lock();
         let g1 = self.m1.lock();
+    }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn guard_dropped_early_releases_the_order() {
+        // New precision over the line-level pass: drop(g) ends the
+        // guard, so no a→b edge forms in `a` and no cycle exists.
+        let src = "\
+impl S {
+    fn a(&self) {
+        let g = self.m1.lock();
+        drop(g);
+        let h = self.m2.lock();
+    }
+    fn b(&self) {
+        let g = self.m2.lock();
+        let h = self.m1.lock();
+    }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn inner_scope_guard_does_not_leak_order() {
+        // New precision: a guard confined to an inner block is not
+        // held when the sibling statement acquires the second lock.
+        let src = "\
+impl S {
+    fn a(&self) {
+        {
+            let g = self.m1.lock();
+        }
+        let h = self.m2.lock();
+    }
+    fn b(&self) {
+        let g = self.m2.lock();
+        let h = self.m1.lock();
     }
 }
 ";

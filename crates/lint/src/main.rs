@@ -15,10 +15,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use fademl_lint::baseline::Baseline;
-use fademl_lint::{collect_findings, source};
+use fademl_lint::{collect_findings_with_stats, render_stats, source};
 
 const BASELINE_FILE: &str = "lint.allow";
 const DEFAULT_JSON: &str = "results/lint.json";
+const STATS_FILE: &str = "results/lint_stats.txt";
 
 const BASELINE_HEADER: &str = "\
 # fademl-lint allowlist — the panic/lock/invariant ratchet.
@@ -101,7 +102,9 @@ fn real_main() -> Result<bool, String> {
     };
 
     let files = source::load_workspace(&root).map_err(|e| format!("workspace walk: {e}"))?;
-    let findings = collect_findings(&files);
+    let started = std::time::Instant::now();
+    let (findings, stats) = collect_findings_with_stats(&files);
+    let total_micros = started.elapsed().as_micros();
 
     if opts.update_baseline {
         let text = baseline.regenerate(&findings, BASELINE_HEADER);
@@ -121,6 +124,13 @@ fn real_main() -> Result<bool, String> {
         fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
     }
     fs::write(&json_path, report.to_json()).map_err(|e| format!("write report: {e}"))?;
+
+    // Per-pass wall-clock + finding volume. Timings are inherently
+    // non-deterministic, so this file is emitted next to lint.json but
+    // never freshness-checked.
+    let stats_path = root.join(STATS_FILE);
+    fs::write(&stats_path, render_stats(&stats, files.len(), total_micros))
+        .map_err(|e| format!("write stats: {e}"))?;
 
     print!("{}", report.render());
     Ok(report.is_clean())

@@ -15,10 +15,15 @@ pub struct Finding {
     pub message: String,
     /// Trimmed source excerpt of the offending line.
     pub excerpt: String,
+    /// Stable identity: FNV-1a of rule + path + the whitespace-
+    /// normalized excerpt (digit-stripped message when no excerpt), so
+    /// the identity survives pure line-number drift.
+    pub fingerprint: String,
 }
 
 impl Finding {
-    /// Convenience constructor trimming the excerpt.
+    /// Convenience constructor trimming the excerpt and stamping the
+    /// fingerprint.
     pub fn new(
         rule: &str,
         path: &str,
@@ -26,14 +31,44 @@ impl Finding {
         message: impl Into<String>,
         excerpt: &str,
     ) -> Self {
+        let message = message.into();
+        let excerpt: String = excerpt.trim().chars().take(120).collect();
+        let content = if excerpt.is_empty() {
+            message.chars().filter(|c| !c.is_ascii_digit()).collect()
+        } else {
+            normalize_ws(&excerpt)
+        };
+        let fingerprint = format!("{:016x}", fnv1a64(&[rule, path, &content]));
         Finding {
             rule: rule.to_string(),
             path: path.to_string(),
             line,
-            message: message.into(),
-            excerpt: excerpt.trim().chars().take(120).collect(),
+            message,
+            excerpt,
+            fingerprint,
         }
     }
+}
+
+/// Collapses whitespace runs to single spaces.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// 64-bit FNV-1a over the parts with a separator byte between them.
+fn fnv1a64(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for p in parts {
+        for b in p.bytes() {
+            step(b);
+        }
+        step(0);
+    }
+    h
 }
 
 /// Per-(rule, path) tally after the baseline is applied.
@@ -58,7 +93,7 @@ pub struct GroupSummary {
 /// deterministic.
 #[derive(Debug, Clone, Serialize)]
 pub struct LintReport {
-    /// Report format version.
+    /// Report format version (2 = findings carry fingerprints).
     pub schema: u32,
     /// Source files analysed.
     pub files_scanned: usize,

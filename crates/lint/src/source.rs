@@ -365,6 +365,14 @@ pub fn word_at(code: &str, idx: usize, needle: &str) -> bool {
     code[idx..].starts_with(needle)
 }
 
+/// True when `code[idx..idx+len]` is a whole identifier word — not
+/// embedded in a longer identifier on either side.
+pub fn word_bounded(code: &str, idx: usize, len: usize) -> bool {
+    let b = code.as_bytes();
+    (idx == 0 || !is_ident_byte(b[idx - 1]))
+        && (idx + len >= b.len() || !is_ident_byte(b[idx + len]))
+}
+
 /// True when the byte at `idx` is part of an identifier.
 pub fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'

@@ -1,0 +1,172 @@
+//! Pass — `unsafe-confinement`: the policy gate that lets ROADMAP
+//! item 1 relax the workspace-wide `#![forbid(unsafe_code)]` without
+//! losing the guarantee everywhere else.
+//!
+//! The contract:
+//!
+//! * The `unsafe` keyword (blocks, `unsafe fn`, `unsafe impl`, traits)
+//!   and the `allow(unsafe_code)` attribute may appear **only** under
+//!   [`ALLOWED_MODULE`] (`crates/tensor/src/simd.rs` or
+//!   `crates/tensor/src/simd/…`). Anywhere else — test code included,
+//!   since `unsafe` in a test is still unsafe — is a finding.
+//! * Inside the permitted module, every line carrying `unsafe` must be
+//!   justified by a `// SAFETY:` comment within the
+//!   [`SAFETY_COMMENT_WINDOW`] lines above it (or on the line itself).
+//!
+//! Detection runs on the blanked source model, so `unsafe` inside
+//! strings or comments never matches, and uses word-boundary matching,
+//! so `forbid(unsafe_code)` / `#![forbid(unsafe_code)]` headers do not
+//! trip the keyword check (`unsafe_code` is a single word).
+
+use crate::report::Finding;
+use crate::source::{word_bounded, SourceFile};
+
+/// The only module path allowed to contain `unsafe`.
+pub const ALLOWED_MODULE: &str = "crates/tensor/src/simd";
+
+/// How many raw lines above an `unsafe` occurrence may carry its
+/// `// SAFETY:` justification.
+pub const SAFETY_COMMENT_WINDOW: usize = 3;
+
+/// Runs the confinement check over every workspace file.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let allowed = file.path.starts_with(ALLOWED_MODULE);
+        for (idx, info) in file.lines.iter().enumerate() {
+            let line_no = idx + 1;
+            let code = info.code.as_str();
+            if contains_word(code, "unsafe") {
+                if !allowed {
+                    findings.push(Finding::new(
+                        "unsafe-confinement",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "`unsafe` outside the designated SIMD module \
+                             (`{ALLOWED_MODULE}`) — the rest of the workspace \
+                             stays `forbid(unsafe_code)`"
+                        ),
+                        &info.raw,
+                    ));
+                } else if !has_safety_comment(file, idx) {
+                    findings.push(Finding::new(
+                        "unsafe-confinement",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "`unsafe` in the permitted module without a \
+                             `// SAFETY:` comment within {SAFETY_COMMENT_WINDOW} \
+                             lines above"
+                        ),
+                        &info.raw,
+                    ));
+                }
+            }
+            if code.contains("allow(unsafe_code)") && !allowed {
+                findings.push(Finding::new(
+                    "unsafe-confinement",
+                    &file.path,
+                    line_no,
+                    format!(
+                        "`allow(unsafe_code)` outside the designated SIMD module \
+                         (`{ALLOWED_MODULE}`)"
+                    ),
+                    &info.raw,
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Word-boundary scan of one blanked line.
+fn contains_word(code: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let idx = from + rel;
+        if word_bounded(code, idx, needle.len()) {
+            return true;
+        }
+        from = idx + needle.len();
+    }
+    false
+}
+
+/// Whether line `idx` (0-based) or any of the raw lines in the window
+/// above it carries a `SAFETY:` justification comment.
+fn has_safety_comment(file: &SourceFile, idx: usize) -> bool {
+    let lo = idx.saturating_sub(SAFETY_COMMENT_WINDOW);
+    file.lines[lo..=idx]
+        .iter()
+        .any(|l| l.raw.contains("SAFETY:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        check(&[SourceFile::from_source(path, src)])
+    }
+
+    #[test]
+    fn unsafe_outside_the_module_is_flagged() {
+        let found = run(
+            "crates/nn/src/model.rs",
+            "fn f() {\n    unsafe { std::hint::unreachable_unchecked() }\n}\n",
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "unsafe-confinement");
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn allow_attr_outside_the_module_is_flagged() {
+        let found = run("crates/serve/src/server.rs", "#![allow(unsafe_code)]\n");
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn forbid_header_is_not_the_keyword() {
+        assert!(run("crates/nn/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_invisible() {
+        assert!(run(
+            "crates/core/src/report.rs",
+            "// this code is unsafe to refactor\nfn f() { let s = \"unsafe\"; }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn permitted_module_requires_safety_comments() {
+        let ok = run(
+            "crates/tensor/src/simd/kernels.rs",
+            "fn f() {\n    // SAFETY: len checked against lane width above\n    unsafe { load(ptr) }\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let missing = run(
+            "crates/tensor/src/simd/kernels.rs",
+            "fn f() {\n    unsafe { load(ptr) }\n}\n",
+        );
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn allow_attr_inside_the_module_is_permitted() {
+        assert!(run("crates/tensor/src/simd.rs", "#![allow(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_test_code_is_still_flagged() {
+        let found = run(
+            "crates/nn/src/model.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}\n",
+        );
+        assert_eq!(found.len(), 1);
+    }
+}

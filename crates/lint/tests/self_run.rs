@@ -84,3 +84,109 @@ fn seeded_std_mutex_in_serve_fails_the_gate() {
         .iter()
         .any(|f| f.rule == "unwrap" && f.path == "crates/serve/src/injected.rs"));
 }
+
+/// Injects one extra source file into the real workspace scan and
+/// returns the post-baseline report — the seeded-violation harness for
+/// the five new passes. Each seeded file must break the gate with a
+/// new finding for the expected rule at the expected path.
+fn report_with_injected(path: &str, src: &str) -> fademl_lint::report::LintReport {
+    let root = workspace_root();
+    let baseline_text = fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists");
+    let baseline = Baseline::parse(&baseline_text).expect("lint.allow parses");
+    let mut files = source::load_workspace(&root).expect("workspace scan succeeds");
+    files.push(source::SourceFile::from_source(path, src));
+    let count = files.len();
+    baseline.apply(collect_findings(&files), count)
+}
+
+fn assert_gate_breaks(report: &fademl_lint::report::LintReport, rule: &str, path: &str) {
+    assert!(
+        !report.is_clean(),
+        "seeded `{rule}` violation did not break the gate"
+    );
+    assert!(
+        report
+            .new_finding_details
+            .iter()
+            .any(|f| f.rule == rule && f.path == path),
+        "expected a new `{rule}` finding at {path}; got:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn seeded_unsafe_outside_simd_fails_the_gate() {
+    let report = report_with_injected(
+        "crates/nn/src/injected.rs",
+        "pub fn sneaky(p: *const f32) -> f32 {\n    unsafe { *p }\n}\n",
+    );
+    assert_gate_breaks(&report, "unsafe-confinement", "crates/nn/src/injected.rs");
+}
+
+#[test]
+fn seeded_hot_path_alloc_fails_the_gate() {
+    // `process_batch` is the reachability root, so an allocation in a
+    // fn it calls (by name, anywhere in scope) is hot-path debt.
+    let report = report_with_injected(
+        "crates/nn/src/injected.rs",
+        "pub fn process_batch(n: usize) -> Vec<f32> {\n    helper_injected(n)\n}\nfn helper_injected(n: usize) -> Vec<f32> {\n    Vec::with_capacity(n)\n}\n",
+    );
+    assert_gate_breaks(&report, "hot-path-alloc", "crates/nn/src/injected.rs");
+}
+
+#[test]
+fn seeded_lock_across_io_fails_the_gate() {
+    let report = report_with_injected(
+        "crates/serve/src/injected.rs",
+        "pub fn sneaky(&self) {\n    let g = self.state.lock();\n    std::fs::write(\"dump\", g.render());\n}\n",
+    );
+    assert_gate_breaks(&report, "lock-across-io", "crates/serve/src/injected.rs");
+}
+
+#[test]
+fn seeded_swallowed_error_fails_the_gate() {
+    let report = report_with_injected(
+        "crates/serve/src/injected.rs",
+        "pub fn sneaky(&self) {\n    let _ = std::fs::remove_file(\"x\");\n}\n",
+    );
+    assert_gate_breaks(&report, "swallowed-error", "crates/serve/src/injected.rs");
+}
+
+#[test]
+fn seeded_uncapped_wire_decode_fails_the_gate() {
+    // Injected as extra content at a codec path — wire-cap-check scopes
+    // by file path, and findings are keyed per (rule, path), so the
+    // existing clean wire.rs budget (absent = zero) cannot absorb it.
+    let report = report_with_injected(
+        "crates/net/src/wire.rs",
+        "fn decode_injected(r: &mut ByteReader) -> Vec<u8> {\n    let n = r.get_u32() as usize;\n    Vec::with_capacity(n)\n}\n",
+    );
+    assert_gate_breaks(&report, "wire-cap-check", "crates/net/src/wire.rs");
+}
+
+#[test]
+fn update_baseline_is_idempotent_on_the_live_workspace() {
+    // `--update-baseline` over an already-regenerated lint.allow must
+    // reproduce it byte-for-byte: justifications survive, ordering is
+    // stable, and no count drifts.
+    let root = workspace_root();
+    let committed = fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists");
+    let header_end = committed
+        .find("\nas-int")
+        .or_else(|| committed.find("\ndirect-overwrite"))
+        .map_or(0, |i| i + 1);
+    let header = &committed[..header_end];
+    let baseline = Baseline::parse(&committed).expect("lint.allow parses");
+    let files = source::load_workspace(&root).expect("workspace scan succeeds");
+    let findings = collect_findings(&files);
+    let once = baseline.regenerate(&findings, header);
+    assert_eq!(
+        committed, once,
+        "regenerating lint.allow from the live workspace changed it — \
+         rerun `cargo run -p fademl-lint -- --update-baseline` and commit"
+    );
+    let twice = Baseline::parse(&once)
+        .expect("regenerated baseline parses")
+        .regenerate(&findings, header);
+    assert_eq!(once, twice, "--update-baseline is not idempotent");
+}

@@ -29,6 +29,7 @@ impl NetClient {
     /// [`NetError::Io`] if the connection fails.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+        // best-effort: socket tuning failures degrade latency, not correctness.
         let _ = stream.set_nodelay(true);
         Ok(NetClient {
             stream,
@@ -113,6 +114,7 @@ impl NetClient {
 
     /// Orderly hang-up: sends `Goodbye` and closes the connection.
     pub fn goodbye(mut self) {
+        // best-effort: Goodbye is advisory; the connection closes regardless.
         let _ = write_frame(&mut self.stream, &Frame::Goodbye);
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }

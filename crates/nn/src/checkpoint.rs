@@ -473,6 +473,7 @@ impl CheckpointStore {
         if let Ok(gens) = self.generations() {
             if gens.len() > self.retain {
                 for (_, old) in &gens[..gens.len() - self.retain] {
+                    // best-effort: pruning a vanished generation is fine.
                     let _ = fs::remove_file(old);
                 }
             }

@@ -153,6 +153,7 @@ struct ExitNotice {
 
 impl Drop for ExitNotice {
     fn drop(&mut self) {
+        // best-effort: if the supervisor is gone there is nobody to notify.
         let _ = self.tx.send(WorkerExit {
             idx: self.idx,
             clean: self.clean,
@@ -468,9 +469,11 @@ impl InferenceServer {
         let open = std::mem::replace(&mut self.queue, closed);
         drop(open);
         if let Some(handle) = self.batcher_handle.take() {
+            // best-effort: a panicked batcher still counts as stopped.
             let _ = handle.join();
         }
         if let Some(handle) = self.supervisor_handle.take() {
+            // best-effort: same for the supervisor during teardown.
             let _ = handle.join();
         }
     }
@@ -557,6 +560,7 @@ fn run_supervisor(
         }
     }
     for handle in handles {
+        // best-effort: a panicked worker was already counted as failed.
         let _ = handle.join();
     }
 }

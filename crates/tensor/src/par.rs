@@ -189,6 +189,7 @@ where
         let range = range.clone();
         let boxed: Job = Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(|| job(range)));
+            // best-effort: the collector hanging up means the caller bailed.
             let _ = done.send((index, result));
         });
         if let Err(rejected) = pool.tx.send(boxed) {
