@@ -75,7 +75,47 @@ FADEML_THREADS=2 cargo bench -p fademl-bench --bench net_serving -- --test
 echo "==> detection triage chaos suite (score panics, blown budgets, fail-open)"
 cargo test -q -p fademl-serve --features faults --test triage_chaos
 
-echo "==> detection bench smoke (emits BENCH_detection.json, asserts AUC > 0.5)"
+echo "==> drift scenario smoke (adaptive refit: budget + AUC regression under drift)"
+cargo test -q -p fademl --lib experiments::adaptive
+
+echo "==> detection bench smoke (appends a BENCH_detection.json trajectory entry)"
+entries_before=$(python3 -c "
+import json, sys
+try:
+    doc = json.load(open('BENCH_detection.json'))
+    print(len(doc.get('trajectory', [])))
+except (OSError, ValueError):
+    print(0)
+")
 cargo bench -p fademl-bench --bench detection -- --test
+
+echo "==> BENCH_detection.json gained a fresh trajectory entry"
+python3 - "$entries_before" <<'EOF'
+import json, sys
+
+before = int(sys.argv[1])
+doc = json.load(open("BENCH_detection.json"))
+trajectory = doc["trajectory"]
+assert len(trajectory) == min(before + 1, 20), (
+    f"expected {min(before + 1, 20)} trajectory entries, found {len(trajectory)}"
+)
+latest = trajectory[-1]
+for key in ("unix_time", "mode", "auc", "adaptive", "serving"):
+    assert key in latest, f"latest trajectory entry missing {key!r}"
+adaptive = latest["adaptive"]
+for key in ("static_auc", "adaptive_auc", "budget", "adaptive_clean_flagged_frac",
+            "refits_swapped", "final_generation"):
+    assert key in adaptive, f"adaptive block missing {key!r}"
+assert adaptive["adaptive_auc"] > 0.5, adaptive
+print(f"    {len(trajectory)} entries; latest: static AUC {adaptive['static_auc']:.3f} "
+      f"vs adaptive {adaptive['adaptive_auc']:.3f}, "
+      f"{adaptive['refits_swapped']} refits swapped")
+EOF
+
+echo "==> serve adaptive e2e suite (hot swap under load, supervisor, shedding)"
+cargo test -q -p fademl-serve --test adaptive
+
+echo "==> refit chaos suite (torn reservoir writes, bit rot, injected refit panics)"
+cargo test -q -p fademl-serve --features faults --test refit_chaos
 
 echo "CI OK"

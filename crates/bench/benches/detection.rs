@@ -1,29 +1,77 @@
 //! Detect-under-attack serving bench: the adversarial-triage stage
 //! measured end to end. Three artifacts per run:
 //!
-//! 1. `BENCH_detection.json` at the repo root — detection AUC over an
-//!    FGSM/FAdeML-mixed frame stream, per-image triage overhead, and
-//!    the hardened-path hit rate of a live triaged server.
+//! 1. `BENCH_detection.json` at the repo root — a **trajectory** of
+//!    runs. Each run appends one entry carrying the static
+//!    detect-under-attack AUC, the static-vs-adaptive comparison under
+//!    drift (AUCs, hardened budget adherence, refit accounting), and
+//!    the live triaged server's economics. The newest 20 entries are
+//!    kept, so the file shows how detection quality moves across PRs
+//!    instead of a single snapshot.
 //! 2. `results/detection_roc.txt` — the full ROC sweep plus the chosen
 //!    operating point.
-//! 3. A stage ledger exercising the resumable experiment path.
+//! 3. A stage ledger exercising the resumable experiment paths.
 //!
 //! `cargo bench -p fademl-bench --bench detection` — full run.
 //! `cargo bench -p fademl-bench --bench detection -- --test` — CI
-//! smoke: smaller stream and burst; the JSON is still written (tagged
+//! smoke: smaller stream and burst; an entry is still appended (tagged
 //! `"mode": "smoke"`) so the artifact pipeline is exercised.
 
 use std::time::Instant;
 
-use fademl::experiments::{run_detection_resumable, AttackParams, DetectionParams};
+use fademl::experiments::{
+    run_adaptive_resumable, run_detection_resumable, AdaptiveParams, AttackParams, DetectionParams,
+};
 use fademl::setup::{ExperimentSetup, SetupProfile};
 use fademl::{InferencePipeline, ThreatModel};
 use fademl_attacks::{Attack, AttackGoal, AttackSurface, Fgsm};
-use fademl_data::{ClassId, FrameStream, StreamConfig};
-use fademl_detect::{Detector, DetectorConfig};
+use fademl_data::{ClassId, DriftSpec, FrameStream, StreamConfig};
+use fademl_detect::{ControllerConfig, Detector, DetectorConfig};
 use fademl_filters::FilterSpec;
 use fademl_serve::{InferenceServer, ServerConfig, TriageConfig};
 use fademl_tensor::Tensor;
+
+/// Trajectory entries retained in `BENCH_detection.json`.
+const TRAJECTORY_CAP: usize = 20;
+
+/// Pulls the prior trajectory entries (verbatim JSON objects) out of an
+/// existing `BENCH_detection.json`. A file from the old single-snapshot
+/// schema has no `"trajectory"` array and yields none — the trajectory
+/// starts fresh. Our own entries never nest strings containing braces,
+/// so brace counting is exact.
+fn prior_entries(text: &str) -> Vec<String> {
+    let Some(key) = text.find("\"trajectory\"") else {
+        return Vec::new();
+    };
+    let tail = &text[key..];
+    let Some(open) = tail.find('[') else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut entry_start = None;
+    for (i, c) in tail[open..].char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    entry_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = entry_start.take() {
+                        entries.push(tail[open..][s..=i].to_string());
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    entries
+}
 
 struct ServingCell {
     requests: u64,
@@ -220,6 +268,103 @@ fn main() {
         cell.requests, cell.triage_overhead_us, cell.flagged, cell.hardened_hit_rate, cell.throughput_rps,
     );
 
+    // Static vs adaptive under drift: the same stream now darkens and
+    // gets noisier mid-sweep, with attack bursts landing post-drift.
+    let adaptive_params = if quick {
+        // The core crate's seeded-regression configuration: small and
+        // deterministic, with a demonstrated adaptive-over-static win.
+        AdaptiveParams {
+            fit_frames: 48,
+            segments: 6,
+            frames_per_segment: 24,
+            burst_from: 3,
+            detector: DetectorConfig {
+                trees: 16,
+                subsample: 16,
+                scales: 2,
+                seed: 9,
+            },
+            controller: ControllerConfig {
+                budget: 0.1,
+                step: 0.05,
+                floor: 0.3,
+                ceiling: 0.95,
+                window: 12,
+                ..ControllerConfig::default()
+            },
+            initial_threshold: 0.52,
+            reservoir_capacity: 96,
+            reservoir_seed: 0x5EED,
+            min_refit_samples: 24,
+            auc_margin: 0.1,
+            holdout_cap: 8,
+            drift: DriftSpec {
+                at_frame: 1,
+                ramp_frames: 2,
+                brightness_shift: -0.35,
+                noise_gain: 2.5,
+            },
+            ..AdaptiveParams::default()
+        }
+    } else {
+        AdaptiveParams {
+            controller: ControllerConfig {
+                budget: 0.1,
+                step: 0.05,
+                floor: 0.3,
+                window: 16,
+                ..ControllerConfig::default()
+            },
+            ..AdaptiveParams::default()
+        }
+    };
+    // The smoke's tiny segments need a stronger burst for a stable
+    // above-chance signal; the full run keeps the shared parameters.
+    let adaptive_attack = if quick {
+        AttackParams {
+            epsilon: 0.15,
+            fademl_rounds: 1,
+            ..attack
+        }
+    } else {
+        attack
+    };
+    let adaptive_ledger =
+        std::env::temp_dir().join(format!("fademl_bench_adaptive_{}.fjl", std::process::id()));
+    let _ = std::fs::remove_file(&adaptive_ledger);
+    let adaptive_started = Instant::now();
+    let adaptive = run_adaptive_resumable(
+        &prepared,
+        &adaptive_params,
+        &adaptive_attack,
+        &adaptive_ledger,
+    )
+    .expect("adaptive sweep")
+    .result;
+    let adaptive_ms = adaptive_started.elapsed().as_millis();
+    let _ = std::fs::remove_file(&adaptive_ledger);
+    assert!(
+        adaptive.adaptive_auc > 0.5,
+        "adaptive arm must beat chance under drift, got AUC {}",
+        adaptive.adaptive_auc
+    );
+    assert!(
+        adaptive.adaptive_auc >= adaptive.static_auc,
+        "refitting must not lose to the static detector it replaces: {} vs {}",
+        adaptive.adaptive_auc,
+        adaptive.static_auc
+    );
+    eprintln!(
+        "[detection] drift sweep: static AUC {:.3} vs adaptive AUC {:.3}; clean hardened load {:.3} (budget {:.2}); {} refits swapped / {} rejected ({} ms)",
+        adaptive.static_auc,
+        adaptive.adaptive_auc,
+        adaptive.adaptive_clean_flagged_frac,
+        adaptive.budget,
+        adaptive.refits.swapped,
+        adaptive.refits.rejected,
+        adaptive_ms,
+    );
+
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
 
     let mut roc_txt =
@@ -246,63 +391,136 @@ fn main() {
     std::fs::write(&roc_path, roc_txt).expect("write detection_roc.txt");
     eprintln!("[detection] wrote {roc_path}");
 
-    let mut json = String::from("{\n  \"bench\": \"detection\",\n");
-    json.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut entry = String::from("{\n");
+    entry.push_str(&format!("      \"unix_time\": {unix_time},\n"));
+    entry.push_str(&format!(
+        "      \"mode\": \"{}\",\n",
         if quick { "smoke" } else { "full" }
     ));
-    json.push_str(
-        "  \"note\": \"AUC from the resumable detect-under-attack sweep; overhead and hit rate \
-         from a live triaged server on a 1/3-adversarial frame stream\",\n",
-    );
-    json.push_str(&format!("  \"auc\": {:.4},\n", result.auc));
-    json.push_str(&format!("  \"clean_frames\": {},\n", result.clean_frames));
-    json.push_str(&format!(
-        "  \"adversarial_frames\": {},\n",
+    entry.push_str(&format!("      \"auc\": {:.4},\n", result.auc));
+    entry.push_str(&format!(
+        "      \"clean_frames\": {},\n",
+        result.clean_frames
+    ));
+    entry.push_str(&format!(
+        "      \"adversarial_frames\": {},\n",
         result.adversarial_frames
     ));
-    json.push_str(&format!(
-        "  \"mean_clean_score\": {:.4},\n",
+    entry.push_str(&format!(
+        "      \"mean_clean_score\": {:.4},\n",
         result.mean_clean_score
     ));
-    json.push_str(&format!(
-        "  \"mean_adversarial_score\": {:.4},\n",
+    entry.push_str(&format!(
+        "      \"mean_adversarial_score\": {:.4},\n",
         result.mean_adversarial_score
     ));
-    json.push_str(&format!("  \"sweep_stages\": {},\n", report.stages_total));
-    json.push_str(&format!("  \"sweep_ms\": {sweep_ms},\n"));
-    json.push_str(&format!("  \"threshold\": {threshold:.4},\n"));
-    json.push_str("  \"serving\": {\n");
-    json.push_str(&format!("    \"requests\": {},\n", cell.requests));
-    json.push_str(&format!(
-        "    \"adversarial_submitted\": {},\n",
+    entry.push_str(&format!(
+        "      \"sweep_stages\": {},\n",
+        report.stages_total
+    ));
+    entry.push_str(&format!("      \"sweep_ms\": {sweep_ms},\n"));
+    entry.push_str(&format!("      \"threshold\": {threshold:.4},\n"));
+    entry.push_str("      \"adaptive\": {\n");
+    entry.push_str(&format!(
+        "        \"static_auc\": {:.4},\n",
+        adaptive.static_auc
+    ));
+    entry.push_str(&format!(
+        "        \"adaptive_auc\": {:.4},\n",
+        adaptive.adaptive_auc
+    ));
+    entry.push_str(&format!("        \"budget\": {:.4},\n", adaptive.budget));
+    entry.push_str(&format!(
+        "        \"static_clean_flagged_frac\": {:.4},\n",
+        adaptive.static_clean_flagged_frac
+    ));
+    entry.push_str(&format!(
+        "        \"adaptive_clean_flagged_frac\": {:.4},\n",
+        adaptive.adaptive_clean_flagged_frac
+    ));
+    entry.push_str(&format!(
+        "        \"refits_attempted\": {},\n",
+        adaptive.refits.attempted
+    ));
+    entry.push_str(&format!(
+        "        \"refits_swapped\": {},\n",
+        adaptive.refits.swapped
+    ));
+    entry.push_str(&format!(
+        "        \"refits_rejected\": {},\n",
+        adaptive.refits.rejected
+    ));
+    entry.push_str(&format!(
+        "        \"final_generation\": {},\n",
+        adaptive.final_generation
+    ));
+    entry.push_str(&format!(
+        "        \"final_threshold\": {:.4},\n",
+        adaptive.final_threshold
+    ));
+    entry.push_str(&format!("        \"sweep_ms\": {adaptive_ms}\n"));
+    entry.push_str("      },\n");
+    entry.push_str("      \"serving\": {\n");
+    entry.push_str(&format!("        \"requests\": {},\n", cell.requests));
+    entry.push_str(&format!(
+        "        \"adversarial_submitted\": {},\n",
         cell.adversarial_submitted
     ));
-    json.push_str(&format!(
-        "    \"triage_overhead_us_per_image\": {},\n",
+    entry.push_str(&format!(
+        "        \"triage_overhead_us_per_image\": {},\n",
         cell.triage_overhead_us
     ));
-    json.push_str(&format!("    \"score_p50_bp\": {},\n", cell.score_p50_bp));
-    json.push_str(&format!("    \"score_p99_bp\": {},\n", cell.score_p99_bp));
-    json.push_str(&format!("    \"flagged\": {},\n", cell.flagged));
-    json.push_str(&format!(
-        "    \"hardened_served\": {},\n",
+    entry.push_str(&format!(
+        "        \"score_p50_bp\": {},\n",
+        cell.score_p50_bp
+    ));
+    entry.push_str(&format!(
+        "        \"score_p99_bp\": {},\n",
+        cell.score_p99_bp
+    ));
+    entry.push_str(&format!("        \"flagged\": {},\n", cell.flagged));
+    entry.push_str(&format!(
+        "        \"hardened_served\": {},\n",
         cell.hardened_served
     ));
-    json.push_str(&format!(
-        "    \"hardened_hit_rate\": {:.4},\n",
+    entry.push_str(&format!(
+        "        \"hardened_hit_rate\": {:.4},\n",
         cell.hardened_hit_rate
     ));
-    json.push_str(&format!(
-        "    \"hardened_latency_p99_us\": {},\n",
+    entry.push_str(&format!(
+        "        \"hardened_latency_p99_us\": {},\n",
         cell.hardened_latency_p99_us
     ));
-    json.push_str(&format!(
-        "    \"throughput_rps\": {:.1}\n",
+    entry.push_str(&format!(
+        "        \"throughput_rps\": {:.1}\n",
         cell.throughput_rps
     ));
-    json.push_str("  }\n}\n");
+    entry.push_str("      }\n    }");
+
     let json_path = format!("{root}/BENCH_detection.json");
+    let mut entries = std::fs::read_to_string(&json_path)
+        .map(|text| prior_entries(&text))
+        .unwrap_or_default();
+    entries.push(entry);
+    if entries.len() > TRAJECTORY_CAP {
+        entries.drain(..entries.len() - TRAJECTORY_CAP);
+    }
+    let mut json = String::from("{\n  \"bench\": \"detection\",\n");
+    json.push_str(
+        "  \"note\": \"one entry per run, newest last (cap 20): static detect-under-attack AUC, \
+         static-vs-adaptive comparison under drift + attack bursts, and live triaged-server \
+         economics on a 1/3-adversarial frame stream\",\n",
+    );
+    json.push_str("  \"trajectory\": [\n    ");
+    json.push_str(&entries.join(",\n    "));
+    json.push_str("\n  ]\n}\n");
     std::fs::write(&json_path, json).expect("write BENCH_detection.json");
-    eprintln!("[detection] wrote {json_path}");
+    eprintln!(
+        "[detection] wrote {json_path} ({} trajectory entries)",
+        entries.len()
+    );
 }

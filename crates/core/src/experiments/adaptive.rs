@@ -1,0 +1,951 @@
+//! Static vs adaptive detection under drift and attack.
+//!
+//! The detect-under-attack sweep ([`super::detection`]) asks whether a
+//! *freshly fitted* detector separates adversarial frames from drift.
+//! This experiment asks the harder operational question the adaptive
+//! serving stage is built on: what happens to that separation when the
+//! world moves? A scheduled covariate shift ([`DriftSpec`] applied per
+//! segment) changes exposure and the sensor noise floor mid-stream,
+//! and attack bursts land *after* the shift — exactly when a detector
+//! fitted on opening-regime traffic is most wrong.
+//!
+//! Two arms score the identical frame sequence:
+//!
+//! - **static** — the initial detector with a fixed threshold, PR 7
+//!   style;
+//! - **adaptive** — the serving stack's control loop replayed offline:
+//!   a [`ThresholdController`] holds the flagged fraction at a budget,
+//!   clean-judged frames feed a [`FeatureReservoir`] (every fourth one
+//!   is diverted to a held-out validation ring instead), and at every
+//!   segment boundary a candidate forest is refitted from the
+//!   reservoir, validated on the ring (clean side vs FGSM-perturbed
+//!   side), and swapped in only if its held-out AUC does not regress
+//!   past the margin.
+//!
+//! The sweep is resumable through [`StageLedger`]: each segment's
+//! record carries the scores *and* the adaptive arm's complete
+//! post-segment state (detector artifact, reservoir artifact,
+//! threshold, validation ring, refit counters), so a killed run
+//! resumes at the first unrecorded segment with bit-identical state.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+
+use fademl_attacks::{Attack, AttackGoal, AttackSurface, Fademl, Fgsm};
+use fademl_data::{ClassId, DriftSpec, FrameStream, StreamConfig};
+use fademl_detect::{
+    holdout_auc, pyramid_features, ControllerConfig, Detector, DetectorConfig, FeatureReservoir,
+    ThresholdController,
+};
+use fademl_filters::FilterSpec;
+use fademl_tensor::io::{ByteReader, ByteWriter};
+use fademl_tensor::{Shape, Tensor};
+
+use super::detection::{
+    detect_config, detect_corrupt, detect_score, detection_fingerprint, frame_size, rank_auc,
+    truncated, DetectionParams,
+};
+use super::resume::{ResumeReport, StageLedger};
+use super::AttackParams;
+use crate::setup::PreparedSetup;
+use crate::{FademlError, Result};
+
+/// Knobs of the static-vs-adaptive comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveParams {
+    /// Clean frames used to fit the initial (and static-arm) detector.
+    pub fit_frames: usize,
+    /// Total scored segments; each is one control epoch.
+    pub segments: usize,
+    /// Frames per segment.
+    pub frames_per_segment: usize,
+    /// First evaluation segment: from here on, segments alternate
+    /// attack burst / clean recovery, and their scores enter the AUC
+    /// populations. Must lie inside the sweep.
+    pub burst_from: usize,
+    /// Isolation-forest configuration (the refit rotates its seed by
+    /// the detector generation).
+    pub detector: DetectorConfig,
+    /// Budget feedback loop for the adaptive arm's threshold.
+    pub controller: ControllerConfig,
+    /// Starting threshold for both arms (the static arm keeps it).
+    pub initial_threshold: f32,
+    /// Served-clean sample reservoir capacity.
+    pub reservoir_capacity: usize,
+    /// Seed of the reservoir's replacement stream.
+    pub reservoir_seed: u64,
+    /// Minimum reservoir fill before a refit is attempted.
+    pub min_refit_samples: usize,
+    /// Tolerated held-out AUC regression of a candidate vs the
+    /// incumbent, in `[0, 1]`.
+    pub auc_margin: f32,
+    /// Most recent clean frames kept in the validation ring.
+    pub holdout_cap: usize,
+    /// Covariate-shift schedule, interpreted in *segment* units
+    /// (`at_frame`/`ramp_frames` index segments, not frames).
+    pub drift: DriftSpec,
+    /// The deployed filter the attack bursts craft against.
+    pub deployed_filter: FilterSpec,
+    /// Base seed for the frame streams.
+    pub stream_seed: u64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            fit_frames: 96,
+            segments: 8,
+            frames_per_segment: 32,
+            burst_from: 4,
+            detector: DetectorConfig::default(),
+            controller: ControllerConfig::default(),
+            initial_threshold: 0.6,
+            reservoir_capacity: 256,
+            reservoir_seed: 0x5EED_CAFE,
+            min_refit_samples: 32,
+            auc_margin: 0.05,
+            holdout_cap: 16,
+            drift: DriftSpec {
+                at_frame: 2,
+                ramp_frames: 2,
+                brightness_shift: -0.3,
+                noise_gain: 2.0,
+            },
+            deployed_filter: FilterSpec::Lap { np: 8 },
+            stream_seed: 0xFADE_AD4D,
+        }
+    }
+}
+
+impl AdaptiveParams {
+    fn validate(&self) -> Result<()> {
+        if self.fit_frames == 0 || self.segments == 0 || self.frames_per_segment == 0 {
+            return Err(FademlError::InvalidConfig {
+                reason: "adaptive sweep sizes must all be positive".into(),
+            });
+        }
+        if self.burst_from == 0 || self.burst_from >= self.segments {
+            return Err(FademlError::InvalidConfig {
+                reason: format!(
+                    "burst_from must lie in [1, segments): got {} of {}",
+                    self.burst_from, self.segments
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.auc_margin) || !self.auc_margin.is_finite() {
+            return Err(FademlError::InvalidConfig {
+                reason: format!("auc_margin must be in [0, 1], got {}", self.auc_margin),
+            });
+        }
+        if self.min_refit_samples < 2 {
+            return Err(FademlError::InvalidConfig {
+                reason: "min_refit_samples must be at least 2".into(),
+            });
+        }
+        if self.holdout_cap == 0 {
+            return Err(FademlError::InvalidConfig {
+                reason: "holdout_cap must be positive".into(),
+            });
+        }
+        if !self.initial_threshold.is_finite() {
+            return Err(FademlError::InvalidConfig {
+                reason: "initial_threshold must be finite".into(),
+            });
+        }
+        self.detector.validate().map_err(detect_config)?;
+        self.controller.validate().map_err(detect_config)?;
+        self.deployed_filter.build()?;
+        // Delegate reservoir/drift envelope checks to their owners.
+        FeatureReservoir::new(
+            self.reservoir_capacity,
+            fademl_detect::feature_dim(self.detector.scales),
+            self.reservoir_seed,
+        )
+        .map_err(detect_config)?;
+        FrameStream::new(StreamConfig {
+            drift: Some(self.drift),
+            ..StreamConfig::default()
+        })
+        .map_err(|e| FademlError::InvalidConfig {
+            reason: format!("drift schedule: {e}"),
+        })?;
+        Ok(())
+    }
+
+    /// Whether segment `index` carries an attack burst: evaluation
+    /// segments alternate burst / clean recovery so the adaptive arm
+    /// must hold its budget *and* keep flagging attacks between refits.
+    pub fn is_attack_segment(&self, index: usize) -> bool {
+        index >= self.burst_from && (index - self.burst_from).is_multiple_of(2)
+    }
+
+    /// Drift strength of segment `index` under the segment-granular
+    /// schedule.
+    pub fn drift_level(&self, index: usize) -> f32 {
+        self.drift.level(index as u64)
+    }
+}
+
+/// One segment of the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveSegment {
+    /// Whether the segment carried an attack burst.
+    pub attack: bool,
+    /// Drift strength in `[0, 1]` the segment was rendered under.
+    pub drift_level: f32,
+    /// Frames scored.
+    pub frames: usize,
+    /// Frames the static arm flagged (fixed threshold).
+    pub static_flagged: usize,
+    /// Frames the adaptive arm flagged (controller threshold).
+    pub adaptive_flagged: usize,
+    /// Adaptive threshold after the segment's control epoch.
+    pub threshold_after: f32,
+    /// Detector generation after the segment's refit attempt.
+    pub generation_after: u64,
+}
+
+/// Refit accounting across the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefitStats {
+    /// Refit attempts (reservoir warm enough, validation ring ready).
+    pub attempted: u64,
+    /// Candidates that passed held-out validation and were swapped in.
+    pub swapped: u64,
+    /// Candidates refused for regressing the held-out AUC past the
+    /// margin (the incumbent kept serving).
+    pub rejected: u64,
+}
+
+/// The comparison's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveResult {
+    /// Static arm's Mann–Whitney AUC over the evaluation segments.
+    pub static_auc: f32,
+    /// Adaptive arm's AUC over the same frames.
+    pub adaptive_auc: f32,
+    /// Static arm's flagged fraction on *clean* evaluation segments —
+    /// the hardened-path load a fixed threshold would demand post-drift.
+    pub static_clean_flagged_frac: f32,
+    /// Adaptive arm's flagged fraction on the same clean frames.
+    pub adaptive_clean_flagged_frac: f32,
+    /// The controller's configured hardened-load budget.
+    pub budget: f32,
+    /// Refit accounting.
+    pub refits: RefitStats,
+    /// Final detector generation of the adaptive arm.
+    pub final_generation: u64,
+    /// Final adaptive threshold.
+    pub final_threshold: f32,
+    /// Per-segment trajectory, in stream order.
+    pub segments: Vec<AdaptiveSegment>,
+}
+
+/// The adaptive arm's complete state between segments — everything a
+/// resumed run must restore bit-identically.
+struct ArmState {
+    detector: Detector,
+    reservoir: FeatureReservoir,
+    threshold: f32,
+    holdout: Vec<Tensor>,
+    refits: RefitStats,
+    generation: u64,
+}
+
+/// One segment's outputs (recorded to, or replayed from, the ledger).
+struct SegmentRecord {
+    static_scores: Vec<f32>,
+    adaptive_scores: Vec<f32>,
+    static_flagged: u64,
+    adaptive_flagged: u64,
+    threshold_after: f32,
+    refits: RefitStats,
+    generation: u64,
+    detector_bytes: Vec<u8>,
+    reservoir_bytes: Vec<u8>,
+    holdout: Vec<Tensor>,
+}
+
+fn encode_record(record: &SegmentRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(record.static_scores.len() as u64);
+    for &s in &record.static_scores {
+        w.put_f32(s);
+    }
+    w.put_u64(record.adaptive_scores.len() as u64);
+    for &s in &record.adaptive_scores {
+        w.put_f32(s);
+    }
+    w.put_u64(record.static_flagged);
+    w.put_u64(record.adaptive_flagged);
+    w.put_f32(record.threshold_after);
+    w.put_u64(record.refits.attempted);
+    w.put_u64(record.refits.swapped);
+    w.put_u64(record.refits.rejected);
+    w.put_u64(record.generation);
+    w.put_u64(record.detector_bytes.len() as u64);
+    w.put_bytes(&record.detector_bytes);
+    w.put_u64(record.reservoir_bytes.len() as u64);
+    w.put_bytes(&record.reservoir_bytes);
+    w.put_u64(record.holdout.len() as u64);
+    for image in &record.holdout {
+        let data = image.as_slice();
+        w.put_u64(data.len() as u64);
+        for &v in data {
+            w.put_f32(v);
+        }
+    }
+    w.into_bytes()
+}
+
+fn read_len(r: &mut ByteReader<'_>, bound: usize) -> Result<usize> {
+    let n = r.get_u64().map_err(truncated)?;
+    let n = usize::try_from(n).map_err(|_| FademlError::Corrupt {
+        reason: "adaptive stage length does not fit the platform".into(),
+    })?;
+    if n > bound {
+        return Err(FademlError::Corrupt {
+            reason: format!("adaptive stage length {n} exceeds record bound {bound}"),
+        });
+    }
+    Ok(n)
+}
+
+fn read_scores(r: &mut ByteReader<'_>, bound: usize) -> Result<Vec<f32>> {
+    let n = read_len(r, bound)?;
+    let mut scores = Vec::with_capacity(n);
+    for _ in 0..n {
+        scores.push(r.get_f32().map_err(truncated)?);
+    }
+    Ok(scores)
+}
+
+fn decode_record(bytes: &[u8], size: usize) -> Result<SegmentRecord> {
+    let mut r = ByteReader::new(bytes);
+    let bound = bytes.len();
+    let static_scores = read_scores(&mut r, bound)?;
+    let adaptive_scores = read_scores(&mut r, bound)?;
+    let static_flagged = r.get_u64().map_err(truncated)?;
+    let adaptive_flagged = r.get_u64().map_err(truncated)?;
+    let threshold_after = r.get_f32().map_err(truncated)?;
+    let refits = RefitStats {
+        attempted: r.get_u64().map_err(truncated)?,
+        swapped: r.get_u64().map_err(truncated)?,
+        rejected: r.get_u64().map_err(truncated)?,
+    };
+    let generation = r.get_u64().map_err(truncated)?;
+    let detector_len = read_len(&mut r, bound)?;
+    let detector_bytes = r.get_bytes(detector_len).map_err(truncated)?.to_vec();
+    let reservoir_len = read_len(&mut r, bound)?;
+    let reservoir_bytes = r.get_bytes(reservoir_len).map_err(truncated)?.to_vec();
+    let holdout_count = read_len(&mut r, bound)?;
+    let mut holdout = Vec::with_capacity(holdout_count);
+    for _ in 0..holdout_count {
+        let numel = read_len(&mut r, bound)?;
+        if numel != 3 * size * size {
+            return Err(FademlError::Corrupt {
+                reason: format!(
+                    "adaptive holdout image has {numel} values, expected {}",
+                    3 * size * size
+                ),
+            });
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(r.get_f32().map_err(truncated)?);
+        }
+        holdout.push(Tensor::from_vec(data, Shape::new(vec![3, size, size]))?);
+    }
+    Ok(SegmentRecord {
+        static_scores,
+        adaptive_scores,
+        static_flagged,
+        adaptive_flagged,
+        threshold_after,
+        refits,
+        generation,
+        detector_bytes,
+        reservoir_bytes,
+        holdout,
+    })
+}
+
+/// Everything that influences a stage output. Folds the adaptive knobs
+/// over the base detection fingerprint so a ledger written under
+/// different control parameters recomputes instead of being trusted.
+fn adaptive_fingerprint(
+    prepared: &PreparedSetup,
+    params: &AdaptiveParams,
+    attack: &AttackParams,
+) -> u64 {
+    let base_params = DetectionParams {
+        fit_frames: params.fit_frames,
+        segments: params.segments,
+        frames_per_segment: params.frames_per_segment,
+        detector: params.detector,
+        deployed_filter: params.deployed_filter,
+        stream_seed: params.stream_seed,
+    };
+    let base = detection_fingerprint(prepared, &base_params, attack);
+    let mut h = DefaultHasher::new();
+    "adaptive".hash(&mut h);
+    base.hash(&mut h);
+    params.burst_from.hash(&mut h);
+    params.controller.budget.to_bits().hash(&mut h);
+    params.controller.hysteresis.to_bits().hash(&mut h);
+    params.controller.step.to_bits().hash(&mut h);
+    params.controller.floor.to_bits().hash(&mut h);
+    params.controller.ceiling.to_bits().hash(&mut h);
+    params.controller.window.hash(&mut h);
+    params.initial_threshold.to_bits().hash(&mut h);
+    params.reservoir_capacity.hash(&mut h);
+    params.reservoir_seed.hash(&mut h);
+    params.min_refit_samples.hash(&mut h);
+    params.auc_margin.to_bits().hash(&mut h);
+    params.holdout_cap.hash(&mut h);
+    params.drift.at_frame.hash(&mut h);
+    params.drift.ramp_frames.hash(&mut h);
+    params.drift.brightness_shift.to_bits().hash(&mut h);
+    params.drift.noise_gain.to_bits().hash(&mut h);
+    h.finish()
+}
+
+/// The per-segment stream: a fresh correlated scene whose *constant*
+/// drift strength follows the segment-granular schedule, so a resumed
+/// run rebuilds any segment without replaying the ones before it.
+fn segment_stream(params: &AdaptiveParams, size: usize, index: usize) -> Result<FrameStream> {
+    let level = params.drift_level(index);
+    let drift = if level > 0.0 {
+        Some(DriftSpec {
+            at_frame: 0,
+            ramp_frames: 0,
+            brightness_shift: params.drift.brightness_shift * level,
+            noise_gain: 1.0 + (params.drift.noise_gain - 1.0) * level,
+        })
+    } else {
+        None
+    };
+    FrameStream::new(StreamConfig {
+        class: ClassId::STOP,
+        image_size: size,
+        drift,
+        seed: params.stream_seed.wrapping_add(1000 + index as u64),
+        ..StreamConfig::default()
+    })
+    .map_err(FademlError::from)
+}
+
+/// The burst's additive noise: filter-aware FAdeML crafted once on the
+/// segment's first frame — the attacker perturbs the feed.
+fn burst_noise(
+    prepared: &PreparedSetup,
+    params: &AdaptiveParams,
+    attack: &AttackParams,
+    source: &Tensor,
+) -> Result<Tensor> {
+    let goal = AttackGoal::Untargeted {
+        source: ClassId::STOP.index(),
+    };
+    let base = Fgsm::new(attack.epsilon)?;
+    let aware = Fademl::new(Box::new(base), attack.fademl_rounds, attack.fademl_eta)?;
+    let mut surface =
+        AttackSurface::with_filter(prepared.model.clone(), params.deployed_filter.build()?);
+    Ok(aware.run(&mut surface, source, goal)?.noise)
+}
+
+/// End-of-segment refit attempt: candidate from the reservoir, held-out
+/// validation on the ring (clean vs FGSM-perturbed), swap only if the
+/// candidate's AUC holds up.
+fn attempt_refit(
+    prepared: &PreparedSetup,
+    params: &AdaptiveParams,
+    attack: &AttackParams,
+    state: &mut ArmState,
+) -> Result<()> {
+    let Some(probe) = state.holdout.first() else {
+        return Ok(());
+    };
+    if state.reservoir.len() < params.min_refit_samples {
+        return Ok(());
+    }
+    state.refits.attempted += 1;
+    let mut candidate_config = params.detector;
+    candidate_config.seed = params
+        .detector
+        .seed
+        .wrapping_add(state.generation.wrapping_add(1));
+    let candidate = state
+        .reservoir
+        .refit(&candidate_config)
+        .map_err(detect_config)?;
+
+    let goal = AttackGoal::Untargeted {
+        source: ClassId::STOP.index(),
+    };
+    let fgsm = Fgsm::new(attack.epsilon)?;
+    let mut surface = AttackSurface::new(prepared.model.clone());
+    let noise = fgsm.run(&mut surface, probe, goal)?.noise;
+    let scales = params.detector.scales;
+    let mut clean_side = Vec::with_capacity(state.holdout.len());
+    let mut adversarial_side = Vec::with_capacity(state.holdout.len());
+    for image in &state.holdout {
+        clean_side.push(pyramid_features(image, scales).map_err(detect_score)?);
+        let attacked = image.add(&noise)?.clamp(0.0, 1.0);
+        adversarial_side.push(pyramid_features(&attacked, scales).map_err(detect_score)?);
+    }
+    let candidate_auc =
+        holdout_auc(&candidate, &clean_side, &adversarial_side).map_err(detect_score)?;
+    let incumbent_auc =
+        holdout_auc(&state.detector, &clean_side, &adversarial_side).map_err(detect_score)?;
+    if candidate_auc >= incumbent_auc - params.auc_margin {
+        state.detector = candidate;
+        state.generation += 1;
+        state.refits.swapped += 1;
+    } else {
+        state.refits.rejected += 1;
+    }
+    Ok(())
+}
+
+/// Scores one segment through both arms and runs the adaptive arm's
+/// end-of-segment control epoch (threshold carry + refit attempt).
+fn run_segment(
+    prepared: &PreparedSetup,
+    params: &AdaptiveParams,
+    attack: &AttackParams,
+    static_detector: &Detector,
+    state: &mut ArmState,
+    index: usize,
+    size: usize,
+) -> Result<SegmentRecord> {
+    let mut feed = segment_stream(params, size, index)?;
+    let frames = feed.take_frames(params.frames_per_segment)?;
+    let noise = if params.is_attack_segment(index) {
+        let Some(source) = frames.first() else {
+            return Err(FademlError::InvalidConfig {
+                reason: "segment produced no frames".into(),
+            });
+        };
+        Some(burst_noise(prepared, params, attack, source)?)
+    } else {
+        None
+    };
+    // Each segment is one control epoch: the threshold carries across
+    // segments, the observation window restarts with the epoch (so a
+    // resumed run and a straight-through run agree exactly).
+    let mut controller =
+        ThresholdController::new(params.controller, state.threshold).map_err(detect_config)?;
+    let scales = params.detector.scales;
+    let mut static_scores = Vec::with_capacity(frames.len());
+    let mut adaptive_scores = Vec::with_capacity(frames.len());
+    let mut static_flagged = 0u64;
+    let mut adaptive_flagged = 0u64;
+    let mut clean_judged = 0u64;
+    for frame in &frames {
+        let image = match &noise {
+            None => frame.clone(),
+            Some(noise) => frame.add(noise)?.clamp(0.0, 1.0),
+        };
+        let features = pyramid_features(&image, scales).map_err(detect_score)?;
+        let static_score = static_detector.score(&features).map_err(detect_score)?;
+        let adaptive_score = state.detector.score(&features).map_err(detect_score)?;
+        static_scores.push(static_score);
+        adaptive_scores.push(adaptive_score);
+        if static_score >= params.initial_threshold {
+            static_flagged += 1;
+        }
+        let flagged = adaptive_score >= controller.threshold();
+        controller.observe(flagged);
+        if flagged {
+            adaptive_flagged += 1;
+        } else {
+            // Clean-judged traffic feeds the refit loop; every fourth
+            // frame is held out for validation instead of sampled.
+            clean_judged += 1;
+            if clean_judged.is_multiple_of(4) {
+                state.holdout.push(image);
+                if state.holdout.len() > params.holdout_cap {
+                    state.holdout.remove(0);
+                }
+            } else {
+                state.reservoir.offer(&features).map_err(detect_config)?;
+            }
+        }
+    }
+    state.threshold = controller.threshold();
+    attempt_refit(prepared, params, attack, state)?;
+    Ok(SegmentRecord {
+        static_scores,
+        adaptive_scores,
+        static_flagged,
+        adaptive_flagged,
+        threshold_after: state.threshold,
+        refits: state.refits,
+        generation: state.generation,
+        detector_bytes: state.detector.to_bytes(),
+        reservoir_bytes: state.reservoir.to_bytes(),
+        holdout: state.holdout.clone(),
+    })
+}
+
+/// Runs the resumable static-vs-adaptive comparison.
+///
+/// Stages journaled to `ledger_path`: `"fit"` (the initial detector)
+/// plus one `"segment/i"` per segment, each carrying the adaptive
+/// arm's full post-segment state. A rerun under identical parameters
+/// and victim reuses every recorded stage and reproduces the result
+/// exactly; a killed run resumes at its first incomplete segment.
+///
+/// # Errors
+///
+/// Propagates configuration, attack, detector and ledger errors.
+pub fn run_adaptive_resumable(
+    prepared: &PreparedSetup,
+    params: &AdaptiveParams,
+    attack: &AttackParams,
+    ledger_path: &Path,
+) -> Result<ResumeReport<AdaptiveResult>> {
+    params.validate()?;
+    let size = frame_size(prepared)?;
+    let fingerprint = adaptive_fingerprint(prepared, params, attack);
+    let ledger = StageLedger::open(ledger_path, fingerprint)?;
+    let mut reused = 0usize;
+
+    let static_detector = match ledger.get("fit") {
+        Some(bytes) => {
+            reused += 1;
+            Detector::from_bytes(&bytes).map_err(detect_corrupt)?
+        }
+        None => {
+            let mut feed = segment_stream(params, size, 0)?;
+            // The fit stream is the pre-drift regime under a dedicated
+            // seed — never shared with any scored segment.
+            feed = FrameStream::new(StreamConfig {
+                class: ClassId::STOP,
+                image_size: size,
+                seed: params.stream_seed,
+                ..*feed.config()
+            })?;
+            let clean = feed.take_frames(params.fit_frames)?;
+            let detector = Detector::fit_images(&clean, &params.detector).map_err(detect_config)?;
+            ledger.record("fit", &detector.to_bytes())?;
+            detector
+        }
+    };
+
+    let mut state = ArmState {
+        detector: Detector::from_bytes(&static_detector.to_bytes()).map_err(detect_corrupt)?,
+        reservoir: FeatureReservoir::new(
+            params.reservoir_capacity,
+            static_detector.feature_dim(),
+            params.reservoir_seed,
+        )
+        .map_err(detect_config)?,
+        threshold: params.initial_threshold,
+        holdout: Vec::new(),
+        refits: RefitStats::default(),
+        generation: 0,
+    };
+
+    let mut segments = Vec::with_capacity(params.segments);
+    let mut static_labeled = Vec::new();
+    let mut adaptive_labeled = Vec::new();
+    let mut clean_eval = [0u64; 4]; // static flagged, adaptive flagged, static frames, adaptive frames
+    for index in 0..params.segments {
+        let key = format!("segment/{index}");
+        let record = match ledger.get(&key) {
+            Some(bytes) => {
+                reused += 1;
+                let record = decode_record(&bytes, size)?;
+                // Restore the adaptive arm exactly where the recorded
+                // segment left it.
+                state.detector =
+                    Detector::from_bytes(&record.detector_bytes).map_err(detect_corrupt)?;
+                state.reservoir = FeatureReservoir::from_bytes(&record.reservoir_bytes)
+                    .map_err(detect_corrupt)?;
+                state.threshold = record.threshold_after;
+                state.holdout = record.holdout.clone();
+                state.refits = record.refits;
+                state.generation = record.generation;
+                record
+            }
+            None => {
+                let record = run_segment(
+                    prepared,
+                    params,
+                    attack,
+                    &static_detector,
+                    &mut state,
+                    index,
+                    size,
+                )?;
+                ledger.record(&key, &encode_record(&record))?;
+                record
+            }
+        };
+        let attack_segment = params.is_attack_segment(index);
+        if index >= params.burst_from {
+            static_labeled.extend(record.static_scores.iter().map(|&s| (attack_segment, s)));
+            adaptive_labeled.extend(record.adaptive_scores.iter().map(|&s| (attack_segment, s)));
+            if !attack_segment {
+                let [sf, af, sn, an] = &mut clean_eval;
+                *sf += record.static_flagged;
+                *af += record.adaptive_flagged;
+                *sn += record.static_scores.len() as u64;
+                *an += record.adaptive_scores.len() as u64;
+            }
+        }
+        segments.push(AdaptiveSegment {
+            attack: attack_segment,
+            drift_level: params.drift_level(index),
+            frames: record.static_scores.len(),
+            static_flagged: usize::try_from(record.static_flagged).unwrap_or(usize::MAX),
+            adaptive_flagged: usize::try_from(record.adaptive_flagged).unwrap_or(usize::MAX),
+            threshold_after: record.threshold_after,
+            generation_after: record.generation,
+        });
+    }
+
+    let frac = |flagged: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            (flagged as f64 / total as f64) as f32
+        }
+    };
+    let [sf, af, sn, an] = clean_eval;
+    let result = AdaptiveResult {
+        static_auc: rank_auc(&static_labeled),
+        adaptive_auc: rank_auc(&adaptive_labeled),
+        static_clean_flagged_frac: frac(sf, sn),
+        adaptive_clean_flagged_frac: frac(af, an),
+        budget: params.controller.budget,
+        refits: state.refits,
+        final_generation: state.generation,
+        final_threshold: state.threshold,
+        segments,
+    };
+    Ok(ResumeReport {
+        result,
+        stages_total: 1 + params.segments,
+        stages_reused: reused,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{ExperimentSetup, SetupProfile};
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::OnceLock;
+
+    fn ledger_file(tag: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("fademl_adaptive_{tag}_{}.fjl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    fn prepared() -> &'static PreparedSetup {
+        static CELL: OnceLock<PreparedSetup> = OnceLock::new();
+        CELL.get_or_init(|| {
+            ExperimentSetup::profile(SetupProfile::Smoke)
+                .prepare()
+                .unwrap()
+        })
+    }
+
+    fn tiny_params() -> AdaptiveParams {
+        AdaptiveParams {
+            fit_frames: 48,
+            segments: 6,
+            frames_per_segment: 24,
+            burst_from: 3,
+            detector: DetectorConfig {
+                trees: 16,
+                subsample: 16,
+                scales: 2,
+                seed: 9,
+            },
+            controller: ControllerConfig {
+                budget: 0.1,
+                hysteresis: 0.25,
+                step: 0.05,
+                floor: 0.3,
+                ceiling: 0.95,
+                window: 12,
+            },
+            initial_threshold: 0.52,
+            reservoir_capacity: 96,
+            reservoir_seed: 0x5EED,
+            min_refit_samples: 24,
+            auc_margin: 0.1,
+            holdout_cap: 8,
+            drift: DriftSpec {
+                at_frame: 1,
+                ramp_frames: 2,
+                brightness_shift: -0.35,
+                noise_gain: 2.5,
+            },
+            ..AdaptiveParams::default()
+        }
+    }
+
+    fn cheap_attack() -> AttackParams {
+        AttackParams {
+            epsilon: 0.15,
+            fademl_rounds: 1,
+            ..AttackParams::default()
+        }
+    }
+
+    /// The seeded regression the subsystem's claim rests on: under
+    /// drift + attack bursts, the adaptive arm refits, holds its
+    /// hardened budget on post-drift clean traffic, and ends with AUC
+    /// at least the static arm's.
+    #[test]
+    fn adaptive_arm_holds_budget_and_auc_under_drift() {
+        let path = ledger_file("regression");
+        let report =
+            run_adaptive_resumable(prepared(), &tiny_params(), &cheap_attack(), &path).unwrap();
+        let r = &report.result;
+        assert_eq!(report.stages_total, 7);
+        assert_eq!(r.segments.len(), 6);
+        // The schedule: clean, clean, clean (drifting), burst, clean, burst.
+        let attacks: Vec<bool> = r.segments.iter().map(|s| s.attack).collect();
+        assert_eq!(attacks, vec![false, false, false, true, false, true]);
+        assert!(r.segments.iter().skip(2).all(|s| s.drift_level == 1.0));
+        // The refit loop actually ran and deployed at least one refit.
+        assert!(r.refits.attempted >= 1);
+        assert!(r.refits.swapped >= 1, "refits: {:?}", r.refits);
+        assert_eq!(
+            r.final_generation, r.refits.swapped,
+            "every swap advances the generation exactly once"
+        );
+        // Budget held on post-drift clean traffic: the controller may
+        // overshoot by one window's step-lag, never unboundedly.
+        assert!(
+            r.adaptive_clean_flagged_frac <= r.budget * 2.0 + 0.1,
+            "adaptive clean flagged {} vs budget {}",
+            r.adaptive_clean_flagged_frac,
+            r.budget
+        );
+        // The adaptive arm's separation is no worse than the static arm's.
+        assert!(
+            r.adaptive_auc >= r.static_auc - 1e-6,
+            "adaptive {} vs static {}",
+            r.adaptive_auc,
+            r.static_auc
+        );
+        assert!(r.adaptive_auc > 0.5, "must beat chance: {}", r.adaptive_auc);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rerun_reuses_every_stage_and_reproduces_the_result() {
+        let path = ledger_file("rerun");
+        let first =
+            run_adaptive_resumable(prepared(), &tiny_params(), &cheap_attack(), &path).unwrap();
+        let second =
+            run_adaptive_resumable(prepared(), &tiny_params(), &cheap_attack(), &path).unwrap();
+        assert_eq!(second.stages_reused, second.stages_total);
+        assert_eq!(second.result, first.result);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_run_resumes_mid_sweep_with_identical_state() {
+        let full_path = ledger_file("kill_full");
+        let partial_path = ledger_file("kill_partial");
+        let params = tiny_params();
+        let attack = cheap_attack();
+        let full_report = run_adaptive_resumable(prepared(), &params, &attack, &full_path).unwrap();
+
+        // Copy the fit and the first three segments — a kill right
+        // after the drift ramp — into a fresh ledger and resume.
+        let fingerprint = adaptive_fingerprint(prepared(), &params, &attack);
+        let full = StageLedger::open(&full_path, fingerprint).unwrap();
+        let partial = StageLedger::open(&partial_path, fingerprint).unwrap();
+        for key in ["fit", "segment/0", "segment/1", "segment/2"] {
+            partial.record(key, &full.get(key).unwrap()).unwrap();
+        }
+        drop(partial);
+
+        let resumed = run_adaptive_resumable(prepared(), &params, &attack, &partial_path).unwrap();
+        assert_eq!(resumed.stages_reused, 4);
+        assert_eq!(
+            resumed.result, full_report.result,
+            "resumed state must be bit-identical to the straight-through run"
+        );
+        let _ = fs::remove_file(&full_path);
+        let _ = fs::remove_file(&partial_path);
+    }
+
+    #[test]
+    fn changed_control_knobs_invalidate_the_ledger() {
+        let path = ledger_file("fp");
+        let attack = cheap_attack();
+        run_adaptive_resumable(prepared(), &tiny_params(), &attack, &path).unwrap();
+        let shifted = AdaptiveParams {
+            auc_margin: 0.2,
+            ..tiny_params()
+        };
+        let rerun = run_adaptive_resumable(prepared(), &shifted, &attack, &path).unwrap();
+        assert_eq!(rerun.stages_reused, 0, "foreign-fingerprint stages reused");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_params_are_refused() {
+        let path = ledger_file("invalid");
+        for params in [
+            AdaptiveParams {
+                burst_from: 9,
+                ..tiny_params()
+            },
+            AdaptiveParams {
+                burst_from: 0,
+                ..tiny_params()
+            },
+            AdaptiveParams {
+                auc_margin: 1.5,
+                ..tiny_params()
+            },
+            AdaptiveParams {
+                min_refit_samples: 1,
+                ..tiny_params()
+            },
+            AdaptiveParams {
+                holdout_cap: 0,
+                ..tiny_params()
+            },
+            AdaptiveParams {
+                drift: DriftSpec {
+                    noise_gain: 9.0,
+                    ..DriftSpec::default()
+                },
+                ..tiny_params()
+            },
+        ] {
+            assert!(matches!(
+                run_adaptive_resumable(prepared(), &params, &cheap_attack(), &path),
+                Err(FademlError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn segment_schedule_is_deterministic() {
+        let params = tiny_params();
+        assert!(!params.is_attack_segment(0));
+        assert!(!params.is_attack_segment(2));
+        assert!(params.is_attack_segment(3));
+        assert!(!params.is_attack_segment(4));
+        assert!(params.is_attack_segment(5));
+        assert_eq!(params.drift_level(0), 0.0);
+        assert!(params.drift_level(1) > 0.0 && params.drift_level(1) < 1.0);
+        assert_eq!(params.drift_level(3), 1.0);
+    }
+}

@@ -153,25 +153,25 @@ pub struct DetectionResult {
     pub segments: Vec<SegmentOutcome>,
 }
 
-fn detect_config(e: fademl_detect::DetectError) -> FademlError {
+pub(crate) fn detect_config(e: fademl_detect::DetectError) -> FademlError {
     FademlError::InvalidConfig {
         reason: format!("detector: {e}"),
     }
 }
 
-fn detect_corrupt(e: fademl_detect::DetectError) -> FademlError {
+pub(crate) fn detect_corrupt(e: fademl_detect::DetectError) -> FademlError {
     FademlError::Corrupt {
         reason: format!("recorded detector rejected: {e}"),
     }
 }
 
-fn detect_score(e: fademl_detect::DetectError) -> FademlError {
+pub(crate) fn detect_score(e: fademl_detect::DetectError) -> FademlError {
     FademlError::InvalidInput {
         reason: format!("detector scoring failed: {e}"),
     }
 }
 
-fn truncated(_: std::io::Error) -> FademlError {
+pub(crate) fn truncated(_: std::io::Error) -> FademlError {
     FademlError::Corrupt {
         reason: "detection stage value truncated mid-field".into(),
     }
@@ -206,7 +206,7 @@ pub(crate) fn detection_fingerprint(
 }
 
 /// The victim's input edge length, recovered from the prepared splits.
-fn frame_size(prepared: &PreparedSetup) -> Result<usize> {
+pub(crate) fn frame_size(prepared: &PreparedSetup) -> Result<usize> {
     let dims = prepared.train.images().dims();
     match dims {
         &[_, _, h, w] if h == w && h > 0 => Ok(h),
@@ -310,7 +310,7 @@ fn decode_scores(bytes: &[u8]) -> Result<Vec<f32>> {
 
 /// Mann–Whitney AUC with average-rank tie handling: the probability a
 /// random adversarial frame outscores a random clean one.
-fn rank_auc(labeled: &[(bool, f32)]) -> f32 {
+pub(crate) fn rank_auc(labeled: &[(bool, f32)]) -> f32 {
     let mut order: Vec<usize> = (0..labeled.len()).collect();
     order.sort_by(|&a, &b| {
         labeled[a]

@@ -18,13 +18,27 @@
 //! | 4 | dynamic range (max − min) | clipping / saturation |
 //! | 5 | channel-mean variance | color cast consistency |
 //!
-//! Everything here is **serial, allocation-light scalar code** on
-//! purpose: scoring runs on the request-submission thread inside the
-//! serving engine, and the bit-exactness invariant (identical scores at
-//! every `fademl_tensor::par` thread count) holds trivially because no
-//! parallel kernel is involved.
+//! Everything here is **serial, allocation-free scalar code** on the
+//! steady state: scoring runs on the request-submission thread inside
+//! the serving engine, and the bit-exactness invariant (identical
+//! scores at every `fademl_tensor::par` thread count) holds trivially
+//! because no parallel kernel is involved.
+//!
+//! Geometry work is planned once, not per frame. A [`ScalePlan`]
+//! derives and validates the pyramid level dimensions for one
+//! `[C, H, W]` shape; a [`PlanCache`] memoizes plans per geometry the
+//! same way the filter kernels cache their renormalization sums, so a
+//! serving stream of same-sized frames re-derives nothing. Pixel
+//! buffers live in a per-thread [`PyramidScratch`] that is reused
+//! across frames — after the first frame of a geometry the admission
+//! path performs no heap allocation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use fademl_tensor::Tensor;
+use parking_lot::Mutex;
 
 use crate::error::{DetectError, Result};
 
@@ -48,57 +62,226 @@ pub fn min_side(scales: usize) -> usize {
     2usize << scales.saturating_sub(1)
 }
 
-/// Extracts the multi-scale feature vector of a `[C, H, W]` image.
-///
-/// Fails with a typed error on wrong rank, an empty tensor, an
-/// unsupported scale count, or an image too small for the requested
-/// pyramid depth. Non-finite pixels are tolerated (the forest treats
-/// `NaN` comparisons as "right branch"), because the caller on the
-/// serving path has already validated finiteness and the experiment
-/// path wants scoring to be total.
-pub fn pyramid_features(image: &Tensor, scales: usize) -> Result<Vec<f32>> {
-    if scales == 0 || scales > MAX_SCALES {
-        return Err(DetectError::InvalidConfig {
-            reason: format!("scales must be in 1..={MAX_SCALES}, got {scales}"),
-        });
-    }
-    let dims = image.dims();
-    let (channels, height, width) = match dims {
-        &[c, h, w] => (c, h, w),
-        _ => {
-            return Err(DetectError::InvalidInput {
-                reason: format!("expected a [C, H, W] image, got shape {dims:?}"),
-            })
+/// Dimensions of one pyramid level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelGeom {
+    /// Plane height in pixels.
+    pub height: usize,
+    /// Plane width in pixels.
+    pub width: usize,
+}
+
+/// A validated per-geometry extraction plan: the pyramid level
+/// dimensions for one `[C, H, W]` input shape, derived (and the shape
+/// envelope checked) exactly once. Frames of the same geometry reuse
+/// the plan instead of re-deriving and re-validating per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalePlan {
+    scales: usize,
+    channels: usize,
+    levels: [LevelGeom; MAX_SCALES],
+}
+
+impl ScalePlan {
+    /// Builds and validates a plan for `scales` pyramid levels over an
+    /// image of shape `dims`.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidConfig`] for an unsupported scale count;
+    /// [`DetectError::InvalidInput`] for a non-`[C, H, W]` shape, an
+    /// empty image, or an image too small for the requested depth.
+    pub fn build(scales: usize, dims: &[usize]) -> Result<ScalePlan> {
+        if scales == 0 || scales > MAX_SCALES {
+            return Err(DetectError::InvalidConfig {
+                reason: format!("scales must be in 1..={MAX_SCALES}, got {scales}"),
+            });
         }
-    };
-    if channels == 0 || height == 0 || width == 0 {
-        return Err(DetectError::InvalidInput {
-            reason: format!("empty image {dims:?}"),
-        });
-    }
-    let need = min_side(scales);
-    if height < need || width < need {
-        return Err(DetectError::InvalidInput {
-            reason: format!("image {height}x{width} too small for {scales} scales (need {need})"),
-        });
+        let (channels, height, width) = match dims {
+            &[c, h, w] => (c, h, w),
+            _ => {
+                return Err(DetectError::InvalidInput {
+                    reason: format!("expected a [C, H, W] image, got shape {dims:?}"),
+                })
+            }
+        };
+        if channels == 0 || height == 0 || width == 0 {
+            return Err(DetectError::InvalidInput {
+                reason: format!("empty image {dims:?}"),
+            });
+        }
+        let need = min_side(scales);
+        if height < need || width < need {
+            return Err(DetectError::InvalidInput {
+                reason: format!(
+                    "image {height}x{width} too small for {scales} scales (need {need})"
+                ),
+            });
+        }
+        let mut levels = [LevelGeom::default(); MAX_SCALES];
+        let (mut h, mut w) = (height, width);
+        for geom in levels.iter_mut().take(scales) {
+            *geom = LevelGeom {
+                height: h,
+                width: w,
+            };
+            h /= 2;
+            w /= 2;
+        }
+        Ok(ScalePlan {
+            scales,
+            channels,
+            levels,
+        })
     }
 
-    let mut features = Vec::with_capacity(feature_dim(scales));
-    let mut planes: Vec<f32> = image.as_slice().to_vec();
-    let (mut h, mut w) = (height, width);
-    for level in 0..scales {
-        features.extend_from_slice(&scale_stats(&planes, h, w));
-        if level + 1 < scales {
-            let (next, nh, nw) = downsample(&planes, h, w);
-            planes = next;
-            h = nh;
-            w = nw;
+    /// Pyramid depth of the plan.
+    pub fn scales(&self) -> usize {
+        self.scales
+    }
+
+    /// The `[C, H, W]` geometry the plan was built for.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        let base = self.levels.first().copied().unwrap_or_default();
+        (self.channels, base.height, base.width)
+    }
+
+    /// Whether `dims` matches the planned geometry.
+    fn matches(&self, dims: &[usize]) -> bool {
+        let (c, h, w) = self.geometry();
+        matches!(dims, &[dc, dh, dw] if dc == c && dh == h && dw == w)
+    }
+}
+
+/// Geometry-keyed memo of [`ScalePlan`]s, mirroring the filter kernels'
+/// renormalization-sum cache: one plan per distinct `[C, H, W]` shape,
+/// shared via `Arc` so concurrent scoring threads hold the lock only
+/// for the map probe.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<(usize, usize, usize), Arc<ScalePlan>>>,
+}
+
+impl PlanCache {
+    /// The plan for `dims` at the given pyramid depth, building and
+    /// memoizing it on first sight of the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Same envelope checks as [`ScalePlan::build`].
+    pub fn plan_for(&self, scales: usize, dims: &[usize]) -> Result<Arc<ScalePlan>> {
+        let key = match dims {
+            &[c, h, w] => (c, h, w),
+            _ => {
+                return Err(DetectError::InvalidInput {
+                    reason: format!("expected a [C, H, W] image, got shape {dims:?}"),
+                })
+            }
+        };
+        {
+            let plans = self.plans.lock();
+            if let Some(plan) = plans.get(&key) {
+                return Ok(Arc::clone(plan));
+            }
+        }
+        // Build outside the lock: construction is cheap but fallible,
+        // and a failed build must not poison concurrent lookups.
+        let plan = Arc::new(ScalePlan::build(scales, dims)?);
+        let mut plans = self.plans.lock();
+        Ok(Arc::clone(plans.entry(key).or_insert(plan)))
+    }
+
+    /// Number of distinct geometries planned so far (test hook, same
+    /// role as the kernel cache's geometry counter).
+    pub fn cached_geometries(&self) -> usize {
+        self.plans.lock().len()
+    }
+}
+
+/// Reusable pixel buffers for pyramid extraction. One instance per
+/// thread (see [`with_thread_scratch`]) keeps the steady-state
+/// admission path allocation-free: the buffers grow to the largest
+/// geometry seen and are then reused verbatim.
+#[derive(Debug, Default)]
+pub struct PyramidScratch {
+    planes: Vec<f32>,
+    next: Vec<f32>,
+    features: Vec<f32>,
+}
+
+impl PyramidScratch {
+    /// The feature vector produced by the last [`extract_into`] call.
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<PyramidScratch> = RefCell::new(PyramidScratch::default());
+}
+
+/// Runs `f` with this thread's reusable extraction scratch. Do not
+/// re-enter from inside `f` — the scratch is a single per-thread cell.
+pub fn with_thread_scratch<T>(f: impl FnOnce(&mut PyramidScratch) -> T) -> T {
+    SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Extracts the multi-scale features of `image` under a prebuilt plan,
+/// leaving the result in `scratch.features()`. Allocation-free once the
+/// scratch has warmed to the plan's geometry.
+///
+/// Non-finite pixels are tolerated (the forest treats `NaN`
+/// comparisons as "right branch"), because the caller on the serving
+/// path has already validated finiteness and the experiment path wants
+/// scoring to be total.
+///
+/// # Errors
+///
+/// [`DetectError::InvalidInput`] if the image shape does not match the
+/// plan's geometry.
+pub fn extract_into(plan: &ScalePlan, image: &Tensor, scratch: &mut PyramidScratch) -> Result<()> {
+    let dims = image.dims();
+    if !plan.matches(dims) {
+        let (c, h, w) = plan.geometry();
+        return Err(DetectError::InvalidInput {
+            reason: format!("image shape {dims:?} does not match planned [{c}, {h}, {w}]"),
+        });
+    }
+    scratch.features.clear();
+    scratch.planes.clear();
+    scratch.planes.extend_from_slice(image.as_slice());
+    for (level, geom) in plan.levels.iter().take(plan.scales).enumerate() {
+        let stats = scale_stats(&scratch.planes, geom.height, geom.width);
+        scratch.features.extend_from_slice(&stats);
+        if level + 1 < plan.scales {
+            downsample_into(&scratch.planes, geom.height, geom.width, &mut scratch.next);
+            std::mem::swap(&mut scratch.planes, &mut scratch.next);
         }
     }
-    Ok(features)
+    Ok(())
+}
+
+/// Extracts the multi-scale feature vector of a `[C, H, W]` image.
+///
+/// One-shot convenience over [`ScalePlan::build`] + [`extract_into`]:
+/// the experiment and fitting paths use this; the serving path goes
+/// through a [`PlanCache`] and the thread scratch instead.
+///
+/// # Errors
+///
+/// Same envelope checks as [`ScalePlan::build`].
+pub fn pyramid_features(image: &Tensor, scales: usize) -> Result<Vec<f32>> {
+    let plan = ScalePlan::build(scales, image.dims())?;
+    with_thread_scratch(|scratch| {
+        extract_into(&plan, image, scratch)?;
+        let mut out = Vec::default();
+        out.extend_from_slice(&scratch.features);
+        Ok(out)
+    })
 }
 
 /// The six per-scale statistics over `channels` planes of `h*w` pixels.
+/// Pure streaming scalar code: no allocation, no indexing.
 fn scale_stats(planes: &[f32], h: usize, w: usize) -> [f32; FEATURES_PER_SCALE] {
     let plane_len = h * w;
     let total = planes.len() as f64;
@@ -120,10 +303,17 @@ fn scale_stats(planes: &[f32], h: usize, w: usize) -> [f32; FEATURES_PER_SCALE] 
     let mut grad_n = 0.0f64;
     let mut lap_sum = 0.0f64;
     let mut lap_n = 0.0f64;
-    let mut chan_means: Vec<f64> = Vec::new();
+    // Streaming mean/second-moment of the per-channel means replaces a
+    // collected vector; channel-count is a divisor, never an index.
+    let mut chan_mean_sum = 0.0f64;
+    let mut chan_mean_sq_sum = 0.0f64;
+    let mut chan_n = 0.0f64;
     for plane in planes.chunks_exact(plane_len) {
         let psum: f64 = plane.iter().map(|&v| f64::from(v)).sum();
-        chan_means.push(psum / plane_len as f64);
+        let pmean = psum / plane_len as f64;
+        chan_mean_sum += pmean;
+        chan_mean_sq_sum += pmean * pmean;
+        chan_n += 1.0;
 
         // Horizontal neighbours, per row so pairs never wrap rows.
         for row in plane.chunks_exact(w) {
@@ -139,20 +329,21 @@ fn scale_stats(planes: &[f32], h: usize, w: usize) -> [f32; FEATURES_PER_SCALE] 
             grad_sum += f64::from((b - a).abs());
             grad_n += 1.0;
         }
-        // 4-neighbour Laplacian over the interior.
+        // 4-neighbour Laplacian over the interior: three row cursors
+        // offset by one row each walk the plane in lockstep.
         if h >= 3 && w >= 3 {
-            let rows: Vec<&[f32]> = plane.chunks_exact(w).collect();
-            for triple in rows.windows(3) {
-                if let &[above, center, below] = triple {
-                    for ((aw, cw), bw) in above
-                        .windows(3)
-                        .zip(center.windows(3))
-                        .zip(below.windows(3))
-                    {
-                        if let (&[_, up, _], &[left, mid, right], &[_, down, _]) = (aw, cw, bw) {
-                            lap_sum += f64::from((4.0 * mid - up - down - left - right).abs());
-                            lap_n += 1.0;
-                        }
+            let above_rows = plane.chunks_exact(w);
+            let center_rows = plane.chunks_exact(w).skip(1);
+            let below_rows = plane.chunks_exact(w).skip(2);
+            for ((above, center), below) in above_rows.zip(center_rows).zip(below_rows) {
+                for ((aw, cw), bw) in above
+                    .windows(3)
+                    .zip(center.windows(3))
+                    .zip(below.windows(3))
+                {
+                    if let (&[_, up, _], &[left, mid, right], &[_, down, _]) = (aw, cw, bw) {
+                        lap_sum += f64::from((4.0 * mid - up - down - left - right).abs());
+                        lap_n += 1.0;
                     }
                 }
             }
@@ -160,10 +351,9 @@ fn scale_stats(planes: &[f32], h: usize, w: usize) -> [f32; FEATURES_PER_SCALE] 
     }
     let grad = if grad_n > 0.0 { grad_sum / grad_n } else { 0.0 };
     let lap = if lap_n > 0.0 { lap_sum / lap_n } else { 0.0 };
-
-    let chan_var = if chan_means.len() > 1 {
-        let m = chan_means.iter().sum::<f64>() / chan_means.len() as f64;
-        chan_means.iter().map(|c| (c - m) * (c - m)).sum::<f64>() / chan_means.len() as f64
+    let chan_var = if chan_n > 1.0 {
+        let m = chan_mean_sum / chan_n;
+        (chan_mean_sq_sum / chan_n - m * m).max(0.0)
     } else {
         0.0
     };
@@ -178,12 +368,12 @@ fn scale_stats(planes: &[f32], h: usize, w: usize) -> [f32; FEATURES_PER_SCALE] 
     ]
 }
 
-/// 2×2 box-average downsampling of every plane; odd trailing rows and
-/// columns are dropped (floor semantics).
-fn downsample(planes: &[f32], h: usize, w: usize) -> (Vec<f32>, usize, usize) {
+/// 2×2 box-average downsampling of every plane into `out`; odd
+/// trailing rows and columns are dropped (floor semantics). `out` is
+/// cleared and refilled — reusing its capacity across frames.
+fn downsample_into(planes: &[f32], h: usize, w: usize, out: &mut Vec<f32>) {
     let (oh, ow) = (h / 2, w / 2);
-    let channels = planes.len() / (h * w);
-    let mut out = Vec::with_capacity(channels * oh * ow);
+    out.clear();
     for plane in planes.chunks_exact(h * w) {
         for row_pair in plane.chunks_exact(2 * w).take(oh) {
             let (top, bottom) = row_pair.split_at(w);
@@ -194,7 +384,6 @@ fn downsample(planes: &[f32], h: usize, w: usize) -> (Vec<f32>, usize, usize) {
             }
         }
     }
-    (out, oh, ow)
 }
 
 #[cfg(test)]
@@ -300,10 +489,78 @@ mod tests {
     fn downsample_halves_dims_with_floor() {
         let mut rng = TensorRng::seed_from_u64(3);
         let img = image(&mut rng, 9);
-        let (next, h, w) = downsample(img.as_slice(), 9, 9);
-        assert_eq!((h, w), (4, 4));
+        let mut next = Vec::new();
+        downsample_into(img.as_slice(), 9, 9, &mut next);
         assert_eq!(next.len(), 3 * 4 * 4);
         // Each output is the mean of a 2x2 block, so bounded by input range.
         assert!(next.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn plan_levels_match_manual_derivation() {
+        let plan = ScalePlan::build(3, &[3, 32, 20]).unwrap();
+        assert_eq!(plan.scales(), 3);
+        assert_eq!(plan.geometry(), (3, 32, 20));
+        let levels: Vec<LevelGeom> = plan.levels.iter().take(3).copied().collect();
+        assert_eq!(
+            levels,
+            vec![
+                LevelGeom {
+                    height: 32,
+                    width: 20
+                },
+                LevelGeom {
+                    height: 16,
+                    width: 10
+                },
+                LevelGeom {
+                    height: 8,
+                    width: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_cache_memoizes_per_geometry() {
+        let cache = PlanCache::default();
+        let a = cache.plan_for(2, &[3, 16, 16]).unwrap();
+        let b = cache.plan_for(2, &[3, 16, 16]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same geometry must share one plan");
+        assert_eq!(cache.cached_geometries(), 1);
+        let c = cache.plan_for(2, &[3, 24, 24]).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.cached_geometries(), 2);
+        // Invalid geometries never enter the cache.
+        assert!(cache.plan_for(2, &[16, 16]).is_err());
+        assert!(cache.plan_for(4, &[3, 4, 4]).is_err());
+        assert_eq!(cache.cached_geometries(), 2);
+    }
+
+    #[test]
+    fn planned_extraction_matches_one_shot_path() {
+        let mut rng = TensorRng::seed_from_u64(42);
+        let cache = PlanCache::default();
+        for _ in 0..4 {
+            let img = image(&mut rng, 16);
+            let expected = pyramid_features(&img, 3).unwrap();
+            let plan = cache.plan_for(3, img.dims()).unwrap();
+            let mut scratch = PyramidScratch::default();
+            extract_into(&plan, &img, &mut scratch).unwrap();
+            assert_eq!(scratch.features(), expected.as_slice());
+        }
+        assert_eq!(cache.cached_geometries(), 1);
+    }
+
+    #[test]
+    fn extract_rejects_geometry_mismatch() {
+        let mut rng = TensorRng::seed_from_u64(5);
+        let plan = ScalePlan::build(2, &[3, 16, 16]).unwrap();
+        let wrong = rng.uniform(&[3, 8, 8], 0.0, 1.0);
+        let mut scratch = PyramidScratch::default();
+        assert!(matches!(
+            extract_into(&plan, &wrong, &mut scratch),
+            Err(DetectError::InvalidInput { .. })
+        ));
     }
 }

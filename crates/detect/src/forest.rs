@@ -25,7 +25,10 @@ use fademl_tensor::{Tensor, TensorRng};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{corrupt, DetectError, Result};
-use crate::features::{feature_dim, pyramid_features, FEATURES_PER_SCALE, MAX_SCALES};
+use crate::features::{
+    extract_into, feature_dim, pyramid_features, with_thread_scratch, PlanCache,
+    FEATURES_PER_SCALE, MAX_SCALES,
+};
 
 /// Magic bytes of the serialized detector format.
 pub const DETECTOR_MAGIC: &[u8; 8] = b"FADEMLD1";
@@ -120,7 +123,7 @@ struct Tree {
 }
 
 /// A fitted multi-scale isolation forest.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Detector {
     scales: usize,
     feature_dim: usize,
@@ -128,6 +131,37 @@ pub struct Detector {
     subsample: u32,
     seed: u64,
     trees: Vec<Tree>,
+    /// Per-geometry scale plans, built lazily on first score of each
+    /// `[C, H, W]` shape and reused for every later frame of it.
+    plans: PlanCache,
+}
+
+impl Clone for Detector {
+    fn clone(&self) -> Self {
+        let mut trees = Vec::default();
+        trees.extend_from_slice(&self.trees);
+        Detector {
+            scales: self.scales,
+            feature_dim: self.feature_dim,
+            subsample: self.subsample,
+            seed: self.seed,
+            trees,
+            // The plan cache is per-instance warm-up state, rebuilt on
+            // demand; sharing it would entangle detector lifetimes.
+            plans: PlanCache::default(),
+        }
+    }
+}
+
+impl PartialEq for Detector {
+    fn eq(&self, other: &Self) -> bool {
+        // The plan cache is derived state and never part of identity.
+        self.scales == other.scales
+            && self.feature_dim == other.feature_dim
+            && self.subsample == other.subsample
+            && self.seed == other.seed
+            && self.trees == other.trees
+    }
 }
 
 impl Detector {
@@ -170,6 +204,7 @@ impl Detector {
             subsample: u32::try_from(psi).unwrap_or(u32::MAX),
             seed: config.seed,
             trees,
+            plans: PlanCache::default(),
         })
     }
 
@@ -208,9 +243,43 @@ impl Detector {
 
     /// Anomaly score of a `[C, H, W]` image (feature extraction at the
     /// detector's fitted pyramid depth, then [`Detector::score`]).
+    ///
+    /// Geometry derivation is memoized per shape and pixel buffers are
+    /// reused per thread, so a stream of same-sized frames scores
+    /// without heap allocation.
     pub fn score_image(&self, image: &Tensor) -> Result<f32> {
-        let feats = pyramid_features(image, self.scales)?;
-        self.score(&feats)
+        let plan = self.plans.plan_for(self.scales, image.dims())?;
+        with_thread_scratch(|scratch| {
+            extract_into(&plan, image, scratch)?;
+            self.score(scratch.features())
+        })
+    }
+
+    /// Like [`Detector::score_image`], but also leaves the extracted
+    /// feature vector in `features_out` (cleared and refilled) so the
+    /// caller can reuse it — e.g. to offer the frame to a refit
+    /// reservoir — without a second extraction pass.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Detector::score_image`].
+    pub fn score_image_with_features(
+        &self,
+        image: &Tensor,
+        features_out: &mut Vec<f32>,
+    ) -> Result<f32> {
+        let plan = self.plans.plan_for(self.scales, image.dims())?;
+        with_thread_scratch(|scratch| {
+            extract_into(&plan, image, scratch)?;
+            features_out.clear();
+            features_out.extend_from_slice(scratch.features());
+            self.score(scratch.features())
+        })
+    }
+
+    /// Number of distinct frame geometries planned so far (test hook).
+    pub fn cached_scale_plans(&self) -> usize {
+        self.plans.cached_geometries()
     }
 
     /// Pyramid depth the detector was fitted with.
@@ -390,6 +459,7 @@ impl Detector {
             subsample,
             seed,
             trees,
+            plans: PlanCache::default(),
         })
     }
 

@@ -38,6 +38,16 @@ pub enum NetError {
         /// Why the configuration was refused.
         reason: String,
     },
+    /// A [`RetryingClient`](crate::client::RetryingClient) gave up: every
+    /// one of its bounded attempts failed with a transient transport
+    /// error. Carries the final attempt's error so callers can still
+    /// classify the root cause.
+    RetriesExhausted {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The error the last attempt failed with.
+        last: Box<NetError>,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -53,6 +63,12 @@ impl fmt::Display for NetError {
             NetError::InvalidConfig { reason } => {
                 write!(f, "invalid network config: {reason}")
             }
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts; last: {last}"
+                )
+            }
         }
     }
 }
@@ -63,6 +79,7 @@ impl std::error::Error for NetError {
             NetError::Io(err) => Some(err),
             NetError::Frame(err) => Some(err),
             NetError::Remote(err) => Some(err),
+            NetError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -102,5 +119,14 @@ mod tests {
         }
         .to_string()
         .contains("frame body"));
+        let exhausted = NetError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(NetError::Timeout {
+                context: "frame header".into(),
+            }),
+        };
+        assert!(exhausted.to_string().contains("4 attempts"));
+        assert!(exhausted.to_string().contains("frame header"));
+        assert!(std::error::Error::source(&exhausted).is_some());
     }
 }

@@ -24,7 +24,20 @@
 //!    shape-validated, then swapped replica-by-replica while in-flight
 //!    batches drain on the weights they started with — the
 //!    `swap_generation` metric proves no torn weights and no dropped
-//!    traffic.
+//!    traffic. Detectors swap the same way: a router started with
+//!    triage ([`ReplicaRouter::start_with_triage`]) rolls a fresh
+//!    `FADEMLD1` artifact across the fleet via
+//!    [`swap_detectors`](ReplicaRouter::swap_detectors), so refitted
+//!    detectors deploy with zero downtime and the fleet is never blind.
+//!
+//! On the client side, [`RetryingClient`] wraps [`NetClient`] with
+//! reconnect-on-demand and bounded retry under exponential backoff with
+//! deterministic jitter ([`RetryPolicy`]). Inference is idempotent, so
+//! transient transport failures (refused dials, torn frames, dropped
+//! responses, read timeouts) are retried safely; remote serving errors
+//! are the engine's *answer* and pass through untouched, and when the
+//! attempt budget runs out the caller gets a typed
+//! [`NetError::RetriesExhausted`] carrying the final cause.
 //!
 //! The TCP front ([`server`]) drains gracefully end-to-end: stop
 //! accepting → drain open connections under a deadline → drain the
@@ -59,7 +72,7 @@ pub mod router;
 pub mod server;
 pub mod wire;
 
-pub use client::NetClient;
+pub use client::{NetClient, RetryPolicy, RetryingClient};
 pub use error::{NetError, Result};
 #[cfg(feature = "faults")]
 pub use faults::NetFaultPlan;

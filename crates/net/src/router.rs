@@ -16,9 +16,10 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use fademl::{InferencePipeline, ThreatModel, Verdict};
+use fademl_detect::Detector;
 use fademl_serve::error::{Result, ServeError};
 use fademl_serve::metrics::MetricsReport;
-use fademl_serve::{InferenceServer, ResponseHandle, ServerConfig};
+use fademl_serve::{InferenceServer, ResponseHandle, ServerConfig, TriageConfig};
 use serde::{Deserialize, Serialize};
 
 #[cfg(feature = "faults")]
@@ -141,6 +142,40 @@ impl ReplicaRouter {
     /// whatever a replica's [`InferenceServer::start`] fails with.
     pub fn start(pipeline: InferencePipeline, config: RouterConfig) -> Result<Self> {
         Self::launch(pipeline, config, Vec::new())
+    }
+
+    /// Starts `config.replicas` serving engines with adversarial triage:
+    /// every replica scores admitted images against its own copy of
+    /// `detector` and routes flagged inputs to its hardened path. Pairs
+    /// with [`swap_detectors`](ReplicaRouter::swap_detectors) for
+    /// rolling zero-downtime detector refresh across the fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for unusable settings, or whatever
+    /// a replica's [`InferenceServer::start_with_triage`] fails with.
+    pub fn start_with_triage(
+        pipeline: InferencePipeline,
+        config: RouterConfig,
+        detector: Detector,
+        triage: TriageConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let mut replicas = Vec::with_capacity(config.replicas);
+        for id in 0..config.replicas {
+            let server = InferenceServer::start_with_triage(
+                pipeline.clone(),
+                config.replica.clone(),
+                detector.clone(),
+                triage.clone(),
+            )?;
+            replicas.push(ReplicaSlot {
+                id: id as u64,
+                server,
+                consecutive_failures: AtomicU32::new(0),
+            });
+        }
+        Ok(Self::assemble(replicas, config))
     }
 
     /// Starts the router with per-replica fault plans (chaos testing):
@@ -406,6 +441,37 @@ impl ReplicaRouter {
         Ok(generation)
     }
 
+    /// Rolling hot *detector* swap, mirroring
+    /// [`swap_weights`](ReplicaRouter::swap_weights): each replica
+    /// validates and swaps the `FADEMLD1` artifact in turn while the
+    /// others keep triaging on their incumbent, so the fleet is never
+    /// blind. Returns the generation the last replica reached; aborts
+    /// on the first refusal (already-swapped replicas keep the new
+    /// detector).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SwapFailed`] from the first replica that refuses
+    /// the artifact (corrupt bytes, mismatched feature geometry, or a
+    /// replica started without triage).
+    pub fn swap_detectors(&self, artifact: &[u8]) -> Result<u64> {
+        let mut generation = 0;
+        for slot in &self.replicas {
+            generation = slot.server.swap_detector(artifact)?;
+        }
+        Ok(generation)
+    }
+
+    /// The detector generation every replica has provably reached
+    /// (minimum across replicas).
+    pub fn detector_generation(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|slot| slot.server.detector_generation())
+            .min()
+            .unwrap_or(0)
+    }
+
     /// The weight generation every replica has provably reached
     /// (minimum across replicas).
     pub fn swap_generation(&self) -> u64 {
@@ -619,6 +685,59 @@ mod tests {
         for replica in &report.serving.replicas {
             assert_eq!(replica.swap_generation, 1);
         }
+    }
+
+    #[test]
+    fn rolling_detector_swap_advances_every_replica() {
+        let detector_for = |seed: u64| {
+            let samples: Vec<Tensor> = (0..32).map(|i| image(seed + i)).collect();
+            Detector::fit_images(
+                &samples,
+                &fademl_detect::DetectorConfig {
+                    trees: 8,
+                    subsample: 16,
+                    scales: 2,
+                    seed,
+                },
+            )
+            .unwrap()
+        };
+        let router = ReplicaRouter::start_with_triage(
+            pipeline(),
+            config(),
+            detector_for(100),
+            TriageConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(router.detector_generation(), 0);
+        router.classify(image(1), ThreatModel::II).unwrap();
+        let generation = router
+            .swap_detectors(&detector_for(200).to_bytes())
+            .unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(router.detector_generation(), 1);
+        // Serving continues on the swapped fleet, still annotated.
+        let verdict = router.classify(image(2), ThreatModel::II).unwrap();
+        assert!(verdict.detection.is_some());
+        // A corrupt artifact is refused and the generation holds.
+        assert!(matches!(
+            router.swap_detectors(&[0_u8; 16]),
+            Err(ServeError::SwapFailed { .. })
+        ));
+        assert_eq!(router.detector_generation(), 1);
+        let report = router.shutdown();
+        assert_eq!(report.serving.requests_failed, 0);
+    }
+
+    #[test]
+    fn triage_swap_on_plain_router_is_refused_typed() {
+        let router = ReplicaRouter::start(pipeline(), config()).unwrap();
+        assert!(matches!(
+            router.swap_detectors(&[0_u8; 16]),
+            Err(ServeError::SwapFailed { .. })
+        ));
+        assert_eq!(router.detector_generation(), 0);
+        router.shutdown();
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! - **panic-on-Nth-score** / **delay-on-Nth-score**: the triage
 //!   detector panics (or sleeps past its budget) while scoring the Nth
 //!   admitted image, exercising the fail-open guarantees of the
-//!   detection stage.
+//!   detection stage;
+//! - **panic-on-Nth-refit**: the detector supervisor panics mid-refit,
+//!   exercising refit containment — the incumbent detector must keep
+//!   serving and the attempt must be counted as panicked.
 //!
 //! Batch and dequeue sequence numbers are 1-based and counted by the
 //! plan itself (shared across clones), so a single-worker server is
@@ -41,9 +44,11 @@ pub struct FaultPlan {
     dequeue_stalls: Vec<(u64, Duration)>,
     score_panics: Vec<u64>,
     score_delays: Vec<(u64, Duration)>,
+    refit_panics: Vec<u64>,
     batch_seq: Arc<AtomicU64>,
     dequeue_seq: Arc<AtomicU64>,
     score_seq: Arc<AtomicU64>,
+    refit_seq: Arc<AtomicU64>,
 }
 
 impl FaultPlan {
@@ -102,6 +107,24 @@ impl FaultPlan {
     pub fn delay_score(mut self, seq: u64, delay: Duration) -> Self {
         self.score_delays.push((seq, delay));
         self
+    }
+
+    /// The detector supervisor panics during refit attempt number `seq`
+    /// (1-based). The supervisor must contain the panic: the incumbent
+    /// detector keeps serving and the refit is counted as panicked.
+    #[must_use]
+    pub fn panic_on_refit(mut self, seq: u64) -> Self {
+        self.refit_panics.push(seq);
+        self
+    }
+
+    /// Supervisor-side hook, called once per refit attempt inside the
+    /// refit's panic isolation. May panic.
+    pub(crate) fn on_refit(&self) {
+        let seq = self.refit_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.refit_panics.contains(&seq) {
+            std::panic::panic_any(InjectedPanic { seq });
+        }
     }
 
     /// Triage-side hook, called once per scoring attempt inside the

@@ -38,6 +38,16 @@
 //!   scoring panic, error or budget overrun yields a typed
 //!   [`TriageVerdict::FailOpen`] and normal-path service, never a
 //!   failed request (see [`triage`]).
+//! - **Adaptive detection**: started via
+//!   [`start_adaptive`](InferenceServer::start_adaptive), the triage
+//!   stage additionally keeps per-tenant score baselines, holds
+//!   hardened-path load at a budget with a feedback
+//!   [`ThresholdController`](fademl_detect::ThresholdController)
+//!   (flooding degrades to typed load-shedding, never to a blinded
+//!   detector), samples served-clean features into a bounded reservoir,
+//!   and — with a [`SupervisorConfig`] — retrains the detector in the
+//!   background, validates each candidate on a held-out slice, and
+//!   hot-swaps it only if its AUC holds up (see [`supervisor`]).
 //! - **Graceful shutdown**: [`shutdown`](InferenceServer::shutdown)
 //!   (and `Drop`) drains every queued and in-flight request before the
 //!   threads exit — no client ever hangs on a dropped slot.
@@ -77,6 +87,7 @@ pub mod metrics;
 mod queue;
 pub mod request;
 pub mod server;
+pub mod supervisor;
 pub mod triage;
 
 pub use breaker::{BatchMode, CircuitBreaker};
@@ -87,4 +98,5 @@ pub use faults::FaultPlan;
 pub use metrics::{DetectionReport, MetricsReport, ServerMetrics};
 pub use request::ResponseHandle;
 pub use server::InferenceServer;
-pub use triage::{FailOpenKind, TriageConfig, TriageVerdict};
+pub use supervisor::{RefitOutcome, RefitReport, SupervisorConfig, ValidationSet};
+pub use triage::{AdaptiveConfig, FailOpenKind, TriageConfig, TriageVerdict};

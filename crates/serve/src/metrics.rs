@@ -68,6 +68,21 @@ pub struct ServerMetrics {
     /// End-to-end latencies of hardened-path requests, kept separately
     /// so the hardened/normal latency split is visible.
     hardened_latencies_us: Mutex<LatencyReservoir>,
+    // Adaptive-detection counters (zero on static-triage servers).
+    /// Flagged requests shed because the hardened path was already at
+    /// its per-window budget cap (the anti-flooding rail).
+    triage_shed: AtomicU64,
+    /// Completed detector hot swaps; doubles as the detector
+    /// generation, mirroring `swap_generation` for weights.
+    detector_generation: AtomicU64,
+    refits_swapped: AtomicU64,
+    refits_rejected: AtomicU64,
+    refits_failed: AtomicU64,
+    refit_panics: AtomicU64,
+    /// Current effective triage threshold in basis points (gauge).
+    threshold_bp: AtomicU64,
+    /// Tenants currently tracked by the baseline table (gauge).
+    tenants_tracked: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -153,6 +168,14 @@ impl ServerMetrics {
             triage_scores_bp: Mutex::new(LatencyReservoir::default()),
             hardened_served: AtomicU64::new(0),
             hardened_latencies_us: Mutex::new(LatencyReservoir::default()),
+            triage_shed: AtomicU64::new(0),
+            detector_generation: AtomicU64::new(0),
+            refits_swapped: AtomicU64::new(0),
+            refits_rejected: AtomicU64::new(0),
+            refits_failed: AtomicU64::new(0),
+            refit_panics: AtomicU64::new(0),
+            threshold_bp: AtomicU64::new(0),
+            tenants_tracked: AtomicU64::new(0),
         }
     }
 
@@ -310,6 +333,59 @@ impl ServerMetrics {
         self.hardened_latencies_us.lock().record(latency_us);
     }
 
+    /// Records one flagged request shed because the hardened path hit
+    /// its per-window budget cap.
+    pub fn record_triage_shed(&self) {
+        self.triage_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed detector hot swap, returning the new
+    /// detector generation (1-based; 0 = the detector the server
+    /// started with). Monotone under concurrent swaps, mirroring
+    /// [`record_swap`](Self::record_swap) for weights.
+    pub fn record_detector_swap(&self) -> u64 {
+        self.detector_generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Generation of the currently deployed detector.
+    pub fn detector_generation(&self) -> u64 {
+        self.detector_generation.load(Ordering::Acquire)
+    }
+
+    /// Records one background refit that validated and was deployed.
+    pub fn record_refit_swapped(&self) {
+        self.refits_swapped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one refit rejected because the candidate's held-out AUC
+    /// regressed against the incumbent's.
+    pub fn record_refit_rejected(&self) {
+        self.refits_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one refit that failed with a typed error (cold
+    /// reservoir, training failure, validation scoring error).
+    pub fn record_refit_failed(&self) {
+        self.refits_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one refit attempt that panicked (caught; the incumbent
+    /// keeps serving).
+    pub fn record_refit_panic(&self) {
+        self.refit_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the controller's current effective threshold (basis
+    /// points) to the gauge.
+    pub fn record_threshold_bp(&self, bp: u64) {
+        self.threshold_bp.store(bp, Ordering::Relaxed);
+    }
+
+    /// Publishes the baseline table's tracked-tenant count to the gauge.
+    pub fn record_tenants_tracked(&self, tenants: u64) {
+        self.tenants_tracked.store(tenants, Ordering::Relaxed);
+    }
+
     /// Records one completed hot weight swap, returning the new
     /// generation number (1-based).
     pub fn record_swap(&self) -> u64 {
@@ -396,8 +472,13 @@ impl ServerMetrics {
         let fail_open_timeouts = self.triage_fail_open_timeouts.load(Ordering::Relaxed);
         let fail_open_errors = self.triage_fail_open_errors.load(Ordering::Relaxed);
         let hardened_served = self.hardened_served.load(Ordering::Relaxed);
+        let shed = self.triage_shed.load(Ordering::Relaxed);
+        let refits = self.refits_swapped.load(Ordering::Relaxed)
+            + self.refits_rejected.load(Ordering::Relaxed)
+            + self.refits_failed.load(Ordering::Relaxed)
+            + self.refit_panics.load(Ordering::Relaxed);
         let activity = clean + flagged + fail_open_panics + fail_open_timeouts + fail_open_errors;
-        if activity == 0 && hardened_served == 0 {
+        if activity == 0 && hardened_served == 0 && shed == 0 && refits == 0 {
             return None;
         }
         let scored = clean + flagged;
@@ -420,6 +501,14 @@ impl ServerMetrics {
             hardened_served,
             hardened_latency_p50_us: percentile(&hardened, 5_000),
             hardened_latency_p99_us: percentile(&hardened, 9_900),
+            shed,
+            detector_generation: self.detector_generation(),
+            refits_swapped: self.refits_swapped.load(Ordering::Relaxed),
+            refits_rejected: self.refits_rejected.load(Ordering::Relaxed),
+            refits_failed: self.refits_failed.load(Ordering::Relaxed),
+            refit_panics: self.refit_panics.load(Ordering::Relaxed),
+            threshold_bp: self.threshold_bp.load(Ordering::Relaxed),
+            tenants_tracked: self.tenants_tracked.load(Ordering::Relaxed),
         })
     }
 }
@@ -427,7 +516,12 @@ impl ServerMetrics {
 /// The triage/hardened-path section of a [`MetricsReport`]. Present
 /// only on servers that ran the detection stage; absent from (and
 /// ignored in) legacy reports.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand: the adaptive-detection fields
+/// (`shed` onward) were added after the first triage reports shipped,
+/// so reports from that era must keep parsing (absent fields default
+/// to zero).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct DetectionReport {
     /// Images scored below the flagging threshold.
     pub clean: u64,
@@ -453,6 +547,55 @@ pub struct DetectionReport {
     pub hardened_latency_p50_us: u64,
     /// 99th-percentile end-to-end latency of hardened-path requests (µs).
     pub hardened_latency_p99_us: u64,
+    /// Flagged requests shed because the hardened path hit its
+    /// per-window budget cap.
+    pub shed: u64,
+    /// Generation of the deployed detector (0 = as started; bumped once
+    /// per completed detector swap). Aggregated as the minimum across
+    /// replicas, like `swap_generation`.
+    pub detector_generation: u64,
+    /// Background refits that validated and were deployed.
+    pub refits_swapped: u64,
+    /// Refits rejected because held-out AUC regressed.
+    pub refits_rejected: u64,
+    /// Refits that failed with a typed error.
+    pub refits_failed: u64,
+    /// Refit attempts that panicked (caught; incumbent kept serving).
+    pub refit_panics: u64,
+    /// Current effective triage threshold in basis points (gauge; the
+    /// worst — highest — replica in an aggregated report).
+    pub threshold_bp: u64,
+    /// Tenants tracked by the baseline table (gauge; summed across
+    /// replicas).
+    pub tenants_tracked: u64,
+}
+
+impl Deserialize for DetectionReport {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(DetectionReport {
+            clean: req_field(value, "clean")?,
+            flagged: req_field(value, "flagged")?,
+            fail_open_panics: req_field(value, "fail_open_panics")?,
+            fail_open_timeouts: req_field(value, "fail_open_timeouts")?,
+            fail_open_errors: req_field(value, "fail_open_errors")?,
+            mean_score_time_us: req_field(value, "mean_score_time_us")?,
+            score_p50_bp: req_field(value, "score_p50_bp")?,
+            score_p90_bp: req_field(value, "score_p90_bp")?,
+            score_p99_bp: req_field(value, "score_p99_bp")?,
+            hardened_served: req_field(value, "hardened_served")?,
+            hardened_latency_p50_us: req_field(value, "hardened_latency_p50_us")?,
+            hardened_latency_p99_us: req_field(value, "hardened_latency_p99_us")?,
+            // Adaptive-era fields: absent in static-triage reports.
+            shed: opt_field(value, "shed")?,
+            detector_generation: opt_field(value, "detector_generation")?,
+            refits_swapped: opt_field(value, "refits_swapped")?,
+            refits_rejected: opt_field(value, "refits_rejected")?,
+            refits_failed: opt_field(value, "refits_failed")?,
+            refit_panics: opt_field(value, "refit_panics")?,
+            threshold_bp: opt_field(value, "threshold_bp")?,
+            tenants_tracked: opt_field(value, "tenants_tracked")?,
+        })
+    }
 }
 
 /// Point-in-time snapshot of [`ServerMetrics`], ready for JSON or text.
@@ -634,6 +777,15 @@ impl MetricsReport {
                 merged.hardened_latency_p99_us = merged
                     .hardened_latency_p99_us
                     .max(detection.hardened_latency_p99_us);
+                merged.shed += detection.shed;
+                merged.refits_swapped += detection.refits_swapped;
+                merged.refits_rejected += detection.refits_rejected;
+                merged.refits_failed += detection.refits_failed;
+                merged.refit_panics += detection.refit_panics;
+                // Highest threshold = the most defensive replica; the
+                // fleet is at least this far from its floor.
+                merged.threshold_bp = merged.threshold_bp.max(detection.threshold_bp);
+                merged.tenants_tracked += detection.tenants_tracked;
                 score_time_weight += detection.clean + detection.flagged;
                 score_time_weighted_sum += u128::from(detection.mean_score_time_us)
                     * u128::from(detection.clean + detection.flagged);
@@ -664,6 +816,15 @@ impl MetricsReport {
                 u64::try_from(score_time_weighted_sum / u128::from(score_time_weight))
                     .unwrap_or(u64::MAX)
             };
+            // Minimum across the replicas that carry a detection
+            // section — the detector generation the fleet has provably
+            // reached, mirroring `swap_generation`.
+            detection.detector_generation = parts
+                .iter()
+                .filter_map(|(_, _, part)| part.detection.as_ref())
+                .map(|d| d.detector_generation)
+                .min()
+                .unwrap_or(0);
         }
         total
     }
@@ -775,8 +936,18 @@ impl MetricsReport {
                 d.score_p50_bp, d.score_p90_bp, d.score_p99_bp,
             ));
             out.push_str(&format!(
-                "  hardened: {} served, latency p50 {}µs, p99 {}µs\n",
-                d.hardened_served, d.hardened_latency_p50_us, d.hardened_latency_p99_us,
+                "  hardened: {} served, {} shed, latency p50 {}µs, p99 {}µs\n",
+                d.hardened_served, d.shed, d.hardened_latency_p50_us, d.hardened_latency_p99_us,
+            ));
+            out.push_str(&format!(
+                "  adaptive: detector gen {}, refits [{} swapped, {} rejected, {} failed, {} panicked], threshold {}bp, {} tenants\n",
+                d.detector_generation,
+                d.refits_swapped,
+                d.refits_rejected,
+                d.refits_failed,
+                d.refit_panics,
+                d.threshold_bp,
+                d.tenants_tracked,
             ));
         }
         for r in &self.replicas {
@@ -807,56 +978,59 @@ fn sum_into(lhs: &mut Vec<u64>, rhs: &[u64]) {
     }
 }
 
+/// Required-field lookup for the hand-written report deserializers.
+fn req_field<T: Deserialize>(
+    value: &serde::Value,
+    name: &str,
+) -> std::result::Result<T, serde::Error> {
+    let field = value
+        .get(name)
+        .ok_or_else(|| serde::Error::custom(format!("missing field `{name}`")))?;
+    T::from_value(field)
+}
+
+/// Optional-field lookup: fields added after a schema first shipped are
+/// absent in old JSON and fall back to their zero value.
+fn opt_field<T: Deserialize + Default>(
+    value: &serde::Value,
+    name: &str,
+) -> std::result::Result<T, serde::Error> {
+    match value.get(name) {
+        Some(field) => T::from_value(field),
+        None => Ok(T::default()),
+    }
+}
+
 impl Deserialize for MetricsReport {
     fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
-        fn req<T: Deserialize>(
-            value: &serde::Value,
-            name: &str,
-        ) -> std::result::Result<T, serde::Error> {
-            let field = value
-                .get(name)
-                .ok_or_else(|| serde::Error::custom(format!("missing field `{name}`")))?;
-            T::from_value(field)
-        }
-        // Fields added after the first shipped report schema: absent in
-        // old JSON, so they fall back to their zero value.
-        fn opt<T: Deserialize + Default>(
-            value: &serde::Value,
-            name: &str,
-        ) -> std::result::Result<T, serde::Error> {
-            match value.get(name) {
-                Some(field) => T::from_value(field),
-                None => Ok(T::default()),
-            }
-        }
         Ok(MetricsReport {
-            requests_submitted: req(value, "requests_submitted")?,
-            requests_rejected: req(value, "requests_rejected")?,
-            requests_invalid: req(value, "requests_invalid")?,
-            requests_completed: req(value, "requests_completed")?,
-            requests_failed: req(value, "requests_failed")?,
-            batches_dispatched: req(value, "batches_dispatched")?,
-            mean_batch_size: req(value, "mean_batch_size")?,
-            max_batch_seen: req(value, "max_batch_seen")?,
-            batch_size_counts: req(value, "batch_size_counts")?,
-            queue_depth: req(value, "queue_depth")?,
-            latency_mean_us: req(value, "latency_mean_us")?,
-            latency_p50_us: req(value, "latency_p50_us")?,
-            latency_p90_us: req(value, "latency_p90_us")?,
-            latency_p99_us: req(value, "latency_p99_us")?,
-            worker_panics: req(value, "worker_panics")?,
-            workers_respawned: req(value, "workers_respawned")?,
-            batches_failed: req(value, "batches_failed")?,
-            deadline_missed_queue: req(value, "deadline_missed_queue")?,
-            deadline_missed_batch: req(value, "deadline_missed_batch")?,
-            deadline_overshoot_buckets: req(value, "deadline_overshoot_buckets")?,
-            degraded_entered: req(value, "degraded_entered")?,
-            degraded_exited: req(value, "degraded_exited")?,
-            degraded_now: req(value, "degraded_now")?,
-            single_image_fallbacks: req(value, "single_image_fallbacks")?,
-            swap_generation: opt(value, "swap_generation")?,
-            replicas: opt(value, "replicas")?,
-            detection: opt(value, "detection")?,
+            requests_submitted: req_field(value, "requests_submitted")?,
+            requests_rejected: req_field(value, "requests_rejected")?,
+            requests_invalid: req_field(value, "requests_invalid")?,
+            requests_completed: req_field(value, "requests_completed")?,
+            requests_failed: req_field(value, "requests_failed")?,
+            batches_dispatched: req_field(value, "batches_dispatched")?,
+            mean_batch_size: req_field(value, "mean_batch_size")?,
+            max_batch_seen: req_field(value, "max_batch_seen")?,
+            batch_size_counts: req_field(value, "batch_size_counts")?,
+            queue_depth: req_field(value, "queue_depth")?,
+            latency_mean_us: req_field(value, "latency_mean_us")?,
+            latency_p50_us: req_field(value, "latency_p50_us")?,
+            latency_p90_us: req_field(value, "latency_p90_us")?,
+            latency_p99_us: req_field(value, "latency_p99_us")?,
+            worker_panics: req_field(value, "worker_panics")?,
+            workers_respawned: req_field(value, "workers_respawned")?,
+            batches_failed: req_field(value, "batches_failed")?,
+            deadline_missed_queue: req_field(value, "deadline_missed_queue")?,
+            deadline_missed_batch: req_field(value, "deadline_missed_batch")?,
+            deadline_overshoot_buckets: req_field(value, "deadline_overshoot_buckets")?,
+            degraded_entered: req_field(value, "degraded_entered")?,
+            degraded_exited: req_field(value, "degraded_exited")?,
+            degraded_now: req_field(value, "degraded_now")?,
+            single_image_fallbacks: req_field(value, "single_image_fallbacks")?,
+            swap_generation: opt_field(value, "swap_generation")?,
+            replicas: opt_field(value, "replicas")?,
+            detection: opt_field(value, "detection")?,
         })
     }
 }
@@ -1135,6 +1309,146 @@ mod tests {
         // Replicas without triage leave the merged section untouched.
         let plain = MetricsReport::aggregate(&[(0, true, b.report())]);
         assert!(plain.detection.is_none());
+    }
+
+    #[test]
+    fn adaptive_counters_accumulate_and_round_trip() {
+        let m = ServerMetrics::new(4);
+        m.record_triage_clean(4_000, 10);
+        m.record_triage_shed();
+        m.record_triage_shed();
+        assert_eq!(m.record_detector_swap(), 1);
+        assert_eq!(m.record_detector_swap(), 2);
+        assert_eq!(m.detector_generation(), 2);
+        m.record_refit_swapped();
+        m.record_refit_swapped();
+        m.record_refit_rejected();
+        m.record_refit_failed();
+        m.record_refit_panic();
+        m.record_threshold_bp(6_200);
+        m.record_tenants_tracked(3);
+        let report = m.report();
+        let d = report.detection.as_ref().expect("triage ran");
+        assert_eq!(d.shed, 2);
+        assert_eq!(d.detector_generation, 2);
+        assert_eq!(d.refits_swapped, 2);
+        assert_eq!(d.refits_rejected, 1);
+        assert_eq!(d.refits_failed, 1);
+        assert_eq!(d.refit_panics, 1);
+        assert_eq!(d.threshold_bp, 6_200);
+        assert_eq!(d.tenants_tracked, 3);
+        let back: MetricsReport = serde::json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn detection_section_materializes_on_refit_activity_alone() {
+        // A freshly started adaptive server that has refitted but not
+        // yet scored anything must still report the refit outcome.
+        let m = ServerMetrics::new(4);
+        m.record_refit_rejected();
+        let d = m.report().detection.expect("refit activity reported");
+        assert_eq!(d.refits_rejected, 1);
+        assert_eq!(d.clean, 0);
+    }
+
+    #[test]
+    fn static_triage_era_detection_section_still_parses() {
+        // PR 7-era reports carry only the original twelve detection
+        // fields. Strip the adaptive-era keys and the report must parse
+        // with those fields at zero.
+        let m = ServerMetrics::new(4);
+        m.record_triage_clean(4_000, 10);
+        m.record_triage_flagged(9_000, 20);
+        m.record_hardened(800);
+        m.record_detector_swap();
+        m.record_refit_swapped();
+        m.record_threshold_bp(6_000);
+        let report = m.report();
+        let serde::Value::Map(fields) = report.to_value() else {
+            panic!("report must serialize to a map");
+        };
+        let adaptive_keys = [
+            "shed",
+            "detector_generation",
+            "refits_swapped",
+            "refits_rejected",
+            "refits_failed",
+            "refit_panics",
+            "threshold_bp",
+            "tenants_tracked",
+        ];
+        let legacy: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .map(|(name, value)| {
+                if name == "detection" {
+                    let serde::Value::Map(inner) = value else {
+                        panic!("detection must serialize to a map");
+                    };
+                    let stripped: Vec<(String, serde::Value)> = inner
+                        .into_iter()
+                        .filter(|(key, _)| !adaptive_keys.contains(&key.as_str()))
+                        .collect();
+                    (name, serde::Value::Map(stripped))
+                } else {
+                    (name, value)
+                }
+            })
+            .collect();
+        let back = MetricsReport::from_value(&serde::Value::Map(legacy))
+            .expect("static-triage-era schema parses");
+        let d = back.detection.expect("detection section survives");
+        // Original fields intact, adaptive fields defaulted.
+        assert_eq!(d.clean, 1);
+        assert_eq!(d.flagged, 1);
+        assert_eq!(d.hardened_served, 1);
+        assert_eq!(d.shed, 0);
+        assert_eq!(d.detector_generation, 0);
+        assert_eq!(d.refits_swapped, 0);
+        assert_eq!(d.threshold_bp, 0);
+        assert_eq!(d.tenants_tracked, 0);
+    }
+
+    #[test]
+    fn aggregate_merges_adaptive_fields() {
+        let a = ServerMetrics::new(4);
+        a.record_triage_clean(4_000, 10);
+        a.record_triage_shed();
+        a.record_detector_swap();
+        a.record_detector_swap();
+        a.record_refit_swapped();
+        a.record_threshold_bp(7_000);
+        a.record_tenants_tracked(2);
+        let b = ServerMetrics::new(4);
+        b.record_triage_clean(3_000, 10);
+        b.record_detector_swap();
+        b.record_refit_rejected();
+        b.record_threshold_bp(6_000);
+        b.record_tenants_tracked(3);
+        let merged = MetricsReport::aggregate(&[(0, true, a.report()), (1, true, b.report())]);
+        let d = merged.detection.as_ref().expect("both replicas triaged");
+        assert_eq!(d.shed, 1);
+        // a reached gen 2, b only gen 1 → the fleet has proven gen 1.
+        assert_eq!(d.detector_generation, 1);
+        assert_eq!(d.refits_swapped, 1);
+        assert_eq!(d.refits_rejected, 1);
+        assert_eq!(d.threshold_bp, 7_000);
+        assert_eq!(d.tenants_tracked, 5);
+    }
+
+    #[test]
+    fn render_mentions_adaptive_numbers() {
+        let m = ServerMetrics::new(4);
+        m.record_triage_clean(4_000, 10);
+        m.record_triage_shed();
+        m.record_detector_swap();
+        m.record_refit_swapped();
+        m.record_threshold_bp(6_100);
+        let text = m.report().render();
+        assert!(text.contains("1 shed"));
+        assert!(text.contains("detector gen 1"));
+        assert!(text.contains("1 swapped"));
+        assert!(text.contains("6100bp"));
     }
 
     #[test]

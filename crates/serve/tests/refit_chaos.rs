@@ -1,0 +1,322 @@
+//! Chaos tests for the detector refit path (`--features faults`).
+//!
+//! The adaptive-stage invariant on top of the engine-wide one: *refits
+//! can never hurt serving*. A refit panic is contained and counted, a
+//! torn or bit-rotted reservoir artifact is refused at load (never
+//! resurrected as garbage state), and a corrupt candidate artifact is
+//! refused with a typed error — in every case the incumbent detector
+//! keeps serving and every request's handle resolves.
+
+#![cfg(feature = "faults")]
+
+use std::time::Duration;
+
+use fademl::{InferencePipeline, ThreatModel};
+use fademl_detect::{pyramid_features, ControllerConfig, Detector, DetectorConfig};
+use fademl_filters::FilterSpec as Spec;
+use fademl_nn::vgg::VggConfig;
+use fademl_serve::{
+    AdaptiveConfig, FaultPlan, InferenceServer, RefitOutcome, ServeError, ServerConfig,
+    SupervisorConfig, TriageConfig, ValidationSet,
+};
+use fademl_tensor::io::faults::{arm, disarm, IoFaultPlan, INJECTED};
+use fademl_tensor::{Tensor, TensorRng};
+
+fn pipeline() -> InferencePipeline {
+    let mut rng = TensorRng::seed_from_u64(1);
+    let model = VggConfig::tiny(3, 16, 6).build(&mut rng).unwrap();
+    InferencePipeline::new(model, Spec::Lap { np: 8 }).unwrap()
+}
+
+fn images(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| rng.uniform(&[3, 16, 16], 0.0, 1.0))
+        .collect()
+}
+
+fn detector(seed: u64) -> Detector {
+    let config = DetectorConfig {
+        trees: 16,
+        subsample: 16,
+        scales: 2,
+        seed,
+    };
+    Detector::fit_images(&images(32, seed), &config).unwrap()
+}
+
+fn traffic_features(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    images(n, seed)
+        .iter()
+        .map(|img| pyramid_features(img, 2).unwrap())
+        .collect()
+}
+
+fn outlier_features(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let dim = fademl_detect::feature_dim(2);
+    let mut rng = TensorRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| 7.0 + rng.uniform_scalar(-0.2, 0.2))
+                .collect()
+        })
+        .collect()
+}
+
+fn supervisor(seed: u64, reservoir_path: Option<std::path::PathBuf>) -> SupervisorConfig {
+    SupervisorConfig {
+        interval: Duration::ZERO,
+        min_samples: 32,
+        auc_margin: 0.2,
+        refit_detector: DetectorConfig {
+            trees: 16,
+            subsample: 16,
+            scales: 2,
+            seed,
+        },
+        validation: ValidationSet {
+            clean: traffic_features(16, 900 + seed),
+            adversarial: outlier_features(16, 901 + seed),
+        },
+        reservoir_path,
+    }
+}
+
+/// Everything scores below the pinned threshold: all traffic is clean
+/// and feeds the reservoir.
+fn all_clean() -> (TriageConfig, AdaptiveConfig) {
+    let triage = TriageConfig {
+        threshold: 1.0,
+        ..TriageConfig::default()
+    };
+    let adaptive = AdaptiveConfig {
+        controller: ControllerConfig {
+            floor: 1.0,
+            ceiling: 1.0,
+            ..ControllerConfig::default()
+        },
+        ..AdaptiveConfig::default()
+    };
+    (triage, adaptive)
+}
+
+fn temp_reservoir(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "fademl-refit-chaos-{tag}-{}.bin",
+        std::process::id()
+    ));
+    // best-effort: stale artifact from a previous failed run.
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn torn_reservoir_write_is_reported_and_never_warm_resumed() {
+    let path = temp_reservoir("torn");
+    let (triage, adaptive) = all_clean();
+    let server = InferenceServer::start_adaptive(
+        pipeline(),
+        ServerConfig::default(),
+        detector(10),
+        triage,
+        adaptive,
+        Some(supervisor(11, Some(path.clone()))),
+    )
+    .unwrap();
+    for img in images(48, 12) {
+        server.classify(img, ThreatModel::II).unwrap();
+    }
+    // The refit's reservoir persist tears mid-replace: the destination
+    // file holds a 16-byte prefix of the payload.
+    arm(IoFaultPlan::new().torn_rename_on(1, 16));
+    let report = server.refit_detector().unwrap();
+    disarm();
+    // The swap itself already landed — persistence is best-effort and
+    // its failure is typed, not swallowed and not fatal.
+    assert!(matches!(report.outcome, RefitOutcome::Swapped { .. }));
+    let persist_error = report.persist_error.expect("torn write must be reported");
+    assert!(persist_error.contains(INJECTED), "{persist_error}");
+    assert_eq!(server.detector_generation(), 1);
+    // Serving continues on the swapped detector.
+    for img in images(4, 13) {
+        server.classify(img, ThreatModel::II).unwrap();
+    }
+    assert_eq!(server.shutdown().requests_failed, 0);
+
+    // A restart must refuse the truncated artifact (CRC) and start
+    // cold instead of resurrecting garbage reservoir state.
+    let (triage, adaptive) = all_clean();
+    let resumed = InferenceServer::start_adaptive(
+        pipeline(),
+        ServerConfig::default(),
+        detector(14),
+        triage,
+        adaptive,
+        Some(supervisor(15, Some(path.clone()))),
+    )
+    .unwrap();
+    let report = resumed.refit_detector().unwrap();
+    assert!(
+        matches!(report.outcome, RefitOutcome::SkippedCold { samples: 0 }),
+        "torn artifact must not warm-resume: {:?}",
+        report.outcome
+    );
+    resumed.shutdown();
+    // best-effort: temp-dir hygiene only.
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_rotted_reservoir_artifact_fails_crc_and_starts_cold() {
+    let path = temp_reservoir("bitrot");
+    let (triage, adaptive) = all_clean();
+    let server = InferenceServer::start_adaptive(
+        pipeline(),
+        ServerConfig::default(),
+        detector(20),
+        triage,
+        adaptive,
+        Some(supervisor(21, Some(path.clone()))),
+    )
+    .unwrap();
+    for img in images(48, 22) {
+        server.classify(img, ThreatModel::II).unwrap();
+    }
+    // Silent media corruption: the persist "succeeds", then one bit of
+    // the destination rots. Only the CRC trailer can catch this.
+    arm(IoFaultPlan::new().bit_flip_on(1, 40));
+    let report = server.refit_detector().unwrap();
+    disarm();
+    assert!(matches!(report.outcome, RefitOutcome::Swapped { .. }));
+    assert!(
+        report.persist_error.is_none(),
+        "bit rot is silent at write time"
+    );
+    server.shutdown();
+
+    let (triage, adaptive) = all_clean();
+    let resumed = InferenceServer::start_adaptive(
+        pipeline(),
+        ServerConfig::default(),
+        detector(23),
+        triage,
+        adaptive,
+        Some(supervisor(24, Some(path.clone()))),
+    )
+    .unwrap();
+    let report = resumed.refit_detector().unwrap();
+    assert!(
+        matches!(report.outcome, RefitOutcome::SkippedCold { samples: 0 }),
+        "bit-rotted artifact must not warm-resume: {:?}",
+        report.outcome
+    );
+    resumed.shutdown();
+    // best-effort: temp-dir hygiene only.
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_flipped_candidate_artifact_is_refused_with_typed_error() {
+    let (triage, adaptive) = all_clean();
+    let server = InferenceServer::start_adaptive(
+        pipeline(),
+        ServerConfig::default(),
+        detector(30),
+        triage,
+        adaptive,
+        None,
+    )
+    .unwrap();
+    let mut artifact = detector(31).to_bytes();
+    let mid = artifact.len() / 2;
+    artifact[mid] ^= 0x10;
+    let err = server.swap_detector(&artifact).unwrap_err();
+    assert!(matches!(err, ServeError::SwapFailed { .. }), "{err}");
+    assert_eq!(server.detector_generation(), 0);
+    // The incumbent keeps serving after the refused swap.
+    for img in images(4, 32) {
+        let verdict = server.classify(img, ThreatModel::II).unwrap();
+        assert!(verdict.detection.is_some());
+    }
+    let report = server.shutdown();
+    assert_eq!(report.requests_failed, 0);
+    assert_eq!(report.detection.unwrap().detector_generation, 0);
+}
+
+#[test]
+fn injected_refit_panic_is_contained_and_counted() {
+    let (triage, adaptive) = all_clean();
+    let server = InferenceServer::start_adaptive_with_faults(
+        pipeline(),
+        ServerConfig::default(),
+        detector(40),
+        triage,
+        adaptive,
+        Some(supervisor(41, None)),
+        FaultPlan::new().panic_on_refit(1),
+    )
+    .unwrap();
+    for img in images(48, 42) {
+        server.classify(img, ThreatModel::II).unwrap();
+    }
+    // Refit 1 panics mid-training: contained, counted, incumbent stays.
+    let report = server.refit_detector().unwrap();
+    assert!(
+        matches!(report.outcome, RefitOutcome::Panicked),
+        "{:?}",
+        report.outcome
+    );
+    assert_eq!(server.detector_generation(), 0);
+    for img in images(4, 43) {
+        server.classify(img, ThreatModel::II).unwrap();
+    }
+    // Refit 2 has no scheduled fault and recovers the loop: the stage
+    // is not poisoned by the contained panic.
+    let report = server.refit_detector().unwrap();
+    assert!(
+        matches!(report.outcome, RefitOutcome::Swapped { generation: 1, .. }),
+        "{:?}",
+        report.outcome
+    );
+    let report = server.shutdown();
+    let d = report.detection.expect("detection section present");
+    assert_eq!(d.refit_panics, 1);
+    assert_eq!(d.refits_swapped, 1);
+    assert_eq!(d.detector_generation, 1);
+    assert_eq!(report.requests_failed, 0);
+}
+
+#[test]
+fn score_panic_on_the_adaptive_path_fails_open() {
+    let (triage, adaptive) = all_clean();
+    let server = InferenceServer::start_adaptive_with_faults(
+        pipeline(),
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        detector(50),
+        triage,
+        adaptive,
+        None,
+        FaultPlan::new().panic_on_score(2),
+    )
+    .unwrap();
+    let mut annotated = 0;
+    let mut open = 0;
+    for img in images(3, 51) {
+        let verdict = server.classify(img, ThreatModel::II).unwrap();
+        if verdict.detection.is_some() {
+            annotated += 1;
+        } else {
+            open += 1;
+        }
+    }
+    assert_eq!(annotated, 2);
+    assert_eq!(open, 1, "the injected score panic fails open");
+    let report = server.shutdown();
+    assert_eq!(report.requests_failed, 0);
+    let d = report.detection.expect("detection section present");
+    assert_eq!(d.fail_open_panics, 1);
+}

@@ -55,7 +55,7 @@ pub enum Initializer {
 /// let b = rng2.uniform(&[2, 2], -1.0, 1.0);
 /// assert_eq!(a, b); // same seed, same tensor
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TensorRng {
     rng: StdRng,
 }
