@@ -42,7 +42,7 @@ cargo test -q --workspace
 echo "==> cargo test (FADEML_THREADS=2: kernels on the worker pool)"
 FADEML_THREADS=2 cargo test -q --workspace
 
-echo "==> kernel bench smoke (bit-identity gate at 1/2/4/8 threads)"
+echo "==> kernel bench smoke (bit-identity gate at 1/2/4/8 threads + arena zero-grow gate)"
 cargo bench -p fademl-bench --bench kernels -- --test
 
 echo "==> cargo clippy (faults feature, deny warnings)"

@@ -18,6 +18,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use fademl_filters::FilterSpec;
+use fademl_tensor::plan::alloc;
 use fademl_tensor::{conv2d, conv2d_backward, par, ConvSpec, TensorRng};
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -146,6 +147,33 @@ fn main() {
     let jobs = workloads();
     let mut cells: Vec<Cell> = Vec::new();
 
+    // Scratch-arena gate: with the pool serial, one warm call per
+    // workload must lease every scratch buffer from the arena without
+    // growing it — the steady-state zero-allocation contract. Runs in
+    // both modes so the CI smoke (`--test`) enforces it on every push.
+    par::set_threads(1);
+    for job in &jobs {
+        black_box((job.run)());
+        let before = alloc::stats();
+        black_box((job.run)());
+        let after = alloc::stats();
+        assert_eq!(
+            after.grows - before.grows,
+            0,
+            "{}: warm serial call grew a scratch buffer (arena disengaged?)",
+            job.name
+        );
+    }
+    let arena = alloc::stats();
+    assert!(
+        arena.hits > 0,
+        "no arena hits across all workloads — scratch arena is not engaged"
+    );
+    eprintln!(
+        "[kernels] arena: {} acquires, {} hits, {} grows, {} evictions (warm serial grows: 0)",
+        arena.acquires, arena.hits, arena.grows, arena.evictions
+    );
+
     for job in &jobs {
         // Bit-identity gate: the t=1 output is the reference; every other
         // thread count must reproduce it exactly before it gets timed.
@@ -197,6 +225,11 @@ fn main() {
     json.push_str(
         "  \"note\": \"pool is bit-exact across thread counts; speedups bounded by host_cores\",\n",
     );
+    let final_arena = alloc::stats();
+    json.push_str(&format!(
+        "  \"arena\": {{\"acquires\": {}, \"hits\": {}, \"grows\": {}, \"evictions\": {}, \"warm_serial_grows\": 0}},\n",
+        final_arena.acquires, final_arena.hits, final_arena.grows, final_arena.evictions
+    ));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let speedup = baseline(c.workload) as f64 / c.ns_per_iter.max(1) as f64;

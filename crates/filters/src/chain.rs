@@ -1,5 +1,7 @@
+use fademl_tensor::plan::alloc;
 use fademl_tensor::Tensor;
 
+use crate::filter::boxed;
 use crate::{Filter, Result};
 
 /// A sequence of filters applied in order — models a multi-stage
@@ -18,13 +20,15 @@ pub struct FilterChain {
 impl FilterChain {
     /// Creates an empty chain (acts as the identity).
     pub fn new() -> Self {
-        FilterChain { stages: Vec::new() }
+        FilterChain {
+            stages: Vec::default(),
+        }
     }
 
     /// Appends a filter stage (builder style).
     #[must_use]
     pub fn push(mut self, filter: impl Filter + 'static) -> Self {
-        self.stages.push(Box::new(filter));
+        self.stages.push(boxed(filter));
         self
     }
 
@@ -49,13 +53,14 @@ impl Filter for FilterChain {
         if self.stages.is_empty() {
             return "Chain[]".to_owned();
         }
-        let names: Vec<String> = self.stages.iter().map(|s| s.name()).collect();
+        let mut names: Vec<String> = alloc::fresh_with(self.stages.len());
+        names.extend(self.stages.iter().map(|s| s.name()));
         format!("Chain[{}]", names.join(" → "))
     }
 
     fn apply(&self, image: &Tensor) -> Result<Tensor> {
         crate::filter::check_image_rank(image)?;
-        let mut x = image.clone();
+        let mut x = image.duplicate();
         for stage in &self.stages {
             x = stage.apply(&x)?;
         }
@@ -65,13 +70,13 @@ impl Filter for FilterChain {
     fn backward(&self, input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
         crate::filter::check_image_rank(input)?;
         // Replay the forward pass to collect each stage's input.
-        let mut inputs = Vec::with_capacity(self.stages.len());
-        let mut x = input.clone();
+        let mut inputs: Vec<Tensor> = alloc::fresh_with(self.stages.len());
+        let mut x = input.duplicate();
         for stage in &self.stages {
-            inputs.push(x.clone());
+            inputs.push(x.duplicate());
             x = stage.apply(&x)?;
         }
-        let mut g = grad_out.clone();
+        let mut g = grad_out.duplicate();
         for (stage, stage_input) in self.stages.iter().zip(&inputs).rev() {
             g = stage.backward(stage_input, &g)?;
         }
@@ -83,7 +88,7 @@ impl Filter for FilterChain {
     }
 
     fn clone_box(&self) -> Box<dyn Filter> {
-        Box::new(self.clone())
+        boxed(self.clone())
     }
 }
 

@@ -34,7 +34,7 @@ impl Gaussian {
             });
         }
         let radius = (3.0 * sigma).ceil() as i32;
-        let mut taps = Vec::new();
+        let mut taps = Vec::default();
         for dy in -radius..=radius {
             for dx in -radius..=radius {
                 let d2 = (dy * dy + dx * dx) as f32;
@@ -74,7 +74,7 @@ impl Filter for Gaussian {
     }
 
     fn clone_box(&self) -> Box<dyn Filter> {
-        Box::new(self.clone())
+        crate::filter::boxed(self.clone())
     }
 }
 

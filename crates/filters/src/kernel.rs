@@ -9,7 +9,9 @@
 //!
 //! The renormalization plane depends only on the kernel geometry and
 //! the image size, so it is computed once per `(h, w)` and cached
-//! inside the kernel. Application is split into a bounds-check-free
+//! inside the kernel. The parallel/serial dispatch is planned once per
+//! `(planes, h, w, taps)` key through `fademl_tensor::plan`, and
+//! application is split into a bounds-check-free
 //! interior fast path (where every tap is in bounds and the divisor is
 //! the full weight sum) and a clamped border path, and partitioned over
 //! independent channel planes across the `fademl_tensor::par` pool —
@@ -21,6 +23,11 @@ use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
+use fademl_tensor::plan::alloc;
+use fademl_tensor::plan::blueprint::{
+    checked_product, Blueprint, OpKind, ShapeClass, ShapeKey, DEFAULT_BLOCKING,
+};
+use fademl_tensor::plan::selector;
 use fademl_tensor::{par, Tensor};
 
 use crate::filter::check_image_rank;
@@ -39,26 +46,24 @@ struct SumsPlane {
 }
 
 /// A linear neighbourhood-averaging kernel.
+///
+/// The tap list and the renormalization cache both live behind `Arc`s:
+/// clones share them (the cache is geometry-only and immutable per
+/// entry), and the parallel plane workers borrow the taps without
+/// copying the list per call.
+#[derive(Clone)]
 pub struct Kernel {
-    taps: Vec<(i32, i32, f32)>,
+    taps: Arc<Vec<(i32, i32, f32)>>,
     /// `(h, w) → SumsPlane` cache; geometry-only, so shared freely.
-    sums_cache: parking_lot::Mutex<HashMap<(usize, usize), Arc<SumsPlane>>>,
+    sums_cache: SumsCache,
 }
+
+/// Shared `(h, w) → SumsPlane` renormalization cache.
+type SumsCache = Arc<parking_lot::Mutex<HashMap<(usize, usize), Arc<SumsPlane>>>>;
 
 impl fmt::Debug for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Kernel").field("taps", &self.taps).finish()
-    }
-}
-
-impl Clone for Kernel {
-    fn clone(&self) -> Self {
-        Kernel {
-            taps: self.taps.clone(),
-            // The cached planes are immutable and keyed by geometry
-            // only, so the clone can share them.
-            sums_cache: parking_lot::Mutex::new(self.sums_cache.lock().clone()),
-        }
     }
 }
 
@@ -96,13 +101,13 @@ impl Kernel {
             }
             sum += w;
         }
-        let taps = taps
-            .into_iter()
-            .map(|(dy, dx, w)| (dy, dx, w / sum))
-            .collect();
+        let mut normalized = alloc::fresh_with(taps.len());
+        for (dy, dx, w) in taps {
+            normalized.push((dy, dx, w / sum));
+        }
         Ok(Kernel {
-            taps,
-            sums_cache: parking_lot::Mutex::new(HashMap::new()),
+            taps: Arc::new(normalized),
+            sums_cache: Arc::new(parking_lot::Mutex::new(HashMap::new())),
         })
     }
 
@@ -112,7 +117,11 @@ impl Kernel {
     ///
     /// Same conditions as [`Kernel::new`].
     pub fn uniform(offsets: Vec<(i32, i32)>) -> Result<Self> {
-        Kernel::new(offsets.into_iter().map(|(dy, dx)| (dy, dx, 1.0)).collect())
+        let mut taps = alloc::fresh_with(offsets.len());
+        for (dy, dx) in offsets {
+            taps.push((dy, dx, 1.0));
+        }
+        Kernel::new(taps)
     }
 
     /// Number of taps.
@@ -154,12 +163,12 @@ impl Kernel {
         let plane = {
             let mut cache = self.sums_cache.lock();
             Arc::clone(cache.entry((h, w)).or_insert_with(|| {
-                let mut sums = vec![0.0f32; h * w];
+                let mut sums = alloc::fresh_vec(h * w);
                 let mut degenerate_at = None;
                 for y in 0..h as i32 {
                     for x in 0..w as i32 {
                         let mut s = 0.0;
-                        for &(dy, dx, wt) in &self.taps {
+                        for &(dy, dx, wt) in self.taps.iter() {
                             let (sy, sx) = (y + dy, x + dx);
                             if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
                                 s += wt;
@@ -174,7 +183,7 @@ impl Kernel {
                     }
                 }
                 let mut full = 0.0f32;
-                for &(_, _, wt) in &self.taps {
+                for &(_, _, wt) in self.taps.iter() {
                     full += wt;
                 }
                 Arc::new(SumsPlane {
@@ -202,7 +211,7 @@ impl Kernel {
         let mut max_dy = 0i32;
         let mut min_dx = 0i32;
         let mut max_dx = 0i32;
-        for &(dy, dx, _) in &self.taps {
+        for &(dy, dx, _) in self.taps.iter() {
             min_dy = min_dy.min(dy);
             max_dy = max_dy.max(dy);
             min_dx = min_dx.min(dx);
@@ -238,11 +247,12 @@ impl Kernel {
     pub fn apply(&self, image: &Tensor) -> Result<Tensor> {
         check_image_rank(image)?;
         let (planes, h, w) = Self::plane_geometry(image);
+        let bp = self.plan(planes, h, w)?;
         let sums = self.sums_for(h, w)?;
         let (yr, xr) = self.interior(h, w);
         let src = image.as_slice();
-        let out = self.run_planes(src, planes, h, w, sums, yr, xr, false);
-        Ok(Tensor::from_vec(out, image.shape().clone())?)
+        let out = self.run_planes(src, planes, h, w, sums, yr, xr, false, &bp);
+        Ok(Tensor::from_vec(out, image.shape().duplicate())?)
     }
 
     /// Exact adjoint of [`Kernel::apply`]: scatters each output gradient
@@ -257,15 +267,40 @@ impl Kernel {
     pub fn backward(&self, grad_out: &Tensor) -> Result<Tensor> {
         check_image_rank(grad_out)?;
         let (planes, h, w) = Self::plane_geometry(grad_out);
+        let bp = self.plan(planes, h, w)?;
         let sums = self.sums_for(h, w)?;
         let (yr, xr) = self.interior(h, w);
         let g = grad_out.as_slice();
-        let out = self.run_planes(g, planes, h, w, sums, yr, xr, true);
-        Ok(Tensor::from_vec(out, grad_out.shape().clone())?)
+        let out = self.run_planes(g, planes, h, w, sums, yr, xr, true, &bp);
+        Ok(Tensor::from_vec(out, grad_out.shape().duplicate())?)
+    }
+
+    /// One cached blueprint per `(planes, h, w, taps)` key: the
+    /// cap-checked output length and the hoisted parallel/serial
+    /// decision, identical for the forward and adjoint directions.
+    fn plan(&self, planes: usize, h: usize, w: usize) -> Result<Blueprint> {
+        let key = ShapeKey::new(OpKind::FilterPlane, &[planes, h, w, self.taps.len()]);
+        let taps = self.taps.len();
+        let bp = selector::plan_with(key, move || {
+            let out_len = checked_product("filter planes", &[planes, h, w])?;
+            let work = out_len.saturating_mul(taps);
+            Ok(Blueprint {
+                key,
+                class: ShapeClass::SmallSerial,
+                blocking: DEFAULT_BLOCKING,
+                parallel: par::should_parallelize(planes, work),
+                rows: planes,
+                scratch: 0,
+                scratch2: 0,
+                out_len,
+            })
+        })?;
+        Ok(bp)
     }
 
     /// Runs the forward (`adjoint == false`) or backward plane kernel
-    /// over all planes, partitioned across the pool when worthwhile.
+    /// over all planes, dispatched serial-or-pool by the blueprint's
+    /// hoisted decision.
     #[allow(clippy::too_many_arguments)]
     fn run_planes(
         &self,
@@ -277,10 +312,10 @@ impl Kernel {
         yr: Range<i32>,
         xr: Range<i32>,
         adjoint: bool,
+        bp: &Blueprint,
     ) -> Vec<f32> {
-        let work = planes * h * w * self.taps.len();
-        if !par::should_parallelize(planes, work) {
-            let mut out = vec![0.0f32; src.len()];
+        if !bp.parallel {
+            let mut out = alloc::fresh_vec(bp.out_len);
             for p in 0..planes {
                 let plane_src = &src[p * h * w..(p + 1) * h * w];
                 let plane_dst = &mut out[p * h * w..(p + 1) * h * w];
@@ -290,10 +325,12 @@ impl Kernel {
             }
             return out;
         }
-        let src: Arc<Vec<f32>> = Arc::new(src.to_vec());
-        let taps = self.taps.clone();
-        let blocks = par::parallel_rows(planes, move |range: Range<usize>| {
-            let mut block = vec![0.0f32; (range.end - range.start) * h * w];
+        // Cross-thread buffers deliberately bypass the arena: a buffer
+        // dropped on another thread would migrate into its pool.
+        let src: Arc<Vec<f32>> = Arc::new(alloc::fresh_from(src));
+        let taps = Arc::clone(&self.taps);
+        let blocks = par::parallel_rows(bp.rows, move |range: Range<usize>| {
+            let mut block = alloc::fresh_vec((range.end - range.start) * h * w);
             for (slot, p) in range.enumerate() {
                 let plane_src = &src[p * h * w..(p + 1) * h * w];
                 let plane_dst = &mut block[slot * h * w..(slot + 1) * h * w];
@@ -301,7 +338,7 @@ impl Kernel {
             }
             block
         });
-        let mut out = Vec::with_capacity(planes * h * w);
+        let mut out = alloc::fresh_with(bp.out_len);
         for block in blocks {
             out.extend_from_slice(&block);
         }
@@ -312,7 +349,7 @@ impl Kernel {
     /// Euclidean distance with deterministic tie-breaking, plus the
     /// origin itself. This is the LAP neighbourhood construction.
     pub fn nearest_neighbourhood(count: usize) -> Vec<(i32, i32)> {
-        let mut candidates: Vec<(i32, i32)> = Vec::new();
+        let mut candidates: Vec<(i32, i32)> = Vec::default();
         // A window comfortably larger than any np we use (np=64 fits in
         // a 9×9 ring set minus centre = 80 candidates; use radius 8).
         let r = 8i32;
@@ -328,7 +365,8 @@ impl Kernel {
             let db = b.0 * b.0 + b.1 * b.1;
             da.cmp(&db).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1))
         });
-        let mut offsets = vec![(0, 0)];
+        let mut offsets = alloc::fresh_with(count + 1);
+        offsets.push((0, 0));
         offsets.extend(candidates.into_iter().take(count));
         offsets
     }
@@ -343,7 +381,7 @@ impl Kernel {
     pub fn disc(radius: usize) -> Vec<(i32, i32)> {
         let r = radius as i32;
         let r2 = r * r;
-        let mut offsets = Vec::new();
+        let mut offsets = Vec::default();
         for dy in -r..=r {
             for dx in -r..=r {
                 if dy * dy + dx * dx <= r2 {

@@ -80,7 +80,7 @@ impl Filter for Lap {
     }
 
     fn clone_box(&self) -> Box<dyn Filter> {
-        Box::new(self.clone())
+        crate::filter::boxed(self.clone())
     }
 }
 

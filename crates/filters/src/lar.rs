@@ -77,7 +77,7 @@ impl Filter for Lar {
     }
 
     fn clone_box(&self) -> Box<dyn Filter> {
-        Box::new(self.clone())
+        crate::filter::boxed(self.clone())
     }
 }
 

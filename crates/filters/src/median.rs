@@ -1,3 +1,4 @@
+use fademl_tensor::plan::alloc;
 use fademl_tensor::Tensor;
 
 use crate::filter::check_image_rank;
@@ -50,40 +51,50 @@ impl Filter for Median {
         let planes = image.numel() / (h * w);
         let r = (self.window / 2) as i32;
         let src = image.as_slice();
-        let mut out = vec![0.0f32; src.len()];
-        let mut buf: Vec<f32> = Vec::with_capacity(self.window * self.window);
+        let mut out = alloc::fresh_vec(src.len());
+        // The gather window leases from the scratch arena, and the
+        // in-place unstable sort allocates nothing — a warm call's only
+        // allocation is the output buffer itself. (`sort_by` on a Vec
+        // heap-allocates a merge buffer for windows over 20 elements.)
+        let mut buf = alloc::scratch_f32(self.window * self.window);
         for p in 0..planes {
             let base = p * h * w;
             for y in 0..h as i32 {
                 for x in 0..w as i32 {
-                    buf.clear();
+                    let mut cnt = 0usize;
                     for dy in -r..=r {
                         for dx in -r..=r {
                             let (sy, sx) = (y + dy, x + dx);
                             if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
-                                buf.push(src[base + (sy as usize) * w + sx as usize]);
+                                if let Some(slot) = buf.as_mut_slice().get_mut(cnt) {
+                                    *slot = src[base + (sy as usize) * w + sx as usize];
+                                }
+                                cnt += 1;
                             }
                         }
                     }
-                    buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                    let mid = buf.len() / 2;
-                    let median = if buf.len() % 2 == 1 {
-                        buf[mid]
+                    let (window, _) = buf.as_mut_slice().split_at_mut(cnt);
+                    window.sort_unstable_by(|a, b| {
+                        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    let mid = cnt / 2;
+                    let median = if cnt % 2 == 1 {
+                        window[mid]
                     } else {
-                        0.5 * (buf[mid - 1] + buf[mid])
+                        0.5 * (window[mid - 1] + window[mid])
                     };
                     out[base + (y as usize) * w + x as usize] = median;
                 }
             }
         }
-        Ok(Tensor::from_vec(out, image.shape().clone())?)
+        Ok(Tensor::from_vec(out, image.shape().duplicate())?)
     }
 
     fn backward(&self, input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
         check_image_rank(input)?;
         // Straight-through estimator (BPDA): treat the median as the
         // identity for gradient purposes.
-        Ok(grad_out.clone())
+        Ok(grad_out.duplicate())
     }
 
     fn is_linear(&self) -> bool {
@@ -91,7 +102,7 @@ impl Filter for Median {
     }
 
     fn clone_box(&self) -> Box<dyn Filter> {
-        Box::new(*self)
+        crate::filter::boxed(*self)
     }
 }
 

@@ -60,20 +60,22 @@ impl FilterSpec {
     /// Propagates parameter-validation errors from the filter
     /// constructors.
     pub fn build(&self) -> Result<Box<dyn Filter>> {
+        use crate::filter::boxed;
         Ok(match *self {
-            FilterSpec::None => Box::new(Identity::new()),
-            FilterSpec::Lap { np } => Box::new(Lap::new(np)?),
-            FilterSpec::Lar { r } => Box::new(Lar::new(r)?),
-            FilterSpec::Gaussian { sigma } => Box::new(Gaussian::new(sigma)?),
-            FilterSpec::Median { window } => Box::new(Median::new(window)?),
-            FilterSpec::BitDepth { bits } => Box::new(BitDepth::new(bits)?),
+            FilterSpec::None => boxed(Identity::new()),
+            FilterSpec::Lap { np } => boxed(Lap::new(np)?),
+            FilterSpec::Lar { r } => boxed(Lar::new(r)?),
+            FilterSpec::Gaussian { sigma } => boxed(Gaussian::new(sigma)?),
+            FilterSpec::Median { window } => boxed(Median::new(window)?),
+            FilterSpec::BitDepth { bits } => boxed(BitDepth::new(bits)?),
         })
     }
 
     /// The 11 configurations of the paper's Figs. 7 and 9:
     /// `None`, `LAP(4..64)`, `LAR(1..5)`.
     pub fn paper_sweep() -> Vec<FilterSpec> {
-        let mut specs = vec![FilterSpec::None];
+        let mut specs = Vec::default();
+        specs.push(FilterSpec::None);
         specs.extend(Lap::PAPER_SWEEP.iter().map(|&np| FilterSpec::Lap { np }));
         specs.extend(Lar::PAPER_SWEEP.iter().map(|&r| FilterSpec::Lar { r }));
         specs
@@ -81,14 +83,16 @@ impl FilterSpec {
 
     /// Just the LAP sweep with a leading `None` (one paper sub-plot).
     pub fn lap_sweep() -> Vec<FilterSpec> {
-        let mut specs = vec![FilterSpec::None];
+        let mut specs = Vec::default();
+        specs.push(FilterSpec::None);
         specs.extend(Lap::PAPER_SWEEP.iter().map(|&np| FilterSpec::Lap { np }));
         specs
     }
 
     /// Just the LAR sweep with a leading `None` (one paper sub-plot).
     pub fn lar_sweep() -> Vec<FilterSpec> {
-        let mut specs = vec![FilterSpec::None];
+        let mut specs = Vec::default();
+        specs.push(FilterSpec::None);
         specs.extend(Lar::PAPER_SWEEP.iter().map(|&r| FilterSpec::Lar { r }));
         specs
     }

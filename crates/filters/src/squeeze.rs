@@ -60,7 +60,7 @@ impl Filter for BitDepth {
         // Straight-through estimator: the quantizer's exact gradient is
         // zero a.e., which would blind the attack; pass the gradient
         // through unchanged instead (BPDA).
-        Ok(grad_out.clone())
+        Ok(grad_out.duplicate())
     }
 
     fn is_linear(&self) -> bool {
@@ -68,7 +68,7 @@ impl Filter for BitDepth {
     }
 
     fn clone_box(&self) -> Box<dyn Filter> {
-        Box::new(*self)
+        crate::filter::boxed(*self)
     }
 }
 

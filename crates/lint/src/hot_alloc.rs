@@ -60,7 +60,7 @@ pub fn audit(ir: &Ir, files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
                             call.line,
                             format!(
                                 "`{what}` in `{}`, reachable from the serve worker \
-                                 loop — scratch-arena debt (ROADMAP item 2)",
+                                 loop — lease from fademl_tensor::plan::alloc instead (DESIGN.md §18)",
                                 f.name
                             ),
                             raw_line(&files[fi], call.line),
@@ -74,7 +74,7 @@ pub fn audit(ir: &Ir, files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
                         stmt.line,
                         format!(
                             "`vec![…]` in `{}`, reachable from the serve worker \
-                             loop — scratch-arena debt (ROADMAP item 2)",
+                             loop — lease from fademl_tensor::plan::alloc instead (DESIGN.md §18)",
                             f.name
                         ),
                         raw_line(&files[fi], stmt.line),

@@ -21,7 +21,7 @@
 //! 4. [`unsafe_confinement`] — `unsafe` confined to `tensor::simd`
 //!    with mandatory `// SAFETY:` comments (ROADMAP item 1's gate).
 //! 5. [`hot_alloc`] — allocations in compute code reachable from the
-//!    serve worker loop (ROADMAP item 2's ratcheted debt).
+//!    serve worker loop (ratcheted scratch-arena debt, DESIGN.md §18).
 //! 6. [`lock_io`] — lock guards held across blocking I/O in serve/net.
 //! 7. [`swallowed`] — silently discarded `Result`s.
 //! 8. [`wire_cap`] — wire-decoded lengths must be cap-checked before

@@ -121,7 +121,7 @@ impl Layer for Sigmoid {
 
     fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
         let out = Self::activate(input);
-        self.cached_output = Some(out.clone());
+        self.cached_output = Some(out.duplicate());
         Ok(out)
     }
 
@@ -164,7 +164,7 @@ impl Layer for Tanh {
 
     fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
         let out = input.map(f32::tanh);
-        self.cached_output = Some(out.clone());
+        self.cached_output = Some(out.duplicate());
         Ok(out)
     }
 
@@ -222,7 +222,7 @@ impl Layer for LeakyRelu {
     }
 
     fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
-        self.cached_input = Some(input.clone());
+        self.cached_input = Some(input.duplicate());
         self.forward(input)
     }
 

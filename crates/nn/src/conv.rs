@@ -73,7 +73,7 @@ impl Layer for Conv2d {
 
     fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
         let out = self.forward(input)?;
-        self.cached_input = Some(input.clone());
+        self.cached_input = Some(input.duplicate());
         Ok(out)
     }
 

@@ -61,11 +61,11 @@ impl Dense {
 
     fn check_input(&self, input: &Tensor) -> Result<()> {
         if input.rank() != 2 || input.dims()[1] != self.in_features {
-            return Err(NnError::Tensor(TensorError::ShapeMismatch {
-                op: "dense",
-                lhs: input.dims().to_vec(),
-                rhs: vec![self.in_features],
-            }));
+            return Err(NnError::Tensor(TensorError::shape_mismatch(
+                "dense",
+                input.dims(),
+                &[self.in_features],
+            )));
         }
         Ok(())
     }
@@ -85,7 +85,7 @@ impl Layer for Dense {
 
     fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
         let out = self.forward(input)?;
-        self.cached_input = Some(input.clone());
+        self.cached_input = Some(input.duplicate());
         Ok(out)
     }
 
@@ -95,11 +95,11 @@ impl Layer for Dense {
             .as_ref()
             .ok_or(NnError::NoForwardCache { layer: "dense" })?;
         if grad_out.rank() != 2 || grad_out.dims()[1] != self.out_features {
-            return Err(NnError::Tensor(TensorError::ShapeMismatch {
-                op: "dense_backward",
-                lhs: grad_out.dims().to_vec(),
-                rhs: vec![self.out_features],
-            }));
+            return Err(NnError::Tensor(TensorError::shape_mismatch(
+                "dense_backward",
+                grad_out.dims(),
+                &[self.out_features],
+            )));
         }
         // ∂W = gᵀ·x  ([out, n] × [n, in]).
         let grad_w = grad_out.matmul_tn(input)?;
@@ -133,20 +133,17 @@ impl Layer for Dense {
 /// Returns [`TensorError::IndexOutOfBounds`] (wrapped) if any label is
 /// `>= classes`.
 pub(crate) fn one_hot(labels: &[usize], classes: usize) -> Result<Tensor> {
-    let mut data = vec![0.0f32; labels.len() * classes];
+    let mut data = fademl_tensor::plan::alloc::fresh_vec(labels.len() * classes);
     for (i, &label) in labels.iter().enumerate() {
         if label >= classes {
-            return Err(NnError::Tensor(TensorError::IndexOutOfBounds {
-                index: vec![label],
-                shape: vec![classes],
-            }));
+            return Err(NnError::Tensor(TensorError::index_oob(
+                &[label],
+                &[classes],
+            )));
         }
         data[i * classes + label] = 1.0;
     }
-    Ok(Tensor::from_vec(
-        data,
-        Shape::new(vec![labels.len(), classes]),
-    )?)
+    Ok(Tensor::from_vec(data, Shape::of(&[labels.len(), classes]))?)
 }
 
 #[cfg(test)]

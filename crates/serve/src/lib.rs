@@ -95,7 +95,7 @@ pub use config::ServerConfig;
 pub use error::{DeadlineStage, Result, ServeError};
 #[cfg(feature = "faults")]
 pub use faults::FaultPlan;
-pub use metrics::{DetectionReport, MetricsReport, ServerMetrics};
+pub use metrics::{ArenaReport, DetectionReport, MetricsReport, ServerMetrics};
 pub use request::ResponseHandle;
 pub use server::InferenceServer;
 pub use supervisor::{RefitOutcome, RefitReport, SupervisorConfig, ValidationSet};

@@ -459,6 +459,7 @@ impl ServerMetrics {
             swap_generation: self.swap_generation(),
             replicas: Vec::new(),
             detection: self.detection_report(),
+            arena: ArenaReport::capture(),
         }
     }
 
@@ -664,6 +665,69 @@ pub struct MetricsReport {
     /// Adversarial-triage section; `None` on servers that never ran
     /// the detection stage (including every pre-triage report).
     pub detection: Option<DetectionReport>,
+    /// Compute-plan section (scratch arena + blueprint cache); `None`
+    /// until the process has run a planned kernel (and in every
+    /// pre-arena report).
+    pub arena: Option<ArenaReport>,
+}
+
+/// The compute-plan section of a [`MetricsReport`]: process-wide
+/// counters from the tensor crate's scratch arena and blueprint
+/// selector. A healthy steady-state server shows `scratch_hits`
+/// tracking `scratch_acquires` with `scratch_grows` flat — the
+/// zero-allocation serving contract, observable in production.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ArenaReport {
+    /// Scratch-buffer leases requested by kernels.
+    pub scratch_acquires: u64,
+    /// Leases served from a pooled buffer without heap growth.
+    pub scratch_hits: u64,
+    /// Leases that had to allocate or grow (cold path / warm-up).
+    pub scratch_grows: u64,
+    /// Buffers dropped on release because a thread's pool was full.
+    pub scratch_evictions: u64,
+    /// Kernel plans served from the blueprint cache.
+    pub plan_hits: u64,
+    /// Kernel plans built from scratch (one per shape key).
+    pub plan_misses: u64,
+    /// Blueprints currently cached (gauge; summed across replicas).
+    pub plan_entries: u64,
+}
+
+impl ArenaReport {
+    /// Snapshot of the process-wide arena and selector counters, or
+    /// `None` if no planned kernel has run yet (keeps cold reports
+    /// schema-identical to the pre-arena era).
+    fn capture() -> Option<ArenaReport> {
+        let arena = fademl_tensor::plan::alloc::stats();
+        let plans = fademl_tensor::plan::selector::stats();
+        if arena.acquires == 0 && plans.misses == 0 {
+            return None;
+        }
+        Some(ArenaReport {
+            scratch_acquires: arena.acquires,
+            scratch_hits: arena.hits,
+            scratch_grows: arena.grows,
+            scratch_evictions: arena.evictions,
+            plan_hits: plans.hits,
+            plan_misses: plans.misses,
+            plan_entries: plans.entries,
+        })
+    }
+}
+
+impl Deserialize for ArenaReport {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(ArenaReport {
+            scratch_acquires: req_field(value, "scratch_acquires")?,
+            scratch_hits: req_field(value, "scratch_hits")?,
+            scratch_grows: req_field(value, "scratch_grows")?,
+            scratch_evictions: req_field(value, "scratch_evictions")?,
+            plan_hits: req_field(value, "plan_hits")?,
+            plan_misses: req_field(value, "plan_misses")?,
+            plan_entries: req_field(value, "plan_entries")?,
+        })
+    }
 }
 
 /// One replica's row in an aggregated router report: enough to see at
@@ -790,6 +854,16 @@ impl MetricsReport {
                 score_time_weighted_sum += u128::from(detection.mean_score_time_us)
                     * u128::from(detection.clean + detection.flagged);
             }
+            if let Some(arena) = &part.arena {
+                let merged = total.arena.get_or_insert_with(ArenaReport::default);
+                merged.scratch_acquires += arena.scratch_acquires;
+                merged.scratch_hits += arena.scratch_hits;
+                merged.scratch_grows += arena.scratch_grows;
+                merged.scratch_evictions += arena.scratch_evictions;
+                merged.plan_hits += arena.plan_hits;
+                merged.plan_misses += arena.plan_misses;
+                merged.plan_entries += arena.plan_entries;
+            }
             total
                 .replicas
                 .push(ReplicaReport::from_report(*replica, *healthy, part));
@@ -859,6 +933,7 @@ impl MetricsReport {
             swap_generation: 0,
             replicas: Vec::new(),
             detection: None,
+            arena: None,
         }
     }
 
@@ -950,6 +1025,18 @@ impl MetricsReport {
                 d.tenants_tracked,
             ));
         }
+        if let Some(a) = &self.arena {
+            out.push_str(&format!(
+                "  compute:  scratch [{} acquires, {} hits, {} grows, {} evictions], plans [{} hits, {} misses, {} cached]\n",
+                a.scratch_acquires,
+                a.scratch_hits,
+                a.scratch_grows,
+                a.scratch_evictions,
+                a.plan_hits,
+                a.plan_misses,
+                a.plan_entries,
+            ));
+        }
         for r in &self.replicas {
             out.push_str(&format!(
                 "  replica {}: {}, gen {}, depth {}, {} done, {} failed, {} shed{}\n",
@@ -1031,6 +1118,7 @@ impl Deserialize for MetricsReport {
             swap_generation: opt_field(value, "swap_generation")?,
             replicas: opt_field(value, "replicas")?,
             detection: opt_field(value, "detection")?,
+            arena: opt_field(value, "arena")?,
         })
     }
 }
@@ -1121,6 +1209,48 @@ mod tests {
         assert_eq!(r.deadline_missed_queue, 2);
         assert_eq!(r.deadline_missed_batch, 2);
         assert_eq!(r.deadline_overshoot_buckets, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn arena_section_appears_after_a_planned_kernel_and_round_trips() {
+        // Run one planned kernel so the process-wide counters are live.
+        let x = fademl_tensor::Tensor::zeros(&[4, 8]);
+        let y = fademl_tensor::Tensor::zeros(&[8, 4]);
+        let _ = x.matmul(&y).expect("matmul");
+        let m = ServerMetrics::new(4);
+        let report = m.report();
+        let arena = report.arena.as_ref().expect("arena section after kernel");
+        assert!(arena.scratch_acquires >= arena.scratch_hits);
+        assert!(arena.plan_misses + arena.plan_hits > 0);
+        let back: MetricsReport = serde::json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back.arena, report.arena);
+    }
+
+    #[test]
+    fn aggregate_sums_arena_sections_and_tolerates_absent_ones() {
+        let with = |hits: u64| MetricsReport {
+            arena: Some(ArenaReport {
+                scratch_acquires: hits + 1,
+                scratch_hits: hits,
+                scratch_grows: 1,
+                scratch_evictions: 0,
+                plan_hits: hits,
+                plan_misses: 2,
+                plan_entries: 2,
+            }),
+            ..MetricsReport::empty()
+        };
+        let parts = vec![
+            (0, true, with(10)),
+            (1, true, MetricsReport::empty()),
+            (2, true, with(5)),
+        ];
+        let total = MetricsReport::aggregate(&parts);
+        let arena = total.arena.expect("merged arena section");
+        assert_eq!(arena.scratch_hits, 15);
+        assert_eq!(arena.scratch_acquires, 17);
+        assert_eq!(arena.scratch_grows, 2);
+        assert_eq!(arena.plan_entries, 4);
     }
 
     #[test]

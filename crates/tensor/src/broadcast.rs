@@ -4,6 +4,7 @@
 //! every pair of extents is equal or one of them is 1. The broadcast
 //! result takes the larger extent in each position.
 
+use crate::plan::alloc;
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Computes the broadcast shape of two operand shapes.
@@ -16,7 +17,7 @@ pub(crate) fn broadcast_shape(op: &'static str, lhs: &Shape, rhs: &Shape) -> Res
     let a = lhs.dims();
     let b = rhs.dims();
     let rank = a.len().max(b.len());
-    let mut out = vec![0usize; rank];
+    let mut out = alloc::fresh_filled(rank, 0usize);
     for i in 0..rank {
         let da = if i < rank - a.len() {
             1
@@ -33,11 +34,7 @@ pub(crate) fn broadcast_shape(op: &'static str, lhs: &Shape, rhs: &Shape) -> Res
         } else if da == 1 {
             db
         } else {
-            return Err(TensorError::ShapeMismatch {
-                op,
-                lhs: a.to_vec(),
-                rhs: b.to_vec(),
-            });
+            return Err(TensorError::shape_mismatch(op, a, b));
         };
     }
     Ok(Shape::new(out))
@@ -56,13 +53,13 @@ pub(crate) fn broadcast_zip(
     }
     let out_shape = broadcast_shape(op, lhs.shape(), rhs.shape())?;
     let rank = out_shape.rank();
-    let out_dims = out_shape.dims().to_vec();
+    let out_dims = out_shape.dims();
     let lhs_strides = padded_broadcast_strides(lhs.shape(), rank);
     let rhs_strides = padded_broadcast_strides(rhs.shape(), rank);
 
     let numel = out_shape.numel();
-    let mut data = Vec::with_capacity(numel);
-    let mut index = vec![0usize; rank];
+    let mut data = alloc::fresh_with(numel);
+    let mut index = alloc::fresh_filled(rank, 0usize);
     let la = lhs.as_slice();
     let lb = rhs.as_slice();
     for _ in 0..numel {
@@ -92,7 +89,7 @@ fn padded_broadcast_strides(shape: &Shape, rank: usize) -> Vec<usize> {
     let dims = shape.dims();
     let strides = shape.strides();
     let pad = rank - dims.len();
-    let mut out = vec![0usize; rank];
+    let mut out = alloc::fresh_filled(rank, 0usize);
     for i in 0..dims.len() {
         out[pad + i] = if dims[i] == 1 { 0 } else { strides[i] };
     }
@@ -111,30 +108,30 @@ fn padded_broadcast_strides(shape: &Shape, rank: usize) -> Vec<usize> {
 /// have arisen from broadcasting `target`.
 pub fn reduce_to_shape(grad: &Tensor, target: &Shape) -> Result<Tensor> {
     if grad.shape() == target {
-        return Ok(grad.clone());
+        return Ok(grad.duplicate());
     }
     // Validate compatibility.
     let combined = broadcast_shape("reduce_to_shape", grad.shape(), target)?;
     if &combined != grad.shape() {
-        return Err(TensorError::ShapeMismatch {
-            op: "reduce_to_shape",
-            lhs: grad.dims().to_vec(),
-            rhs: target.dims().to_vec(),
-        });
+        return Err(TensorError::shape_mismatch(
+            "reduce_to_shape",
+            grad.dims(),
+            target.dims(),
+        ));
     }
     let rank = grad.rank();
     let pad = rank - target.rank();
-    let grad_dims = grad.dims().to_vec();
+    let grad_dims = grad.dims();
     let target_strides = {
         let strides = target.strides();
-        let mut out = vec![0usize; rank];
+        let mut out = alloc::fresh_filled(rank, 0usize);
         for i in 0..target.rank() {
             out[pad + i] = if target.dims()[i] == 1 { 0 } else { strides[i] };
         }
         out
     };
-    let mut out = vec![0.0f32; target.numel()];
-    let mut index = vec![0usize; rank];
+    let mut out = alloc::fresh_vec(target.numel());
+    let mut index = alloc::fresh_filled(rank, 0usize);
     for &g in grad.as_slice() {
         let mut off = 0usize;
         for d in 0..rank {
@@ -149,7 +146,7 @@ pub fn reduce_to_shape(grad: &Tensor, target: &Shape) -> Result<Tensor> {
             index[d] = 0;
         }
     }
-    Tensor::from_vec(out, target.clone())
+    Tensor::from_vec(out, target.duplicate())
 }
 
 #[cfg(test)]

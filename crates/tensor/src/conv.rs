@@ -9,6 +9,18 @@
 //! The backward pass returns gradients w.r.t. input, weight and bias; the
 //! input gradient is what the adversarial attacks ultimately consume.
 //!
+//! # Planning
+//!
+//! Both entry points ask the plan selector for one cached [`Blueprint`]
+//! per geometry key (`[N, C, H, W, F, KH, KW, stride, padding]`). The
+//! blueprint carries cap-checked scratch/output sizes (anything that
+//! would overflow `usize` surfaces as [`TensorError::Overflow`] before
+//! a byte is allocated), the GEMM blocking for the per-sample
+//! `weight × cols` product, and the hoisted parallel/serial decision.
+//! Per-sample im2col column matrices and packing panels come from the
+//! thread-local scratch arena, so steady-state serving reuses one
+//! high-water buffer per worker instead of allocating per call.
+//!
 //! # Parallel decomposition
 //!
 //! The forward pass partitions the *batch* across the [`crate::par`]
@@ -25,7 +37,13 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::matmul::{gemm_nt_block, gemm_rows, pack_b, transpose_into};
+use crate::matmul::{gemm_nt_block, gemm_rows_into, pack_b_into, transpose_into};
+use crate::plan::alloc;
+use crate::plan::blueprint::{
+    blocking_for, checked_add, checked_product, classify_gemm, Blocking, Blueprint, OpKind,
+    ShapeKey,
+};
+use crate::plan::selector;
 use crate::{par, Result, Shape, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution.
@@ -69,7 +87,10 @@ impl ConvSpec {
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidGeometry`] when the stride is zero
-    /// or the (padded) input is smaller than the kernel.
+    /// or the (padded) input is smaller than the kernel, and
+    /// [`TensorError::Overflow`] when `h + 2·padding` (or the width
+    /// analogue) does not fit in `usize` — previously that wrapped in
+    /// release builds and produced a nonsense geometry.
     pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
         if self.stride == 0 {
             return Err(TensorError::InvalidGeometry {
@@ -81,8 +102,9 @@ impl ConvSpec {
                 reason: "kernel must be non-empty".into(),
             });
         }
-        let ph = h + 2 * self.padding;
-        let pw = w + 2 * self.padding;
+        let pad2 = checked_product("conv padding", &[2, self.padding])?;
+        let ph = checked_add("conv padded height", h, pad2)?;
+        let pw = checked_add("conv padded width", w, pad2)?;
         if ph < self.kernel_h || pw < self.kernel_w {
             return Err(TensorError::InvalidGeometry {
                 reason: format!(
@@ -194,7 +216,8 @@ fn col2im_add(
 ///
 /// Returns [`TensorError::RankMismatch`] for non-rank-3 input,
 /// [`TensorError::ShapeMismatch`] when the channel count disagrees with
-/// the spec, or [`TensorError::InvalidGeometry`] for impossible geometry.
+/// the spec, [`TensorError::InvalidGeometry`] for impossible geometry,
+/// or [`TensorError::Overflow`] when the unfolded size overflows.
 pub fn im2col(image: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
     if image.rank() != 3 {
         return Err(TensorError::RankMismatch {
@@ -205,17 +228,18 @@ pub fn im2col(image: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
     }
     let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
     if c != spec.in_channels {
-        return Err(TensorError::ShapeMismatch {
-            op: "im2col",
-            lhs: image.dims().to_vec(),
-            rhs: vec![spec.in_channels],
-        });
+        return Err(TensorError::shape_mismatch(
+            "im2col",
+            image.dims(),
+            &[spec.in_channels],
+        ));
     }
     let (oh, ow) = spec.output_size(h, w)?;
-    let rows = c * spec.kernel_h * spec.kernel_w;
-    let mut out = vec![0.0f32; rows * oh * ow];
+    let rows = checked_product("im2col rows", &[c, spec.kernel_h, spec.kernel_w])?;
+    let len = checked_product("im2col", &[rows, oh, ow])?;
+    let mut out = alloc::fresh_vec(len);
     im2col_into(image.as_slice(), spec, h, w, oh, ow, &mut out);
-    Tensor::from_vec(out, Shape::new(vec![rows, oh * ow]))
+    Tensor::from_vec(out, Shape::of(&[rows, oh * ow]))
 }
 
 /// Folds an im2col matrix back into an image, *summing* overlapping
@@ -231,15 +255,15 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, h: usize, w: usize) -> Result<Tens
     let c = spec.in_channels;
     let rows = c * spec.kernel_h * spec.kernel_w;
     if cols.dims() != [rows, oh * ow] {
-        return Err(TensorError::ShapeMismatch {
-            op: "col2im",
-            lhs: cols.dims().to_vec(),
-            rhs: vec![rows, oh * ow],
-        });
+        return Err(TensorError::shape_mismatch(
+            "col2im",
+            cols.dims(),
+            &[rows, oh * ow],
+        ));
     }
-    let mut out = vec![0.0f32; c * h * w];
+    let mut out = alloc::fresh_vec(c * h * w);
     col2im_add(cols.as_slice(), spec, h, w, oh, ow, &mut out);
-    Tensor::from_vec(out, Shape::new(vec![c, h, w]))
+    Tensor::from_vec(out, Shape::of(&[c, h, w]))
 }
 
 fn validate_conv_input(input: &Tensor, spec: &ConvSpec) -> Result<(usize, usize, usize)> {
@@ -251,13 +275,91 @@ fn validate_conv_input(input: &Tensor, spec: &ConvSpec) -> Result<(usize, usize,
         });
     }
     if input.dims()[1] != spec.in_channels {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d",
-            lhs: input.dims().to_vec(),
-            rhs: vec![spec.in_channels],
-        });
+        return Err(TensorError::shape_mismatch(
+            "conv2d",
+            input.dims(),
+            &[spec.in_channels],
+        ));
     }
     Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
+}
+
+/// Plans a convolution (forward or backward) through the selector: one
+/// cached blueprint per geometry key, carrying the cap-checked sizes,
+/// the blocking for the inner per-sample GEMM, and the hoisted
+/// parallel/serial decision.
+fn plan_conv2d(
+    spec: &ConvSpec,
+    n: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    backward: bool,
+) -> Result<Blueprint> {
+    let op = if backward {
+        OpKind::Conv2dBackward
+    } else {
+        OpKind::Conv2d
+    };
+    let key = ShapeKey::new(
+        op,
+        &[
+            n,
+            spec.in_channels,
+            h,
+            w,
+            spec.out_channels,
+            spec.kernel_h,
+            spec.kernel_w,
+            spec.stride,
+            spec.padding,
+        ],
+    );
+    // The spec is moved into the closure by value so the borrow does not
+    // outlive the memoizer call.
+    let spec = *spec;
+    selector::plan_with(key, move || {
+        let k_flat = checked_product(
+            "conv2d weight",
+            &[spec.in_channels, spec.kernel_h, spec.kernel_w],
+        )?;
+        let ohw = checked_product("conv2d output plane", &[oh, ow])?;
+        let cols_len = checked_product("conv2d im2col", &[k_flat, ohw])?;
+        let out_len = if backward {
+            checked_product("conv2d_backward input grad", &[n, spec.in_channels, h, w])?
+        } else {
+            checked_product("conv2d output", &[n, spec.out_channels, oh, ow])?
+        };
+        // Forward: secondary scratch is the packed-cols panel (same
+        // element count as the cols matrix). Backward: the wᵀ buffer.
+        let scratch2 = if backward {
+            checked_product("conv2d_backward transpose", &[k_flat, spec.out_channels])?
+        } else {
+            cols_len
+        };
+        // Blocking is classified on the inner GEMM (F × k_flat × OH·OW);
+        // the dispatch threshold sees the whole batch. `work` only feeds
+        // thresholds, so saturation is fine.
+        let gemm_work = spec.out_channels.saturating_mul(k_flat).saturating_mul(ohw);
+        let work = n.saturating_mul(gemm_work);
+        let class = classify_gemm(spec.out_channels, ohw, gemm_work);
+        let rows_axis = if backward {
+            n.max(spec.out_channels)
+        } else {
+            n
+        };
+        Ok(Blueprint {
+            key,
+            class,
+            blocking: blocking_for(class),
+            parallel: par::should_parallelize(rows_axis, work),
+            rows: n,
+            scratch: cols_len,
+            scratch2,
+            out_len,
+        })
+    })
 }
 
 /// Immutable per-call geometry shared by the forward/backward workers.
@@ -269,6 +371,9 @@ struct ConvGeom {
     oh: usize,
     ow: usize,
     k_flat: usize,
+    /// GEMM blocking from the blueprint; identical for every worker and
+    /// every call with the same shape key.
+    bl: Blocking,
 }
 
 impl ConvGeom {
@@ -289,7 +394,9 @@ impl ConvGeom {
 /// `[len, F, OH, OW]` output block. The bias is fused into the
 /// cache-hot per-sample product block — there is no second batch-wide
 /// sweep (and no reorder copy; the per-sample GEMM output already has
-/// the `[F, OH·OW]` layout the NCHW output needs).
+/// the `[F, OH·OW]` layout the NCHW output needs). The im2col matrix
+/// and packing panel lease from the calling thread's scratch arena, so
+/// a warm worker performs exactly one allocation: the returned block.
 fn conv2d_block(
     input: &[f32],
     w_mat: &[f32],
@@ -298,21 +405,30 @@ fn conv2d_block(
     range: Range<usize>,
 ) -> Vec<f32> {
     let ohw = geom.oh * geom.ow;
-    let mut out = Vec::with_capacity((range.end - range.start) * geom.out_plane_len());
-    let mut cols = vec![0.0f32; geom.cols_len()];
-    for sample in range {
+    let len = range.end - range.start;
+    let mut out = alloc::fresh_vec(len * geom.out_plane_len());
+    let mut cols = alloc::scratch_f32(geom.cols_len());
+    let mut packed = alloc::scratch_f32(geom.cols_len());
+    for (block, sample) in out.chunks_exact_mut(geom.out_plane_len()).zip(range) {
         let src = &input[sample * geom.image_len()..(sample + 1) * geom.image_len()];
-        cols.fill(0.0);
+        cols.as_mut_slice().fill(0.0);
         im2col_into(src, &geom.spec, geom.h, geom.w, geom.oh, geom.ow, &mut cols);
-        let packed = pack_b(&cols, geom.k_flat, ohw);
-        let mut block = gemm_rows(w_mat, geom.spec.out_channels, geom.k_flat, &packed, ohw);
+        pack_b_into(&cols, geom.k_flat, ohw, geom.bl, &mut packed);
+        gemm_rows_into(
+            w_mat,
+            geom.spec.out_channels,
+            geom.k_flat,
+            &packed,
+            ohw,
+            geom.bl,
+            block,
+        );
         for (f, row) in block.chunks_exact_mut(ohw).enumerate() {
             let b = bias[f];
             for o in row {
                 *o += b;
             }
         }
-        out.extend_from_slice(&block);
     }
     out
 }
@@ -321,16 +437,17 @@ fn conv2d_block(
 ///
 /// Samples are independent, so the batch is partitioned across the
 /// [`crate::par`] pool; per sample the result is identical to the
-/// serial path bit-for-bit (see the module docs).
+/// serial path bit-for-bit (see the module docs). The serial-vs-pool
+/// decision and the GEMM blocking both come from one cached blueprint,
+/// so they can never disagree for a given shape key.
 ///
 /// # Errors
 ///
 /// Returns an error when the input is not rank 4, the channel counts
-/// disagree with `spec`, `weight`/`bias` have the wrong shapes, or the
-/// geometry is impossible.
+/// disagree with `spec`, `weight`/`bias` have the wrong shapes, the
+/// geometry is impossible, or a buffer size overflows `usize`.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
     let (n, h, w) = validate_conv_input(input, spec)?;
-    let k_flat = spec.in_channels * spec.kernel_h * spec.kernel_w;
     if weight.dims()
         != [
             spec.out_channels,
@@ -339,45 +456,47 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
             spec.kernel_w,
         ]
     {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d",
-            lhs: weight.dims().to_vec(),
-            rhs: vec![
+        return Err(TensorError::shape_mismatch(
+            "conv2d",
+            weight.dims(),
+            &[
                 spec.out_channels,
                 spec.in_channels,
                 spec.kernel_h,
                 spec.kernel_w,
             ],
-        });
+        ));
     }
     if bias.dims() != [spec.out_channels] {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d",
-            lhs: bias.dims().to_vec(),
-            rhs: vec![spec.out_channels],
-        });
+        return Err(TensorError::shape_mismatch(
+            "conv2d",
+            bias.dims(),
+            &[spec.out_channels],
+        ));
     }
     let (oh, ow) = spec.output_size(h, w)?;
+    let bp = plan_conv2d(spec, n, h, w, oh, ow, false)?;
     let geom = ConvGeom {
         spec: *spec,
         h,
         w,
         oh,
         ow,
-        k_flat,
+        // Cap-checked inside the blueprint build; safe to re-derive.
+        k_flat: spec.in_channels * spec.kernel_h * spec.kernel_w,
+        bl: bp.blocking,
     };
     // A `[F, C, KH, KW]` weight is already `[F, K]` row-major.
-    let work = n
-        .saturating_mul(geom.out_plane_len())
-        .saturating_mul(k_flat);
-    let out = if par::should_parallelize(n, work) {
-        let input: Arc<Vec<f32>> = Arc::new(input.as_slice().to_vec());
-        let w_mat: Arc<Vec<f32>> = Arc::new(weight.as_slice().to_vec());
-        let bias: Arc<Vec<f32>> = Arc::new(bias.as_slice().to_vec());
-        let blocks = par::parallel_rows(n, move |range: Range<usize>| {
+    let out = if bp.parallel {
+        // Cross-thread operands bypass the arena deliberately: a buffer
+        // dropped on another thread would migrate into its pool.
+        let input: Arc<Vec<f32>> = Arc::new(alloc::fresh_from(input.as_slice()));
+        let w_mat: Arc<Vec<f32>> = Arc::new(alloc::fresh_from(weight.as_slice()));
+        let bias: Arc<Vec<f32>> = Arc::new(alloc::fresh_from(bias.as_slice()));
+        let blocks = par::parallel_rows(bp.rows, move |range: Range<usize>| {
             conv2d_block(&input, &w_mat, &bias, geom, range)
         });
-        let mut out = Vec::with_capacity(n * geom.out_plane_len());
+        let mut out = alloc::fresh_with(bp.out_len);
         for block in blocks {
             out.extend_from_slice(&block);
         }
@@ -391,7 +510,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
             0..n,
         )
     };
-    Tensor::from_vec(out, Shape::new(vec![n, spec.out_channels, oh, ow]))
+    Tensor::from_vec(out, Shape::of(&[n, spec.out_channels, oh, ow]))
 }
 
 /// ∂weight/∂bias worker: computes gradient rows for the filters in
@@ -406,8 +525,8 @@ fn conv_grad_filters_block(
 ) -> (Vec<f32>, Vec<f32>) {
     let ohw = geom.oh * geom.ow;
     let len = range.end - range.start;
-    let mut grad_w = vec![0.0f32; len * geom.k_flat];
-    let mut grad_b = vec![0.0f32; len];
+    let mut grad_w = alloc::fresh_vec(len * geom.k_flat);
+    let mut grad_b = alloc::fresh_vec(len);
     for sample in 0..n {
         let g_sample = &grad_out[sample * geom.out_plane_len()..][..geom.out_plane_len()];
         let cols = &cols_all[sample * geom.cols_len()..][..geom.cols_len()];
@@ -427,6 +546,8 @@ fn conv_grad_filters_block(
 
 /// ∂input worker: for each sample in `range`, computes
 /// `col2im(w_matᵀ · g_mat)` and returns the concatenated image blocks.
+/// The packed panel and the unfolded gradient columns lease from this
+/// thread's scratch arena.
 fn conv_grad_input_block(
     grad_out: &[f32],
     w_t: &[f32],
@@ -434,26 +555,36 @@ fn conv_grad_input_block(
     range: Range<usize>,
 ) -> Vec<f32> {
     let ohw = geom.oh * geom.ow;
-    let mut out = vec![0.0f32; (range.end - range.start) * geom.image_len()];
+    let f = geom.spec.out_channels;
+    let mut out = alloc::fresh_vec((range.end - range.start) * geom.image_len());
+    let mut packed = alloc::scratch_f32(geom.out_plane_len());
+    let mut gcols = alloc::scratch_f32(geom.cols_len());
     for (slot, sample) in range.enumerate() {
         let g_mat = &grad_out[sample * geom.out_plane_len()..][..geom.out_plane_len()];
-        let packed = pack_b(g_mat, geom.spec.out_channels, ohw);
-        let gcols = gemm_rows(w_t, geom.k_flat, geom.spec.out_channels, &packed, ohw);
+        pack_b_into(g_mat, f, ohw, geom.bl, &mut packed);
+        gcols.as_mut_slice().fill(0.0);
+        gemm_rows_into(w_t, geom.k_flat, f, &packed, ohw, geom.bl, &mut gcols);
         let dst = &mut out[slot * geom.image_len()..(slot + 1) * geom.image_len()];
         col2im_add(&gcols, &geom.spec, geom.h, geom.w, geom.oh, geom.ow, dst);
     }
     out
 }
 
-/// im2col worker: unfolds the samples in `range` into their
-/// concatenated `[len · K, OH·OW]` column blocks.
-fn im2col_samples_block(input: &[f32], geom: ConvGeom, range: Range<usize>) -> Vec<f32> {
-    let mut out = vec![0.0f32; (range.end - range.start) * geom.cols_len()];
+/// Unfolds the samples in `range` into `dst` (their concatenated
+/// `[len · K, OH·OW]` column blocks; must arrive zeroed).
+fn im2col_samples_into(input: &[f32], geom: ConvGeom, range: Range<usize>, dst: &mut [f32]) {
     for (slot, sample) in range.enumerate() {
         let src = &input[sample * geom.image_len()..(sample + 1) * geom.image_len()];
-        let dst = &mut out[slot * geom.cols_len()..(slot + 1) * geom.cols_len()];
-        im2col_into(src, &geom.spec, geom.h, geom.w, geom.oh, geom.ow, dst);
+        let block = &mut dst[slot * geom.cols_len()..(slot + 1) * geom.cols_len()];
+        im2col_into(src, &geom.spec, geom.h, geom.w, geom.oh, geom.ow, block);
     }
+}
+
+/// im2col worker for the parallel path: returns a freshly allocated
+/// (cross-thread) column block.
+fn im2col_samples_block(input: &[f32], geom: ConvGeom, range: Range<usize>) -> Vec<f32> {
+    let mut out = alloc::fresh_vec((range.end - range.start) * geom.cols_len());
+    im2col_samples_into(input, geom, range, &mut out);
     out
 }
 
@@ -477,43 +608,44 @@ pub fn conv2d_backward(
     let (n, h, w) = validate_conv_input(input, spec)?;
     let (oh, ow) = spec.output_size(h, w)?;
     if grad_out.dims() != [n, spec.out_channels, oh, ow] {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d_backward",
-            lhs: grad_out.dims().to_vec(),
-            rhs: vec![n, spec.out_channels, oh, ow],
-        });
+        return Err(TensorError::shape_mismatch(
+            "conv2d_backward",
+            grad_out.dims(),
+            &[n, spec.out_channels, oh, ow],
+        ));
     }
-    let k_flat = spec.in_channels * spec.kernel_h * spec.kernel_w;
+    let bp = plan_conv2d(spec, n, h, w, oh, ow, true)?;
     let geom = ConvGeom {
         spec: *spec,
         h,
         w,
         oh,
         ow,
-        k_flat,
+        k_flat: spec.in_channels * spec.kernel_h * spec.kernel_w,
+        bl: bp.blocking,
     };
-    let work = n
-        .saturating_mul(geom.out_plane_len())
-        .saturating_mul(k_flat);
-    let parallel = par::should_parallelize(n.max(spec.out_channels), work);
+    let k_flat = geom.k_flat;
+    let cols_total = checked_product("conv2d_backward cols", &[n, geom.cols_len()])?;
 
-    if !parallel {
+    if !bp.parallel {
         let input_data = input.as_slice();
         let g_data = grad_out.as_slice();
-        let cols_all = im2col_samples_block(input_data, geom, 0..n);
+        let mut cols_all = alloc::scratch_f32(cols_total);
+        im2col_samples_into(input_data, geom, 0..n, &mut cols_all);
         let (grad_w, grad_b) =
             conv_grad_filters_block(g_data, &cols_all, geom, n, 0..spec.out_channels);
-        let w_t = transpose_into(weight.as_slice(), spec.out_channels, k_flat);
+        let mut w_t = alloc::scratch_f32(bp.scratch2);
+        transpose_into(weight.as_slice(), spec.out_channels, k_flat, &mut w_t);
         let grad_input = conv_grad_input_block(g_data, &w_t, geom, 0..n);
         return Ok(Conv2dGrads {
-            input: Tensor::from_vec(grad_input, input.shape().clone())?,
-            weight: Tensor::from_vec(grad_w, Shape::new(weight.dims().to_vec()))?,
-            bias: Tensor::from_vec(grad_b, Shape::new(vec![spec.out_channels]))?,
+            input: Tensor::from_vec(grad_input, input.shape().duplicate())?,
+            weight: Tensor::from_vec(grad_w, Shape::of(weight.dims()))?,
+            bias: Tensor::from_vec(grad_b, Shape::of(&[spec.out_channels]))?,
         });
     }
 
-    let input_arc: Arc<Vec<f32>> = Arc::new(input.as_slice().to_vec());
-    let g_arc: Arc<Vec<f32>> = Arc::new(grad_out.as_slice().to_vec());
+    let input_arc: Arc<Vec<f32>> = Arc::new(alloc::fresh_from(input.as_slice()));
+    let g_arc: Arc<Vec<f32>> = Arc::new(alloc::fresh_from(grad_out.as_slice()));
 
     // Phase 1: unfold every sample once (partitioned over samples); the
     // column matrices are shared read-only by the ∂weight workers.
@@ -521,7 +653,7 @@ pub fn conv2d_backward(
     let col_blocks = par::parallel_rows(n, move |range: Range<usize>| {
         im2col_samples_block(&in_for_cols, geom, range)
     });
-    let mut cols_all = Vec::with_capacity(n * geom.cols_len());
+    let mut cols_all = alloc::fresh_with(cols_total);
     for block in col_blocks {
         cols_all.extend_from_slice(&block);
     }
@@ -532,27 +664,29 @@ pub fn conv2d_backward(
     let grad_blocks = par::parallel_rows(spec.out_channels, move |range: Range<usize>| {
         conv_grad_filters_block(&g_for_w, &cols_all, geom, n, range)
     });
-    let mut grad_w = Vec::with_capacity(spec.out_channels * k_flat);
-    let mut grad_b = Vec::with_capacity(spec.out_channels);
+    let mut grad_w = alloc::fresh_with(spec.out_channels * k_flat);
+    let mut grad_b = alloc::fresh_with(spec.out_channels);
     for (w_block, b_block) in grad_blocks {
         grad_w.extend_from_slice(&w_block);
         grad_b.extend_from_slice(&b_block);
     }
 
     // Phase 3: ∂input over samples.
-    let w_t = Arc::new(transpose_into(weight.as_slice(), spec.out_channels, k_flat));
+    let mut w_t_buf = alloc::fresh_vec(bp.scratch2);
+    transpose_into(weight.as_slice(), spec.out_channels, k_flat, &mut w_t_buf);
+    let w_t = Arc::new(w_t_buf);
     let in_blocks = par::parallel_rows(n, move |range: Range<usize>| {
         conv_grad_input_block(&g_arc, &w_t, geom, range)
     });
-    let mut grad_input = Vec::with_capacity(input.numel());
+    let mut grad_input = alloc::fresh_with(input.numel());
     for block in in_blocks {
         grad_input.extend_from_slice(&block);
     }
 
     Ok(Conv2dGrads {
-        input: Tensor::from_vec(grad_input, input.shape().clone())?,
-        weight: Tensor::from_vec(grad_w, Shape::new(weight.dims().to_vec()))?,
-        bias: Tensor::from_vec(grad_b, Shape::new(vec![spec.out_channels]))?,
+        input: Tensor::from_vec(grad_input, input.shape().duplicate())?,
+        weight: Tensor::from_vec(grad_w, Shape::of(weight.dims()))?,
+        bias: Tensor::from_vec(grad_b, Shape::of(&[spec.out_channels]))?,
     })
 }
 
@@ -636,6 +770,43 @@ mod tests {
             ..ConvSpec::new(1, 1, 3, 1, 0)
         };
         assert!(spec.output_size(8, 8).is_err());
+    }
+
+    #[test]
+    fn output_size_overflow_is_typed() {
+        // `h + 2·padding` used to wrap in release builds; now it is a
+        // typed error before any sizing happens.
+        let spec = ConvSpec {
+            padding: usize::MAX / 2 + 1,
+            ..ConvSpec::new(1, 1, 3, 1, 0)
+        };
+        assert!(matches!(
+            spec.output_size(8, 8),
+            Err(TensorError::Overflow { .. })
+        ));
+        let spec = ConvSpec {
+            padding: usize::MAX / 2,
+            ..ConvSpec::new(1, 1, 3, 1, 0)
+        };
+        assert!(matches!(
+            spec.output_size(8, 8),
+            Err(TensorError::Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn conv2d_surfaces_overflow_not_panic() {
+        let spec = ConvSpec {
+            padding: usize::MAX / 2,
+            ..ConvSpec::new(1, 1, 3, 1, 0)
+        };
+        let input = Tensor::zeros(&[1, 1, 4, 4]);
+        let weight = Tensor::zeros(&[1, 1, 3, 3]);
+        let bias = Tensor::zeros(&[1]);
+        assert!(matches!(
+            conv2d(&input, &weight, &bias, &spec),
+            Err(TensorError::Overflow { .. })
+        ));
     }
 
     #[test]

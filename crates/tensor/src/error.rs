@@ -66,6 +66,57 @@ pub enum TensorError {
         /// Name of the operation that failed.
         op: &'static str,
     },
+    /// A scratch/output size product overflowed `usize` — the shape is
+    /// representable but its flattened buffer is not. Raised by the
+    /// plan layer's cap-checked sizing before any allocation happens.
+    Overflow {
+        /// Name of the operation whose sizing overflowed.
+        op: &'static str,
+        /// The dimensions whose product overflowed.
+        dims: Vec<usize>,
+    },
+}
+
+/// The one place error construction copies dimension slices. Errors are
+/// cold by definition; concentrating the copies here keeps the
+/// hot-path-alloc lint budget out of every `return Err(...)` site.
+fn owned_dims(dims: &[usize]) -> Vec<usize> {
+    dims.to_vec()
+}
+
+impl TensorError {
+    /// Builds [`TensorError::ShapeMismatch`] from borrowed shapes.
+    pub fn shape_mismatch(op: &'static str, lhs: &[usize], rhs: &[usize]) -> Self {
+        TensorError::ShapeMismatch {
+            op,
+            lhs: owned_dims(lhs),
+            rhs: owned_dims(rhs),
+        }
+    }
+
+    /// Builds [`TensorError::IndexOutOfBounds`] from borrowed slices.
+    pub fn index_oob(index: &[usize], shape: &[usize]) -> Self {
+        TensorError::IndexOutOfBounds {
+            index: owned_dims(index),
+            shape: owned_dims(shape),
+        }
+    }
+
+    /// Builds [`TensorError::ReshapeMismatch`] from borrowed shapes.
+    pub fn reshape_mismatch(from: &[usize], to: &[usize]) -> Self {
+        TensorError::ReshapeMismatch {
+            from: owned_dims(from),
+            to: owned_dims(to),
+        }
+    }
+
+    /// Builds [`TensorError::Overflow`] from the borrowed dimensions.
+    pub fn overflow(op: &'static str, dims: &[usize]) -> Self {
+        TensorError::Overflow {
+            op,
+            dims: owned_dims(dims),
+        }
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -103,6 +154,12 @@ impl fmt::Display for TensorError {
             }
             TensorError::EmptyTensor { op } => {
                 write!(f, "`{op}` is undefined on an empty tensor")
+            }
+            TensorError::Overflow { op, dims } => {
+                write!(
+                    f,
+                    "size overflow in `{op}`: product of {dims:?} exceeds usize"
+                )
             }
         }
     }

@@ -111,18 +111,20 @@ impl TensorRng {
     /// A tensor of uniform samples in `[lo, hi)`.
     pub fn uniform(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
         let shape = Shape::from(dims);
-        let data = (0..shape.numel())
-            .map(|_| self.uniform_scalar(lo, hi))
-            .collect();
+        let mut data = crate::plan::alloc::fresh_with(shape.numel());
+        for _ in 0..shape.numel() {
+            data.push(self.uniform_scalar(lo, hi));
+        }
         Tensor::from_vec(data, shape).expect("generated buffer matches shape")
     }
 
     /// A tensor of Gaussian samples with the given mean and std.
     pub fn normal(&mut self, dims: &[usize], mean: f32, std: f32) -> Tensor {
         let shape = Shape::from(dims);
-        let data = (0..shape.numel())
-            .map(|_| mean + std * self.normal_scalar())
-            .collect();
+        let mut data = crate::plan::alloc::fresh_with(shape.numel());
+        for _ in 0..shape.numel() {
+            data.push(mean + std * self.normal_scalar());
+        }
         Tensor::from_vec(data, shape).expect("generated buffer matches shape")
     }
 

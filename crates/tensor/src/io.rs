@@ -154,7 +154,7 @@ pub fn read_artifact(path: &Path) -> io::Result<Vec<u8>> {
             "refusing to read a staging (.tmp) file as an artifact",
         ));
     }
-    let mut buf = Vec::new();
+    let mut buf = Vec::default();
     fs::File::open(path)?.read_to_end(&mut buf)?;
     Ok(buf)
 }
@@ -168,7 +168,9 @@ pub struct ByteWriter {
 impl ByteWriter {
     /// An empty encoder.
     pub fn new() -> Self {
-        ByteWriter { buf: Vec::new() }
+        ByteWriter {
+            buf: Vec::default(),
+        }
     }
 
     /// Appends one byte.

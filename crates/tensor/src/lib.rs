@@ -40,6 +40,7 @@ pub mod io;
 mod matmul;
 mod ops;
 pub mod par;
+pub mod plan;
 mod pool;
 mod reduce;
 mod shape;

@@ -1,43 +1,43 @@
 //! Dense matrix multiplication: cache-blocked kernels with row-range
-//! parallelism.
+//! parallelism, planned through `crate::plan`.
 //!
-//! All three entry points (`matmul`, `matmul_tn`, `matmul_nt`) share a
-//! small set of serial block kernels and partition *rows of the output*
-//! across the [`crate::par`] pool. Each output element is owned by
-//! exactly one chunk and its `k`-accumulation runs in increasing-`p`
-//! order in a single `f32` accumulator — the same order as the
-//! reference three-loop kernel — so results are **bit-exact regardless
-//! of thread count**. That invariant is what keeps checkpoints
+//! All three entry points (`matmul`, `matmul_tn`, `matmul_nt`) ask the
+//! plan selector for one cached [`Blueprint`] per shape key — carrying
+//! the cap-checked scratch/output sizes, the blocking parameters, and
+//! the hoisted parallel/serial decision — then share a small set of
+//! serial block kernels and partition *rows of the output* across the
+//! [`crate::par`] pool. Each output element is owned by exactly one
+//! chunk and its `k`-accumulation runs in increasing-`p` order in a
+//! single `f32` accumulator — the same order as the reference
+//! three-loop kernel — so results are **bit-exact regardless of thread
+//! count or blocking choice**. That invariant is what keeps checkpoints
 //! byte-reproducible and the seed-sensitive statistical tests stable;
 //! see the proptests in `tests/par_invariance.rs`.
 //!
-//! `B` is repacked once per call into `KC × NC` panels so the innermost
+//! `B` is repacked once per call into `kc × nc` panels so the innermost
 //! loop streams over contiguous memory even for wide right-hand sides.
 //! Packing copies values without arithmetic, so it cannot perturb the
-//! accumulation order.
+//! accumulation order. On the serial path the packing panel comes from
+//! the thread-local scratch arena, so steady-state serving re-uses one
+//! high-water buffer instead of allocating per call.
 
 use std::ops::Range;
 use std::sync::Arc;
 
+use crate::plan::alloc;
+use crate::plan::blueprint::{Blocking, Blueprint, OpKind};
+use crate::plan::selector;
 use crate::{par, Result, Shape, Tensor, TensorError};
 
-/// Row-block height: how many `A` rows are kept hot per panel pass.
-const MC: usize = 64;
-/// Depth-block: `k` is consumed in runs of `KC` (in increasing order,
-/// preserving the per-element accumulation sequence).
-const KC: usize = 256;
-/// Column panel width of the packed `B`.
-const NC: usize = 512;
-
-/// Packs `b` (`[k, n]`, row-major) into `KC × NC` panels laid out so
+/// Packs `b` (`[k, n]`, row-major) into `kc × nc` panels laid out so
 /// panel `(jc, pc)` starts at `jc * k + pc * ncb` and stores its `kcb`
-/// rows contiguously (`ncb` floats each). Pure data movement.
-pub(crate) fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
-    let mut packed = vec![0.0f32; k * n];
-    for jc in (0..n).step_by(NC) {
-        let ncb = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kcb = KC.min(k - pc);
+/// rows contiguously (`ncb` floats each). Pure data movement. `packed`
+/// must hold exactly `k * n` elements; every slot is overwritten.
+pub(crate) fn pack_b_into(b: &[f32], k: usize, n: usize, bl: Blocking, packed: &mut [f32]) {
+    for jc in (0..n).step_by(bl.nc) {
+        let ncb = bl.nc.min(n - jc);
+        for pc in (0..k).step_by(bl.kc) {
+            let kcb = bl.kc.min(k - pc);
             let dst_base = jc * k + pc * ncb;
             for pp in 0..kcb {
                 let src = &b[(pc + pp) * n + jc..][..ncb];
@@ -46,31 +46,33 @@ pub(crate) fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
             }
         }
     }
-    packed
 }
 
 /// Serial blocked kernel: multiplies `rows` rows of `A` (`a_block`,
-/// `[rows, k]` row-major) by a [`pack_b`]-packed `B` (`[k, n]`),
-/// returning the `[rows, n]` product.
+/// `[rows, k]` row-major) by a [`pack_b_into`]-packed `B` (`[k, n]`,
+/// packed with the same `bl`), accumulating into `out` (`[rows, n]`,
+/// which must arrive zeroed).
 ///
 /// Per output element the `k` terms are added in increasing-`p` order
 /// into a single accumulator chain starting at `0.0` — identical to
-/// the naive i-k-j loop, so blocking changes nothing numerically.
-pub(crate) fn gemm_rows(
+/// the naive i-k-j loop, so any `(mc, kc, nc)` blocking changes nothing
+/// numerically.
+pub(crate) fn gemm_rows_into(
     a_block: &[f32],
     rows: usize,
     k: usize,
     packed_b: &[f32],
     n: usize,
-) -> Vec<f32> {
-    let mut out = vec![0.0f32; rows * n];
-    for jc in (0..n).step_by(NC) {
-        let ncb = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kcb = KC.min(k - pc);
+    bl: Blocking,
+    out: &mut [f32],
+) {
+    for jc in (0..n).step_by(bl.nc) {
+        let ncb = bl.nc.min(n - jc);
+        for pc in (0..k).step_by(bl.kc) {
+            let kcb = bl.kc.min(k - pc);
             let panel = &packed_b[jc * k + pc * ncb..][..kcb * ncb];
-            for ic in (0..rows).step_by(MC) {
-                let mcb = MC.min(rows - ic);
+            for ic in (0..rows).step_by(bl.mc) {
+                let mcb = bl.mc.min(rows - ic);
                 for i in ic..ic + mcb {
                     let a_row = &a_block[i * k + pc..][..kcb];
                     let o_row = &mut out[i * n + jc..][..ncb];
@@ -84,7 +86,6 @@ pub(crate) fn gemm_rows(
             }
         }
     }
-    out
 }
 
 /// Dot-product kernel for `A × Bᵀ`: `a_block` is `[rows, k]`, `b` is
@@ -119,37 +120,55 @@ pub(crate) fn gemm_nt_block(
     }
 }
 
-/// Transposes `src` (`[rows, cols]` row-major) into `[cols, rows]`.
-pub(crate) fn transpose_into(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; rows * cols];
+/// Transposes `src` (`[rows, cols]` row-major) into `dst`
+/// (`[cols, rows]`, at least `rows * cols` elements).
+pub(crate) fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
     for (r, row) in src.chunks_exact(cols).enumerate() {
         for (c, &v) in row.iter().enumerate() {
-            if let Some(slot) = out.get_mut(c * rows + r) {
+            if let Some(slot) = dst.get_mut(c * rows + r) {
                 *slot = v;
             }
         }
     }
+}
+
+/// Serial driver: packs `B` into an arena panel and runs the blocked
+/// kernel for all `bp.rows` rows. Zero heap allocation once the arena
+/// is warm (the output buffer is the caller's, freshly allocated by
+/// design — it outlives the call as tensor data).
+fn gemm_serial(bp: &Blueprint, a: &[f32], b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut packed = alloc::scratch_f32(bp.scratch);
+    pack_b_into(b, k, n, bp.blocking, &mut packed);
+    let mut out = alloc::fresh_vec(bp.out_len);
+    gemm_rows_into(a, bp.rows, k, &packed, n, bp.blocking, &mut out);
     out
 }
 
-/// Shared driver: `a` is `[m, k]` row-major, `b` is `[k, n]`; partitions
-/// output rows across the pool when the work justifies it.
-fn gemm_driver(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let packed = pack_b(b, k, n);
-    let work = m.saturating_mul(k).saturating_mul(n);
-    if !par::should_parallelize(m, work) {
-        return gemm_rows(a, m, k, &packed, n);
-    }
-    // The pool requires 'static jobs (no unsafe lifetime erasure in
-    // this workspace), so share the operands via Arc: one O(m·k) copy
-    // against O(m·k·n) compute.
-    let a: Arc<Vec<f32>> = Arc::new(a.to_vec());
-    let packed = Arc::new(packed);
-    let blocks = par::parallel_rows(m, move |rows: Range<usize>| {
+/// Parallel driver: the pool requires `'static` jobs (no unsafe
+/// lifetime erasure in this workspace), so `A` and the packed `B` are
+/// shared via `Arc` — one O(m·k + k·n) copy against O(m·k·n) compute.
+/// Those cross-thread buffers deliberately bypass the arena: a buffer
+/// dropped on another thread would migrate into that thread's pool.
+fn gemm_parallel(bp: &Blueprint, a: Arc<Vec<f32>>, b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut packed_buf = alloc::fresh_vec(bp.scratch);
+    pack_b_into(b, k, n, bp.blocking, &mut packed_buf);
+    let packed = Arc::new(packed_buf);
+    let blocking = bp.blocking;
+    let blocks = par::parallel_rows(bp.rows, move |rows: Range<usize>| {
         let len = rows.end - rows.start;
-        gemm_rows(&a[rows.start * k..rows.end * k], len, k, &packed, n)
+        let mut block = alloc::fresh_vec(len * n);
+        gemm_rows_into(
+            &a[rows.start * k..rows.end * k],
+            len,
+            k,
+            &packed,
+            n,
+            blocking,
+            &mut block,
+        );
+        block
     });
-    let mut out = Vec::with_capacity(m * n);
+    let mut out = alloc::fresh_with(bp.out_len);
     for block in blocks {
         out.extend_from_slice(&block);
     }
@@ -172,31 +191,39 @@ fn check_rank2(op: &'static str, lhs: &Tensor, rhs: &Tensor) -> Result<()> {
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Cache-blocked (`MC × KC × NC`) over a packed `B`, partitioned by
-    /// output rows across the [`crate::par`] pool, and bit-exact across
-    /// thread counts (see the module docs). Non-finite values propagate:
-    /// a `NaN`/`Inf` anywhere in either operand reaches every output it
-    /// mathematically touches (there is deliberately no zero-skip —
-    /// `0 × NaN` must stay `NaN`).
+    /// Cache-blocked over a packed `B` with blocking chosen by the plan
+    /// selector per shape class, partitioned by output rows across the
+    /// [`crate::par`] pool, and bit-exact across thread counts and
+    /// blocking choices (see the module docs). Non-finite values
+    /// propagate: a `NaN`/`Inf` anywhere in either operand reaches
+    /// every output it mathematically touches (there is deliberately no
+    /// zero-skip — `0 × NaN` must stay `NaN`).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] if either operand is not
-    /// rank 2, or [`TensorError::ShapeMismatch`] if the inner dimensions
-    /// disagree.
+    /// rank 2, [`TensorError::ShapeMismatch`] if the inner dimensions
+    /// disagree, or [`TensorError::Overflow`] if the output size would
+    /// overflow `usize`.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
         check_rank2("matmul", self, other)?;
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            });
+            return Err(TensorError::shape_mismatch(
+                "matmul",
+                self.dims(),
+                other.dims(),
+            ));
         }
-        let out = gemm_driver(self.as_slice(), other.as_slice(), m, k, n);
-        Tensor::from_vec(out, Shape::new(vec![m, n]))
+        let bp = selector::plan_gemm(OpKind::MatMul, m, k, n)?;
+        let out = if bp.parallel {
+            let a = Arc::new(alloc::fresh_from(self.as_slice()));
+            gemm_parallel(&bp, a, other.as_slice(), k, n)
+        } else {
+            gemm_serial(&bp, self.as_slice(), other.as_slice(), k, n)
+        };
+        Tensor::from_vec(out, Shape::of(&[m, n]))
     }
 
     /// `selfᵀ × other` without materializing the transpose for the
@@ -205,8 +232,9 @@ impl Tensor {
     /// (`∂W = xᵀ · ∂y`).
     ///
     /// Internally `self` *is* transposed into a scratch buffer (an
-    /// O(k·m) copy) so the same blocked row-parallel kernel — and the
-    /// same increasing-`p` accumulation order — serves all layouts.
+    /// O(k·m) copy, arena-backed on the serial path) so the same
+    /// blocked row-parallel kernel — and the same increasing-`p`
+    /// accumulation order — serves all layouts.
     ///
     /// # Errors
     ///
@@ -216,15 +244,23 @@ impl Tensor {
         let (k, m) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul_tn",
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            });
+            return Err(TensorError::shape_mismatch(
+                "matmul_tn",
+                self.dims(),
+                other.dims(),
+            ));
         }
-        let at = transpose_into(self.as_slice(), k, m); // [m, k]
-        let out = gemm_driver(&at, other.as_slice(), m, k, n);
-        Tensor::from_vec(out, Shape::new(vec![m, n]))
+        let bp = selector::plan_gemm(OpKind::MatMulTn, m, k, n)?;
+        let out = if bp.parallel {
+            let mut at = alloc::fresh_vec(bp.scratch2);
+            transpose_into(self.as_slice(), k, m, &mut at);
+            gemm_parallel(&bp, Arc::new(at), other.as_slice(), k, n)
+        } else {
+            let mut at = alloc::scratch_f32(bp.scratch2);
+            transpose_into(self.as_slice(), k, m, &mut at);
+            gemm_serial(&bp, &at, other.as_slice(), k, n)
+        };
+        Tensor::from_vec(out, Shape::of(&[m, n]))
     }
 
     /// `self × otherᵀ` without materializing the transpose.
@@ -234,6 +270,9 @@ impl Tensor {
     /// (`∂x = ∂y · Wᵀ` for a `[out, in]` weight laid out as `[n, k]`).
     /// Both operands are already row-major along `k`, so this stays a
     /// streaming dot-product kernel, row-partitioned across the pool.
+    /// The dispatch decision comes from the same cached blueprint as
+    /// the packed variants, so parallel/serial and blocking choices can
+    /// never disagree.
     ///
     /// # Errors
     ///
@@ -243,23 +282,23 @@ impl Tensor {
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (n, k2) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul_nt",
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            });
+            return Err(TensorError::shape_mismatch(
+                "matmul_nt",
+                self.dims(),
+                other.dims(),
+            ));
         }
-        let work = m.saturating_mul(k).saturating_mul(n);
-        if !par::should_parallelize(m, work) {
-            let mut out = vec![0.0f32; m * n];
+        let bp = selector::plan_gemm(OpKind::MatMulNt, m, k, n)?;
+        if !bp.parallel {
+            let mut out = alloc::fresh_vec(bp.out_len);
             gemm_nt_block(self.as_slice(), m, other.as_slice(), k, n, &mut out, false);
-            return Tensor::from_vec(out, Shape::new(vec![m, n]));
+            return Tensor::from_vec(out, Shape::of(&[m, n]));
         }
-        let a: Arc<Vec<f32>> = Arc::new(self.as_slice().to_vec());
-        let b: Arc<Vec<f32>> = Arc::new(other.as_slice().to_vec());
+        let a = Arc::new(alloc::fresh_from(self.as_slice()));
+        let b = Arc::new(alloc::fresh_from(other.as_slice()));
         let blocks = par::parallel_rows(m, move |rows: Range<usize>| {
             let len = rows.end - rows.start;
-            let mut block = vec![0.0f32; len * n];
+            let mut block = alloc::fresh_vec(len * n);
             gemm_nt_block(
                 &a[rows.start * k..rows.end * k],
                 len,
@@ -271,17 +310,18 @@ impl Tensor {
             );
             block
         });
-        let mut out = Vec::with_capacity(m * n);
+        let mut out = alloc::fresh_with(bp.out_len);
         for block in blocks {
             out.extend_from_slice(&block);
         }
-        Tensor::from_vec(out, Shape::new(vec![m, n]))
+        Tensor::from_vec(out, Shape::of(&[m, n]))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::blueprint::DEFAULT_BLOCKING;
     use proptest::prelude::*;
 
     fn mat(rows: usize, cols: usize, v: &[f32]) -> Tensor {
@@ -318,9 +358,14 @@ mod tests {
 
     #[test]
     fn blocked_kernel_matches_naive_beyond_block_bounds() {
-        // Dimensions straddling MC/KC/NC boundaries so several panels
-        // and partial edge blocks are exercised.
-        let (m, k, n) = (MC + 3, KC + 5, NC + 7);
+        // Dimensions straddling the default mc/kc/nc boundaries so
+        // several panels and partial edge blocks are exercised.
+        let (mc, kc, nc) = (
+            DEFAULT_BLOCKING.mc,
+            DEFAULT_BLOCKING.kc,
+            DEFAULT_BLOCKING.nc,
+        );
+        let (m, k, n) = (mc + 3, kc + 5, nc + 7);
         let a: Vec<f32> = (0..m * k)
             .map(|i| ((i * 37) % 101) as f32 * 0.25 - 12.0)
             .collect();
@@ -329,12 +374,58 @@ mod tests {
             .collect();
         let fast = mat(m, k, &a).matmul(&mat(k, n, &b)).unwrap();
         // Naive reference in the same per-element accumulation order.
-        for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (MC, NC), (7, KC)] {
+        for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (mc, nc), (7, kc)] {
             let mut acc = 0.0f32;
             for p in 0..k {
                 acc += a[i * k + p] * b[p * n + j];
             }
             assert_eq!(fast.as_slice()[i * n + j].to_bits(), acc.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_blocking_candidate_is_bit_identical() {
+        // The selector's bit-safety argument, checked directly: run the
+        // raw kernel under several (mc, kc, nc) choices and demand
+        // byte-identical output.
+        let (m, k, n) = (37, 65, 41);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 31) % 97) as f32 * 0.5 - 20.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 17) % 83) as f32 * 0.25 - 9.0)
+            .collect();
+        let run = |bl: Blocking| {
+            let mut packed = vec![0.0f32; k * n];
+            pack_b_into(&b, k, n, bl, &mut packed);
+            let mut out = vec![0.0f32; m * n];
+            gemm_rows_into(&a, m, k, &packed, n, bl, &mut out);
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        let reference = run(DEFAULT_BLOCKING);
+        for bl in [
+            Blocking {
+                mc: 1,
+                kc: 1,
+                nc: 1,
+            },
+            Blocking {
+                mc: 8,
+                kc: 16,
+                nc: 8,
+            },
+            Blocking {
+                mc: 128,
+                kc: 512,
+                nc: 1024,
+            },
+            Blocking {
+                mc: 3,
+                kc: 7,
+                nc: 11,
+            },
+        ] {
+            assert_eq!(run(bl), reference, "blocking {bl:?} changed bits");
         }
     }
 

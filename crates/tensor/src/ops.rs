@@ -55,11 +55,11 @@ impl Tensor {
     /// if the shapes differ.
     pub fn add_scaled_inplace(&mut self, other: &Tensor, factor: f32) -> Result<()> {
         if self.shape() != other.shape() {
-            return Err(crate::TensorError::ShapeMismatch {
-                op: "add_scaled_inplace",
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            });
+            return Err(crate::TensorError::shape_mismatch(
+                "add_scaled_inplace",
+                self.dims(),
+                other.dims(),
+            ));
         }
         for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += b * factor;
@@ -124,7 +124,7 @@ impl Tensor {
             });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; rows * cols];
+        let mut out = crate::plan::alloc::fresh_vec(rows * cols);
         let data = self.as_slice();
         for r in 0..rows {
             let row = &data[r * cols..(r + 1) * cols];
@@ -140,7 +140,7 @@ impl Tensor {
                 *o *= inv;
             }
         }
-        Tensor::from_vec(out, self.shape().clone())
+        Tensor::from_vec(out, self.shape().duplicate())
     }
 
     /// Squared Euclidean (L2²) norm of the whole tensor.
@@ -169,11 +169,11 @@ impl Tensor {
     /// if the shapes differ.
     pub fn dot(&self, other: &Tensor) -> Result<f32> {
         if self.shape() != other.shape() {
-            return Err(crate::TensorError::ShapeMismatch {
-                op: "dot",
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            });
+            return Err(crate::TensorError::shape_mismatch(
+                "dot",
+                self.dims(),
+                other.dims(),
+            ));
         }
         Ok(self
             .as_slice()

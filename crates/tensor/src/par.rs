@@ -141,7 +141,7 @@ pub fn should_parallelize(rows: usize, work: usize) -> bool {
 fn partition(rows: usize, chunks: usize) -> Vec<Range<usize>> {
     let base = rows / chunks;
     let extra = rows % chunks;
-    let mut ranges = Vec::with_capacity(chunks);
+    let mut ranges = crate::plan::alloc::fresh_with(chunks);
     let mut start = 0;
     for c in 0..chunks {
         let len = base + usize::from(c < extra);
@@ -169,7 +169,9 @@ where
 {
     let t = threads();
     if t <= 1 || rows <= 1 {
-        return vec![job(0..rows)];
+        let mut only = crate::plan::alloc::fresh_with(1);
+        only.push(job(0..rows));
+        return only;
     }
     let chunks = t.min(rows);
     let ranges = partition(rows, chunks);
@@ -179,14 +181,13 @@ where
 
     type ChunkResult<T> = std::thread::Result<T>;
     let (done_tx, done_rx) = channel::bounded::<(usize, ChunkResult<T>)>(chunks);
-    let mut slots: Vec<Option<ChunkResult<T>>> = Vec::new();
+    let mut slots: Vec<Option<ChunkResult<T>>> = Vec::default();
     slots.resize_with(chunks, || None);
     let mut settled = 0;
 
-    for (index, range) in ranges.iter().enumerate().skip(1) {
+    for (index, range) in ranges.iter().cloned().enumerate().skip(1) {
         let job = Arc::clone(&job);
         let done = done_tx.clone();
-        let range = range.clone();
         let boxed: Job = Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(|| job(range)));
             // best-effort: the collector hanging up means the caller bailed.
@@ -230,7 +231,7 @@ where
         }
     }
 
-    let mut out = Vec::with_capacity(chunks);
+    let mut out = crate::plan::alloc::fresh_with(chunks);
     let mut panic_payload = None;
     for slot in slots {
         match slot {

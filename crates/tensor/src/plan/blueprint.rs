@@ -1,0 +1,253 @@
+//! Kernel blueprints: the static description of how one (op, shape,
+//! thread-count) combination should execute — blocking parameters,
+//! parallel/serial dispatch, and cap-checked scratch/output sizes.
+//!
+//! A [`Blueprint`] is computed once per [`ShapeKey`] by the selector
+//! and cached, so the blocking choice and the parallel/serial choice
+//! always come from the same decision point and can never disagree
+//! (previously each GEMM variant re-derived `work` and called
+//! `should_parallelize` independently of the blocking constants).
+//!
+//! **Bit-exactness:** every field here is a *free* performance knob.
+//! The GEMM accumulates each output element in a single `f32`
+//! accumulator in increasing-`p` order regardless of `(mc, kc, nc)` —
+//! panel loops visit `p` ascending within and across panels — and
+//! parallel partitioning only splits independent output rows. So any
+//! blueprint produces byte-identical output; caching merely makes the
+//! choice stable within a process.
+
+use crate::error::TensorError;
+
+/// Which kernel a blueprint drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `C = A · B`.
+    MatMul,
+    /// `C = Aᵀ · B`.
+    MatMulTn,
+    /// `C = A · Bᵀ`.
+    MatMulNt,
+    /// Batched im2col conv2d forward.
+    Conv2d,
+    /// conv2d backward (grad input + grad filters + grad bias).
+    Conv2dBackward,
+    /// 2-D max pooling.
+    MaxPool2d,
+    /// Per-plane sliding-window filter (LAP/LAR/Gaussian kernels).
+    FilterPlane,
+}
+
+/// Shape classification driving the blocking heuristics. Mirrors the
+/// vecmat / square / tall-skinny split of cubek-matmul's selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShapeClass {
+    /// Work below the parallel threshold; defaults are fine, overhead
+    /// dominates everything else.
+    SmallSerial,
+    /// Degenerate row/column count (vector × matrix).
+    VecMat,
+    /// Many more rows than columns.
+    TallSkinny,
+    /// Many more columns than rows.
+    WideFlat,
+    /// Roughly balanced dimensions.
+    Square,
+}
+
+/// Maximum dimensions captured in a [`ShapeKey`]. Conv keys use nine:
+/// `[n, c, h, w, f, kh, kw, stride, padding]`.
+pub const MAX_KEY_DIMS: usize = 10;
+
+/// Cache key for one kernel-shape combination. The worker-thread count
+/// is part of the key because the parallel/serial decision depends on
+/// it and `par::set_threads` can change at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    /// The kernel this key plans for.
+    pub op: OpKind,
+    /// The defining dimensions, zero-padded to [`MAX_KEY_DIMS`].
+    pub dims: [usize; MAX_KEY_DIMS],
+    /// `par::threads()` at planning time.
+    pub threads: usize,
+}
+
+impl ShapeKey {
+    /// Builds a key from the defining dimensions, capturing the current
+    /// worker-thread count.
+    pub fn new(op: OpKind, dims: &[usize]) -> Self {
+        debug_assert!(dims.len() <= MAX_KEY_DIMS, "shape key dims overflow");
+        let mut key_dims = [0usize; MAX_KEY_DIMS];
+        for (slot, &d) in key_dims.iter_mut().zip(dims.iter()) {
+            *slot = d;
+        }
+        ShapeKey {
+            op,
+            dims: key_dims,
+            threads: crate::par::threads(),
+        }
+    }
+}
+
+/// Cache-blocking parameters for the packed GEMM: row block, depth
+/// panel, and column panel extents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Blocking {
+    /// Rows of A per L2-resident block.
+    pub mc: usize,
+    /// Depth (k) extent of each packed panel.
+    pub kc: usize,
+    /// Columns of B per packed panel.
+    pub nc: usize,
+}
+
+/// The PR-5 defaults; [`ShapeClass::Square`] keeps them so existing
+/// balanced shapes execute exactly as before.
+pub const DEFAULT_BLOCKING: Blocking = Blocking {
+    mc: 64,
+    kc: 256,
+    nc: 512,
+};
+
+/// One cached execution plan: everything the kernel drivers need to
+/// run without re-deriving sizes or dispatch decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blueprint {
+    /// The key this blueprint was planned for.
+    pub key: ShapeKey,
+    /// Shape classification that chose the blocking.
+    pub class: ShapeClass,
+    /// GEMM blocking (ignored by kernels that don't pack).
+    pub blocking: Blocking,
+    /// Hoisted `should_parallelize` decision — the single source of
+    /// truth for serial-vs-pool dispatch for this shape.
+    pub parallel: bool,
+    /// Partition axis extent handed to `parallel_rows`.
+    pub rows: usize,
+    /// Primary scratch length (packing panel / im2col columns /
+    /// gather window), cap-checked.
+    pub scratch: usize,
+    /// Secondary scratch length (transpose buffer, per-sample packing),
+    /// cap-checked; zero when unused.
+    pub scratch2: usize,
+    /// Output buffer length, cap-checked.
+    pub out_len: usize,
+}
+
+/// Work (in multiply-accumulates) below which a shape is
+/// [`ShapeClass::SmallSerial`]; matches `par::should_parallelize`'s
+/// threshold so classification and dispatch agree.
+pub const SMALL_WORK: usize = 32 * 1024;
+
+/// Classifies a GEMM by its output dimensions and total work.
+pub fn classify_gemm(m: usize, n: usize, work: usize) -> ShapeClass {
+    if work < SMALL_WORK {
+        ShapeClass::SmallSerial
+    } else if m <= 2 || n <= 2 {
+        ShapeClass::VecMat
+    } else if m >= 4 * n {
+        ShapeClass::TallSkinny
+    } else if n >= 4 * m {
+        ShapeClass::WideFlat
+    } else {
+        ShapeClass::Square
+    }
+}
+
+/// Deterministic blocking per shape class. Any choice is bit-safe (see
+/// module docs); these are tuned for the class's reuse pattern —
+/// tall-skinny favours bigger row blocks, wide-flat favours wider
+/// column panels.
+pub fn blocking_for(class: ShapeClass) -> Blocking {
+    match class {
+        ShapeClass::SmallSerial | ShapeClass::Square => DEFAULT_BLOCKING,
+        ShapeClass::VecMat => Blocking {
+            mc: 64,
+            kc: 512,
+            nc: 256,
+        },
+        ShapeClass::TallSkinny => Blocking {
+            mc: 128,
+            kc: 256,
+            nc: 256,
+        },
+        ShapeClass::WideFlat => Blocking {
+            mc: 32,
+            kc: 256,
+            nc: 1024,
+        },
+    }
+}
+
+/// Cap-checked product of `dims`, the sizing discipline for every
+/// scratch/output allocation: overflow surfaces as a typed
+/// [`TensorError::Overflow`] instead of wrapping and under-allocating.
+pub fn checked_product(op: &'static str, dims: &[usize]) -> Result<usize, TensorError> {
+    let mut acc = 1usize;
+    for &d in dims {
+        acc = acc
+            .checked_mul(d)
+            .ok_or_else(|| TensorError::overflow(op, dims))?;
+    }
+    Ok(acc)
+}
+
+/// Cap-checked `a + b` under the same overflow discipline.
+pub fn checked_add(op: &'static str, a: usize, b: usize) -> Result<usize, TensorError> {
+    a.checked_add(b)
+        .ok_or_else(|| TensorError::overflow(op, &[a, b]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_product_computes() {
+        assert_eq!(checked_product("t", &[3, 4, 5]), Ok(60));
+        assert_eq!(checked_product("t", &[]), Ok(1));
+    }
+
+    #[test]
+    fn checked_product_overflows_to_typed_error() {
+        let huge = usize::MAX / 2;
+        match checked_product("im2col", &[huge, 3]) {
+            Err(TensorError::Overflow { op, dims }) => {
+                assert_eq!(op, "im2col");
+                assert_eq!(dims, vec![huge, 3]);
+            }
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_add_overflows_to_typed_error() {
+        assert!(matches!(
+            checked_add("pad", usize::MAX, 1),
+            Err(TensorError::Overflow { .. })
+        ));
+        assert_eq!(checked_add("pad", 2, 3), Ok(5));
+    }
+
+    #[test]
+    fn classification_matches_shape_families() {
+        assert_eq!(classify_gemm(8, 8, 100), ShapeClass::SmallSerial);
+        assert_eq!(classify_gemm(1, 1024, 1 << 20), ShapeClass::VecMat);
+        assert_eq!(classify_gemm(1024, 8, 1 << 20), ShapeClass::TallSkinny);
+        assert_eq!(classify_gemm(8, 1024, 1 << 20), ShapeClass::WideFlat);
+        assert_eq!(classify_gemm(256, 256, 1 << 20), ShapeClass::Square);
+    }
+
+    #[test]
+    fn square_keeps_pr5_blocking() {
+        assert_eq!(blocking_for(ShapeClass::Square), DEFAULT_BLOCKING);
+        assert_eq!(blocking_for(ShapeClass::SmallSerial), DEFAULT_BLOCKING);
+    }
+
+    #[test]
+    fn shape_key_pads_and_captures_threads() {
+        let key = ShapeKey::new(OpKind::MatMul, &[3, 4, 5]);
+        assert_eq!(&key.dims[..3], &[3, 4, 5]);
+        assert!(key.dims[3..].iter().all(|&d| d == 0));
+        assert_eq!(key.threads, crate::par::threads());
+    }
+}

@@ -2,6 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::plan::alloc;
+use crate::plan::blueprint::{
+    checked_product, Blueprint, OpKind, ShapeClass, ShapeKey, DEFAULT_BLOCKING,
+};
+use crate::plan::selector;
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Geometry of a 2-D max-pool.
@@ -94,9 +99,28 @@ pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<MaxPoolOutput> {
         input.dims()[3],
     );
     let (oh, ow) = spec.output_size(h, w)?;
+    // One cached blueprint per geometry key carries the cap-checked
+    // output length; pooling is a memory-bound gather, so it stays
+    // serial and needs no packing scratch.
+    let key = ShapeKey::new(
+        OpKind::MaxPool2d,
+        &[n, c, h, w, spec.window_h, spec.window_w, spec.stride],
+    );
+    let bp = selector::plan_with(key, move || {
+        Ok(Blueprint {
+            key,
+            class: ShapeClass::SmallSerial,
+            blocking: DEFAULT_BLOCKING,
+            parallel: false,
+            rows: n,
+            scratch: 0,
+            scratch2: 0,
+            out_len: checked_product("max_pool2d output", &[n, c, oh, ow])?,
+        })
+    })?;
     let data = input.as_slice();
-    let mut out = Vec::with_capacity(n * c * oh * ow);
-    let mut argmax = Vec::with_capacity(n * c * oh * ow);
+    let mut out = alloc::fresh_with(bp.out_len);
+    let mut argmax: Vec<usize> = alloc::fresh_with(bp.out_len);
     for s in 0..n {
         for ch in 0..c {
             let plane = (s * c + ch) * h * w;
@@ -122,7 +146,7 @@ pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<MaxPoolOutput> {
         }
     }
     Ok(MaxPoolOutput {
-        output: Tensor::from_vec(out, Shape::new(vec![n, c, oh, ow]))?,
+        output: Tensor::from_vec(out, Shape::of(&[n, c, oh, ow]))?,
         argmax,
     })
 }
@@ -145,11 +169,11 @@ pub fn max_pool2d_backward(
             expected: grad_out.numel(),
         });
     }
-    let mut grad_in = vec![0.0f32; input_shape.numel()];
+    let mut grad_in = alloc::fresh_vec(input_shape.numel());
     for (&g, &idx) in grad_out.as_slice().iter().zip(argmax) {
         grad_in[idx] += g;
     }
-    Tensor::from_vec(grad_in, input_shape.clone())
+    Tensor::from_vec(grad_in, input_shape.duplicate())
 }
 
 #[cfg(test)]

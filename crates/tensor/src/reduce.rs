@@ -92,7 +92,7 @@ impl Tensor {
             return Err(TensorError::EmptyTensor { op: "argmax_rows" });
         }
         let data = self.as_slice();
-        let mut out = Vec::with_capacity(rows);
+        let mut out = crate::plan::alloc::fresh_with(rows);
         for r in 0..rows {
             let row = &data[r * cols..(r + 1) * cols];
             let mut best = 0usize;
@@ -115,7 +115,8 @@ impl Tensor {
     /// This drives the paper's *top-5* accuracy metric and the Eq. 2 cost
     /// function over the top-5 predicted classes.
     pub fn top_k(&self, k: usize) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.numel()).collect();
+        let mut idx: Vec<usize> = crate::plan::alloc::fresh_with(self.numel());
+        idx.extend(0..self.numel());
         idx.sort_by(|&a, &b| {
             let (va, vb) = (self.as_slice()[a], self.as_slice()[b]);
             vb.partial_cmp(&va)
@@ -137,14 +138,14 @@ impl Tensor {
         }
         let batch = self.dims()[0];
         let inner: usize = self.dims()[1..].iter().product();
-        let mut out = vec![0.0f32; inner];
+        let mut out = crate::plan::alloc::fresh_vec(inner);
         let data = self.as_slice();
         for n in 0..batch {
             for (o, &x) in out.iter_mut().zip(&data[n * inner..(n + 1) * inner]) {
                 *o += x;
             }
         }
-        Tensor::from_vec(out, crate::Shape::new(self.dims()[1..].to_vec()))
+        Tensor::from_vec(out, crate::Shape::of(&self.dims()[1..]))
     }
 }
 

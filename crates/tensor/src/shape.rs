@@ -33,7 +33,29 @@ impl Shape {
 
     /// Creates a scalar (rank-0) shape with a single element.
     pub fn scalar() -> Self {
-        Shape { dims: Vec::new() }
+        // An empty Vec never allocates.
+        Shape {
+            dims: Vec::default(),
+        }
+    }
+
+    /// Creates a shape from borrowed extents. This is the one place the
+    /// crate copies a dimension slice into an owned rank vector —
+    /// bounded by rank (≤ 4 everywhere in this workspace) — so kernel
+    /// call sites can build output shapes without their own `to_vec`.
+    pub fn of(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// An explicit owned copy; the rank-vector clone chokepoint used by
+    /// kernels that must hand out an owned `Shape` (e.g. identity
+    /// filters and elementwise outputs).
+    pub fn duplicate(&self) -> Self {
+        Shape {
+            dims: self.dims.clone(),
+        }
     }
 
     /// The dimension extents.
@@ -68,7 +90,7 @@ impl Shape {
 
     /// Row-major strides, in elements.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.dims.len()];
+        let mut strides = crate::plan::alloc::fresh_filled(self.dims.len(), 1usize);
         for i in (0..self.dims.len().saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * self.dims[i + 1];
         }
@@ -83,19 +105,13 @@ impl Shape {
     /// rank or any coordinate exceeds the corresponding extent.
     pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
         if index.len() != self.rank() {
-            return Err(TensorError::IndexOutOfBounds {
-                index: index.to_vec(),
-                shape: self.dims.clone(),
-            });
+            return Err(TensorError::index_oob(index, &self.dims));
         }
         let mut offset = 0usize;
         let strides = self.strides();
         for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
             if i >= d {
-                return Err(TensorError::IndexOutOfBounds {
-                    index: index.to_vec(),
-                    shape: self.dims.clone(),
-                });
+                return Err(TensorError::index_oob(index, &self.dims));
             }
             offset += i * s;
         }
@@ -129,13 +145,13 @@ impl From<Vec<usize>> for Shape {
 
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
-        Shape::new(dims.to_vec())
+        Shape::of(dims)
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape::new(dims.to_vec())
+        Shape::of(dims.as_slice())
     }
 }
 

@@ -2,6 +2,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::plan::alloc;
 use crate::{Result, Shape, TensorError};
 
 /// A dense, owned, row-major `f32` n-dimensional array.
@@ -53,16 +54,16 @@ impl Tensor {
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
         Tensor {
-            data: vec![value],
+            data: alloc::fresh_filled(1, value),
             shape: Shape::scalar(),
         }
     }
 
     /// Creates a tensor of zeros with the given dimensions.
     pub fn zeros(dims: &[usize]) -> Self {
-        let shape = Shape::from(dims);
+        let shape = Shape::of(dims);
         Tensor {
-            data: vec![0.0; shape.numel()],
+            data: alloc::fresh_vec(shape.numel()),
             shape,
         }
     }
@@ -74,9 +75,9 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
-        let shape = Shape::from(dims);
+        let shape = Shape::of(dims);
         Tensor {
-            data: vec![value; shape.numel()],
+            data: alloc::fresh_filled(shape.numel(), value),
             shape,
         }
     }
@@ -84,8 +85,18 @@ impl Tensor {
     /// Creates a tensor of zeros with the same shape as `other`.
     pub fn zeros_like(other: &Tensor) -> Self {
         Tensor {
-            data: vec![0.0; other.numel()],
-            shape: other.shape.clone(),
+            data: alloc::fresh_vec(other.numel()),
+            shape: other.shape.duplicate(),
+        }
+    }
+
+    /// An explicit owned copy built through the plan layer's allocation
+    /// chokepoints. Hot paths use this instead of `Clone` so per-call
+    /// data copies stay measurable at a single budgeted site.
+    pub fn duplicate(&self) -> Tensor {
+        Tensor {
+            data: alloc::fresh_from(&self.data),
+            shape: self.shape.duplicate(),
         }
     }
 
@@ -150,24 +161,23 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ReshapeMismatch`] if element counts differ.
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
-        let shape = Shape::from(dims);
+        let shape = Shape::of(dims);
         if shape.numel() != self.numel() {
-            return Err(TensorError::ReshapeMismatch {
-                from: self.dims().to_vec(),
-                to: dims.to_vec(),
-            });
+            return Err(TensorError::reshape_mismatch(self.dims(), dims));
         }
         Ok(Tensor {
-            data: self.data.clone(),
+            data: alloc::fresh_from(&self.data),
             shape,
         })
     }
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        let mut data = alloc::fresh_with(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
+            data,
+            shape: self.shape.duplicate(),
         }
     }
 
@@ -186,20 +196,17 @@ impl Tensor {
     /// broadcasting semantics use [`Tensor::add`] and friends.
     pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor> {
         if self.shape != other.shape {
-            return Err(TensorError::ShapeMismatch {
-                op: "zip_map",
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            });
+            return Err(TensorError::shape_mismatch(
+                "zip_map",
+                self.dims(),
+                other.dims(),
+            ));
         }
+        let mut data = alloc::fresh_with(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Ok(Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            shape: self.shape.clone(),
+            data,
+            shape: self.shape.duplicate(),
         })
     }
 
@@ -237,13 +244,13 @@ impl Tensor {
             });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; rows * cols];
+        let mut out = alloc::fresh_vec(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 out[c * rows + r] = self.data[r * cols + c];
             }
         }
-        Tensor::from_vec(out, Shape::new(vec![cols, rows]))
+        Tensor::from_vec(out, Shape::of(&[cols, rows]))
     }
 
     /// Extracts row `row` of a rank-2 tensor as a rank-1 tensor.
@@ -262,14 +269,11 @@ impl Tensor {
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         if row >= rows {
-            return Err(TensorError::IndexOutOfBounds {
-                index: vec![row],
-                shape: self.dims().to_vec(),
-            });
+            return Err(TensorError::index_oob(&[row], self.dims()));
         }
         Tensor::from_vec(
-            self.data[row * cols..(row + 1) * cols].to_vec(),
-            Shape::new(vec![cols]),
+            alloc::fresh_from(&self.data[row * cols..(row + 1) * cols]),
+            Shape::of(&[cols]),
         )
     }
 
@@ -286,15 +290,12 @@ impl Tensor {
         }
         let batch = self.dims()[0];
         if n >= batch {
-            return Err(TensorError::IndexOutOfBounds {
-                index: vec![n],
-                shape: self.dims().to_vec(),
-            });
+            return Err(TensorError::index_oob(&[n], self.dims()));
         }
         let inner: usize = self.dims()[1..].iter().product();
         Tensor::from_vec(
-            self.data[n * inner..(n + 1) * inner].to_vec(),
-            Shape::new(self.dims()[1..].to_vec()),
+            alloc::fresh_from(&self.data[n * inner..(n + 1) * inner]),
+            Shape::of(&self.dims()[1..]),
         )
     }
 
@@ -308,28 +309,30 @@ impl Tensor {
         let first = items
             .first()
             .ok_or(TensorError::EmptyTensor { op: "stack" })?;
-        let mut data = Vec::with_capacity(first.numel() * items.len());
+        let mut data = alloc::fresh_with(first.numel() * items.len());
         for item in items {
             if item.shape != first.shape {
-                return Err(TensorError::ShapeMismatch {
-                    op: "stack",
-                    lhs: first.dims().to_vec(),
-                    rhs: item.dims().to_vec(),
-                });
+                return Err(TensorError::shape_mismatch(
+                    "stack",
+                    first.dims(),
+                    item.dims(),
+                ));
             }
             data.extend_from_slice(&item.data);
         }
-        let mut dims = vec![items.len()];
+        let mut dims = alloc::fresh_with(1 + first.rank());
+        dims.push(items.len());
         dims.extend_from_slice(first.dims());
         Tensor::from_vec(data, Shape::new(dims))
     }
 
     /// Inserts a leading batch axis of extent 1 (`[d...]` → `[1, d...]`).
     pub fn unsqueeze_batch(&self) -> Tensor {
-        let mut dims = vec![1usize];
+        let mut dims = alloc::fresh_with(1 + self.rank());
+        dims.push(1usize);
         dims.extend_from_slice(self.dims());
         Tensor {
-            data: self.data.clone(),
+            data: alloc::fresh_from(&self.data),
             shape: Shape::new(dims),
         }
     }

@@ -10,6 +10,8 @@
 
 use std::sync::Mutex;
 
+use fademl_tensor::plan::blueprint::OpKind;
+use fademl_tensor::plan::selector;
 use fademl_tensor::{conv2d, conv2d_backward, par, ConvSpec, Tensor, TensorRng};
 use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
 
@@ -127,6 +129,41 @@ fn conv2d_invariant_on_adversarial_shapes() {
             &format!("conv2d_backward n={n} {spec:?}"),
         );
     }
+}
+
+// ------------------------------------------------------------- selector
+
+/// The plan layer must be invisible to the invariance guarantee: a warm
+/// selector cache replans the same shape key to the identical blueprint
+/// at every thread count, and a sweep over a warm cache reproduces the
+/// cold sweep bit-for-bit.
+#[test]
+fn selector_cache_preserves_sweep_bit_identity() {
+    let mut rng = TensorRng::seed_from_u64(13);
+    let (m, k, n) = (128usize, 256usize, 64usize);
+    let a = filled(&mut rng, &[m, k]);
+    let b = filled(&mut rng, &[k, n]);
+    // Cold sweep: warms one cache entry per thread count (the shape key
+    // captures the pool width, so dispatch can differ; bits cannot).
+    let cold = sweep_bits(|| a.matmul(&b).expect("matmul").into_vec());
+    {
+        let _guard = THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        for &t in &SWEEP {
+            par::set_threads(t);
+            let first = selector::plan_gemm(OpKind::MatMul, m, k, n).expect("plan");
+            let second = selector::plan_gemm(OpKind::MatMul, m, k, n).expect("plan");
+            assert_eq!(first, second, "replan at {t} threads changed the blueprint");
+            assert_eq!(
+                selector::lookup(&first.key),
+                Some(first),
+                "warm key missing from the selector cache at {t} threads"
+            );
+        }
+        par::set_threads(1);
+    }
+    // Warm sweep: every plan is now a cache hit; output must not move.
+    let warm = sweep_bits(|| a.matmul(&b).expect("matmul").into_vec());
+    assert_eq!(warm, cold, "warm selector cache changed kernel output");
 }
 
 // ------------------------------------------------------------- proptest
